@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_<id>.py`` file regenerates one table/figure of the paper.
+Experiment results are computed once per session and shared between the
+shape-assertion tests and the pytest-benchmark timing tests; benchmarks
+use ``pedantic`` single-shot mode because a full pipeline run is the thing
+being measured.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def toq():
+    return 0.90
+
+
+@pytest.fixture(scope="session")
+def fig11_result():
+    from repro.experiments import fig11
+
+    return fig11.run()
+
+
+@pytest.fixture(scope="session")
+def fig12_result():
+    from repro.experiments import fig12
+
+    return fig12.run()
+
+
+@pytest.fixture(scope="session")
+def fig13_result():
+    from repro.experiments import fig13
+
+    return fig13.run()
+
+
+@pytest.fixture(scope="session")
+def fig14_result():
+    from repro.experiments import fig14
+
+    return fig14.run()
+
+
+@pytest.fixture(scope="session")
+def fig15_result():
+    from repro.experiments import fig15
+
+    return fig15.run()
+
+
+@pytest.fixture(scope="session")
+def fig16_result():
+    from repro.experiments import fig16
+
+    return fig16.run()
+
+
+@pytest.fixture(scope="session")
+def fig17_result():
+    from repro.experiments import fig17
+
+    return fig17.run()

@@ -1,0 +1,75 @@
+"""Ablation benches: what each design choice contributes."""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_benchmark_bit_tuning_ablation(benchmark):
+    result = once(benchmark, ablations.bit_tuning_ablation)
+    print()
+    print(result.to_text())
+    for row in result.rows:
+        # Hill climbing never loses to the naive split and materially wins
+        # at least somewhere.
+        assert row["tuned_quality"] >= row["equal_quality"] - 1e-9
+    gains = [r["tuned_quality"] - r["equal_quality"] for r in result.rows]
+    assert max(gains) > 0.01
+
+
+def test_benchmark_adjustment_ablation(benchmark):
+    result = once(benchmark, ablations.adjustment_ablation)
+    print()
+    print(result.to_text())
+    adjusted = [r for r in result.rows if r["configuration"] == "adjusted"]
+    naive = [r for r in result.rows if r["configuration"] == "unadjusted"]
+    # The x-N fold-back keeps the estimator essentially unbiased; without
+    # it a skip-N sum is low by roughly (N-1)/N.
+    assert all(abs(r["relative_bias"]) < 0.02 for r in adjusted)
+    assert all(r["relative_bias"] < -0.4 for r in naive)
+
+
+def test_benchmark_cse_ablation(benchmark):
+    result = once(benchmark, ablations.cse_ablation)
+    print()
+    print(result.to_text())
+    exact = result.row_for("configuration", "exact")
+    no_cse = result.row_for("configuration", "replicated, no CSE")
+    with_cse = result.row_for("configuration", "replicated + CSE")
+    # Without CSE the redirected loads still issue: same load count as
+    # exact, no load-side win.  With CSE the interior drops to one load.
+    assert no_cse["img_loads"] == exact["img_loads"]
+    assert with_cse["img_loads"] < exact["img_loads"] / 4
+    assert with_cse["speedup"] > no_cse["speedup"]
+
+
+def test_benchmark_phase_choice_ablation(benchmark):
+    result = once(benchmark, ablations.phase_choice_ablation)
+    print()
+    print(result.to_text())
+    p1 = [r for r in result.rows if r["phase"] == 1]
+    p3 = [r for r in result.rows if r["phase"] == 3]
+    assert p1 and p3
+    # Phase I owns the work AND averages over thousands of homogeneous
+    # chunks: perforating it approaches the skipping rate at negligible
+    # error.  Phase III's loop is ten heterogeneous block sums: skipping
+    # them buys nothing and hurts badly — exactly why the runtime must
+    # pick the phase (§3.3.2).
+    assert max(r["speedup"] for r in p1) > 1.8
+    assert all(r["relative_error"] < 0.01 for r in p1)
+    assert all(r["speedup"] < 1.1 for r in p3)
+    assert min(r["relative_error"] for r in p3) > max(
+        r["relative_error"] for r in p1
+    )
+
+
+def test_benchmark_noise_ablation(benchmark):
+    result = once(benchmark, ablations.noise_ablation)
+    print()
+    print(result.to_text())
+    natural = result.row_for("input", "natural image")
+    noise = result.row_for("input", "white noise")
+    # On natural images the stencil optimization is chosen; on white noise
+    # every stencil variant violates the TOQ and the runtime stays exact.
+    assert natural["speedup"] > 1.2 and "stencil" in natural["chosen"]
+    assert noise["chosen"] == "exact" and noise["speedup"] == 1.0

@@ -1,0 +1,21 @@
+"""Fig 4: bit tuning hill climb for BlackScholesBody."""
+
+from conftest import once
+
+from repro.experiments import fig04
+
+
+def test_benchmark_fig04(benchmark):
+    result = once(benchmark, fig04.run)
+    print()
+    print(result.to_text())
+
+    qualities = result.column("quality")
+    assert len(qualities) >= 1
+    # Steepest ascent: each accepted step strictly improves quality.
+    assert all(b > a for a, b in zip(qualities, qualities[1:]))
+    # The root splits 15 bits equally over the three variable inputs.
+    assert result.rows[0]["node"] == "(5, 5, 5)"
+    # The climb terminates at a local optimum whose children were all worse
+    # (the walk records children for every step including the last).
+    assert result.rows[-1]["children_evaluated"] > 0

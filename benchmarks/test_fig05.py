@@ -1,0 +1,21 @@
+"""Fig 5: adjacent-pixel difference distribution."""
+
+from conftest import once
+
+from repro.experiments import fig05
+
+
+def test_benchmark_fig05(benchmark):
+    result = once(benchmark, fig05.run)
+    print()
+    print(result.to_text())
+
+    bands = result.column("natural_images_pct")
+    # Paper: more than 70% of pixels differ <10% from their neighbours.
+    assert bands[0] > 70.0
+    # The distribution is heavily front-loaded, like the paper's histogram.
+    assert bands[0] + bands[1] > 90.0
+    # The ablation shows the assumption is a property of natural images,
+    # not of the metric: white noise puts almost nothing in the first band.
+    noise = result.column("white_noise_pct")
+    assert noise[0] < 5.0

@@ -1,0 +1,37 @@
+"""Fig 12: performance-quality tradeoff curves for six benchmarks."""
+
+from collections import defaultdict
+
+from conftest import once
+
+
+def test_benchmark_fig12(benchmark, fig12_result):
+    result = once(benchmark, lambda: fig12_result)
+    print()
+    print(result.to_text())
+
+    by_app = defaultdict(list)
+    for row in result.rows:
+        by_app[row["application"]].append(row)
+    assert len(by_app) == 6
+
+    for app, rows in by_app.items():
+        # Every app contributes a real curve: the exact point plus at
+        # least two approximate knob settings.
+        assert len(rows) >= 3, app
+        exact = [r for r in rows if r["variant"] == "exact"]
+        assert len(exact) == 1 and exact[0]["speedup"] == 1.0
+
+        # The frontier trades quality for speed: the fastest point has
+        # materially lower quality than exact, and some point beats 1.3x.
+        fastest = max(rows, key=lambda r: r["speedup"])
+        assert fastest["speedup"] > 1.25, app
+        assert fastest["quality"] < 1.0, app
+
+        # Monotone envelope: among knob settings of the *same* family the
+        # highest-quality point is never also the fastest non-exact point
+        # unless the whole family has one knob value.
+        approx = [r for r in rows if r["variant"] != "exact"]
+        best_q = max(approx, key=lambda r: r["quality"])
+        if len(approx) > 2:
+            assert best_q["speedup"] <= fastest["speedup"] + 1e-9, app

@@ -1,0 +1,28 @@
+"""Fig 14: naive loop perforation vs pattern-based optimization."""
+
+import numpy as np
+from conftest import once
+
+
+def test_benchmark_fig14(benchmark, fig14_result):
+    result = once(benchmark, lambda: fig14_result)
+    print()
+    print(result.to_text())
+
+    naive = np.array(result.column("reduction_only_speedup"), dtype=float)
+    pattern = np.array(result.column("pattern_based_speedup"), dtype=float)
+
+    # The paper's point: pattern-specific optimizations beat one-size-fits-
+    # all perforation by roughly 2x on apps without reduction patterns.
+    assert pattern.mean() > 1.8 * naive.mean()
+    # Naive perforation never wins on any of these apps...
+    assert all(p >= n for p, n in zip(pattern, naive))
+    # ...and both settings still respect the TOQ (perforated kernels whose
+    # quality collapses fall back to exact, speedup 1.0).
+    assert all(q >= 0.90 - 1e-9 for q in result.column("reduction_only_quality"))
+    assert all(q >= 0.90 - 1e-9 for q in result.column("pattern_based_quality"))
+    # The scan benchmark demonstrates the cascading-error fallback: naive
+    # perforation of Phase I is rejected.
+    cumhist = result.row_for("application", "Cumulative Histogram")
+    assert cumhist["reduction_only_speedup"] == 1.0
+    assert cumhist["pattern_based_speedup"] > 1.2

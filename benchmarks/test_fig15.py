@@ -1,0 +1,45 @@
+"""Fig 15: nearest vs linear memoization for the four case-study functions."""
+
+from collections import defaultdict
+
+from conftest import once
+
+
+def test_benchmark_fig15(benchmark, fig15_result):
+    result = once(benchmark, lambda: fig15_result)
+    print()
+    print(result.to_text())
+
+    by_key = defaultdict(dict)
+    for row in result.rows:
+        by_key[(row["function"], row["table_entries"])][row["mode"]] = row
+
+    for (func, entries), modes in by_key.items():
+        nearest, linear = modes["nearest"], modes["linear"]
+        # Paper: "for all four functions, nearest provides better speedups
+        # than linear at the cost of greater quality loss".
+        assert nearest["speedup"] > linear["speedup"], (func, entries)
+        # Linear is at least as accurate, up to float noise once both
+        # schemes have saturated (>99.9% quality).
+        saturated = min(linear["quality"], nearest["quality"]) > 0.999
+        tolerance = 1e-3 if saturated else 1e-6
+        assert linear["quality"] >= nearest["quality"] - tolerance, (func, entries)
+
+    # Linear is the route to very high quality (~99%).
+    for func in ("Bass", "Credit", "Gompertz"):
+        linear_best = max(
+            (r for r in result.rows if r["function"] == func and r["mode"] == "linear"),
+            key=lambda r: r["quality"],
+        )
+        assert linear_best["quality"] > 0.99, func
+
+    # Paper: Gompertz achieves the lowest speedup (cheap SFU exponentials),
+    # Bass and Credit the highest (float division subroutines).
+    def peak(func):
+        return max(
+            r["speedup"]
+            for r in result.rows
+            if r["function"] == func and r["mode"] == "nearest"
+        )
+
+    assert peak("Gompertz") < peak("lgamma") < peak("Bass") < peak("Credit")

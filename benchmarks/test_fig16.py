@@ -1,0 +1,31 @@
+"""Fig 16: lookup-table placement in constant/shared/global memory."""
+
+from conftest import once
+
+
+def test_benchmark_fig16(benchmark, fig16_result):
+    result = once(benchmark, lambda: fig16_result)
+    print()
+    print(result.to_text())
+
+    rows = sorted(result.rows, key=lambda r: r["table_entries"])
+    small, large = rows[0], rows[-1]
+
+    # Paper: "using constant memory never gives optimal results".
+    for row in rows:
+        best = max(row["constant"], row["shared"], row["global"])
+        assert row["constant"] < best, row["table_entries"]
+
+    # Region 1: small tables — shared and global are close.
+    assert abs(small["shared"] - small["global"]) / small["global"] < 0.15
+
+    # Region 2: some middle size favours shared over global.
+    assert any(
+        row["shared"] > row["global"] for row in rows[1:-1]
+    ), "shared never wins the middle region"
+
+    # Region 3: the largest table favours global (shared staging overhead).
+    assert large["global"] > large["shared"]
+
+    # Constant memory collapses once the table exceeds the broadcast cache.
+    assert large["constant"] < 0.5 * large["global"]

@@ -1,0 +1,27 @@
+"""Fig 17: table size vs uncoalesced-access serialization and speedup."""
+
+import numpy as np
+from conftest import once
+
+
+def test_benchmark_fig17(benchmark, fig17_result):
+    result = once(benchmark, lambda: fig17_result)
+    print()
+    print(result.to_text())
+
+    entries = result.column("table_entries")
+    overhead = result.column("serialization_overhead_pct")
+    speedup = result.column("speedup")
+    tpw = result.column("transactions_per_warp")
+
+    # Serialization overhead grows monotonically with table size...
+    assert all(b >= a - 1e-9 for a, b in zip(overhead, overhead[1:]))
+    # ...because warps touch ever more distinct segments...
+    assert all(b >= a - 1e-9 for a, b in zip(tpw, tpw[1:]))
+    assert tpw[0] <= 2.0 and tpw[-1] > 24.0
+    # ...and speedup falls correspondingly (paper Fig 17's two curves).
+    assert all(b <= a + 1e-9 for a, b in zip(speedup, speedup[1:]))
+    assert speedup[0] > 2.5 * speedup[-1]
+    # Pearson correlation of the two series is strongly negative.
+    corr = np.corrcoef(overhead, speedup)[0, 1]
+    assert corr < -0.6

@@ -1,0 +1,19 @@
+"""Fig 18: cascading error in scan patterns."""
+
+from conftest import once
+
+from repro.experiments import fig18
+
+
+def test_benchmark_fig18(benchmark):
+    result = once(benchmark, fig18.run)
+    print()
+    print(result.to_text())
+
+    qualities = result.column("quality")
+    # Quality improves monotonically as the corruption moves towards the
+    # end of the input...
+    assert all(b >= a - 1e-6 for a, b in zip(qualities, qualities[1:]))
+    # ...spanning the paper's ~67% (front) to ~99% (back) range.
+    assert 0.55 <= qualities[0] <= 0.78
+    assert qualities[-1] >= 0.98

@@ -1,0 +1,31 @@
+"""Scale-sensitivity bench: the reproduction's conclusions must not depend
+on the scaled-down default input sizes."""
+
+from collections import defaultdict
+
+from conftest import once
+
+from repro.experiments import scale_study
+
+
+def test_benchmark_scale_study(benchmark):
+    result = once(benchmark, scale_study.run)
+    print()
+    print(result.to_text())
+
+    by_app = defaultdict(list)
+    for row in result.rows:
+        by_app[row["application"]].append(row)
+
+    for app, rows in by_app.items():
+        # The chosen optimization *family* is scale-invariant.
+        assert len({r["family"] for r in rows}) == 1, app
+        assert rows[0]["family"] != "other", app
+        # The TOQ holds at every scale.
+        assert all(r["quality"] >= 0.90 - 1e-9 for r in rows), app
+        # Speedups stay within a factor ~2.5 band across a 16x scale range
+        # (knob depth may shift — e.g. matmul skips deeper when a larger K
+        # keeps quality above the TOQ — but the conclusion stands).
+        speedups = [r["speedup"] for r in rows]
+        assert max(speedups) / min(speedups) < 2.5, app
+        assert min(speedups) > 1.2, app

@@ -1,0 +1,82 @@
+"""Genuine wall-clock benchmarks: exact vs tuned-approximate interpretation
+for one representative application per optimization family.
+
+The paper-shape speedups elsewhere are modelled cycles; these benches show
+the approximations also pay off for the *interpreter itself* (fewer NumPy
+operations executed), which is the honest wall-clock claim this
+reproduction can make.
+"""
+
+import pytest
+
+from repro import DeviceKind, Paraprox
+from repro.apps.cumhist import CumulativeHistogramApp
+from repro.apps.denoise import ImageDenoisingApp
+from repro.apps.gamma import GammaCorrectionApp
+from repro.apps.gaussian import GaussianFilterApp
+
+
+def _tuned(app):
+    tuning = Paraprox(target_quality=0.90).optimize(app, DeviceKind.GPU)
+    assert tuning.chosen.variant is not None, "expected an approximate winner"
+    return app, tuning.chosen.variant, app.generate_inputs(777)
+
+
+@pytest.fixture(scope="module")
+def memo_app():
+    return _tuned(GammaCorrectionApp())
+
+
+@pytest.fixture(scope="module")
+def stencil_app():
+    return _tuned(GaussianFilterApp())
+
+
+@pytest.fixture(scope="module")
+def reduction_app():
+    return _tuned(ImageDenoisingApp())
+
+
+@pytest.fixture(scope="module")
+def scan_app():
+    return _tuned(CumulativeHistogramApp())
+
+
+def test_benchmark_memoization_exact(benchmark, memo_app):
+    app, _v, inputs = memo_app
+    benchmark(lambda: app.run_exact(inputs))
+
+
+def test_benchmark_memoization_approx(benchmark, memo_app):
+    app, v, inputs = memo_app
+    benchmark(lambda: app.run_variant(v, inputs))
+
+
+def test_benchmark_stencil_exact(benchmark, stencil_app):
+    app, _v, inputs = stencil_app
+    benchmark(lambda: app.run_exact(inputs))
+
+
+def test_benchmark_stencil_approx(benchmark, stencil_app):
+    app, v, inputs = stencil_app
+    benchmark(lambda: app.run_variant(v, inputs))
+
+
+def test_benchmark_reduction_exact(benchmark, reduction_app):
+    app, _v, inputs = reduction_app
+    benchmark(lambda: app.run_exact(inputs))
+
+
+def test_benchmark_reduction_approx(benchmark, reduction_app):
+    app, v, inputs = reduction_app
+    benchmark(lambda: app.run_variant(v, inputs))
+
+
+def test_benchmark_scan_exact(benchmark, scan_app):
+    app, _v, inputs = scan_app
+    benchmark(lambda: app.run_exact(inputs))
+
+
+def test_benchmark_scan_approx(benchmark, scan_app):
+    app, v, inputs = scan_app
+    benchmark(lambda: app.run_variant(v, inputs))

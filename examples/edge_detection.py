@@ -1,0 +1,89 @@
+"""Edge detection with a natively 2-D kernel.
+
+Writes a Sobel gradient-magnitude kernel with 2-D launch geometry
+(`Grid.for_image`, `global_id_x/y`), lets Paraprox detect its 3x3 stencil
+and generate tile-replication variants, and reports what each scheme does
+to edge quality — including the expected failure mode: the *center* scheme
+replicates the centre pixel over the whole tile, which makes a gradient
+operator return zero, so the tuner must prefer the row/column schemes.
+
+    python examples/edge_detection.py
+"""
+
+import numpy as np
+
+from repro.approx.stencil import StencilTransform
+from repro.engine import Grid, launch
+from repro.device import CostModel, GTX560
+from repro.kernel import kernel
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.kernel.printer import print_function
+from repro.patterns import detect_stencil
+from repro.runtime.quality import L2_NORM
+from repro.apps.images import synthetic_image
+
+
+@kernel
+def sobel(out: array_f32, img: array_f32, w: i32, h: i32):
+    x = global_id_x()
+    y = global_id_y()
+    if (x > 0) and (x < w - 1) and (y > 0) and (y < h - 1):
+        gx = (
+            img[(y - 1) * w + (x + 1)]
+            + 2.0 * img[y * w + (x + 1)]
+            + img[(y + 1) * w + (x + 1)]
+            - img[(y - 1) * w + (x - 1)]
+            - 2.0 * img[y * w + (x - 1)]
+            - img[(y + 1) * w + (x - 1)]
+        )
+        gy = (
+            img[(y + 1) * w + (x - 1)]
+            + 2.0 * img[(y + 1) * w + x]
+            + img[(y + 1) * w + (x + 1)]
+            - img[(y - 1) * w + (x - 1)]
+            - 2.0 * img[(y - 1) * w + x]
+            - img[(y - 1) * w + (x + 1)]
+        )
+        out[y * w + x] = sqrt(gx * gx + gy * gy)
+
+
+def main() -> None:
+    side = 192
+    img = synthetic_image(side, side, seed=3, edges=8)
+    grid = Grid.for_image(side, side)
+
+    print("=== the 2-D kernel (CUDA dialect) ===")
+    print(print_function(sobel.fn))
+
+    match = detect_stencil(sobel.fn)
+    print(f"\ndetected: {match.pattern.value}, tile {match.tile.rows}x{match.tile.cols}, "
+          f"{len(match.tile.offsets)} accesses")
+
+    exact = np.zeros((side, side), dtype=np.float32)
+    exact_trace = launch(sobel, grid, [exact, img, side, side])
+    cost = CostModel(GTX560)
+    exact_cycles = cost.cycles(exact_trace)
+
+    print("\nscheme            quality   speedup   note")
+    print("-" * 70)
+    variants = StencilTransform(reaching_distances=(1,)).generate(
+        sobel.module, "sobel", match
+    )
+    for v in variants:
+        out = np.zeros_like(exact)
+        trace = launch(v.module[v.kernel], grid, [out, img, side, side], module=v.module)
+        quality = L2_NORM.quality(out, exact)
+        speedup = exact_cycles / cost.cycles(trace)
+        note = ""
+        if v.knobs["scheme"] == "center":
+            note = "<- gradient of a constant tile is 0: quality collapses"
+        print(f"{v.knobs['scheme']:<16s} {quality:9.3f} {speedup:8.2f}x   {note}")
+
+    print("\nA TOQ-driven runtime would therefore select a row/column scheme "
+          "for gradient\noperators — pattern-specific does not mean "
+          "input-semantics-free, which is exactly\nwhy the paper's runtime "
+          "keeps checking output quality.")
+
+
+if __name__ == "__main__":
+    main()

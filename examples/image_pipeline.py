@@ -1,0 +1,55 @@
+"""Image-processing pipeline: stencil and map approximation end to end.
+
+Mirrors the paper's motivating domain: a camera-style pipeline that
+denoises (mean filter), blurs (Gaussian) and tone-maps (gamma correction)
+a frame.  Each stage is optimized by the pattern matching its structure —
+tile replication for the filters, approximate memoization for the gamma
+curve — and the script reports per-stage speedup/quality plus a visual
+check: the mean absolute pixel difference of the final frame.
+
+    python examples/image_pipeline.py
+"""
+
+import numpy as np
+
+from repro import DeviceKind, Paraprox
+from repro.apps.gamma import GammaCorrectionApp
+from repro.apps.gaussian import GaussianFilterApp, MeanFilterApp
+
+
+def run_stage(paraprox, app, label):
+    tuning = paraprox.optimize(app, DeviceKind.GPU)
+    inputs = app.generate_inputs(7)
+    exact, _ = app.run_exact(inputs)
+    if tuning.chosen.variant is None:
+        approx = exact
+    else:
+        approx, _ = app.run_variant(tuning.chosen.variant, inputs)
+    print(
+        f"{label:<16s} {tuning.chosen.name:<50s} "
+        f"speedup={tuning.speedup:4.2f}x quality={tuning.quality:.1%}"
+    )
+    return exact, approx
+
+
+def main() -> None:
+    paraprox = Paraprox(target_quality=0.90)
+    print("stage            chosen variant                                     result")
+    print("-" * 100)
+    stages = [
+        (MeanFilterApp(scale=0.1), "denoise"),
+        (GaussianFilterApp(scale=0.1), "blur"),
+        (GammaCorrectionApp(scale=0.02), "tone-map"),
+    ]
+    worst = 0.0
+    for app, label in stages:
+        exact, approx = run_stage(paraprox, app, label)
+        diff = float(np.abs(np.asarray(approx) - np.asarray(exact)).mean())
+        worst = max(worst, diff)
+    print("-" * 100)
+    print(f"worst per-stage mean absolute pixel difference: {worst:.4f} (pixels in [0,1])")
+    print("per the LIVE-study argument in the paper (§4.2), <10% loss is imperceptible")
+
+
+if __name__ == "__main__":
+    main()

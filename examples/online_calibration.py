@@ -1,0 +1,78 @@
+"""Online calibration: the Green/SAGE-style runtime reacting to drift.
+
+The paper's framework hands its tuning knobs to a runtime that checks
+output quality every N-th invocation and backs off when the TOQ is
+violated.  This script streams invocations of the Kernel Density
+Estimation benchmark whose data distribution *drifts* mid-stream (the
+clusters tighten, making sampling noisier), and shows the runtime climbing
+down the variant ladder when quality checks start failing.
+
+    python examples/online_calibration.py
+"""
+
+import numpy as np
+
+from repro import DeviceKind, Paraprox
+from repro.apps.kde import KernelDensityApp
+from repro.runtime.calibration import CalibratedRuntime
+
+
+class DriftingKDE(KernelDensityApp):
+    """KDE whose inputs become concentration-heavy after the drift point."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.drifted = False
+
+    def generate_inputs(self, seed=None):
+        inputs = super().generate_inputs(seed)
+        if self.drifted:
+            # Concentrate mass: most kernel contributions become near-zero,
+            # so perforated sampling gets much noisier.
+            rng = np.random.default_rng((seed or 0) + 1)
+            refs = inputs["refs"].reshape(-1, self.nfeat)
+            far = rng.normal(6.0, 0.05, refs.shape).astype(np.float32)
+            keep = rng.random(len(refs)) < 0.05
+            refs = np.where(keep[:, None], refs, far)
+            inputs["refs"] = np.ascontiguousarray(refs.ravel())
+        return inputs
+
+
+def main() -> None:
+    app = DriftingKDE()
+    paraprox = Paraprox(target_quality=0.90)
+    tuning = paraprox.optimize(app, DeviceKind.GPU)
+    # Only variants that met the TOQ during training are deployable rungs.
+    ladder = [
+        p.variant
+        for p in sorted(tuning.profiles, key=lambda p: p.speedup)
+        if p.variant is not None and p.quality >= 0.90
+    ]
+    print("variant ladder (least -> most aggressive):")
+    for v in ladder:
+        print(f"  {v.name}")
+
+    runtime = CalibratedRuntime(app, ladder, toq=0.90, check_interval=5)
+    print(f"\nstarting at: {runtime.current_name}")
+    for i in range(60):
+        if i == 30 and not app.drifted:
+            app.drifted = True
+            print(f"[invocation {i}] *** input distribution drifts ***")
+        runtime.invoke(app.generate_inputs(seed=1000 + i))
+        record = runtime.stats.records[-1]
+        if record.action:
+            print(
+                f"[invocation {i}] quality check {record.quality:.2%} -> "
+                f"{record.action}; now running {runtime.current_name}"
+            )
+    stats = runtime.stats
+    print(
+        f"\n{stats.invocations} invocations, {stats.checks} quality checks "
+        f"({stats.overhead:.0%} overhead), {stats.back_offs} back-offs, "
+        f"{stats.advances} advances"
+    )
+    print(f"final variant: {runtime.current_name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Quickstart: approximate an option-pricing kernel in five lines.
+
+Runs the whole Paraprox pipeline on the BlackScholes benchmark — pattern
+detection, lookup-table generation with bit tuning, and TOQ-constrained
+tuning — then prints what the compiler built and what it bought.
+
+    python examples/quickstart.py
+"""
+
+from repro import DeviceKind, Paraprox
+from repro.apps.blackscholes import BlackScholesApp
+
+
+def main() -> None:
+    app = BlackScholesApp(scale=0.02)  # ~80K options; scale=1.0 for paper size
+    paraprox = Paraprox(target_quality=0.90)
+
+    for device in (DeviceKind.GPU, DeviceKind.CPU):
+        tuning = paraprox.optimize(app, device)
+        print(f"--- {device.value.upper()} ---")
+        print(f"chosen variant : {tuning.chosen.name}")
+        print(f"speedup        : {tuning.speedup:.2f}x (modelled cycles)")
+        print(f"output quality : {tuning.quality:.1%} (TOQ {tuning.toq:.0%})")
+        if tuning.chosen.variant is not None:
+            knobs = tuning.chosen.variant.knobs
+            print(f"knobs          : {knobs}")
+        print("all profiled variants:")
+        for profile in tuning.frontier():
+            print(
+                f"  {profile.name:<58s} quality={profile.quality:.4f} "
+                f"speedup={profile.speedup:.2f}x"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim: enables legacy editable installs (`pip install -e .`)
+in offline environments that lack the `wheel` package required by PEP 660.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

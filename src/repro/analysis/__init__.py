@@ -1,0 +1,29 @@
+"""Static analyses shared by the pattern detectors and transforms."""
+
+from .affine import TileGeometry, extract_load_polynomials, infer_tile
+from .latency import (
+    CPU_LATENCIES,
+    GPU_LATENCIES,
+    LatencyTable,
+    cycles_needed,
+    is_memoization_profitable,
+)
+from .purity import PurityReport, analyze_purity, is_pure, pure_device_functions
+from .reductions import ReductionLoop, find_reduction_loops
+
+__all__ = [
+    "TileGeometry",
+    "extract_load_polynomials",
+    "infer_tile",
+    "LatencyTable",
+    "GPU_LATENCIES",
+    "CPU_LATENCIES",
+    "cycles_needed",
+    "is_memoization_profitable",
+    "PurityReport",
+    "analyze_purity",
+    "is_pure",
+    "pure_device_functions",
+    "ReductionLoop",
+    "find_reduction_loops",
+]

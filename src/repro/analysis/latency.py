@@ -1,0 +1,250 @@
+"""Instruction latency tables and static cost estimation (paper Eq. 1).
+
+Paraprox decides whether a pure function is worth memoizing by summing the
+latencies of its instructions::
+
+    cycles_needed = sum(latency(inst) for inst in f)          (Eq. 1)
+
+and applying the rule of §3.1.2: a function benefits from memoization when
+``cycles_needed`` is at least one order of magnitude greater than the L1
+read latency.  The paper measured GPU latencies with the Wong et al.
+microbenchmarks; we encode effective per-instruction issue costs for a
+GTX-560-class GPU (SFU transcendentals cheap, float division a slow
+subroutine, atomics expensive) and a Core-i7-class CPU (cheap ALU and
+atomics, expensive libm transcendentals), which preserves every qualitative
+asymmetry §4.3 of the paper reports.
+
+The same tables drive the dynamic cost model in
+:mod:`repro.device.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..kernel import intrinsics, ir
+from ..kernel.types import DType
+
+#: How many times larger than the L1 read latency a function's
+#: ``cycles_needed`` must be for memoization to be profitable (§3.1.2:
+#: "at least one order of magnitude greater than the L1 read latency").
+PROFITABILITY_FACTOR = 10.0
+
+#: Assumed trip count for loops whose bounds are not compile-time constants.
+DEFAULT_TRIP_COUNT = 16
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Per-instruction-class costs (cycles) for one machine."""
+
+    name: str
+    classes: Dict[str, float] = field(default_factory=dict)
+    #: read latencies per memory space
+    l1: float = 18.0
+    shared: float = 8.0
+    constant: float = 8.0
+    global_mem: float = 180.0
+
+    def of_class(self, latency_class: str) -> float:
+        try:
+            return self.classes[latency_class]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: no latency for class {latency_class!r}; "
+                f"known: {sorted(self.classes)}"
+            )
+
+    def memory(self, space: str, cached: bool = True) -> float:
+        if space == "shared":
+            return self.shared
+        if space == "constant":
+            return self.constant
+        return self.l1 if cached else self.global_mem
+
+
+#: GTX-560-class GPU: SFU makes exp/log/sin cheap; float division expands
+#: to a slow subroutine (Wong et al., cited in §4.4.2); atomics serialize.
+GPU_LATENCIES = LatencyTable(
+    name="gpu",
+    classes={
+        "alu": 4.0,
+        "fmul": 4.0,
+        "imul": 6.0,
+        "fdiv": 60.0,
+        "idiv": 60.0,
+        "sqrt": 12.0,
+        "sfu": 8.0,
+        "trans": 40.0,
+        "libcall": 80.0,
+        "call": 4.0,
+        "branch": 4.0,
+        "atomic": 64.0,
+        "barrier": 8.0,
+    },
+    l1=18.0,
+    shared=8.0,
+    constant=12.0,
+    global_mem=180.0,
+)
+
+#: Core-i7-class CPU under a vectorizing OpenCL compiler: SIMD+SVML makes
+#: transcendentals moderately priced (12-25 effective cycles per element,
+#: not a full scalar libm call); atomics are cache-line ping-pongs but far
+#: cheaper than a many-thread GPU collision.
+CPU_LATENCIES = LatencyTable(
+    name="cpu",
+    classes={
+        "alu": 1.0,
+        "fmul": 2.0,
+        "imul": 3.0,
+        "fdiv": 14.0,
+        "idiv": 18.0,
+        "sqrt": 7.0,
+        "sfu": 12.0,
+        "trans": 12.0,
+        "libcall": 25.0,
+        "call": 8.0,
+        "branch": 2.0,
+        "atomic": 25.0,
+        "barrier": 0.0,
+    },
+    l1=4.0,
+    shared=4.0,
+    constant=4.0,
+    global_mem=120.0,
+)
+
+
+def _static_trip_count(loop: ir.For) -> int:
+    if (
+        isinstance(loop.start, ir.Const)
+        and isinstance(loop.stop, ir.Const)
+        and isinstance(loop.step, ir.Const)
+        and loop.step.value
+    ):
+        span = int(loop.stop.value) - int(loop.start.value)
+        step = int(loop.step.value)
+        return max(0, -(-span // step)) if step > 0 else 0
+    return DEFAULT_TRIP_COUNT
+
+
+def _binop_class(op: str, dtype: DType) -> str:
+    if op in ("div", "mod"):
+        return "fdiv" if dtype.is_float else "idiv"
+    if op == "mul":
+        return "fmul" if dtype.is_float else "imul"
+    return "alu"
+
+
+def cycles_needed(
+    fn: ir.Function, table: LatencyTable, module: ir.Module = None
+) -> float:
+    """Static estimate of one invocation's cost in cycles (paper Eq. 1).
+
+    Device-function calls include the callee's cycles (the paper's cost of
+    BlackScholesBody includes its two Cnd() calls); loops multiply their
+    body by the static trip count (or a default when bounds are dynamic);
+    ``if`` arms are both charged, the conservative choice for predicated
+    execution.
+    """
+    module = module or ir.Module()
+    return _body_cycles(fn.body, table, module)
+
+
+def _body_cycles(body, table: LatencyTable, module: ir.Module) -> float:
+    total = 0.0
+    for stmt in body:
+        total += _stmt_cycles(stmt, table, module)
+    return total
+
+
+def _stmt_cycles(stmt: ir.Stmt, table: LatencyTable, module: ir.Module) -> float:
+    if isinstance(stmt, ir.Assign):
+        return _expr_cycles(stmt.value, table, module)
+    if isinstance(stmt, ir.Store):
+        return (
+            _expr_cycles(stmt.index, table, module)
+            + _expr_cycles(stmt.value, table, module)
+            + table.memory(stmt.array.type.space)
+        )
+    if isinstance(stmt, ir.AtomicRMW):
+        return (
+            _expr_cycles(stmt.index, table, module)
+            + _expr_cycles(stmt.value, table, module)
+            + table.of_class("atomic")
+        )
+    if isinstance(stmt, ir.If):
+        return (
+            _expr_cycles(stmt.cond, table, module)
+            + table.of_class("branch")
+            + _body_cycles(stmt.then_body, table, module)
+            + _body_cycles(stmt.else_body, table, module)
+        )
+    if isinstance(stmt, ir.For):
+        header = (
+            _expr_cycles(stmt.start, table, module)
+            + _expr_cycles(stmt.stop, table, module)
+            + _expr_cycles(stmt.step, table, module)
+        )
+        trip = _static_trip_count(stmt)
+        per_iter = table.of_class("branch") + _body_cycles(stmt.body, table, module)
+        return header + trip * per_iter
+    if isinstance(stmt, ir.Return):
+        if stmt.value is None:
+            return 0.0
+        return _expr_cycles(stmt.value, table, module)
+    if isinstance(stmt, ir.Barrier):
+        return table.of_class("barrier")
+    if isinstance(stmt, ir.SharedAlloc):
+        return 0.0
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def _expr_cycles(expr: ir.Expr, table: LatencyTable, module: ir.Module) -> float:
+    if isinstance(expr, (ir.Const, ir.Var, ir.ArrayRef)):
+        return 0.0
+    if isinstance(expr, ir.BinOp):
+        return (
+            table.of_class(_binop_class(expr.op, expr.dtype))
+            + _expr_cycles(expr.left, table, module)
+            + _expr_cycles(expr.right, table, module)
+        )
+    if isinstance(expr, ir.UnOp):
+        return table.of_class("alu") + _expr_cycles(expr.operand, table, module)
+    if isinstance(expr, ir.Cast):
+        return table.of_class("alu") + _expr_cycles(expr.operand, table, module)
+    if isinstance(expr, ir.Select):
+        return (
+            table.of_class("alu")
+            + _expr_cycles(expr.cond, table, module)
+            + _expr_cycles(expr.if_true, table, module)
+            + _expr_cycles(expr.if_false, table, module)
+        )
+    if isinstance(expr, ir.Load):
+        return _expr_cycles(expr.index, table, module) + table.memory(
+            expr.array.type.space
+        )
+    if isinstance(expr, ir.Call):
+        args = sum(_expr_cycles(a, table, module) for a in expr.args)
+        if expr.func in ir.THREAD_INTRINSICS:
+            return args + table.of_class("alu")
+        builtin = intrinsics.get(expr.func)
+        if builtin is not None:
+            return args + table.of_class(builtin.latency_class)
+        if expr.func in module:
+            return (
+                args
+                + table.of_class("call")
+                + cycles_needed(module[expr.func], table, module)
+            )
+        return args + table.of_class("call")
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def is_memoization_profitable(
+    fn: ir.Function, table: LatencyTable, module: ir.Module = None
+) -> bool:
+    """The §3.1.2 rule: profitable iff cycles_needed >= 10x the L1 latency."""
+    return cycles_needed(fn, table, module) >= PROFITABILITY_FACTOR * table.l1

@@ -1,0 +1,79 @@
+"""Pure-function analysis (paper §3.1.2).
+
+A function is a candidate for approximate memoization only if it is *pure*
+and thread-agnostic.  Concretely (quoting the paper's conditions), it must
+not contain
+
+* global/shared memory accesses (loads, stores),
+* atomic operations,
+* computations involving thread or block IDs,
+* calls to impure functions (I/O such as ``printf``, ``clock``),
+
+and its output must depend only on its scalar inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..kernel import intrinsics, ir
+from ..kernel.visitors import walk
+
+
+@dataclass
+class PurityReport:
+    """Why a function is or is not pure.
+
+    ``violations`` lists human-readable reasons; empty means pure.
+    """
+
+    function: str
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def is_pure(self) -> bool:
+        return not self.violations
+
+
+def analyze_purity(fn: ir.Function, module: ir.Module) -> PurityReport:
+    """Check ``fn`` against the paper's purity conditions.
+
+    Calls to other device functions recurse: calling an impure function is
+    itself a violation.
+    """
+    report = PurityReport(fn.name)
+    for node in walk(fn):
+        if isinstance(node, (ir.Load, ir.Store)):
+            report.violations.append(
+                f"accesses array {node.array.name!r} ({node.array.type.space} memory)"
+            )
+        elif isinstance(node, ir.AtomicRMW):
+            report.violations.append(f"atomic {node.op} on {node.array.name!r}")
+        elif isinstance(node, ir.SharedAlloc):
+            report.violations.append(f"allocates shared memory {node.name!r}")
+        elif isinstance(node, ir.Call):
+            if node.func in ir.THREAD_INTRINSICS:
+                report.violations.append(f"depends on {node.func}()")
+            elif intrinsics.is_impure(node.func):
+                report.violations.append(f"calls impure builtin {node.func}()")
+            elif not intrinsics.is_builtin(node.func) and node.func in module:
+                callee = analyze_purity(module[node.func], module)
+                if not callee.is_pure:
+                    report.violations.append(
+                        f"calls impure function {node.func}() "
+                        f"({'; '.join(callee.violations)})"
+                    )
+    if any(p.is_array for p in fn.params):
+        report.violations.append("takes array parameters")
+    return report
+
+
+def is_pure(fn: ir.Function, module: ir.Module) -> bool:
+    """True if ``fn`` satisfies all of the paper's purity conditions."""
+    return analyze_purity(fn, module).is_pure
+
+
+def pure_device_functions(module: ir.Module) -> List[ir.Function]:
+    """All device functions in ``module`` that pass the purity analysis."""
+    return [f for f in module.device_functions() if is_pure(f, module)]

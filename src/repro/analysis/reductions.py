@@ -1,0 +1,221 @@
+"""Reduction-loop recognition (paper §3.3.2).
+
+A loop is a reduction loop when
+
+* it contains an *accumulative instruction* ``a = a op b`` whose operator
+  is associative and commutative (add, mul, min, max, and, or, xor), and
+* the reduction variable ``a`` is neither read nor modified by any other
+  instruction inside the loop;
+
+or when it contains one of the reduction-capable atomic operations
+(``atomic_add``/``min``/``max``/``inc``/``and``/``or``/``xor``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..kernel import ir
+from ..kernel.visitors import walk
+
+
+@dataclass
+class ReductionLoop:
+    """One recognised reduction loop inside a kernel.
+
+    A loop may reduce into several variables at once (e.g. a weighted sum
+    and its normalising weight total); perforation must then adjust *every*
+    additive variable or ratios of the results would be scaled by the
+    skipping rate.
+    """
+
+    loop: ir.For
+    #: (variable name, operator) per accumulative instruction; empty for
+    #: atomic-only loops
+    targets: List[Tuple[str, str]]
+    #: True when recognised through an atomic RMW rather than ``a = a op b``
+    via_atomic: bool
+
+    @property
+    def variable(self) -> Optional[str]:
+        """First reduction variable (None for atomic-only loops)."""
+        return self.targets[0][0] if self.targets else None
+
+    @property
+    def op(self) -> str:
+        """First reduction operator."""
+        return self.targets[0][1] if self.targets else "add"
+
+    @property
+    def is_additive(self) -> bool:
+        """Additive reductions get the x-N adjustment code (§3.3.3)."""
+        return all(op == "add" for _v, op in self.targets) if self.targets else False
+
+
+def _accumulative_target(stmt: ir.Assign) -> Optional[str]:
+    """If ``stmt`` is ``a = a op b`` (or ``a = b op a`` for commutative op),
+    return ``op``; else None."""
+    v = stmt.value
+    if not isinstance(v, ir.BinOp) or v.op not in ir.REDUCTION_OPS:
+        return None
+    left_is_self = isinstance(v.left, ir.Var) and v.left.name == stmt.target
+    right_is_self = isinstance(v.right, ir.Var) and v.right.name == stmt.target
+    if left_is_self or right_is_self:
+        return v.op
+    # min/max spelled as fmin(a, b) etc.
+    return None
+
+
+def _accumulative_call(stmt: ir.Assign) -> Optional[str]:
+    """Recognise ``a = fmin(a, b)`` / ``fmax`` / ``imin`` / ``imax``."""
+    v = stmt.value
+    if not isinstance(v, ir.Call) or v.func not in ("fmin", "fmax", "imin", "imax"):
+        return None
+    if any(isinstance(arg, ir.Var) and arg.name == stmt.target for arg in v.args):
+        return "min" if "min" in v.func else "max"
+    return None
+
+
+def _index_tied_to_var(expr: ir.Expr, var: str, defs, depth: int = 0) -> bool:
+    """True if ``expr`` depends on ``var`` through pure index arithmetic
+    (loads cut the dependence: a value *read from memory at* an induction-
+    dependent address is data, not structure)."""
+    if depth > 16:
+        return True  # be conservative on deep def chains
+    if isinstance(expr, ir.Var):
+        if expr.name == var:
+            return True
+        if expr.name in defs:
+            chased = defs.pop(expr.name)  # pop guards against cycles
+            tied = _index_tied_to_var(chased, var, defs, depth + 1)
+            defs[expr.name] = chased
+            return tied
+        return False
+    if isinstance(expr, ir.Load):
+        return False
+    if isinstance(expr, ir.Const):
+        return False
+    if isinstance(expr, ir.BinOp):
+        return _index_tied_to_var(expr.left, var, defs, depth + 1) or _index_tied_to_var(
+            expr.right, var, defs, depth + 1
+        )
+    if isinstance(expr, (ir.UnOp, ir.Cast)):
+        return _index_tied_to_var(expr.operand, var, defs, depth + 1)
+    if isinstance(expr, ir.Select):
+        return any(
+            _index_tied_to_var(e, var, defs, depth + 1)
+            for e in (expr.cond, expr.if_true, expr.if_false)
+        )
+    if isinstance(expr, ir.Call):
+        return any(_index_tied_to_var(a, var, defs, depth + 1) for a in expr.args)
+    return False
+
+
+def _reads_of(name: str, node: ir.Node) -> int:
+    return sum(
+        1 for n in walk(node) if isinstance(n, ir.Var) and n.name == name
+    )
+
+
+def _shallow_statements(body: List[ir.Stmt]) -> List[ir.Stmt]:
+    """Statements of a loop body, recursing through If arms but *not* into
+    nested For loops: an accumulation inside a nested loop belongs to that
+    loop (the innermost enclosing loop is the one perforation targets, as
+    in the paper's matmul where the dot-product loop — not the tile loop —
+    is the reduction)."""
+    out: List[ir.Stmt] = []
+    for stmt in body:
+        out.append(stmt)
+        if isinstance(stmt, ir.If):
+            out.extend(_shallow_statements(stmt.then_body))
+            out.extend(_shallow_statements(stmt.else_body))
+    return out
+
+
+def analyze_loop(loop: ir.For) -> Optional[ReductionLoop]:
+    """Classify one ``For`` loop; returns a ReductionLoop or None.
+
+    Only accumulations/atomics *directly* in this loop (not inside nested
+    loops) count; correctness conditions are still checked against the
+    whole body.
+    """
+    from ..kernel.visitors import walk_statements
+
+    shallow = _shallow_statements(loop.body)
+    # Atomic-based reduction (paper: loops containing reduction-capable
+    # atomics are reduction loops).  An atomic whose *cell* is selected by
+    # the induction variable is excluded: skipping iterations would leave
+    # specific cells deterministically unwritten — the very failure mode
+    # §4.4.1 shows for map-like loops.  Data-dependent cells (the index
+    # goes through a load) sample the data instead, which is sound.
+    defs: dict = {}
+    for stmt in _shallow_statements(loop.body):
+        if isinstance(stmt, ir.Assign):
+            defs[stmt.target] = stmt.value
+    for stmt in shallow:
+        if isinstance(stmt, ir.AtomicRMW) and not _index_tied_to_var(
+            stmt.index, loop.var, defs
+        ):
+            return ReductionLoop(loop=loop, targets=[], via_atomic=True)
+
+    candidates = []
+    all_stmts = list(walk_statements(loop.body))
+    for stmt in shallow:
+        # The accumulation may sit under a guard (``if idx < n: acc += ...``).
+        if isinstance(stmt, ir.Assign):
+            op = _accumulative_target(stmt) or _accumulative_call(stmt)
+            if op is not None:
+                candidates.append((stmt, op))
+    targets: List[Tuple[str, str]] = []
+    for stmt, op in candidates:
+        var = stmt.target
+        # The reduction variable must not be read or written by any *other*
+        # instruction in the loop.
+        ok = True
+        for other in all_stmts:
+            if other is stmt or isinstance(other, (ir.If, ir.For)):
+                continue  # If/For children are visited as their own stmts
+            for n in walk(other):
+                if isinstance(n, ir.Var) and n.name == var:
+                    ok = False
+                if isinstance(n, ir.Assign) and n.target == var:
+                    ok = False
+        # Guards and loop headers must not read the reduction variable.
+        for other in all_stmts:
+            if isinstance(other, ir.If) and _reads_of(var, other.cond):
+                ok = False
+            if isinstance(other, ir.For) and any(
+                _reads_of(var, e) for e in (other.start, other.stop, other.step)
+            ):
+                ok = False
+        # Within the accumulative statement itself, exactly one self-read.
+        if _reads_of(var, stmt.value) != 1:
+            ok = False
+        if ok:
+            targets.append((var, op))
+    if targets:
+        return ReductionLoop(loop=loop, targets=targets, via_atomic=False)
+    return None
+
+
+def find_reduction_loops(fn: ir.Function) -> List[ReductionLoop]:
+    """All reduction loops in ``fn``, each accumulation attributed to its
+    innermost enclosing loop; a loop that both nests reduction loops and
+    accumulates directly (e.g. KDE's reference loop around the feature-
+    distance loop) is reported alongside its children."""
+    found: List[ReductionLoop] = []
+
+    def visit(body: List[ir.Stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ir.For):
+                visit(stmt.body)
+                hit = analyze_loop(stmt)
+                if hit is not None:
+                    found.append(hit)
+            elif isinstance(stmt, ir.If):
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+
+    visit(fn.body)
+    return found

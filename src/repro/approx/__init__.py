@@ -1,0 +1,29 @@
+"""The four pattern-specific approximation optimizations (paper §3)."""
+
+from .base import ApproxKernel, VariantSet
+from .bit_tuning import BitConfig, BitTuner, search_table_size
+from .memoization import (
+    CallProfile,
+    MemoizationTransform,
+    MemoTable,
+    profile_device_calls,
+)
+from .reduction import ReductionTransform
+from .scan import ScanTransform, ScanVariant
+from .stencil import StencilTransform
+
+__all__ = [
+    "ApproxKernel",
+    "VariantSet",
+    "BitTuner",
+    "BitConfig",
+    "search_table_size",
+    "MemoizationTransform",
+    "MemoTable",
+    "CallProfile",
+    "profile_device_calls",
+    "ReductionTransform",
+    "StencilTransform",
+    "ScanTransform",
+    "ScanVariant",
+]

@@ -1,0 +1,69 @@
+"""Shared vocabulary of the approximation transforms.
+
+Every transform emits :class:`ApproxKernel` variants: a rewritten module
+plus the knob values that variant was generated with and any host-side
+data (lookup tables) the rewritten kernel needs as extra launch arguments.
+The runtime tuner then profiles variants and picks the fastest one whose
+output quality satisfies the TOQ (paper Fig 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..kernel import ir
+from ..patterns.base import Pattern
+
+
+@dataclass
+class ApproxKernel:
+    """One generated approximate kernel variant.
+
+    Attributes:
+        name: unique variant label, e.g. ``black_scholes__memo_t2048``.
+        pattern: the pattern whose optimization produced this variant.
+        kernel: name of the rewritten kernel inside ``module``.
+        module: module holding the rewritten kernel (+ device functions).
+        knobs: tuning-parameter values this variant encodes
+            (e.g. ``{"table_bits": 11, "lookup": "nearest"}``).
+        extra_args: host-side buffers/scalars appended to the original
+            launch arguments, in the order of the extra parameters the
+            rewrite added (lookup tables, quantization constants...).
+        aggressiveness: coarse ordering key — higher means more
+            approximation; the tuner's back-off walks it downwards.
+    """
+
+    name: str
+    pattern: Pattern
+    kernel: str
+    module: ir.Module
+    knobs: Dict[str, object] = field(default_factory=dict)
+    extra_args: List[object] = field(default_factory=list)
+    aggressiveness: float = 0.0
+
+    def launch_args(self, original_args: List[object]) -> List[object]:
+        """Original kernel arguments extended with this variant's extras."""
+        return list(original_args) + list(self.extra_args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        knobs = ", ".join(f"{k}={v}" for k, v in self.knobs.items())
+        return f"<ApproxKernel {self.name} ({self.pattern.value}; {knobs})>"
+
+
+@dataclass
+class VariantSet:
+    """All variants generated for one kernel, exact version included."""
+
+    kernel: str
+    variants: List[ApproxKernel] = field(default_factory=list)
+
+    def sorted_by_aggressiveness(self) -> List[ApproxKernel]:
+        return sorted(self.variants, key=lambda v: v.aggressiveness)
+
+
+def fresh_name(base: str, suffix: str) -> str:
+    """Variant naming convention shared by all transforms."""
+    return f"{base}__{suffix}"

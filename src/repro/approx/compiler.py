@@ -1,0 +1,169 @@
+"""The Paraprox facade: detection -> transformation -> tuning (paper Fig 2).
+
+``Paraprox.compile(app)`` turns an application's kernel into the full set
+of approximate variants its patterns admit; ``Paraprox.optimize(app,
+device)`` additionally profiles the variants on training inputs and picks
+the best one subject to the TOQ, which is the whole pipeline the paper
+evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..device import DeviceKind, spec_for
+from ..errors import TransformError
+from ..patterns import (
+    MapMatch,
+    PatternDetector,
+    ReductionMatch,
+    ScanMatch,
+    StencilMatch,
+)
+from ..runtime.tuner import GreedyTuner, TuningResult
+from .memoization import MemoizationTransform, profile_device_calls
+from .reduction import ReductionTransform
+from .scan import ScanTransform
+from .stencil import StencilTransform
+
+
+@dataclass
+class ParaproxConfig:
+    """Knob ranges the compiler explores when generating variants."""
+
+    skipping_rates: tuple = (2, 4, 8)
+    reaching_distances: tuple = (1, 2)
+    stencil_schemes: tuple = ("center", "row", "column")
+    scan_skip_fractions: tuple = (0.125, 0.25, 0.375, 0.5)
+    memo_modes: tuple = ("nearest",)
+    memo_spaces: tuple = ("global",)
+    memo_extra_tables: int = 2
+    memo_start_bits: Optional[int] = None
+    #: extension beyond the paper (its §5 future work): when a kernel's
+    #: heavy math is inline rather than factored into a device function,
+    #: outline its best pure slice so memoization can apply.
+    enable_section_outlining: bool = False
+    #: extension beyond the paper (its §5 safety discussion): guard every
+    #: division in generated approximate kernels so an approximated zero
+    #: divisor skips the calculation instead of faulting.
+    guard_divisions: bool = False
+
+
+class Paraprox:
+    """The compiler + runtime pipeline.
+
+    Args:
+        target_quality: the user-supplied TOQ in (0, 1].
+        device: default device the Eq.-1 profitability test and the tuner
+            model (each call may override it).
+        config: knob ranges for variant generation.
+    """
+
+    def __init__(
+        self,
+        target_quality: float = 0.90,
+        device: DeviceKind = DeviceKind.GPU,
+        config: Optional[ParaproxConfig] = None,
+    ) -> None:
+        self.toq = target_quality
+        self.device = device
+        self.config = config or ParaproxConfig()
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, app, device: Optional[DeviceKind] = None) -> List[object]:
+        """Generate every approximate variant ``app``'s patterns admit.
+
+        Applications with a custom pipeline (the scan benchmark) may define
+        ``build_variants(toq, config)`` and take over entirely.
+        """
+        custom = getattr(app, "build_variants", None)
+        if callable(custom):
+            return custom(self.toq, self.config)
+        spec = spec_for(device or self.device)
+        detector = PatternDetector(latency_table=spec.latencies)
+        kernel_name = app.kernel.fn.name
+        module = app.kernel.module
+        matches = detector.detect(app.kernel).for_kernel(kernel_name)
+        cfg = self.config
+        if cfg.enable_section_outlining and not any(
+            isinstance(m, MapMatch) for m in matches
+        ):
+            from .outline import outline_best_slice
+
+            outlined = outline_best_slice(module, kernel_name, spec.latencies)
+            if outlined is not None:
+                module, _section = outlined
+                matches = detector.detect_kernel(module[kernel_name], module)
+        variants: List[object] = []
+        skipped: List[str] = []
+        for match in matches:
+            try:
+                self._apply_match(app, match, kernel_name, cfg, variants, module)
+            except TransformError as exc:
+                # A pattern that matched but cannot be rewritten (e.g. a
+                # partition tile too large to unroll) is skipped, exactly as
+                # a production compiler would bail out of one optimization
+                # without failing the build.
+                skipped.append(f"{match.pattern.value}: {exc}")
+        self.last_skipped = skipped
+        if cfg.guard_divisions:
+            from .base import ApproxKernel
+            from .safety import guard_divisions
+
+            for variant in variants:
+                if isinstance(variant, ApproxKernel):
+                    variant.module, guards = guard_divisions(variant.module)
+                    variant.knobs["division_guards"] = guards
+        return variants
+
+    def _apply_match(self, app, match, kernel_name, cfg, variants, module=None) -> None:
+        module = module if module is not None else app.kernel.module
+        if isinstance(match, MapMatch):
+            inputs = app.generate_inputs(seed=app.seed + 77)
+            _kernel, grid, args = app.training_launch(inputs)
+            profiles = profile_device_calls(
+                module[kernel_name], grid, args, match.candidates, module=module
+            )
+            transform = MemoizationTransform(
+                toq=self.toq,
+                quality_fn=app.metric.quality,
+                modes=cfg.memo_modes,
+                spaces=cfg.memo_spaces,
+                extra_tables=cfg.memo_extra_tables,
+                start_bits=cfg.memo_start_bits,
+            )
+            variants.extend(transform.generate(module, kernel_name, match, profiles))
+        elif isinstance(match, StencilMatch):
+            transform = StencilTransform(
+                schemes=cfg.stencil_schemes,
+                reaching_distances=cfg.reaching_distances,
+            )
+            variants.extend(transform.generate(module, kernel_name, match))
+        elif isinstance(match, ReductionMatch):
+            transform = ReductionTransform(skipping_rates=cfg.skipping_rates)
+            variants.extend(transform.generate(module, kernel_name, match))
+        elif isinstance(match, ScanMatch):
+            # Scan approximation reconfigures a three-phase *program*;
+            # kernel-level applications cannot express it, so apps with
+            # scan patterns provide build_variants (handled in compile()).
+            pass
+
+    # -- full pipeline -----------------------------------------------------------
+
+    def optimize(
+        self,
+        app,
+        device: Optional[DeviceKind] = None,
+        variants: Optional[List[object]] = None,
+        repeats: int = 1,
+    ) -> TuningResult:
+        """Compile (unless ``variants`` is given), profile, and choose the
+        best variant for ``device`` under the TOQ."""
+        kind = device or self.device
+        if variants is None:
+            variants = self.compile(app, kind)
+        tuner = GreedyTuner(spec_for(kind), toq=self.toq)
+        training_inputs = app.generate_inputs(seed=app.seed)
+        return tuner.profile(app, variants, training_inputs, repeats=repeats)

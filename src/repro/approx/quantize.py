@@ -1,0 +1,96 @@
+"""Input quantization for approximate memoization (paper §3.1.3).
+
+A function input ``x`` with training range ``[lo, hi]`` and ``q`` bits is
+represented by one of ``2**q`` levels; inputs outside the training range
+clamp to the nearest level ("if an input at runtime is not within this
+precomputed range, it will map to the nearest value present in the lookup
+table").  Inputs whose training range is degenerate are *constant*: they
+receive zero bits and are baked into the table (the paper's R and V in
+BlackScholesBody).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InputRange:
+    """Observed [lo, hi] of one function input over the training data."""
+
+    lo: float
+    hi: float
+
+    @property
+    def is_constant(self) -> bool:
+        return not np.isfinite(self.hi - self.lo) or self.hi == self.lo
+
+    @staticmethod
+    def of(samples) -> "InputRange":
+        arr = np.asarray(samples, dtype=np.float64)
+        return InputRange(float(arr.min()), float(arr.max()))
+
+
+def quantize_index(x, rng: InputRange, bits: int) -> np.ndarray:
+    """Map values to integer level indices in [0, 2**bits - 1]."""
+    levels = 1 << bits
+    if bits == 0 or rng.is_constant:
+        return np.zeros(np.shape(x), dtype=np.int64)
+    scale = (levels - 1) / (rng.hi - rng.lo)
+    idx = np.rint((np.asarray(x, dtype=np.float64) - rng.lo) * scale)
+    return np.clip(idx, 0, levels - 1).astype(np.int64)
+
+
+def dequantize(idx, rng: InputRange, bits: int) -> np.ndarray:
+    """Map level indices back to representative input values."""
+    if bits == 0 or rng.is_constant:
+        mid = 0.5 * (rng.lo + rng.hi)
+        return np.full(np.shape(idx), mid, dtype=np.float64)
+    levels = 1 << bits
+    step = (rng.hi - rng.lo) / (levels - 1)
+    return rng.lo + np.asarray(idx, dtype=np.float64) * step
+
+
+def quantize_value(x, rng: InputRange, bits: int) -> np.ndarray:
+    """Snap values to their representative quantization level."""
+    return dequantize(quantize_index(x, rng, bits), rng, bits)
+
+
+def pack_address(indices: Sequence[np.ndarray], bits: Sequence[int]) -> np.ndarray:
+    """Concatenate per-input level indices into a table address.
+
+    The first input occupies the most significant bits — the layout the
+    generated kernel reproduces with shifts and ORs.
+    """
+    if len(indices) != len(bits):
+        raise ValueError("one bit width per index stream required")
+    addr = np.zeros(np.shape(indices[0]) if indices else (), dtype=np.int64)
+    for idx, q in zip(indices, bits):
+        addr = (addr << q) | np.asarray(idx, dtype=np.int64)
+    return addr
+
+
+def unpack_address(addr: np.ndarray, bits: Sequence[int]) -> List[np.ndarray]:
+    """Inverse of :func:`pack_address`."""
+    addr = np.asarray(addr, dtype=np.int64)
+    out: List[np.ndarray] = []
+    shift = sum(bits)
+    for q in bits:
+        shift -= q
+        out.append((addr >> shift) & ((1 << q) - 1))
+    return out
+
+
+def level_grid(ranges: Sequence[InputRange], bits: Sequence[int]) -> List[np.ndarray]:
+    """Representative input values for every table address, in address
+    order: input ``i``'s array has length ``prod(2**bits)`` and varies
+    fastest for the last input."""
+    axes = [
+        dequantize(np.arange(1 << q, dtype=np.int64), rng, q)
+        for rng, q in zip(ranges, bits)
+    ]
+    mesh = np.meshgrid(*axes, indexing="ij") if axes else []
+    return [m.ravel() for m in mesh]

@@ -1,0 +1,242 @@
+"""Sampling + adjustment for reduction patterns (paper §3.3).
+
+The rewrite multiplies each reduction loop's step by the *skipping rate*
+``N``, executing one in every ``N`` iterations.  For additive reductions
+the partial result is then scaled: the reduction variable is replaced by a
+zero-initialised temporary inside the loop, and after the loop the
+original variable receives ``original + temp * N`` — exactly the
+adjustment-code recipe of §3.3.3, which keeps the estimate unbiased even
+when the variable was not zero before the loop.
+
+Atomic-based reduction loops (paper: CUDA ``atomicAdd``/``atomicInc``...)
+are perforated the same way; additive atomics scale the contributed value
+by ``N`` (an ``atomic_inc`` becomes an ``atomic_add`` of ``N``), while
+min/max/and/or/xor atomics need no adjustment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.reductions import ReductionLoop, find_reduction_loops
+from ..errors import TransformError
+from ..kernel import ir
+from ..kernel.visitors import Transformer, clone_module
+from ..patterns.base import ReductionMatch
+from .base import ApproxKernel, fresh_name
+
+DEFAULT_SKIPPING_RATES = (2, 4, 8)
+
+
+class _RenameVar(Transformer):
+    """Renames reads and writes of one scalar within a subtree."""
+
+    def __init__(self, old: str, new: str) -> None:
+        self.old = old
+        self.new = new
+
+    def visit_Var(self, var: ir.Var):
+        if var.name == self.old:
+            return ir.Var(self.new, var.dtype)
+        return var
+
+    def visit_Assign(self, stmt: ir.Assign):
+        if stmt.target == self.old:
+            return ir.Assign(self.new, stmt.value)
+        return stmt
+
+
+class _ScaleAtomics(Transformer):
+    """Applies the additive adjustment to atomics inside a perforated loop."""
+
+    def __init__(self, rate: int) -> None:
+        self.rate = rate
+
+    def visit_AtomicRMW(self, stmt: ir.AtomicRMW):
+        if stmt.op == "add":
+            scaled = ir.binop(
+                "mul", stmt.value, ir.const_like(self.rate, stmt.value.dtype)
+            )
+            return ir.AtomicRMW("add", stmt.array, stmt.index, scaled)
+        if stmt.op == "inc":
+            return ir.AtomicRMW(
+                "add",
+                stmt.array,
+                stmt.index,
+                ir.const_like(self.rate, stmt.array.dtype),
+            )
+        return stmt
+
+
+class _PerforateLoops(Transformer):
+    """Rewrites each recognised reduction loop in a function."""
+
+    def __init__(self, loops: List[ReductionLoop], rate: int) -> None:
+        # Match loops structurally (the transformer rebuilds nodes, so
+        # identity comparison with the detection result does not work).
+        self._keys = {self._loop_key(r.loop): r for r in loops}
+        self.rate = rate
+        self.rewritten = 0
+
+    @staticmethod
+    def _loop_key(loop: ir.For) -> str:
+        from ..kernel.printer import _print_body
+
+        lines: List[str] = []
+        _print_body([loop], 0, lines)
+        return "\n".join(lines)
+
+    def visit_For(self, loop: ir.For):
+        red = self._keys.get(self._loop_key(loop))
+        if red is None:
+            return loop
+        self.rewritten += 1
+        rate_c = ir.Const(self.rate, loop.step.dtype)
+        new_step = ir.binop("mul", loop.step, rate_c)
+        if isinstance(loop.step, ir.Const):
+            new_step = ir.const_like(int(loop.step.value) * self.rate, loop.step.dtype)
+
+        if red.via_atomic:
+            scaler = _ScaleAtomics(self.rate)
+            body = scaler.transform_body(loop.body)
+            return ir.For(loop.var, loop.start, loop.stop, new_step, body)
+
+        # Every additive reduction variable of the loop gets the
+        # temp + scale adjustment (§3.3.3); a loop accumulating both a
+        # weighted sum and its weight total must scale both or ratios of
+        # the outputs would be off by the skipping rate.  Non-additive
+        # variables (min/max/...) need no adjustment.
+        additive = [var for var, op in red.targets if op == "add"]
+        body = loop.body
+        prologue: List[ir.Stmt] = []
+        epilogue: List[ir.Stmt] = []
+        for var in additive:
+            tmp = f"_red_{var}_{self.rewritten}"
+            body = _RenameVar(var, tmp).transform_body(body)
+            dtype = self._variable_dtype(loop, var)
+            prologue.append(ir.Assign(tmp, ir.const_like(0, dtype)))
+            epilogue.append(
+                ir.Assign(
+                    var,
+                    ir.binop(
+                        "add",
+                        ir.Var(var, dtype),
+                        ir.binop(
+                            "mul",
+                            ir.Var(tmp, dtype),
+                            ir.const_like(self.rate, dtype),
+                        ),
+                    ),
+                )
+            )
+        perforated = ir.For(loop.var, loop.start, loop.stop, new_step, body)
+        if not additive:
+            return perforated
+        return prologue + [perforated] + epilogue
+
+    @staticmethod
+    def _variable_dtype(loop: ir.For, var: str):
+        from ..kernel.visitors import walk_statements
+
+        for stmt in walk_statements(loop.body):
+            if isinstance(stmt, ir.Assign) and stmt.target == var:
+                return stmt.value.dtype
+        raise TransformError(f"reduction variable {var!r} not assigned in loop")
+
+
+class _PerforateEverything(Transformer):
+    """Indiscriminate loop perforation: multiply EVERY loop step by the
+    rate, no pattern checks, no adjustment code.  This is the baseline of
+    paper §4.4.1 — "naively applying a single, well-known approximation
+    technique to all benchmarks" — kept only for the Fig-14 comparison."""
+
+    def __init__(self, rate: int) -> None:
+        self.rate = rate
+        self.rewritten = 0
+
+    def visit_For(self, loop: ir.For):
+        self.rewritten += 1
+        if isinstance(loop.step, ir.Const):
+            step = ir.const_like(int(loop.step.value) * self.rate, loop.step.dtype)
+        else:
+            step = ir.binop("mul", loop.step, ir.Const(self.rate, loop.step.dtype))
+        return ir.For(loop.var, loop.start, loop.stop, step, loop.body)
+
+
+def perforate_all_loops(module: ir.Module, kernel_name: str, rate: int):
+    """Return (module, kernel name) with every loop naively perforated, or
+    None when the kernel has no loops at all (nothing to perforate)."""
+    new_module = clone_module(module)
+    fn = new_module[kernel_name]
+    rewriter = _PerforateEverything(rate)
+    fn = rewriter.transform_function(fn)
+    if rewriter.rewritten == 0:
+        return None
+    new_name = fresh_name(kernel_name, f"naive_skip{rate}")
+    fn.name = new_name
+    del new_module.functions[kernel_name]
+    new_module.add(fn)
+    return new_module, new_name
+
+
+class ReductionTransform:
+    """Generates perforated variants of a reduction kernel.
+
+    Args:
+        skipping_rates: the ``N`` values to emit (paper §3.3.4's knob).
+    """
+
+    def __init__(self, skipping_rates=DEFAULT_SKIPPING_RATES) -> None:
+        self.skipping_rates = tuple(skipping_rates)
+
+    def generate(
+        self, module: ir.Module, kernel_name: str, match: ReductionMatch
+    ) -> List[ApproxKernel]:
+        """One variant per (reduction loop, skipping rate).
+
+        The paper creates an approximate kernel for *each* reduction loop
+        and lets the runtime decide which to execute — perforating nested
+        reduction loops jointly compounds the error (e.g. KDE's feature-
+        distance loop inside its reference loop)."""
+        probe = find_reduction_loops(module[kernel_name])
+        if not probe:
+            raise TransformError(f"{kernel_name}: no reduction loops found")
+        n_loops = len(probe)
+        variants: List[ApproxKernel] = []
+        for loop_index in range(n_loops):
+            for rate in self.skipping_rates:
+                if rate < 2:
+                    raise TransformError(f"skipping rate must be >= 2, got {rate}")
+                new_module = clone_module(module)
+                fn = new_module[kernel_name]
+                loops = find_reduction_loops(fn)
+                rewriter = _PerforateLoops([loops[loop_index]], rate)
+                fn = rewriter.transform_function(fn)
+                if rewriter.rewritten == 0:
+                    raise TransformError(
+                        f"{kernel_name}: perforation matched no loop"
+                    )
+                suffix = (
+                    f"red_skip{rate}"
+                    if n_loops == 1
+                    else f"red_l{loop_index}_skip{rate}"
+                )
+                new_name = fresh_name(kernel_name, suffix)
+                fn.name = new_name
+                del new_module.functions[kernel_name]
+                new_module.add(fn)
+                variants.append(
+                    ApproxKernel(
+                        name=new_name,
+                        pattern=match.pattern,
+                        kernel=new_name,
+                        module=new_module,
+                        knobs={
+                            "skipping_rate": rate,
+                            "loop": loop_index,
+                            "loops_in_kernel": n_loops,
+                        },
+                        aggressiveness=float(rate),
+                    )
+                )
+        return variants

@@ -1,0 +1,77 @@
+"""Subarray substitution for scan patterns (paper §3.4).
+
+Unlike the other transforms, the scan optimization spans a three-kernel
+pipeline: skipping the last ``N`` subarrays means launching fewer Phase-I
+blocks, passing a smaller count to Phase II, and predicting the skipped
+tail from the kept prefix in Phase III (the cascading-error argument of
+§3.4.1/Fig 18 rules out perforating early subarrays).  A variant is
+therefore a *program* configuration — a skip fraction applied to a
+:class:`~repro.apps.scanlib.ScanProgram` — rather than a rewritten module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import TransformError
+from ..patterns.base import Pattern, ScanMatch
+
+DEFAULT_SKIP_FRACTIONS = (0.125, 0.25, 0.375, 0.5)
+
+
+@dataclass
+class ScanVariant:
+    """One approximate scan configuration."""
+
+    name: str
+    pattern: Pattern
+    skip_fraction: float
+    knobs: Dict[str, object] = field(default_factory=dict)
+    aggressiveness: float = 0.0
+
+    def skipped_blocks(self, total_blocks: int) -> int:
+        """Concrete subarray count to skip for an input of ``total_blocks``
+        subarrays, clamped so the kept prefix can predict the tail."""
+        skipped = int(round(self.skip_fraction * total_blocks))
+        return max(0, min(skipped, total_blocks // 2))
+
+    def run(self, program, x):
+        """Execute this variant through a ScanProgram-compatible pipeline."""
+        blocks = x.size // program.block
+        return program.run_approx(x, self.skipped_blocks(blocks))
+
+
+class ScanTransform:
+    """Generates skip-fraction variants for a detected scan pattern.
+
+    Args:
+        skip_fractions: fractions of trailing subarrays to predict rather
+            than compute (the §3.4.4 knob).  Each must be in (0, 0.5]: the
+            tail is reconstructed from the kept prefix.
+    """
+
+    def __init__(self, skip_fractions=DEFAULT_SKIP_FRACTIONS) -> None:
+        for f in skip_fractions:
+            if not 0.0 < f <= 0.5:
+                raise TransformError(
+                    f"skip fraction {f} outside (0, 0.5]: the skipped tail "
+                    "cannot be longer than the kept prefix"
+                )
+        self.skip_fractions = tuple(skip_fractions)
+
+    def generate(self, kernel_name: str, match: ScanMatch) -> List[ScanVariant]:
+        if match.pattern is not Pattern.SCAN:
+            raise TransformError(f"{kernel_name}: not a scan match")
+        variants = []
+        for fraction in self.skip_fractions:
+            variants.append(
+                ScanVariant(
+                    name=f"{kernel_name}__scan_skip{int(fraction * 100)}",
+                    pattern=Pattern.SCAN,
+                    skip_fraction=fraction,
+                    knobs={"skip_fraction": fraction},
+                    aggressiveness=fraction,
+                )
+            )
+        return variants

@@ -1,0 +1,91 @@
+"""Full unrolling of constant-trip loops.
+
+The stencil transform rewrites individual tile loads; loads expressed
+through a loop (``for j in range(-3, 4): acc += x[i + j]``) first get the
+loop unrolled so every access is its own syntactic load.  Unrolling is
+bounded and only applied to loops the caller selects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import TransformError
+from ..kernel import ir
+from ..kernel.visitors import Transformer, clone
+
+#: Refuse to unroll loops longer than this.
+MAX_UNROLL_TRIP = 64
+
+
+def loop_trip_values(loop: ir.For) -> Optional[List[int]]:
+    """The induction values of a constant-bound loop, or None."""
+    if (
+        isinstance(loop.start, ir.Const)
+        and isinstance(loop.stop, ir.Const)
+        and isinstance(loop.step, ir.Const)
+        and int(loop.step.value) != 0
+    ):
+        return list(
+            range(int(loop.start.value), int(loop.stop.value), int(loop.step.value))
+        )
+    return None
+
+
+class _Substituter(Transformer):
+    """Replaces reads of one variable with a constant."""
+
+    def __init__(self, name: str, value: int) -> None:
+        self.name = name
+        self.value = value
+
+    def visit_Var(self, var: ir.Var):
+        if var.name == self.name:
+            return ir.const_like(self.value, var.dtype)
+        return var
+
+
+def substitute_var(stmt: ir.Stmt, name: str, value: int) -> ir.Stmt:
+    """A copy of ``stmt`` with ``name`` replaced by the literal ``value``."""
+    return _Substituter(name, value).transform_stmt(stmt)
+
+
+def unroll_loop(loop: ir.For) -> List[ir.Stmt]:
+    """Fully unroll one constant-trip loop into a flat statement list."""
+    values = loop_trip_values(loop)
+    if values is None:
+        raise TransformError("cannot unroll a loop with dynamic bounds")
+    if len(values) > MAX_UNROLL_TRIP:
+        raise TransformError(
+            f"loop trip {len(values)} exceeds the unroll limit {MAX_UNROLL_TRIP}"
+        )
+    out: List[ir.Stmt] = []
+    for v in values:
+        for stmt in loop.body:
+            out.append(substitute_var(clone(stmt), loop.var, v))
+    return out
+
+
+class _UnrollSelected(Transformer):
+    def __init__(self, predicate: Callable[[ir.For], bool]) -> None:
+        self.predicate = predicate
+        self.unrolled = 0
+
+    def visit_For(self, loop: ir.For):
+        values = loop_trip_values(loop)
+        if (
+            values is not None
+            and len(values) <= MAX_UNROLL_TRIP
+            and self.predicate(loop)
+        ):
+            self.unrolled += 1
+            return unroll_loop(loop)
+        return loop
+
+
+def unroll_where(
+    fn: ir.Function, predicate: Callable[[ir.For], bool]
+) -> ir.Function:
+    """A copy of ``fn`` with every loop satisfying ``predicate`` (and having
+    constant trip <= MAX_UNROLL_TRIP) fully unrolled."""
+    return _UnrollSelected(predicate).transform_function(fn)

@@ -1,0 +1,14 @@
+"""The 13 benchmark applications of paper Table 1, plus case-study
+functions, synthetic image generation and the three-phase scan substrate."""
+
+from .base import AppInfo, Application, KernelApplication
+from .registry import APP_CLASSES, all_apps, make_app
+
+__all__ = [
+    "AppInfo",
+    "Application",
+    "KernelApplication",
+    "APP_CLASSES",
+    "all_apps",
+    "make_app",
+]

@@ -1,0 +1,119 @@
+"""Application framework for the 13 benchmarks of paper Table 1.
+
+An :class:`Application` bundles everything an experiment needs: input
+generation, the exact kernel(s), the app-specific quality metric, and how
+to execute approximate variants.  :class:`KernelApplication` implements
+the common single-kernel shape; the scan benchmark overrides the protocol
+with its three-phase program.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine import Grid, Trace, launch
+from ..kernel.frontend import KernelFn
+from ..runtime.quality import QualityMetric
+
+
+@dataclass
+class AppInfo:
+    """Table-1 row: static facts about a benchmark."""
+
+    name: str
+    domain: str
+    input_size: str
+    patterns: Tuple[str, ...]
+    error_metric: str
+
+
+class Application(abc.ABC):
+    """One benchmark program.
+
+    Subclasses define class attributes ``info`` (an :class:`AppInfo`) and
+    ``metric`` (a :class:`QualityMetric`), plus the abstract methods below.
+    ``scale`` in [0, 1] shrinks the paper's input sizes for quick runs;
+    scale=1 restores Table 1 sizes.
+    """
+
+    info: AppInfo
+    metric: QualityMetric
+
+    def __init__(self, scale: float = 0.1, seed: int = 0) -> None:
+        self.scale = scale
+        self.seed = seed
+
+    # -- protocol -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        """A fresh input set (the paper runs 110 input sets per app)."""
+
+    @abc.abstractmethod
+    def run_exact(self, inputs: Dict[str, object]) -> Tuple[np.ndarray, Trace]:
+        """Execute the unmodified program; returns (output, trace)."""
+
+    @abc.abstractmethod
+    def run_variant(self, variant, inputs) -> Tuple[np.ndarray, Trace]:
+        """Execute one approximate variant; returns (output, trace)."""
+
+    def quality(self, approx_output, exact_output) -> float:
+        return self.metric.quality(approx_output, exact_output)
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} scale={self.scale}>"
+
+
+class KernelApplication(Application):
+    """An application whose program is one kernel launch.
+
+    Subclasses provide:
+
+    * ``kernel`` — the :class:`~repro.kernel.frontend.KernelFn`,
+    * :meth:`make_args` — the launch argument list writing into ``out``,
+    * :meth:`make_output` — allocate the output buffer,
+    * :meth:`grid` — the launch geometry.
+    """
+
+    kernel: KernelFn
+
+    @abc.abstractmethod
+    def make_args(self, inputs, out) -> List[object]:
+        ...
+
+    @abc.abstractmethod
+    def make_output(self, inputs) -> np.ndarray:
+        ...
+
+    @abc.abstractmethod
+    def grid(self, inputs) -> Grid:
+        ...
+
+    def run_exact(self, inputs):
+        out = self.make_output(inputs)
+        trace = launch(self.kernel, self.grid(inputs), self.make_args(inputs, out))
+        return out, trace
+
+    def run_variant(self, variant, inputs):
+        out = self.make_output(inputs)
+        args = variant.launch_args(self.make_args(inputs, out))
+        trace = launch(
+            variant.module[variant.kernel],
+            self.grid(inputs),
+            args,
+            module=variant.module,
+        )
+        return out, trace
+
+    def training_launch(self, inputs):
+        """(kernel, grid, args) for profiling runs; output is scratch."""
+        out = self.make_output(inputs)
+        return self.kernel, self.grid(inputs), self.make_args(inputs, out)

@@ -1,0 +1,125 @@
+"""BlackScholes benchmark (Table 1: Financial, 4M elements, Map, L1-norm).
+
+Prices European call and put options with the Black-Scholes closed form.
+The per-element body ``bs_body`` is the paper's ``BlackScholesBody``: a
+pure function of five inputs, two of which (the risk-free rate R and the
+volatility V) are constant across a run, which is exactly the situation
+paper Fig 3/4 walks through — bit tuning assigns all address bits to the
+three variable inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import device, kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import L1_NORM
+from .base import AppInfo, KernelApplication
+
+RISKFREE = 0.02
+VOLATILITY = 0.30
+
+#: Table 1 input size.
+PAPER_ELEMENTS = 4_000_000
+
+
+@device
+def cnd(d: f32) -> f32:
+    """Cumulative normal distribution (Abramowitz & Stegun polynomial)."""
+    k = 1.0 / (1.0 + 0.2316419 * fabs(d))
+    poly = k * (
+        0.31938153
+        + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429)))
+    )
+    ret = 1.0 - 0.3989422804 * exp(-0.5 * d * d) * poly
+    return ret if d > 0.0 else 1.0 - ret
+
+
+@device
+def bs_body(s: f32, x: f32, t: f32, r: f32, v: f32) -> f32:
+    """Black-Scholes call price (the memoization candidate)."""
+    srt = v * sqrt(t)
+    d1 = (log(s / x) + (r + 0.5 * v * v) * t) / srt
+    d2 = d1 - srt
+    return s * cnd(d1) - x * exp(-r * t) * cnd(d2)
+
+
+@kernel
+def black_scholes_kernel(
+    call: array_f32,
+    put: array_f32,
+    price: array_f32,
+    strike: array_f32,
+    years: array_f32,
+    r: f32,
+    v: f32,
+    n: i32,
+):
+    i = global_id()
+    if i < n:
+        c = bs_body(price[i], strike[i], years[i], r, v)
+        call[i] = c
+        # put via put-call parity: P = C - S + X * exp(-rT)
+        put[i] = c - price[i] + strike[i] * exp(-r * years[i])
+
+
+def reference(price, strike, years, r, v):
+    """NumPy float64 ground truth (call prices)."""
+    from scipy.stats import norm  # scipy is available offline
+
+    s = price.astype(np.float64)
+    x = strike.astype(np.float64)
+    t = years.astype(np.float64)
+    srt = v * np.sqrt(t)
+    d1 = (np.log(s / x) + (r + 0.5 * v * v) * t) / srt
+    d2 = d1 - srt
+    return s * norm.cdf(d1) - x * np.exp(-r * t) * norm.cdf(d2)
+
+
+class BlackScholesApp(KernelApplication):
+    """Option pricing over random market parameters."""
+
+    info = AppInfo(
+        name="BlackScholes",
+        domain="Financial",
+        input_size="4M elements",
+        patterns=("map",),
+        error_metric="L1-norm",
+    )
+    metric = L1_NORM
+    kernel = black_scholes_kernel
+
+    def __init__(self, scale: float = 0.02, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n = max(1024, int(PAPER_ELEMENTS * scale))
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        return {
+            "price": (rng.random(self.n) * 25.0 + 5.0).astype(np.float32),
+            "strike": (rng.random(self.n) * 99.0 + 1.0).astype(np.float32),
+            "years": (rng.random(self.n) * 9.75 + 0.25).astype(np.float32),
+        }
+
+    def make_output(self, inputs) -> np.ndarray:
+        # call and put prices, concatenated so quality covers both.
+        return np.zeros(2 * self.n, dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [
+            out[: self.n],
+            out[self.n :],
+            inputs["price"],
+            inputs["strike"],
+            inputs["years"],
+            RISKFREE,
+            VOLATILITY,
+            self.n,
+        ]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements(self.n)

@@ -1,0 +1,115 @@
+"""BoxMuller benchmark (Table 1: Statistics, 24M, Scatter/Gather, L1-norm).
+
+Transforms pairs of uniform variates into normal variates with the
+Box-Muller formula and immediately consumes them as a Monte-Carlo
+exchange-option (Margrabe) payoff over two correlated lognormal assets —
+the standard downstream use of Box-Muller in the SDK's Monte-Carlo
+samples, and what makes the per-pair function heavy enough for the Eq.-1
+memoization test (the bare polar transform alone is mostly SFU work).
+
+The kernel *gathers*: each thread reads its uniform pair through a
+permutation index array, which is what classifies the pattern as
+scatter/gather rather than plain map (paper: "BoxMuller has a
+scatter/gather function with two inputs").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import device, kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import L1_NORM
+from .base import AppInfo, KernelApplication
+
+PAPER_ELEMENTS = 24_000_000
+
+TWO_PI = 6.283185307179586
+
+
+#: lognormal model parameters of the two assets
+MU = 0.02
+SIGMA = 0.25
+
+
+@device
+def box_muller_payoff(u1: f32, u2: f32) -> f32:
+    """Exchange-option payoff from one Box-Muller pair.
+
+    The pair of uniforms becomes a pair of independent normals (cosine and
+    sine branches), each drives a lognormal asset, and the payoff is
+    ``max(S1 - S2, 0)``.
+    """
+    r = sqrt(-2.0 * log(u1))
+    z0 = r * cos(6.2831853 * u2)
+    z1 = r * sin(6.2831853 * u2)
+    s1 = exp(0.02 + 0.25 * z0)
+    s2 = exp(0.02 + 0.25 * z1)
+    return fmax(s1 - s2, 0.0)
+
+
+@kernel
+def boxmuller_kernel(
+    z: array_f32, u: array_f32, perm: array_i32, n: i32
+):
+    i = global_id()
+    if i < n:
+        j = perm[i]
+        u1 = u[j]
+        u2 = u[j + 1]
+        z[i] = box_muller_payoff(u1, u2)
+
+
+def reference(u: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    j = perm.astype(np.int64)
+    u1 = u[j].astype(np.float64)
+    u2 = u[j + 1].astype(np.float64)
+    r = np.sqrt(-2.0 * np.log(u1))
+    z0 = r * np.cos(2 * np.pi * u2)
+    z1 = r * np.sin(2 * np.pi * u2)
+    return np.maximum(np.exp(MU + SIGMA * z0) - np.exp(MU + SIGMA * z1), 0.0)
+
+
+class BoxMullerApp(KernelApplication):
+    """Gathered Box-Muller normal variate generation."""
+
+    info = AppInfo(
+        name="BoxMuller",
+        domain="Statistics",
+        input_size="24M elements",
+        patterns=("scatter_gather",),
+        error_metric="L1-norm",
+    )
+    metric = L1_NORM
+    kernel = boxmuller_kernel
+
+    def __init__(self, scale: float = 0.004, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n = max(1024, int(PAPER_ELEMENTS * scale))
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        u = rng.uniform(1e-6, 1.0 - 1e-6, self.n + 1).astype(np.float32)
+        # Data-dependent but block-granular shuffle: threads of a warp stay
+        # coalesced (as in the SDK's paired quasirandom streams) while every
+        # access still goes through the index array.
+        block = 128
+        nblocks = self.n // block
+        order = rng.permutation(nblocks)
+        perm = (
+            order[:, None] * block + np.arange(block)[None, :]
+        ).ravel().astype(np.int32)
+        perm = np.concatenate([perm, np.arange(perm.size, self.n, dtype=np.int32)])
+        return {"u": u, "perm": perm}
+
+    def make_output(self, inputs) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [out, inputs["u"], inputs["perm"], self.n]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements(self.n)

@@ -1,0 +1,212 @@
+"""Convolution Separable benchmark (Table 1: Image Processing, 2048x2048,
+Stencil-Reduction, L2-norm).
+
+A separable Gaussian blur: a 1x17 row pass followed by a 17x1 column
+pass, each a constant-trip loop over taps (the paper: "two stencil loops
+with 1x17 tiles").  Both the stencil optimization (replicating image
+reads along the tap axis) and the reduction optimization (perforating the
+tap loop with the x-N adjustment) apply; the paper picks stencil for the
+GPU and reduction for the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..approx.base import ApproxKernel
+from ..approx.reduction import ReductionTransform
+from ..approx.stencil import StencilTransform
+from ..engine import Grid, Trace, launch
+from ..kernel import kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..patterns import Pattern, PatternDetector, StencilMatch
+from ..runtime.quality import L2_NORM
+from .base import AppInfo, Application
+from .images import synthetic_image
+
+PAPER_SIDE = 2048
+RADIUS = 8  # 17-tap filter
+
+
+@kernel
+def conv_row_kernel(out: array_f32, img: array_f32, taps: array_f32, w: i32, h: i32):
+    gid = global_id()
+    y = gid / w
+    x = gid % w
+    if (x >= 8) and (x < w - 8) and (y < h):
+        acc = 0.0
+        for t in range(-8, 9):
+            acc += taps[t + 8] * img[y * w + (x + t)]
+        out[gid] = acc
+    else:
+        if (y >= 0) and (y < h) and (x >= 0):
+            out[gid] = img[gid]
+
+
+@kernel
+def conv_col_kernel(out: array_f32, img: array_f32, taps: array_f32, w: i32, h: i32):
+    gid = global_id()
+    y = gid / w
+    x = gid % w
+    if (y >= 8) and (y < h - 8) and (x < w):
+        acc = 0.0
+        for t in range(-8, 9):
+            acc += taps[t + 8] * img[(y + t) * w + x]
+        out[gid] = acc
+    else:
+        if (y >= 0) and (y < h) and (x >= 0):
+            out[gid] = img[gid]
+
+
+def gaussian_taps(sigma: float = 3.0) -> np.ndarray:
+    t = np.arange(-RADIUS, RADIUS + 1, dtype=np.float64)
+    k = np.exp(-(t**2) / (2 * sigma**2))
+    return (k / k.sum()).astype(np.float32)
+
+
+def reference(img: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    p = img.astype(np.float64)
+    t64 = taps.astype(np.float64)
+    h, w = p.shape
+    row = p.copy()
+    acc = np.zeros((h, w - 2 * RADIUS))
+    for i, tap in enumerate(t64):
+        acc += tap * p[:, i : w - 2 * RADIUS + i]
+    row[:, RADIUS:-RADIUS] = acc
+    col = row.copy()
+    acc = np.zeros((h - 2 * RADIUS, w))
+    for i, tap in enumerate(t64):
+        acc += tap * row[i : h - 2 * RADIUS + i, :]
+    col[RADIUS:-RADIUS, :] = acc
+    return col
+
+
+@dataclass
+class ConvSepVariant:
+    """A matched pair of rewritten row/column kernels."""
+
+    name: str
+    pattern: Pattern
+    row: ApproxKernel
+    col: ApproxKernel
+    knobs: Dict[str, object] = field(default_factory=dict)
+    aggressiveness: float = 0.0
+
+
+class ConvolutionSeparableApp(Application):
+    """Two-pass separable 17-tap Gaussian convolution."""
+
+    info = AppInfo(
+        name="Convolution Separable",
+        domain="Image Processing",
+        input_size="2048x2048 image",
+        patterns=("stencil", "reduction"),
+        error_metric="L2-norm",
+    )
+    metric = L2_NORM
+
+    def __init__(self, scale: float = 0.01, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.side = max(64, int(PAPER_SIDE * np.sqrt(scale)))
+        self.taps = gaussian_taps()
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        s = self.seed if seed is None else seed
+        return {"img": synthetic_image(self.side, self.side, seed=s)}
+
+    def _run(self, row_kernel, row_module, col_kernel, col_module, inputs):
+        img = inputs["img"]
+        tmp = np.zeros_like(img)
+        out = np.zeros_like(img)
+        grid = Grid.for_elements(img.size)
+        trace = Trace()
+        base_row = [tmp, img, self.taps, self.side, self.side]
+        base_col = [out, tmp, self.taps, self.side, self.side]
+        launch(row_kernel, grid, base_row, module=row_module, trace=trace)
+        launch(col_kernel, grid, base_col, module=col_module, trace=trace)
+        return out, trace
+
+    def run_exact(self, inputs):
+        return self._run(conv_row_kernel, conv_row_kernel.module,
+                         conv_col_kernel, conv_col_kernel.module, inputs)
+
+    def run_variant(self, variant: ConvSepVariant, inputs):
+        row = variant.row
+        col = variant.col
+        return self._run(
+            row.module[row.kernel], row.module, col.module[col.kernel], col.module,
+            inputs,
+        )
+
+    def build_variants(self, toq: float, config) -> List[ConvSepVariant]:
+        """Stencil variants (image-tile replication in both passes) and
+        reduction variants (tap-loop perforation in both passes), with the
+        same knob value applied to row and column kernels."""
+        detector = PatternDetector()
+        variants: List[ConvSepVariant] = []
+
+        def image_tile_match(kernel_fn):
+            matches = detector.detect(kernel_fn).for_kernel(kernel_fn.fn.name)
+            for m in matches:
+                if isinstance(m, StencilMatch):
+                    img_tiles = [t for t in m.tiles if t.array == "img"]
+                    if img_tiles:
+                        return StencilMatch(
+                            pattern=m.pattern, kernel=m.kernel, tiles=img_tiles
+                        )
+            return None
+
+        stencil = StencilTransform(
+            schemes=("column", "row", "center"),
+            reaching_distances=config.reaching_distances,
+        )
+        row_match = image_tile_match(conv_row_kernel)
+        col_match = image_tile_match(conv_col_kernel)
+        if row_match and col_match:
+            rows = stencil.generate(conv_row_kernel.module, "conv_row_kernel", row_match)
+            cols = stencil.generate(conv_col_kernel.module, "conv_col_kernel", col_match)
+            for rv, cv in zip(rows, cols):
+                variants.append(
+                    ConvSepVariant(
+                        name=f"convsep__{rv.knobs['scheme']}_rd{rv.knobs['reaching_distance']}",
+                        pattern=Pattern.STENCIL,
+                        row=rv,
+                        col=cv,
+                        knobs=dict(rv.knobs),
+                        aggressiveness=rv.aggressiveness,
+                    )
+                )
+
+        reduction = ReductionTransform(skipping_rates=config.skipping_rates)
+        red_matches_row = [
+            m
+            for m in detector.detect(conv_row_kernel).for_kernel("conv_row_kernel")
+            if m.pattern is Pattern.REDUCTION
+        ]
+        red_matches_col = [
+            m
+            for m in detector.detect(conv_col_kernel).for_kernel("conv_col_kernel")
+            if m.pattern is Pattern.REDUCTION
+        ]
+        if red_matches_row and red_matches_col:
+            rows = reduction.generate(
+                conv_row_kernel.module, "conv_row_kernel", red_matches_row[0]
+            )
+            cols = reduction.generate(
+                conv_col_kernel.module, "conv_col_kernel", red_matches_col[0]
+            )
+            for rv, cv in zip(rows, cols):
+                variants.append(
+                    ConvSepVariant(
+                        name=f"convsep__red_skip{rv.knobs['skipping_rate']}",
+                        pattern=Pattern.REDUCTION,
+                        row=rv,
+                        col=cv,
+                        knobs=dict(rv.knobs),
+                        aggressiveness=10.0 + rv.aggressiveness,
+                    )
+                )
+        return variants

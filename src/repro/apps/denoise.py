@@ -1,0 +1,103 @@
+"""Image Denoising benchmark (Table 1: Image Processing, 2048x2048,
+Reduction, mean relative error).
+
+A KNN-style denoiser: every pixel is replaced by a similarity-weighted
+average over a square search window, with weights ``exp(-(p - q)^2 / h^2)``.
+The window loops have *runtime* bounds (the radius is a kernel argument),
+so no tile registers — the pattern is pure reduction, matching Table 1 —
+and crucially the loop accumulates BOTH the weighted sum and the weight
+total, exercising the transform's multi-variable adjustment (scaling only
+one of them would corrupt the ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import MEAN_RELATIVE
+from .base import AppInfo, KernelApplication
+from .images import synthetic_image
+
+PAPER_SIDE = 2048
+RADIUS = 3
+H2 = 0.02
+
+
+@kernel
+def denoise_kernel(
+    out: array_f32, img: array_f32, w: i32, h: i32, radius: i32
+):
+    gid = global_id()
+    y = gid / w
+    x = gid % w
+    if (y >= radius) and (y < h - radius) and (x >= radius) and (x < w - radius):
+        center = img[gid]
+        acc = 0.0
+        wsum = 0.0
+        for dy in range(0 - radius, radius + 1):
+            for dx in range(0 - radius, radius + 1):
+                q = img[(y + dy) * w + (x + dx)]
+                d = q - center
+                wgt = exp(-(d * d) / 0.02)
+                acc += wgt * q
+                wsum += wgt
+        out[gid] = acc / wsum
+    else:
+        if (y >= 0) and (y < h) and (x >= 0):
+            out[gid] = img[gid]
+
+
+def reference(img: np.ndarray, radius: int = RADIUS, h2: float = H2) -> np.ndarray:
+    p = img.astype(np.float64)
+    hh, ww = p.shape
+    out = p.copy()
+    acc = np.zeros((hh - 2 * radius, ww - 2 * radius))
+    wsum = np.zeros_like(acc)
+    center = p[radius:-radius, radius:-radius]
+    for dy in range(-radius, radius + 1):
+        for dx in range(-radius, radius + 1):
+            q = p[radius + dy : hh - radius + dy, radius + dx : ww - radius + dx]
+            wgt = np.exp(-((q - center) ** 2) / h2)
+            acc += wgt * q
+            wsum += wgt
+    out[radius:-radius, radius:-radius] = acc / wsum
+    return out
+
+
+class ImageDenoisingApp(KernelApplication):
+    """KNN-style weighted-window denoising of a noisy synthetic image."""
+
+    info = AppInfo(
+        name="Image Denoising",
+        domain="Image Processing",
+        input_size="2048x2048 image",
+        patterns=("reduction",),
+        error_metric="Mean relative error",
+    )
+    metric = MEAN_RELATIVE
+    kernel = denoise_kernel
+
+    def __init__(self, scale: float = 0.004, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.side = max(48, int(PAPER_SIDE * np.sqrt(scale)))
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        s = self.seed if seed is None else seed
+        rng = np.random.default_rng(s)
+        clean = synthetic_image(self.side, self.side, seed=s)
+        noisy = clean + rng.normal(0, 0.03, clean.shape).astype(np.float32)
+        return {"img": np.clip(noisy, 0.01, 1.0).astype(np.float32)}
+
+    def make_output(self, inputs) -> np.ndarray:
+        return np.zeros((self.side, self.side), dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [out, inputs["img"], self.side, self.side, RADIUS]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements(self.side * self.side)

@@ -1,0 +1,109 @@
+"""HotSpot benchmark (Table 1: Physics, 1024x1024, Stencil-Partition,
+mean relative error).
+
+One timestep of the Rodinia HotSpot thermal simulation: each cell's next
+temperature combines its own temperature, its four axis neighbours
+(5-point cross stencil), and the local power dissipation.  The 3x3 tile
+footprint makes it a stencil/partition candidate (Table 1 labels it
+Stencil-Partition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import MEAN_RELATIVE
+from .base import AppInfo, KernelApplication
+from .images import synthetic_image
+
+PAPER_SIDE = 1024
+
+#: Rodinia-flavoured model constants (one simulation step).
+CAP = 0.5
+RX = 0.1
+RY = 0.1
+RZ = 0.0625
+AMB = 80.0
+
+
+@kernel
+def hotspot_kernel(
+    out: array_f32, temp: array_f32, power: array_f32, w: i32, h: i32
+):
+    gid = global_id()
+    y = gid / w
+    x = gid % w
+    if (y > 0) and (y < h - 1) and (x > 0) and (x < w - 1):
+        c = temp[y * w + x]
+        n = temp[(y - 1) * w + x]
+        s = temp[(y + 1) * w + x]
+        e = temp[y * w + (x + 1)]
+        wv = temp[y * w + (x - 1)]
+        delta = CAP * (
+            power[gid]
+            + (n + s - 2.0 * c) * 0.1
+            + (e + wv - 2.0 * c) * 0.1
+            + (80.0 - c) * 0.0625
+        )
+        out[gid] = c + delta
+    else:
+        if (y >= 0) and (y < h) and (x >= 0):
+            out[gid] = temp[gid]
+
+
+def reference(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    t = temp.astype(np.float64)
+    out = t.copy()
+    c = t[1:-1, 1:-1]
+    n = t[:-2, 1:-1]
+    s = t[2:, 1:-1]
+    e = t[1:-1, 2:]
+    w = t[1:-1, :-2]
+    delta = CAP * (
+        power.astype(np.float64)[1:-1, 1:-1]
+        + (n + s - 2 * c) * RX
+        + (e + w - 2 * c) * RY
+        + (AMB - c) * RZ
+    )
+    out[1:-1, 1:-1] = c + delta
+    return out
+
+
+class HotSpotApp(KernelApplication):
+    """One HotSpot thermal-simulation step over a synthetic die."""
+
+    info = AppInfo(
+        name="HotSpot",
+        domain="Physics",
+        input_size="1024x1024 matrix",
+        patterns=("stencil", "partition"),
+        error_metric="Mean relative error",
+    )
+    metric = MEAN_RELATIVE
+    kernel = hotspot_kernel
+
+    def __init__(self, scale: float = 0.02, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.side = max(64, int(PAPER_SIDE * np.sqrt(scale)))
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        s = self.seed if seed is None else seed
+        base = synthetic_image(self.side, self.side, seed=s)
+        # temperatures around 320-340 K, power densities around 0-1
+        temp = (320.0 + 20.0 * base).astype(np.float32)
+        power = synthetic_image(self.side, self.side, seed=s + 1).astype(np.float32)
+        return {"temp": temp, "power": power}
+
+    def make_output(self, inputs) -> np.ndarray:
+        return np.zeros((self.side, self.side), dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [out, inputs["temp"], inputs["power"], self.side, self.side]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements(self.side * self.side)

@@ -1,0 +1,181 @@
+"""The four case-study map functions of paper §4.4.2 (Figs 15-17).
+
+* credit-card payoff equation (Eq. 2),
+* shifted Gompertz distribution (Eq. 3),
+* log-gamma (Eq. 4, CUDA ``lgammaf``),
+* Bass diffusion model (Eq. 5).
+
+Each is a pure single-variable function (all other parameters constant)
+wrapped in a trivial map kernel, exactly the setup the paper uses to study
+nearest- vs linear-lookup memoization, lookup-table placement, and the
+coalescing-driven decay of speedup with table size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import device, kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import MEAN_RELATIVE
+from .base import AppInfo, KernelApplication
+
+# Constant model parameters (paper: "all parameters other than the input
+# variable are constant").
+CREDIT_B0_OVER_P = 25.0  # balance / monthly payment
+GOMPERTZ_B = 0.4
+GOMPERTZ_ETA = 0.6
+BASS_P = 0.03
+BASS_Q = 0.38
+BASS_M = 1000.0
+
+
+@device
+def credit_months(i: f32) -> f32:
+    """Months to pay off credit-card debt at daily rate ``i`` (Eq. 2)."""
+    growth = pow(1.0 + i, 30.0)
+    inner = 1.0 + 25.0 * (1.0 - growth)
+    return (-1.0 / 30.0) * log(inner) / log(1.0 + i)
+
+
+@device
+def shifted_gompertz(x: f32) -> f32:
+    """Shifted Gompertz distribution function (Eq. 3)."""
+    e = exp(-0.4 * x)
+    return (1.0 - e) * exp(-0.6 * e)
+
+
+@device
+def log_gamma(z: f32) -> f32:
+    """Log-gamma (Eq. 4; the paper uses CUDA's lgammaf)."""
+    return lgamma(z)
+
+
+@device
+def bass_diffusion(t: f32) -> f32:
+    """Bass new-product adoption rate (Eq. 5)."""
+    pq = 0.03 + 0.38
+    e = exp(-pq * t)
+    denom = 1.0 + (0.38 / 0.03) * e
+    return 1000.0 * (pq * pq / 0.03) * e / (denom * denom)
+
+
+#: grid-stride factor: each thread maps this many elements, like the SDK's
+#: persistent map kernels; it also amortises any per-block table staging.
+ELEMS_PER_THREAD = 16
+
+
+@kernel
+def credit_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    stride = block_dim() * grid_dim()
+    for e in range(0, ELEMS_PER_THREAD):
+        idx = i + e * stride
+        if idx < n:
+            out[idx] = credit_months(x[idx])
+
+
+@kernel
+def gompertz_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    stride = block_dim() * grid_dim()
+    for e in range(0, ELEMS_PER_THREAD):
+        idx = i + e * stride
+        if idx < n:
+            out[idx] = shifted_gompertz(x[idx])
+
+
+@kernel
+def lgamma_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    stride = block_dim() * grid_dim()
+    for e in range(0, ELEMS_PER_THREAD):
+        idx = i + e * stride
+        if idx < n:
+            out[idx] = log_gamma(x[idx])
+
+
+@kernel
+def bass_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    stride = block_dim() * grid_dim()
+    for e in range(0, ELEMS_PER_THREAD):
+        idx = i + e * stride
+        if idx < n:
+            out[idx] = bass_diffusion(x[idx])
+
+
+class _MapFunctionApp(KernelApplication):
+    """Shared harness: map one function over random inputs in its domain."""
+
+    metric = MEAN_RELATIVE
+    input_range = (0.0, 1.0)
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, n: int = 65536) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n = int(n * scale) if scale != 1.0 else n
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        lo, hi = self.input_range
+        return {"x": rng.uniform(lo, hi, self.n).astype(np.float32)}
+
+    def make_output(self, inputs) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [out, inputs["x"], self.n]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements((self.n + ELEMS_PER_THREAD - 1) // ELEMS_PER_THREAD)
+
+
+class CreditApp(_MapFunctionApp):
+    info = AppInfo(
+        name="Credit",
+        domain="Finance (case study)",
+        input_size="64K elements",
+        patterns=("map",),
+        error_metric="Mean relative error",
+    )
+    kernel = credit_kernel
+    input_range = (5e-5, 6e-4)  # daily interest rates (~2%-22% APR)
+
+
+class GompertzApp(_MapFunctionApp):
+    info = AppInfo(
+        name="Gompertz",
+        domain="Statistics (case study)",
+        input_size="64K elements",
+        patterns=("map",),
+        error_metric="Mean relative error",
+    )
+    kernel = gompertz_kernel
+    input_range = (0.0, 10.0)
+
+
+class LgammaApp(_MapFunctionApp):
+    info = AppInfo(
+        name="lgamma",
+        domain="Math (case study)",
+        input_size="64K elements",
+        patterns=("map",),
+        error_metric="Mean relative error",
+    )
+    kernel = lgamma_kernel
+    input_range = (0.5, 10.0)
+
+
+class BassApp(_MapFunctionApp):
+    info = AppInfo(
+        name="Bass",
+        domain="Economics (case study)",
+        input_size="64K elements",
+        patterns=("map",),
+        error_metric="Mean relative error",
+    )
+    kernel = bass_kernel
+    input_range = (0.0, 20.0)

@@ -1,0 +1,123 @@
+"""Quasirandom Generator benchmark (Table 1: Statistics, 1M, Map, L1-norm).
+
+Generates a low-discrepancy (Weyl/Kronecker) sequence and maps it through
+the Beasley-Springer-Moro inverse cumulative normal — the standard GPU-SDK
+structure for producing quasirandom *normal* variates.  The inverse CND is
+the pure, compute-heavy map function Paraprox memoizes; the sequence
+generation itself is thread-ID arithmetic and stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..engine import Grid
+from ..kernel import device, kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+from ..runtime.quality import L1_NORM
+from .base import AppInfo, KernelApplication
+
+PAPER_ELEMENTS = 1_000_000
+
+#: golden-ratio increment of the Weyl sequence
+PHI = 0.6180339887498949
+
+
+@device
+def moro_inv_cnd(u: f32) -> f32:
+    """Beasley-Springer-Moro inverse cumulative normal distribution."""
+    y = u - 0.5
+    central = fabs(y) < 0.42
+    # central region: rational polynomial in y^2
+    r1 = y * y
+    num = y * (
+        2.50662823884
+        + r1 * (-18.61500062529 + r1 * (41.39119773534 + r1 * -25.44106049637))
+    )
+    den = 1.0 + r1 * (
+        -8.47351093090
+        + r1 * (23.08336743743 + r1 * (-21.06224101826 + r1 * 3.13082909833))
+    )
+    # tail region: polynomial in log log space
+    ut = u if y < 0.0 else 1.0 - u
+    r2 = log(-log(ut))
+    tail = (
+        0.3374754822726147
+        + r2
+        * (
+            0.9761690190917186
+            + r2
+            * (
+                0.1607979714918209
+                + r2
+                * (
+                    0.0276438810333863
+                    + r2
+                    * (
+                        0.0038405729373609
+                        + r2
+                        * (
+                            0.0003951896511919
+                            + r2 * (0.0000321767881768 + r2 * 0.0000002888167364)
+                        )
+                    )
+                )
+            )
+        )
+    )
+    signed_tail = -tail if y < 0.0 else tail
+    return num / den if central else signed_tail
+
+
+@kernel
+def quasirandom_kernel(out: array_f32, offset: f32, n: i32):
+    i = global_id()
+    if i < n:
+        # Weyl low-discrepancy point in (0, 1): frac(offset + i * phi).
+        t = offset + f32(i) * 0.6180339887
+        u = t - floor(t)
+        u = fmin(fmax(u, 1.0e-7), 1.0 - 1.0e-7)
+        out[i] = moro_inv_cnd(u)
+
+
+def reference(offset: float, n: int) -> np.ndarray:
+    from scipy.stats import norm
+
+    i = np.arange(n, dtype=np.float64)
+    t = np.float32(offset) + i.astype(np.float32) * np.float32(0.6180339887)
+    u = (t - np.floor(t)).astype(np.float64)
+    u = np.clip(u, 1e-7, 1 - 1e-7)
+    return norm.ppf(u)
+
+
+class QuasirandomApp(KernelApplication):
+    """Quasirandom normal variate generation."""
+
+    info = AppInfo(
+        name="Quasirandom Generator",
+        domain="Statistics",
+        input_size="1M elements",
+        patterns=("map",),
+        error_metric="L1-norm",
+    )
+    metric = L1_NORM
+    kernel = quasirandom_kernel
+
+    def __init__(self, scale: float = 0.05, seed: int = 0) -> None:
+        super().__init__(scale=scale, seed=seed)
+        self.n = max(1024, int(PAPER_ELEMENTS * scale))
+
+    def generate_inputs(self, seed: Optional[int] = None) -> Dict[str, object]:
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        return {"offset": float(rng.random())}
+
+    def make_output(self, inputs) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.float32)
+
+    def make_args(self, inputs, out):
+        return [out, inputs["offset"], self.n]
+
+    def grid(self, inputs) -> Grid:
+        return Grid.for_elements(self.n)

@@ -1,0 +1,58 @@
+"""Registry of the 13 Table-1 benchmarks.
+
+``make_app(name)`` instantiates a benchmark at its default quick scale;
+``all_apps()`` builds the whole suite in Table-1 order.  Scales are small
+enough that the entire Fig-11 sweep runs in minutes; pass ``scale=1.0``
+to restore the paper's input sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .base import Application
+from .blackscholes import BlackScholesApp
+from .boxmuller import BoxMullerApp
+from .convsep import ConvolutionSeparableApp
+from .cumhist import CumulativeHistogramApp
+from .denoise import ImageDenoisingApp
+from .gamma import GammaCorrectionApp
+from .gaussian import GaussianFilterApp, MeanFilterApp
+from .hotspot import HotSpotApp
+from .kde import KernelDensityApp
+from .matmul import MatrixMultiplyApp
+from .naivebayes import NaiveBayesApp
+from .quasirandom import QuasirandomApp
+
+#: Table-1 order.
+APP_CLASSES: Dict[str, Type[Application]] = {
+    "blackscholes": BlackScholesApp,
+    "quasirandom": QuasirandomApp,
+    "gamma": GammaCorrectionApp,
+    "boxmuller": BoxMullerApp,
+    "hotspot": HotSpotApp,
+    "convsep": ConvolutionSeparableApp,
+    "gaussian": GaussianFilterApp,
+    "meanfilter": MeanFilterApp,
+    "matmul": MatrixMultiplyApp,
+    "denoise": ImageDenoisingApp,
+    "naivebayes": NaiveBayesApp,
+    "kde": KernelDensityApp,
+    "cumhist": CumulativeHistogramApp,
+}
+
+
+def make_app(name: str, scale: Optional[float] = None, seed: int = 0) -> Application:
+    """Instantiate one benchmark by registry key."""
+    try:
+        cls = APP_CLASSES[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(APP_CLASSES)}")
+    if scale is None:
+        return cls(seed=seed)
+    return cls(scale=scale, seed=seed)
+
+
+def all_apps(seed: int = 0) -> List[Application]:
+    """All 13 benchmarks at their default quick scales, Table-1 order."""
+    return [make_app(name, seed=seed) for name in APP_CLASSES]

@@ -1,0 +1,228 @@
+"""The three-phase data-parallel scan (paper Fig 9) and its kernels.
+
+Phase I scans each subarray in shared memory (one block per subarray,
+Hillis-Steele) and records each subarray's total; Phase II scans the array
+of totals; Phase III adds each prefix total back to its subarray.  This is
+the classic GPU implementation the paper's template matcher recognises,
+and the substrate the scan approximation (§3.4) operates on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..engine import Grid, Program
+from ..errors import ExecutionError
+from ..kernel import kernel
+from ..kernel.dsl import *  # noqa: F401,F403
+
+#: Shared-memory capacity of the scan kernels (max threads per block).
+MAX_BLOCK = 1024
+
+
+@kernel
+def scan_phase1(partial: array_f32, sums: array_f32, x: array_f32, log2b: i32):
+    """In-block inclusive scan; one block per subarray."""
+    sh = shared(1024, f32)
+    t = thread_id()
+    g = global_id()
+    sh[t] = x[g]
+    barrier()
+    for d in range(0, log2b):
+        off = 1 << d
+        prev = sh[t - off] if t >= off else 0.0
+        barrier()
+        sh[t] = sh[t] + prev
+        barrier()
+    partial[g] = sh[t]
+    if t == block_dim() - 1:
+        sums[block_id()] = sh[t]
+
+
+@kernel
+def scan_phase2(sums_scan: array_f32, sums: array_f32, nb: i32, log2nb: i32):
+    """Single-block inclusive scan of the per-subarray totals."""
+    sh = shared(1024, f32)
+    t = thread_id()
+    v = sums[t] if t < nb else 0.0
+    sh[t] = v
+    barrier()
+    for d in range(0, log2nb):
+        off = 1 << d
+        prev = sh[t - off] if t >= off else 0.0
+        barrier()
+        sh[t] = sh[t] + prev
+        barrier()
+    if t < nb:
+        sums_scan[t] = sh[t]
+
+
+@kernel
+def scan_phase3(out: array_f32, partial: array_f32, sums_scan: array_f32):
+    """Add each block's prefix total to its partial scan."""
+    g = global_id()
+    b = block_id()
+    offset = sums_scan[b - 1] if b > 0 else 0.0
+    out[g] = partial[g] + offset
+
+
+@kernel
+def scan_tail_predict(
+    out: array_f32, partial: array_f32, sums_scan: array_f32, kept: i32
+):
+    """Predict the scan of the skipped tail subarrays (paper Fig 8).
+
+    Block ``m`` of this launch reproduces kept subarray ``m``'s final scan
+    values and shifts them up by the last Phase-II total, writing them as
+    the output of skipped subarray ``kept + m``.
+    """
+    m = block_id()
+    t = thread_id()
+    s = block_dim()
+    src = m * s + t
+    offset = sums_scan[m - 1] if m > 0 else 0.0
+    total = sums_scan[kept - 1]
+    out[(kept + m) * s + t] = partial[src] + offset + total
+
+
+def _log2_exact(n: int, what: str) -> int:
+    bits = int(math.log2(n))
+    if (1 << bits) != n:
+        raise ExecutionError(f"{what} must be a power of two, got {n}")
+    return bits
+
+
+class ScanProgram(Program):
+    """Host orchestration of the three-phase scan.
+
+    Args:
+        block: subarray size = threads per block (power of two,
+            <= MAX_BLOCK).
+    """
+
+    def __init__(self, block: int = 256, phase1_kernel=None, phase1_module=None) -> None:
+        super().__init__()
+        if block > MAX_BLOCK:
+            raise ExecutionError(f"block {block} exceeds MAX_BLOCK={MAX_BLOCK}")
+        self.block = block
+        self.log2b = _log2_exact(block, "block size")
+        # Phase I is substitutable so experiments can study corrupted or
+        # naively-perforated first phases (paper Fig 14 / Fig 18).
+        self.phase1_kernel = phase1_kernel if phase1_kernel is not None else scan_phase1
+        self.phase1_module = phase1_module
+
+    def _check_input(self, x: np.ndarray) -> int:
+        if x.dtype != np.float32:
+            raise ExecutionError("scan input must be float32")
+        if x.size % self.block:
+            raise ExecutionError(
+                f"input length {x.size} is not a multiple of the block size "
+                f"{self.block}; pad the input"
+            )
+        blocks = x.size // self.block
+        if blocks > MAX_BLOCK:
+            raise ExecutionError(
+                f"{blocks} subarrays exceed Phase II's single-block capacity"
+            )
+        return blocks
+
+    def run(self, x: np.ndarray, exclusive: bool = False) -> np.ndarray:
+        """Exact scan of ``x``; inclusive by default, exclusive on request.
+
+        The paper's §2 defines both forms; an exclusive scan is the
+        inclusive scan shifted right with identity (0) in front, which is
+        exactly how the host assembles it here — the three kernels are
+        shared.
+        """
+        inclusive = self._run_inclusive(x)
+        if not exclusive:
+            return inclusive
+        out = np.empty_like(inclusive)
+        out[0] = 0.0
+        out[1:] = inclusive[:-1]
+        return out
+
+    def _run_inclusive(self, x: np.ndarray) -> np.ndarray:
+        blocks = self._check_input(x)
+        partial = np.zeros(x.size, dtype=np.float32)
+        sums = np.zeros(blocks, dtype=np.float32)
+        sums_scan = np.zeros(blocks, dtype=np.float32)
+        out = np.zeros(x.size, dtype=np.float32)
+        self.launch(
+            self.phase1_kernel,
+            Grid(blocks, self.block),
+            [partial, sums, x, self.log2b],
+            module=self.phase1_module,
+        )
+        p2_threads = 1 << math.ceil(math.log2(max(blocks, 2)))
+        self.launch(
+            scan_phase2,
+            Grid(1, p2_threads),
+            [sums_scan, sums, blocks, _log2_exact(p2_threads, "phase2 width")],
+        )
+        self.launch(scan_phase3, Grid(blocks, self.block), [out, partial, sums_scan])
+        return out
+
+    def run_approx(
+        self, x: np.ndarray, skipped: int, exclusive: bool = False
+    ) -> np.ndarray:
+        """Approximate scan skipping the last ``skipped`` subarrays (§3.4.3).
+
+        Phase I launches fewer blocks, Phase II scans fewer totals, and the
+        tail kernel predicts the skipped subarrays from the first ones.
+        ``skipped`` may not exceed the number of kept subarrays.
+        """
+        inclusive = self._run_approx_inclusive(x, skipped)
+        if not exclusive:
+            return inclusive
+        out = np.empty_like(inclusive)
+        out[0] = 0.0
+        out[1:] = inclusive[:-1]
+        return out
+
+    def _run_approx_inclusive(self, x: np.ndarray, skipped: int) -> np.ndarray:
+        blocks = self._check_input(x)
+        if skipped <= 0:
+            return self._run_inclusive(x)
+        kept = blocks - skipped
+        if kept <= 0 or skipped > kept:
+            raise ExecutionError(
+                f"cannot skip {skipped} of {blocks} subarrays: the tail is "
+                "predicted from the kept prefix, so skipped <= kept"
+            )
+        partial = np.zeros(kept * self.block, dtype=np.float32)
+        sums = np.zeros(kept, dtype=np.float32)
+        sums_scan = np.zeros(kept, dtype=np.float32)
+        out = np.zeros(x.size, dtype=np.float32)
+        self.launch(
+            self.phase1_kernel,
+            Grid(kept, self.block),
+            [partial, sums, x[: kept * self.block], self.log2b],
+            module=self.phase1_module,
+        )
+        p2_threads = 1 << math.ceil(math.log2(max(kept, 2)))
+        self.launch(
+            scan_phase2,
+            Grid(1, p2_threads),
+            [sums_scan, sums, kept, _log2_exact(p2_threads, "phase2 width")],
+        )
+        self.launch(scan_phase3, Grid(kept, self.block), [out, partial, sums_scan])
+        self.launch(
+            scan_tail_predict,
+            Grid(skipped, self.block),
+            [out, partial, sums_scan, kept],
+        )
+        return out
+
+
+def reference_scan(x: np.ndarray, exclusive: bool = False) -> np.ndarray:
+    """NumPy scan used as ground truth in tests."""
+    inclusive = np.cumsum(x.astype(np.float64)).astype(np.float32)
+    if not exclusive:
+        return inclusive
+    out = np.empty_like(inclusive)
+    out[0] = 0.0
+    out[1:] = inclusive[:-1]
+    return out

@@ -1,0 +1,14 @@
+"""Modelled devices: a GTX-560-class GPU and a Core-i7-class CPU."""
+
+from .costmodel import CostBreakdown, CostModel
+from .spec import CORE_I7, GTX560, DeviceKind, DeviceSpec, spec_for
+
+__all__ = [
+    "CostModel",
+    "CostBreakdown",
+    "DeviceKind",
+    "DeviceSpec",
+    "GTX560",
+    "CORE_I7",
+    "spec_for",
+]

@@ -1,0 +1,184 @@
+"""Analytic cost model: execution traces -> cycles on a modelled device.
+
+The model prices the two resources a data-parallel machine can bottleneck
+on and takes their sum:
+
+* **compute**: every traced instruction issue costs its latency-class
+  cycles, divided by the device's issue width;
+* **memory**: every traced access stream costs transactions.  Global
+  streams pay per 128-byte segment transaction (the coalescing statistics
+  come straight from the interpreter's address samples), with a hit-rate
+  model splitting transactions between L1 and DRAM latencies by the
+  stream's working set.  Shared/constant streams pay fixed scratchpad
+  latencies, except that constant tables larger than the broadcast cache
+  spill to global cost (paper Fig 16's constant curve), and atomics pay
+  their intra-warp serialization chain (what makes Naive Bayes's atomics
+  so expensive on the GPU, §4.3).
+
+Absolute numbers are not the point — the paper's testbed is silicon we do
+not have — but *ratios* of modelled cycles reproduce the paper's speedup
+shapes, and every experiment reports those ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..engine.trace import SEGMENT_BYTES, WARP_SIZE, MemStats, Trace
+from ..errors import DeviceError
+from .spec import DeviceSpec
+
+
+@dataclass
+class CostBreakdown:
+    """Cycles attributed to each resource, plus per-stream detail."""
+
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    #: (space, kind) -> cycles
+    streams: Dict = field(default_factory=dict)
+    #: extra transactions beyond one per warp, summed over global streams
+    serialization_transactions: float = 0.0
+    ideal_transactions: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.memory_cycles
+
+    @property
+    def serialization_overhead(self) -> float:
+        """Fraction of global-memory transactions caused by uncoalesced
+        access (0 = perfectly coalesced) — the quantity of paper Fig 17."""
+        total = self.ideal_transactions + self.serialization_transactions
+        if total <= 0:
+            return 0.0
+        return self.serialization_transactions / total
+
+
+class CostModel:
+    """Prices :class:`~repro.engine.trace.Trace` objects for one device."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+
+    # -- public API ----------------------------------------------------------
+
+    def cycles(self, trace: Trace) -> float:
+        return self.breakdown(trace).total_cycles
+
+    def seconds(self, trace: Trace) -> float:
+        return self.cycles(trace) / (self.spec.clock_ghz * 1e9)
+
+    def speedup(self, baseline: Trace, optimized: Trace) -> float:
+        """Modelled speedup of ``optimized`` relative to ``baseline``."""
+        opt = self.cycles(optimized)
+        if opt <= 0:
+            raise DeviceError("optimized trace has zero modelled cost")
+        return self.cycles(baseline) / opt
+
+    def breakdown(self, trace: Trace) -> CostBreakdown:
+        out = CostBreakdown()
+        table = self.spec.latencies
+        issue = 0.0
+        for (cls, _dtype), count in trace.op_counts.items():
+            issue += count * table.of_class(cls)
+        # Every memory access also occupies an issue slot (the LSU pipeline)
+        # regardless of where the data comes from — removing load
+        # *instructions* is a large part of what the stencil optimization
+        # buys even when the data was cache-resident.
+        for stats in trace.mem.values():
+            issue += stats.accesses * table.of_class("alu")
+        out.compute_cycles = issue / self.spec.compute_width
+        written_shared = {
+            array
+            for (space, kind, array) in trace.mem
+            if space == "shared" and kind in ("store", "atomic")
+        }
+        for (space, kind, array), stats in trace.mem.items():
+            cycles = self._stream_cycles(space, kind, stats, out)
+            if space == "shared" and kind == "load" and array not in written_shared:
+                # A shared array the kernel only reads is a staged lookup
+                # table: every block of every launch copies it in from
+                # global memory first (the rising overhead that makes big
+                # tables lose to plain global placement in paper Fig 16).
+                table = self.spec.latencies
+                segments = max(1.0, stats.working_set_bytes / SEGMENT_BYTES)
+                blocks = max(1.0, trace.threads_launched / (WARP_SIZE * 8))
+                cycles += (
+                    segments * blocks * table.global_mem / self.spec.memory_width
+                )
+            out.streams[(space, kind, array)] = cycles
+            out.memory_cycles += cycles
+        return out
+
+    # -- per-stream pricing ---------------------------------------------------
+
+    def _stream_cycles(
+        self, space: str, kind: str, stats: MemStats, out: CostBreakdown
+    ) -> float:
+        table = self.spec.latencies
+        if kind == "atomic":
+            # Atomics serialize on address collisions; the chain cannot be
+            # longer than the number of lanes actually contending at once
+            # (a 4-core CPU never sees a 32-deep collision chain).
+            chain = min(stats.atomic_chain_per_warp, self.spec.memory_width)
+            per_op = table.of_class("atomic") * chain
+            return stats.accesses * per_op / self.spec.memory_width
+
+        warps = stats.accesses / WARP_SIZE
+        if space == "shared":
+            # transactions_per_warp is the bank-conflict serialization depth.
+            return (
+                warps
+                * stats.transactions_per_warp
+                * table.shared
+                / self.spec.cache_width
+            )
+
+        if space == "constant":
+            # Broadcast cache: one cycle per distinct word per warp
+            # (transactions_per_warp counts distinct words here), spilling
+            # to global cost when the footprint thrashes the cache.
+            tpw = stats.transactions_per_warp
+            if stats.working_set_bytes <= self.spec.constant_bytes:
+                return warps * tpw * table.constant / self.spec.cache_width
+            spill = 1.0 - min(
+                1.0, self.spec.constant_bytes / max(stats.working_set_bytes, 1)
+            )
+            hit_cycles = warps * tpw * table.constant * (1.0 - spill)
+            miss_cycles = warps * tpw * table.global_mem * spill
+            return (
+                hit_cycles / self.spec.cache_width
+                + miss_cycles / self.spec.memory_width
+            )
+
+        # Global memory: per-warp transactions split between cache and DRAM;
+        # hits are served at aggregate L1 bandwidth, misses contend for the
+        # DRAM channels.
+        tpw = stats.transactions_per_warp
+        warps = stats.accesses / WARP_SIZE
+        transactions = warps * tpw
+        hit = self._hit_rate(stats, transactions)
+        out.ideal_transactions += warps
+        out.serialization_transactions += max(0.0, transactions - warps)
+        hit_cycles = transactions * hit * table.l1 / self.spec.cache_width
+        miss_cycles = (
+            transactions * (1.0 - hit) * table.global_mem / self.spec.memory_width
+        )
+        return hit_cycles + miss_cycles
+
+    def _hit_rate(self, stats: MemStats, transactions: float) -> float:
+        """Cold misses (one per distinct segment) plus capacity misses when
+        the stream's working set exceeds the cache."""
+        ws = stats.working_set_bytes
+        segments = max(1.0, ws / SEGMENT_BYTES)
+        if transactions <= 0:
+            return 0.0
+        cold_miss = min(1.0, segments / transactions)
+        if ws <= self.spec.l1_bytes:
+            capacity_miss = 0.0
+        else:
+            capacity_miss = 1.0 - self.spec.l1_bytes / ws
+        miss = min(1.0, cold_miss + capacity_miss * (1.0 - cold_miss))
+        return 1.0 - miss

@@ -1,0 +1,110 @@
+"""Device descriptions for the analytic performance model.
+
+The paper measures wall-clock speedups on an NVIDIA GTX 560 and an Intel
+Core i7 965; we model both machines with a small set of parameters —
+instruction latency table, issue width, memory-system width, cache sizes —
+and price execution *traces* against them (:mod:`repro.device.costmodel`).
+Speedups are ratios of modelled cycles for exact vs. approximate traces on
+the same device, so the absolute parallelism factors cancel where they
+should and survive where they matter (compute- vs memory-bound shifts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..analysis.latency import CPU_LATENCIES, GPU_LATENCIES, LatencyTable
+
+
+class DeviceKind(enum.Enum):
+    """The two machines of the paper's evaluation."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of one modelled machine.
+
+    Attributes:
+        kind: GPU or CPU.
+        name: human-readable model name.
+        latencies: per-instruction-class cycle costs.
+        compute_width: how many thread-instructions retire per cycle
+            device-wide (cores x IPC for CPUs, lanes for GPUs).
+        memory_width: how many DRAM transactions are serviced per cycle
+            across the memory system (cache/scratchpad *misses*).
+        cache_width: how many cache-hit / shared-memory / constant-cache
+            transactions are serviced per cycle — on a GPU each SM has its
+            own L1, so aggregate hit bandwidth far exceeds DRAM width.
+        l1_bytes: data-cache capacity used by the hit-rate model.
+        shared_bytes: scratchpad capacity (GPU shared memory); lookup
+            tables larger than this cannot use the ``shared`` space.
+        constant_bytes: constant-cache capacity; tables larger than this
+            thrash the broadcast cache (paper Fig 16's constant curve).
+        clock_ghz: only used to render cycles as human-friendly time.
+    """
+
+    kind: DeviceKind
+    name: str
+    latencies: LatencyTable
+    compute_width: float
+    memory_width: float
+    cache_width: float
+    l1_bytes: int
+    shared_bytes: int
+    constant_bytes: int
+    clock_ghz: float
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    def with_cache_split(self, l1_bytes: int, shared_bytes: int) -> "DeviceSpec":
+        """Fermi-class GPUs split one 64 KiB SRAM between L1 and shared
+        memory; the paper's Fig-16 study flips the split per table
+        placement ("we set the L1 cache size to 32KB and size of the
+        shared memory to 16KB", and the reverse for shared tables)."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, l1_bytes=l1_bytes, shared_bytes=shared_bytes
+        )
+
+
+#: NVIDIA GTX 560-class device: 336 CUDA cores, 48 KiB L1 (configurable
+#: against shared memory, paper §4.4.2 flips the 16/48 split), 64 KiB
+#: constant cache backing store with an 8 KiB working cache.
+GTX560 = DeviceSpec(
+    kind=DeviceKind.GPU,
+    name="NVIDIA GTX 560 (modelled)",
+    latencies=GPU_LATENCIES,
+    compute_width=336.0,
+    memory_width=24.0,
+    cache_width=64.0,
+    l1_bytes=32 * 1024,
+    shared_bytes=48 * 1024,
+    constant_bytes=8 * 1024,
+    clock_ghz=1.62,
+)
+
+#: Intel Core i7 965-class device: 4 cores x ~2 sustained IPC with SSE.
+CORE_I7 = DeviceSpec(
+    kind=DeviceKind.CPU,
+    name="Intel Core i7 965 (modelled)",
+    latencies=CPU_LATENCIES,
+    compute_width=16.0,
+    memory_width=4.0,
+    cache_width=8.0,
+    l1_bytes=256 * 1024,  # effective L1+L2 per-core capacity
+    shared_bytes=256 * 1024,  # "shared"/"constant" degrade to normal cache
+    constant_bytes=256 * 1024,
+    clock_ghz=3.2,
+)
+
+
+def spec_for(kind: DeviceKind) -> DeviceSpec:
+    """The default modelled device of each kind."""
+    return GTX560 if kind is DeviceKind.GPU else CORE_I7

@@ -1,0 +1,15 @@
+"""Execution engine: launch geometry, vectorized interpreter, traces."""
+
+from .interpreter import call_device_function, launch
+from .launch import Grid, Program, bind_arguments
+from .trace import MemStats, Trace
+
+__all__ = [
+    "launch",
+    "call_device_function",
+    "Grid",
+    "Program",
+    "bind_arguments",
+    "Trace",
+    "MemStats",
+]

@@ -1,0 +1,583 @@
+"""Vectorized interpreter for IR kernels.
+
+A launch executes *all* threads of the grid simultaneously: every scalar
+local becomes either a uniform NumPy scalar or a ``(threads,)`` array, and
+each IR statement is one (or a few) NumPy operations across the whole grid.
+This gives data-parallel kernels exact numerical semantics at NumPy speed,
+which is what the quality measurements in the experiments rely on.
+
+Divergence is handled by *predication*: a thread-dependent ``if`` executes
+both arms under complementary masks, merging assignments with ``np.where``
+and limiting stores/atomics to active lanes.  ``return`` inside divergent
+control flow deactivates lanes for the rest of the function.  This mirrors
+how a GPU actually executes divergent warps (both paths issue), and the
+trace deliberately counts an instruction once per *active lane*, the
+standard linear approximation of warp serialization.
+
+Loop bounds must be uniform — the same restriction CUDA kernels satisfy in
+every benchmark the paper evaluates — and the interpreter enforces it.
+
+The launch optionally records a :class:`~repro.engine.trace.Trace` of
+instruction classes and memory access streams for the device cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..kernel import intrinsics, ir
+from .launch import Grid, bind_arguments, resolve_kernel, resolve_module
+from .trace import Trace
+
+_INT_KINDS = ("i", "u")
+
+
+def launch(
+    kernel,
+    grid: Grid,
+    args,
+    module: Optional[ir.Module] = None,
+    trace: Optional[Trace] = None,
+    bounds_check: bool = True,
+    call_observer=None,
+) -> Trace:
+    """Execute ``kernel`` over ``grid`` with ``args`` (sequence or mapping).
+
+    Returns the trace of this launch (a fresh one unless ``trace`` is
+    given, in which case events are accumulated into it and it is
+    returned).  Array arguments are written in place.
+
+    ``call_observer(name, arg_arrays)`` is invoked for every device-function
+    call; the memoization profiler uses it to harvest the value streams that
+    feed bit tuning (paper §3.1.3, "applying training data to the function").
+    """
+    fn = resolve_kernel(kernel)
+    mod = resolve_module(kernel, module)
+    if fn.kind != "kernel":
+        raise ExecutionError(f"{fn.name} is a device function, not a kernel")
+    bound = bind_arguments(fn, args)
+    t = trace if trace is not None else Trace()
+    execution = _Execution(fn, mod, grid, bound, t, bounds_check)
+    execution.call_observer = call_observer
+    execution.run()
+    return t
+
+
+def call_device_function(fn, module: ir.Module, args) -> np.ndarray:
+    """Evaluate a device function element-wise over NumPy argument arrays.
+
+    ``args`` is one array (or scalar) per scalar parameter, broadcast to a
+    common length.  Used by bit tuning and lookup-table population, which
+    need the exact function evaluated over large batches of (quantized)
+    inputs without the enclosing kernel.
+    """
+    from ..kernel.frontend import KernelFn
+
+    if isinstance(fn, KernelFn):
+        module = fn.module
+        fn = fn.fn
+    if fn.kind != "device":
+        raise ExecutionError(f"{fn.name} is not a device function")
+    arrays = [np.atleast_1d(np.asarray(a)) for a in args]
+    n = max(a.size for a in arrays)
+    execution = _Execution(fn, module, Grid(1, 1), {}, Trace(), True)
+    execution.T = n
+    execution.global_ids = np.arange(n, dtype=np.int32)
+    execution.thread_ids = execution.global_ids
+    execution.block_ids = np.zeros(n, dtype=np.int32)
+    execution.root = _Frame({}, None, n)
+    values = []
+    for param, arr in zip(fn.params, arrays):
+        cast = arr.astype(param.type.dtype.to_numpy(), copy=False)
+        values.append(np.broadcast_to(cast, (n,)) if cast.size != n else cast)
+    result = execution._call_device(fn, values, execution.root)
+    return np.broadcast_to(result, (n,)) if np.ndim(result) == 0 else result
+
+
+class _Frame:
+    """Execution state of one function activation."""
+
+    __slots__ = ("env", "mask", "active", "ret_val", "ret_mask", "returned_all")
+
+    def __init__(self, env: Dict[str, object], mask, active: int) -> None:
+        self.env = env
+        self.mask = mask  # None (all live) or bool (T,) array
+        self.active = active  # number of live lanes (for op counting)
+        self.ret_val = None
+        self.ret_mask = None  # lanes that have executed `return`
+        self.returned_all = False
+
+
+class _Execution:
+    def __init__(self, fn, module, grid, bound_args, trace, bounds_check):
+        self.fn = fn
+        self.module = module
+        self.grid = grid
+        self.trace = trace
+        self.bounds_check = bounds_check
+        self.T = grid.threads
+        linear = np.arange(self.T, dtype=np.int32)
+        block_threads = np.int32(grid.block_threads)
+        self.global_ids = linear
+        self.thread_ids = linear % block_threads  # in-block linear id
+        self.block_ids = linear // block_threads  # linear block id
+        # 2-D decomposition (x fastest within a block, block x fastest in
+        # the grid) — for 1-D launches the x ids equal the linear ids.
+        tx = np.int32(grid.threads_per_block)
+        self.thread_ids_x = self.thread_ids % tx
+        self.thread_ids_y = self.thread_ids // tx
+        self.block_ids_x = self.block_ids % np.int32(grid.blocks)
+        self.block_ids_y = self.block_ids // np.int32(grid.blocks)
+        self.global_ids_x = self.block_ids_x * tx + self.thread_ids_x
+        self.global_ids_y = (
+            self.block_ids_y * np.int32(grid.threads_per_block_y) + self.thread_ids_y
+        )
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.shared: Dict[str, np.ndarray] = {}
+        env: Dict[str, object] = {}
+        for name, value in bound_args.items():
+            if isinstance(value, np.ndarray):
+                self.arrays[name] = value
+            else:
+                env[name] = value
+        self.root = _Frame(env, None, self.T)
+        self.call_observer = None
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> None:
+        self.trace.count_launch(self.T)
+        self._exec_body(self.fn.body, self.root)
+
+    # ----------------------------------------------------------- statements
+
+    def _exec_body(self, body, frame: _Frame) -> None:
+        for stmt in body:
+            if frame.returned_all:
+                return
+            self._exec_stmt(stmt, frame)
+
+    def _exec_stmt(self, stmt, frame: _Frame) -> None:
+        if isinstance(stmt, ir.Assign):
+            value = self._eval(stmt.value, frame)
+            self._assign(stmt.target, value, frame)
+        elif isinstance(stmt, ir.Store):
+            self._store(stmt, frame)
+        elif isinstance(stmt, ir.AtomicRMW):
+            self._atomic(stmt, frame)
+        elif isinstance(stmt, ir.If):
+            self._exec_if(stmt, frame)
+        elif isinstance(stmt, ir.For):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, ir.Return):
+            self._exec_return(stmt, frame)
+        elif isinstance(stmt, ir.Barrier):
+            self.trace.count_op("barrier", "i32", 1)
+        elif isinstance(stmt, ir.SharedAlloc):
+            shape = (self.grid.blocks,) + tuple(stmt.shape)
+            self.shared[stmt.name] = np.zeros(shape, dtype=stmt.dtype.to_numpy())
+        else:
+            raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    def _assign(self, name: str, value, frame: _Frame) -> None:
+        live = self._live_mask(frame)
+        if live is None or name not in frame.env:
+            frame.env[name] = value
+        else:
+            old = frame.env[name]
+            frame.env[name] = np.where(live, value, old)
+
+    def _store(self, stmt: ir.Store, frame: _Frame) -> None:
+        idx = self._eval(stmt.index, frame)
+        value = self._eval(stmt.value, frame)
+        buf, space = self._resolve_array(stmt.array, frame)
+        flat_idx, addresses = self._flatten_index(stmt.array, idx, frame)
+        live = self._live_mask(frame)
+        value = np.asarray(value, dtype=buf.dtype)
+        if live is None:
+            buf.reshape(-1)[flat_idx] = value
+            count = self.T if np.ndim(flat_idx) else self.T
+        else:
+            fi = np.broadcast_to(np.asarray(flat_idx), (self.T,))[live]
+            val = np.broadcast_to(value, (self.T,))[live]
+            buf.reshape(-1)[fi] = val
+            count = frame.active
+        self.trace.record_access(
+            space, "store", buf.dtype.itemsize, count, addresses, stmt.array.name
+        )
+
+    def _atomic(self, stmt: ir.AtomicRMW, frame: _Frame) -> None:
+        idx = self._eval(stmt.index, frame)
+        value = self._eval(stmt.value, frame)
+        buf, space = self._resolve_array(stmt.array, frame)
+        flat_idx, addresses = self._flatten_index(stmt.array, idx, frame)
+        live = self._live_mask(frame)
+        flat = buf.reshape(-1)
+        fi = np.broadcast_to(np.asarray(flat_idx), (self.T,))
+        val = np.broadcast_to(np.asarray(value, dtype=buf.dtype), (self.T,))
+        if live is not None:
+            fi, val = fi[live], val[live]
+        op = stmt.op
+        if op == "add":
+            np.add.at(flat, fi, val)
+        elif op == "inc":
+            np.add.at(flat, fi, np.ones_like(val))
+        elif op == "min":
+            np.minimum.at(flat, fi, val)
+        elif op == "max":
+            np.maximum.at(flat, fi, val)
+        elif op == "and":
+            np.bitwise_and.at(flat, fi, val)
+        elif op == "or":
+            np.bitwise_or.at(flat, fi, val)
+        elif op == "xor":
+            np.bitwise_xor.at(flat, fi, val)
+        else:  # pragma: no cover - guarded by IR validation
+            raise ExecutionError(f"unknown atomic {op}")
+        count = frame.active if live is not None else self.T
+        self.trace.count_op("atomic", stmt.array.dtype.name, count)
+        self.trace.record_access(
+            space, "atomic", buf.dtype.itemsize, count, addresses, stmt.array.name
+        )
+
+    def _exec_if(self, stmt: ir.If, frame: _Frame) -> None:
+        cond = self._eval(stmt.cond, frame)
+        self.trace.count_op("branch", "bool", frame.active)
+        if np.ndim(cond) == 0:
+            body = stmt.then_body if bool(cond) else stmt.else_body
+            self._exec_body(body, frame)
+            return
+        cond = np.asarray(cond, dtype=bool)
+        base = frame.mask
+        then_mask = cond if base is None else (cond & base)
+        else_mask = ~cond if base is None else (~cond & base)
+        saved_mask, saved_active = frame.mask, frame.active
+        for mask, body in ((then_mask, stmt.then_body), (else_mask, stmt.else_body)):
+            if not body:
+                continue
+            active = int(mask.sum())
+            if active == 0:
+                continue
+            frame.mask, frame.active = mask, active
+            frame.returned_all = False  # branch-local; recomputed below
+            self._exec_body(body, frame)
+            frame.mask, frame.active = saved_mask, saved_active
+        frame.mask = saved_mask
+        live_after = self._live_count(frame)
+        # Lanes that returned inside a branch stay inactive from here on.
+        frame.active = live_after if frame.ret_mask is not None else saved_active
+        frame.returned_all = frame.ret_mask is not None and live_after == 0
+
+    def _exec_for(self, stmt: ir.For, frame: _Frame) -> None:
+        start = self._uniform_int(self._eval(stmt.start, frame), "loop start")
+        stop = self._uniform_int(self._eval(stmt.stop, frame), "loop stop")
+        step = self._uniform_int(self._eval(stmt.step, frame), "loop step")
+        if step == 0:
+            raise ExecutionError(f"{self.fn.name}: zero loop step")
+        for k in range(start, stop, step):
+            frame.env[stmt.var] = np.int32(k)
+            self.trace.count_op("branch", "i32", frame.active)
+            self._exec_body(stmt.body, frame)
+            if frame.returned_all:
+                return
+
+    def _exec_return(self, stmt: ir.Return, frame: _Frame) -> None:
+        value = self._eval(stmt.value, frame) if stmt.value is not None else None
+        live = self._live_mask(frame)
+        if live is None:
+            frame.ret_val = value
+            frame.returned_all = True
+            if frame.ret_mask is None:
+                frame.ret_mask = np.ones(self.T, dtype=bool)
+            else:
+                frame.ret_mask[:] = True
+            return
+        if value is not None:
+            if frame.ret_val is None:
+                frame.ret_val = np.where(live, value, np.zeros_like(value))
+            else:
+                frame.ret_val = np.where(live, value, frame.ret_val)
+        if frame.ret_mask is None:
+            frame.ret_mask = live.copy()
+        else:
+            frame.ret_mask |= live
+        frame.returned_all = self._live_count(frame) == 0
+
+    # --------------------------------------------------------------- values
+
+    def _live_mask(self, frame: _Frame):
+        """Lanes executing right now: frame mask minus already-returned."""
+        if frame.ret_mask is None:
+            return frame.mask
+        if frame.mask is None:
+            return ~frame.ret_mask
+        return frame.mask & ~frame.ret_mask
+
+    def _live_count(self, frame: _Frame) -> int:
+        live = self._live_mask(frame)
+        return self.T if live is None else int(live.sum())
+
+    def _uniform_int(self, value, what: str) -> int:
+        if np.ndim(value) != 0:
+            flat = np.asarray(value).ravel()
+            if flat.size and (flat != flat[0]).any():
+                raise ExecutionError(
+                    f"{self.fn.name}: {what} must be uniform across threads"
+                )
+            return int(flat[0])
+        return int(value)
+
+    def _resolve_array(self, ref: ir.ArrayRef, frame: _Frame):
+        if ref.name in self.shared:
+            return self.shared[ref.name], "shared"
+        if ref.name in self.arrays:
+            return self.arrays[ref.name], ref.type.space
+        raise ExecutionError(f"{self.fn.name}: unbound array {ref.name!r}")
+
+    def _flatten_index(self, ref: ir.ArrayRef, idx, frame: _Frame):
+        """Return (flat index into the buffer, addresses for the trace).
+
+        Shared arrays are per-block: logical index i of a thread in block b
+        maps to flat index b*size + i.  Global arrays are flat already.
+        Out-of-range indices raise when all lanes are live and are clamped
+        (then masked out) when under predication.
+        """
+        if ref.name in self.shared:
+            buf = self.shared[ref.name]
+            size = buf.shape[1] if buf.ndim > 1 else buf.size
+            idx_arr = np.asarray(idx)
+            if self.bounds_check:
+                self._check_bounds(ref, idx_arr, size, frame)
+            idx_arr = np.clip(idx_arr, 0, size - 1)
+            flat = self.block_ids * np.int64(size) + idx_arr
+            # In-block addresses: used only for footprint tracking.
+            return flat, idx_arr
+        buf = self.arrays[ref.name]
+        idx_arr = np.asarray(idx)
+        if self.bounds_check:
+            self._check_bounds(ref, idx_arr, buf.size, frame)
+        idx_arr = np.clip(idx_arr, 0, max(buf.size - 1, 0))
+        return idx_arr, idx_arr
+
+    def _check_bounds(self, ref, idx_arr, size, frame) -> None:
+        live = self._live_mask(frame)
+        checked = idx_arr
+        if live is not None and np.ndim(idx_arr) != 0:
+            checked = idx_arr[live]
+        if checked.size == 0:
+            return
+        lo, hi = checked.min(), checked.max()
+        if lo < 0 or hi >= size:
+            raise ExecutionError(
+                f"{self.fn.name}: index into {ref.name!r} out of range "
+                f"[{int(lo)}, {int(hi)}] vs size {size}"
+            )
+
+    # ---------------------------------------------------------- expressions
+
+    def _eval(self, expr: ir.Expr, frame: _Frame):
+        if isinstance(expr, ir.Const):
+            return expr.dtype.to_numpy().type(expr.value)
+        if isinstance(expr, ir.Var):
+            try:
+                return frame.env[expr.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"{self.fn.name}: read of unassigned variable {expr.name!r}"
+                )
+        if isinstance(expr, ir.ArrayRef):
+            return expr  # only consumed by Load/Store/Atomic
+        if isinstance(expr, ir.BinOp):
+            return self._eval_binop(expr, frame)
+        if isinstance(expr, ir.UnOp):
+            operand = self._eval(expr.operand, frame)
+            self.trace.count_op("alu", expr.dtype.name, frame.active)
+            if expr.op == "neg":
+                return -operand
+            if expr.op == "lnot":
+                return ~np.asarray(operand, dtype=bool) if np.ndim(operand) else not operand
+            return ~operand  # bnot
+        if isinstance(expr, ir.Cast):
+            value = self._eval(expr.operand, frame)
+            self.trace.count_op("alu", expr.dtype.name, frame.active)
+            target = expr.dtype.to_numpy()
+            # NaN/Inf -> int casts are well-defined garbage in C; silence
+            # the NumPy warning (downstream clamps handle the value).
+            with np.errstate(invalid="ignore"):
+                if np.ndim(value) == 0:
+                    return target.type(value)
+                return np.asarray(value).astype(target)
+        if isinstance(expr, ir.Select):
+            cond = self._eval(expr.cond, frame)
+            a = self._eval(expr.if_true, frame)
+            b = self._eval(expr.if_false, frame)
+            self.trace.count_op("alu", expr.dtype.name, frame.active)
+            out_dtype = expr.dtype.to_numpy()
+            if np.ndim(cond) == 0:
+                chosen = a if bool(cond) else b
+                return np.asarray(chosen, dtype=out_dtype) if np.ndim(chosen) else out_dtype.type(chosen)
+            return np.where(cond, a, b).astype(out_dtype, copy=False)
+        if isinstance(expr, ir.Load):
+            return self._eval_load(expr, frame)
+        if isinstance(expr, ir.Call):
+            return self._eval_call(expr, frame)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_load(self, expr: ir.Load, frame: _Frame):
+        idx = self._eval(expr.index, frame)
+        buf, space = self._resolve_array(expr.array, frame)
+        flat_idx, addresses = self._flatten_index(expr.array, idx, frame)
+        value = buf.reshape(-1)[flat_idx]
+        self.trace.record_access(
+            space, "load", buf.dtype.itemsize, frame.active, addresses,
+            expr.array.name,
+        )
+        return value
+
+    def _eval_binop(self, expr: ir.BinOp, frame: _Frame):
+        a = self._eval(expr.left, frame)
+        b = self._eval(expr.right, frame)
+        op = expr.op
+        dtype = expr.dtype
+        self.trace.count_op(_binop_class(op, dtype), dtype.name, frame.active)
+        np_dtype = dtype.to_numpy()
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if op == "add":
+                out = np.add(a, b)
+            elif op == "sub":
+                out = np.subtract(a, b)
+            elif op == "mul":
+                out = np.multiply(a, b)
+            elif op == "div":
+                out = _c_divide(a, b, dtype)
+            elif op == "mod":
+                out = _c_mod(a, b, dtype)
+            elif op == "and":
+                out = np.bitwise_and(a, b)
+            elif op == "or":
+                out = np.bitwise_or(a, b)
+            elif op == "xor":
+                out = np.bitwise_xor(a, b)
+            elif op == "shl":
+                out = np.left_shift(a, b)
+            elif op == "shr":
+                out = np.right_shift(a, b)
+            elif op == "lt":
+                out = np.less(a, b)
+            elif op == "le":
+                out = np.less_equal(a, b)
+            elif op == "gt":
+                out = np.greater(a, b)
+            elif op == "ge":
+                out = np.greater_equal(a, b)
+            elif op == "eq":
+                out = np.equal(a, b)
+            elif op == "ne":
+                out = np.not_equal(a, b)
+            elif op == "land":
+                out = np.logical_and(a, b)
+            elif op == "lor":
+                out = np.logical_or(a, b)
+            else:  # pragma: no cover - guarded by IR construction
+                raise ExecutionError(f"unknown binop {op}")
+        if np.ndim(out) == 0:
+            return np_dtype.type(out)
+        return np.asarray(out).astype(np_dtype, copy=False)
+
+    def _eval_call(self, expr: ir.Call, frame: _Frame):
+        name = expr.func
+        if name == "global_id":
+            return self.global_ids
+        if name == "thread_id":
+            return self.thread_ids
+        if name == "block_id":
+            return self.block_ids
+        if name == "block_dim":
+            return np.int32(self.grid.threads_per_block)
+        if name == "grid_dim":
+            return np.int32(self.grid.blocks)
+        if name == "global_id_x":
+            return self.global_ids_x
+        if name == "global_id_y":
+            return self.global_ids_y
+        if name == "thread_id_x":
+            return self.thread_ids_x
+        if name == "thread_id_y":
+            return self.thread_ids_y
+        if name == "block_id_x":
+            return self.block_ids_x
+        if name == "block_id_y":
+            return self.block_ids_y
+        if name == "block_dim_x":
+            return np.int32(self.grid.threads_per_block)
+        if name == "block_dim_y":
+            return np.int32(self.grid.threads_per_block_y)
+        if name == "grid_dim_x":
+            return np.int32(self.grid.blocks)
+        if name == "grid_dim_y":
+            return np.int32(self.grid.blocks_y)
+        args = [self._eval(a, frame) for a in expr.args]
+        builtin = intrinsics.get(name)
+        if builtin is not None:
+            self.trace.count_op(builtin.latency_class, expr.dtype.name, frame.active)
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                out = builtin.evaluate(*args)
+            np_dtype = expr.dtype.to_numpy()
+            if np.ndim(out) == 0:
+                return np_dtype.type(out)
+            return np.asarray(out).astype(np_dtype, copy=False)
+        if name in self.module and self.module[name].kind == "device":
+            if self.call_observer is not None:
+                self.call_observer(name, args)
+            return self._call_device(self.module[name], args, frame)
+        raise ExecutionError(f"{self.fn.name}: call to unknown function {name!r}")
+
+    def _call_device(self, fn: ir.Function, args, frame: _Frame):
+        self.trace.count_op("call", "i32", frame.active)
+        env = {}
+        for param, value in zip(fn.params, args):
+            env[param.name] = value
+        callee = _Frame(env, frame.mask, frame.active)
+        callee.ret_mask = None if frame.ret_mask is None else frame.ret_mask.copy()
+        saved_fn = self.fn
+        self.fn = fn
+        try:
+            self._exec_body(fn.body, callee)
+        finally:
+            self.fn = saved_fn
+        if callee.ret_val is None:
+            raise ExecutionError(f"device function {fn.name} did not return")
+        return callee.ret_val
+
+
+def _binop_class(op: str, dtype) -> str:
+    if op == "div":
+        return "fdiv" if dtype.is_float else "idiv"
+    if op == "mod":
+        return "fdiv" if dtype.is_float else "idiv"
+    if op == "mul":
+        return "fmul" if dtype.is_float else "imul"
+    return "alu"
+
+
+def _c_divide(a, b, dtype):
+    """C-semantics division: truncation toward zero for integers."""
+    if dtype.is_float:
+        return np.divide(a, b)
+    a64 = np.asarray(a, dtype=np.int64)
+    b64 = np.asarray(b, dtype=np.int64)
+    q = np.floor_divide(a64, b64)
+    r = a64 - q * b64
+    fix = (r != 0) & ((a64 < 0) != (b64 < 0))
+    return q + fix
+
+
+def _c_mod(a, b, dtype):
+    """C-semantics remainder: sign follows the dividend for integers."""
+    if dtype.is_float:
+        return np.fmod(a, b)
+    q = _c_divide(a, b, dtype)
+    return np.asarray(a, dtype=np.int64) - q * np.asarray(b, dtype=np.int64)

@@ -1,0 +1,226 @@
+"""Dynamic execution traces.
+
+The interpreter records what a kernel launch *did* — how many times each
+class of instruction issued, and the shape of every memory access stream —
+and the device cost model (:mod:`repro.device.costmodel`) turns that record
+into cycles for a GPU-like or CPU-like machine.  This replaces the paper's
+wall-clock measurements on a GTX 560 / Core i7: speedups are ratios of
+modelled cycles between the exact and approximate traces of the *same*
+workload.
+
+Coalescing statistics are gathered the way the hardware does it: the
+addresses issued by each 32-thread warp are mapped to 128-byte segments and
+the number of distinct segments is the number of memory transactions that
+warp costs (this is what makes large lookup tables slow in paper Fig 17).
+To bound overhead the trace samples at most ``COALESCE_SAMPLE`` threads per
+access site; the per-warp transaction average is unbiased under the
+grid-stride layouts our kernels use.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+WARP_SIZE = 32
+SEGMENT_BYTES = 128
+COALESCE_SAMPLE = 4096
+
+
+def _max_run_length(sorted_rows: np.ndarray) -> int:
+    """Longest run of equal values in each (sorted) row, summed over rows.
+
+    For a warp's atomic addresses this is the serialization chain length:
+    ``k`` lanes updating one address retire in ``k`` serial steps.
+    """
+    rows = np.asarray(sorted_rows)
+    if rows.shape[1] < 2:
+        return rows.shape[0]
+    eq = rows[:, 1:] == rows[:, :-1]
+    run = np.zeros(rows.shape[0], dtype=np.int64)
+    best = np.ones(rows.shape[0], dtype=np.int64)
+    for j in range(eq.shape[1]):  # at most WARP_SIZE - 1 vector steps
+        run = (run + 1) * eq[:, j]
+        best = np.maximum(best, run + 1)
+    return int(best.sum())
+
+
+#: Cap on the per-stream distinct-segment set used for the working-set
+#: estimate; beyond this the estimate saturates (the cache model only needs
+#: "bigger than any cache").
+MAX_TRACKED_SEGMENTS = 1 << 16
+
+
+@dataclass
+class MemStats:
+    """Aggregate statistics for one (space, op-kind) memory stream."""
+
+    accesses: int = 0  # thread-level load/store executions
+    bytes: int = 0
+    warps: int = 0  # sampled warps inspected for coalescing
+    transactions: int = 0  # 128B segment transactions those warps issued
+    #: sum over sampled warps of the largest same-address multiplicity —
+    #: the serialization chain length of atomic RMWs (1 = conflict-free)
+    atomic_chain: int = 0
+    #: distinct 128-byte segments touched (capped working-set estimate)
+    segments: set = field(default_factory=set)
+    segments_saturated: bool = False
+
+    @property
+    def transactions_per_warp(self) -> float:
+        """Mean 128-byte transactions per fully-populated warp (1 = perfectly
+        coalesced, 32 = fully serialized)."""
+        if self.warps == 0:
+            return 1.0
+        return self.transactions / self.warps
+
+    @property
+    def atomic_chain_per_warp(self) -> float:
+        """Mean serialization chain length of atomics per sampled warp."""
+        if self.warps == 0:
+            return 1.0
+        return max(1.0, self.atomic_chain / self.warps)
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Estimated footprint of this stream (saturating)."""
+        if self.segments_saturated:
+            return MAX_TRACKED_SEGMENTS * SEGMENT_BYTES * 4
+        return len(self.segments) * SEGMENT_BYTES
+
+    def note_segments(self, segs: np.ndarray) -> None:
+        if self.segments_saturated:
+            return
+        self.segments.update(np.unique(segs).tolist())
+        if len(self.segments) > MAX_TRACKED_SEGMENTS:
+            self.segments_saturated = True
+            self.segments = set()
+
+    def merge(self, other: "MemStats") -> None:
+        self.accesses += other.accesses
+        self.bytes += other.bytes
+        self.warps += other.warps
+        self.transactions += other.transactions
+        self.atomic_chain += other.atomic_chain
+        if other.segments_saturated:
+            self.segments_saturated = True
+            self.segments = set()
+        elif not self.segments_saturated:
+            self.segments.update(other.segments)
+            if len(self.segments) > MAX_TRACKED_SEGMENTS:
+                self.segments_saturated = True
+                self.segments = set()
+
+
+@dataclass
+class Trace:
+    """Everything the cost model needs to price a (sequence of) launches."""
+
+    #: (latency_class, dtype_name) -> number of thread-level executions.
+    op_counts: Counter = field(default_factory=Counter)
+    #: (space, kind, array) -> MemStats, kind in "load" | "store" | "atomic".
+    #: Keeping streams separate per array lets the cache model see each
+    #: buffer's own working set (a 4 KiB lookup table must not inherit the
+    #: footprint of the input it is read alongside).
+    mem: Dict[Tuple[str, str, str], MemStats] = field(default_factory=dict)
+    launches: int = 0
+    threads_launched: int = 0
+
+    # -- recording (called by the interpreter) ------------------------------
+
+    def count_op(self, latency_class: str, dtype_name: str, times: int) -> None:
+        if times:
+            self.op_counts[(latency_class, dtype_name)] += int(times)
+
+    def record_access(
+        self,
+        space: str,
+        kind: str,
+        element_size: int,
+        count: int,
+        addresses: Optional[np.ndarray],
+        array: str = "",
+    ) -> None:
+        """Record ``count`` thread-level accesses; ``addresses`` (element
+        indices, possibly a sample) drives the coalescing statistics for
+        global-memory streams."""
+        stats = self.mem.setdefault((space, kind, array), MemStats())
+        stats.accesses += int(count)
+        stats.bytes += int(count) * element_size
+        if addresses is None:
+            return
+        sample = np.asarray(addresses).ravel()
+        if sample.size > COALESCE_SAMPLE:
+            sample = sample[:COALESCE_SAMPLE]
+        all_segs = sample * element_size // SEGMENT_BYTES
+        stats.note_segments(all_segs)
+        full_warps = sample.size // WARP_SIZE
+        if full_warps == 0:
+            # Fewer than one warp of threads: a single partial warp.
+            stats.warps += 1
+            stats.transactions += int(np.unique(all_segs).size)
+            if kind == "atomic":
+                addr_sorted = np.sort(sample)
+                stats.atomic_chain += int(_max_run_length(addr_sorted[None, :]))
+            return
+        warp_view = sample[: full_warps * WARP_SIZE].reshape(full_warps, WARP_SIZE)
+        stats.warps += full_warps
+        if space == "shared":
+            # Shared memory serializes on *bank* conflicts: a warp costs as
+            # many cycles as the deepest same-bank pile-up (32 banks, word
+            # interleaved).
+            banks = np.sort(warp_view % WARP_SIZE, axis=1)
+            stats.transactions += _max_run_length(banks)
+        elif space == "constant":
+            # The constant cache broadcasts one *word* per cycle: a warp
+            # costs one step per distinct address it requests.
+            words_sorted = np.sort(warp_view, axis=1)
+            distinct = 1 + (words_sorted[:, 1:] != words_sorted[:, :-1]).sum(axis=1)
+            stats.transactions += int(distinct.sum())
+        else:
+            segs_sorted = np.sort(
+                warp_view * element_size // SEGMENT_BYTES, axis=1
+            )
+            distinct = 1 + (segs_sorted[:, 1:] != segs_sorted[:, :-1]).sum(axis=1)
+            stats.transactions += int(distinct.sum())
+        if kind == "atomic":
+            stats.atomic_chain += _max_run_length(np.sort(warp_view, axis=1))
+
+    def count_launch(self, threads: int) -> None:
+        self.launches += 1
+        self.threads_launched += int(threads)
+
+    # -- queries -------------------------------------------------------------
+
+    def total_ops(self) -> int:
+        return sum(self.op_counts.values())
+
+    def ops_in_class(self, latency_class: str) -> int:
+        return sum(
+            n for (cls, _dt), n in self.op_counts.items() if cls == latency_class
+        )
+
+    def accesses(self, space: str, kind: str = None, array: str = None) -> int:
+        return sum(
+            s.accesses
+            for (sp, k, arr), s in self.mem.items()
+            if sp == space
+            and (kind is None or k == kind)
+            and (array is None or arr == array)
+        )
+
+    def merge(self, other: "Trace") -> None:
+        """Fold another trace into this one (multi-kernel programs)."""
+        self.op_counts.update(other.op_counts)
+        for key, stats in other.mem.items():
+            self.mem.setdefault(key, MemStats()).merge(stats)
+        self.launches += other.launches
+        self.threads_launched += other.threads_launched
+
+    def copy(self) -> "Trace":
+        fresh = Trace()
+        fresh.merge(self)
+        return fresh

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FrontendError(ReproError):
+    """The Python-embedded kernel DSL could not be lowered to IR."""
+
+
+class ValidationError(ReproError):
+    """An IR module violates a structural or typing rule."""
+
+
+class ExecutionError(ReproError):
+    """A kernel launch failed while being interpreted."""
+
+
+class PatternError(ReproError):
+    """Pattern detection was asked something it cannot answer."""
+
+
+class TransformError(ReproError):
+    """An approximation transform could not be applied to a kernel."""
+
+
+class TuningError(ReproError):
+    """The runtime tuner could not satisfy its constraints."""
+
+
+class DeviceError(ReproError):
+    """The device cost model was configured or queried incorrectly."""

@@ -1,0 +1,46 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult``; ``run_all`` executes
+the full evaluation and renders the tables.
+"""
+
+from . import (
+    ablations,
+    scale_study,
+    fig04,
+    fig05,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+)
+from .base import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "ablations": ablations,
+    "scale_study": scale_study,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+}
+
+
+def run_all(seed: int = 0):
+    """Run every experiment; returns {name: ExperimentResult}."""
+    return {name: module.run(seed=seed) for name, module in ALL_EXPERIMENTS.items()}
+
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS", "run_all"]

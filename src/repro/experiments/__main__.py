@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.experiments [names...]`` regenerates the paper's
+tables and figures as text tables (all of them when no name is given)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate Paraprox evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<name>.txt and <DIR>/<name>.json per experiment",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+    save_dir = None
+    if args.save:
+        from pathlib import Path
+
+        save_dir = Path(args.save)
+        save_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        result = ALL_EXPERIMENTS[name].run(seed=args.seed)
+        print(result.to_text())
+        print(f"[{name} finished in {time.time() - start:.1f}s]")
+        print()
+        if save_dir is not None:
+            (save_dir / f"{name}.txt").write_text(result.to_text() + "\n")
+            (save_dir / f"{name}.json").write_text(result.to_json() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

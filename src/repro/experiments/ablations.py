@@ -1,0 +1,306 @@
+"""Ablations of Paraprox's design choices.
+
+Beyond the paper's own figures, these studies isolate the contribution of
+individual mechanisms the paper bundles together:
+
+* **bit tuning vs naive equal split** — what hill climbing buys at a fixed
+  table size (§3.1.3's motivation: "naively dividing the quantization bits
+  equally amongst all inputs does not necessarily yield ideal results"),
+* **reduction adjustment on/off** — the x-N fold-back's effect on bias
+  (§3.3.3),
+* **load CSE on/off** — tile replication only pays once duplicate loads
+  collapse,
+* **stencil assumption violated** — on white-noise inputs the locality
+  premise of Fig 5 fails and the TOQ runtime must fall back to exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps.blackscholes import BlackScholesApp
+from ..apps.gaussian import MeanFilterApp
+from ..apps.images import synthetic_image
+from ..approx.bit_tuning import BitConfig, equal_split
+from ..approx.compiler import Paraprox
+from ..device import DeviceKind
+from .base import ExperimentResult
+
+__all__ = ["bit_tuning_ablation", "adjustment_ablation", "cse_ablation",
+           "noise_ablation", "phase_choice_ablation", "run"]
+
+from ..kernel import kernel  # noqa: E402
+from ..kernel.dsl import *  # noqa: E402,F401,F403
+
+
+@kernel
+def chunked_sum_kernel(out: array_f32, x: array_f32, n: i32, chunk: i32):
+    """Phase-I style reduction used by the adjustment ablation."""
+    i = global_id()
+    acc = 0.0
+    for k in range(0, 4096):
+        idx = i * chunk + k
+        if (k < chunk) and (idx < n):
+            acc += x[idx]
+    if i * chunk < n:
+        out[i] = acc
+
+
+def bit_tuning_ablation(seed: int = 0, table_bits=(9, 12, 15)) -> ExperimentResult:
+    """Tuned split vs equal split at fixed table sizes (BlackScholesBody)."""
+    from ..approx.memoization import MemoizationTransform, profile_device_calls
+    from ..patterns import PatternDetector
+
+    app = BlackScholesApp(scale=0.01, seed=seed)
+    match = PatternDetector().detect(app.kernel).for_kernel(app.kernel.fn.name)[0]
+    inputs = app.generate_inputs(seed)
+    kernel, grid, args = app.training_launch(inputs)
+    profiles = profile_device_calls(kernel, grid, args, match.candidates)
+    # Build a tuner directly so arbitrary nodes can be queried.
+    from ..approx.bit_tuning import BitTuner
+    from ..engine import call_device_function
+
+    profile = profiles["bs_body"]
+    variable = profile.variable_indices
+    ranges = profile.ranges
+
+    def evaluate(*snapped):
+        full, v = [], 0
+        for i, rng in enumerate(ranges):
+            if i in variable:
+                full.append(snapped[v])
+                v += 1
+            else:
+                full.append(np.full_like(snapped[0], 0.5 * (rng.lo + rng.hi)))
+        return call_device_function(
+            app.kernel.module["bs_body"], app.kernel.module, full
+        )
+
+    exact = call_device_function(
+        app.kernel.module["bs_body"], app.kernel.module, profile.samples
+    )
+    tuner = BitTuner(
+        evaluate,
+        [profile.samples[i] for i in variable],
+        exact,
+        app.metric.quality,
+        ranges=[ranges[i] for i in variable],
+    )
+
+    result = ExperimentResult(
+        experiment="ablation_bit_tuning",
+        title="Hill-climbed vs equal bit split (BlackScholesBody)",
+        columns=["table_bits", "equal_split", "equal_quality", "tuned_split", "tuned_quality"],
+    )
+    for bits in table_bits:
+        naive = equal_split(bits, len(variable))
+        naive_q = tuner.node_quality(naive)
+        tuned = tuner.tune(bits)
+        result.rows.append(
+            {
+                "table_bits": bits,
+                "equal_split": str(naive),
+                "equal_quality": naive_q,
+                "tuned_split": str(tuned.bits),
+                "tuned_quality": tuned.quality,
+            }
+        )
+    return result
+
+
+def cse_ablation(seed: int = 0) -> ExperimentResult:
+    """Stencil rewrite with and without duplicate-load elimination."""
+    from ..analysis.latency import GPU_LATENCIES  # noqa: F401  (doc pointer)
+    from ..approx.stencil import StencilTransform, build_plan
+    from ..approx.cse import eliminate_duplicate_loads  # noqa: F401
+    from ..device import CostModel, spec_for
+    from ..engine import Grid, launch
+    from ..patterns import detect_stencil
+
+    app = MeanFilterApp(scale=0.05, seed=seed)
+    inputs = app.generate_inputs(seed)
+    exact_out, exact_trace = app.run_exact(inputs)
+    cost = CostModel(spec_for(DeviceKind.GPU))
+    exact_cycles = cost.cycles(exact_trace)
+
+    match = detect_stencil(app.kernel.fn)
+    transform = StencilTransform(schemes=("center",), reaching_distances=(1,))
+
+    # Full pipeline (with CSE).
+    with_cse = transform.generate(app.kernel.module, app.kernel.fn.name, match)[0]
+    _out, trace_with = app.run_variant(with_cse, inputs)
+
+    # Without CSE: redo the rewrite but skip the elimination pass.
+    import repro.approx.stencil as stencil_mod
+
+    original = stencil_mod.eliminate_duplicate_loads
+    stencil_mod.eliminate_duplicate_loads = lambda fn: fn
+    try:
+        without_cse = transform.generate(
+            app.kernel.module, app.kernel.fn.name, match
+        )[0]
+    finally:
+        stencil_mod.eliminate_duplicate_loads = original
+    _out, trace_without = app.run_variant(without_cse, inputs)
+
+    result = ExperimentResult(
+        experiment="ablation_cse",
+        title="Tile replication with vs without load CSE (Mean Filter, GPU)",
+        columns=["configuration", "img_loads", "speedup"],
+    )
+    for label, trace in (
+        ("exact", exact_trace),
+        ("replicated, no CSE", trace_without),
+        ("replicated + CSE", trace_with),
+    ):
+        result.rows.append(
+            {
+                "configuration": label,
+                "img_loads": trace.accesses("global", "load", "img"),
+                "speedup": exact_cycles / cost.cycles(trace),
+            }
+        )
+    return result
+
+
+def noise_ablation(seed: int = 0, toq: float = 0.90) -> ExperimentResult:
+    """The Fig-5 premise matters: on white noise the stencil variants miss
+    the TOQ and the tuner falls back to exact."""
+
+    class NoiseMeanFilter(MeanFilterApp):
+        def generate_inputs(self, seed=None):
+            s = self.seed if seed is None else seed
+            return {"img": synthetic_image(self.side, self.side, seed=s, smoothness=0.0)}
+
+    paraprox = Paraprox(target_quality=toq)
+    result = ExperimentResult(
+        experiment="ablation_noise",
+        title="Stencil approximation on natural vs white-noise images",
+        columns=["input", "chosen", "speedup", "quality"],
+    )
+    for label, app in (
+        ("natural image", MeanFilterApp(scale=0.05, seed=seed)),
+        ("white noise", NoiseMeanFilter(scale=0.05, seed=seed)),
+    ):
+        tuning = paraprox.optimize(app, DeviceKind.GPU)
+        result.rows.append(
+            {
+                "input": label,
+                "chosen": tuning.chosen.name,
+                "speedup": tuning.speedup,
+                "quality": tuning.quality,
+            }
+        )
+    return result
+
+
+def adjustment_ablation(seed: int = 0) -> ExperimentResult:
+    """Perforation with vs without the x-N adjustment (§3.3.3)."""
+    from ..approx.reduction import ReductionTransform, perforate_all_loops
+    from ..engine import Grid, launch
+    from ..patterns import detect_reduction
+
+    rng = np.random.default_rng(seed)
+    n, chunk, threads = 64000, 64, 1000
+    x = rng.random(n).astype(np.float32)
+    exact = np.zeros(threads, dtype=np.float32)
+    launch(chunked_sum_kernel, Grid.for_elements(threads, 64), [exact, x, n, chunk])
+
+    match = detect_reduction(chunked_sum_kernel.fn)
+    result = ExperimentResult(
+        experiment="ablation_adjustment",
+        title="Reduction perforation with vs without adjustment (chunked sum)",
+        columns=["configuration", "skipping_rate", "relative_bias"],
+    )
+    for rate in (2, 4):
+        adjusted_v = ReductionTransform(skipping_rates=(rate,)).generate(
+            chunked_sum_kernel.module, "chunked_sum_kernel", match
+        )[0]
+        adjusted = np.zeros(threads, dtype=np.float32)
+        launch(
+            adjusted_v.module[adjusted_v.kernel],
+            Grid.for_elements(threads, 64),
+            [adjusted, x, n, chunk],
+            module=adjusted_v.module,
+        )
+        naive_mod, naive_name = perforate_all_loops(
+            chunked_sum_kernel.module, "chunked_sum_kernel", rate
+        )
+        naive = np.zeros(threads, dtype=np.float32)
+        launch(
+            naive_mod[naive_name],
+            Grid.for_elements(threads, 64),
+            [naive, x, n, chunk],
+            module=naive_mod,
+        )
+        for label, out in (("adjusted", adjusted), ("unadjusted", naive)):
+            result.rows.append(
+                {
+                    "configuration": label,
+                    "skipping_rate": rate,
+                    "relative_bias": float(
+                        (out.mean() - exact.mean()) / exact.mean()
+                    ),
+                }
+            )
+    return result
+
+
+def phase_choice_ablation(seed: int = 0) -> ExperimentResult:
+    """Which phase of the three-phase tree reduction to perforate.
+
+    §3.3.2: "All of the phases contain a reduction loop that Paraprox
+    optimizes, creating approximate kernels for each loop.  The runtime
+    determines which approximate version to execute."  Phase I holds
+    nearly all the work, so perforating it buys nearly the full skipping
+    rate; perforating Phase III saves almost nothing at similar error.
+    """
+    from ..apps.reducelib import ReduceProgram, reference_sum
+    from ..device import CostModel, spec_for
+
+    rng = np.random.default_rng(seed)
+    x = rng.random(150_000).astype(np.float32)
+    exact_value = reference_sum(x)
+    cm = CostModel(spec_for(DeviceKind.GPU))
+    exact_prog = ReduceProgram(chunk=64)
+    exact_prog.run(x)
+    exact_cycles = cm.cycles(exact_prog.trace)
+
+    result = ExperimentResult(
+        experiment="ablation_phase_choice",
+        title="Perforating phase I vs phase III of the tree reduction",
+        columns=["phase", "skipping_rate", "relative_error", "speedup"],
+    )
+    prog = ReduceProgram(chunk=64)
+    for variant in prog.variants(skipping_rates=(2, 4)):
+        runner = ReduceProgram(chunk=64)
+        value = runner.run_variant(x, variant)
+        result.rows.append(
+            {
+                "phase": variant.phase,
+                "skipping_rate": variant.skipping_rate,
+                "relative_error": abs(value - exact_value) / exact_value,
+                "speedup": exact_cycles / cm.cycles(runner.trace),
+            }
+        )
+    return result
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    """Bundle all ablations into one renderable result (for the CLI)."""
+    combined = ExperimentResult(
+        experiment="ablations",
+        title="Design-choice ablations",
+        columns=["study", "detail"],
+    )
+    for study in (
+        bit_tuning_ablation,
+        adjustment_ablation,
+        cse_ablation,
+        noise_ablation,
+        phase_choice_ablation,
+    ):
+        sub = study(seed=seed)
+        combined.notes.append(sub.to_text())
+        combined.rows.append({"study": sub.experiment, "detail": sub.title})
+    return combined

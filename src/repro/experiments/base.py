@@ -1,0 +1,93 @@
+"""Experiment result containers and text rendering.
+
+Every module in this package regenerates one table or figure of the
+paper's evaluation section.  Results are structured (list-of-dict rows) so
+benchmarks can assert on them, and render to aligned text tables for
+EXPERIMENTS.md and the console.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper table/figure."""
+
+    experiment: str  # e.g. "fig11"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, name: str) -> List[object]:
+        """One column as a list, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"{self.experiment}: no row with {key_column}={key!r}")
+
+    def to_json(self) -> str:
+        """Serialise rows + notes for archival/diffing between runs."""
+        import json
+
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=float,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentResult":
+        import json
+
+        data = json.loads(text)
+        return ExperimentResult(
+            experiment=data["experiment"],
+            title=data["title"],
+            columns=data["columns"],
+            rows=data["rows"],
+            notes=data.get("notes", []),
+        )
+
+    def to_text(self) -> str:
+        """Render as an aligned monospace table."""
+
+        def fmt(v: object) -> str:
+            if isinstance(v, float):
+                return f"{v:.3f}"
+            return str(v)
+
+        table = [[fmt(r.get(c, "")) for c in self.columns] for r in self.rows]
+        widths = [
+            max(len(c), *(len(row[i]) for row in table)) if table else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def geometric_mean(values: List[float]) -> float:
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

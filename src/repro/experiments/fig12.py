@@ -1,0 +1,63 @@
+"""Fig 12: performance-quality tradeoff curves for six benchmarks.
+
+The paper sweeps each optimization's tuning parameter and plots speedup
+against output quality for BlackScholes, Quasirandom Generator, Matrix
+Multiplication, Kernel Density, Gaussian Filter and Convolution Separable.
+We regenerate the same frontiers from the tuner's variant profiles: every
+knob setting contributes one (quality, speedup) point, and more aggressive
+knobs must trade quality for speed.
+"""
+
+from __future__ import annotations
+
+from ..apps.blackscholes import BlackScholesApp
+from ..apps.convsep import ConvolutionSeparableApp
+from ..apps.gaussian import GaussianFilterApp
+from ..apps.kde import KernelDensityApp
+from ..apps.matmul import MatrixMultiplyApp
+from ..apps.quasirandom import QuasirandomApp
+from ..approx.compiler import Paraprox, ParaproxConfig
+from ..device import DeviceKind
+from .base import ExperimentResult
+
+FIG12_APPS = (
+    BlackScholesApp,
+    QuasirandomApp,
+    MatrixMultiplyApp,
+    KernelDensityApp,
+    GaussianFilterApp,
+    ConvolutionSeparableApp,
+)
+
+
+def run(seed: int = 0, device: DeviceKind = DeviceKind.GPU) -> ExperimentResult:
+    # Sweep wider knob ranges than the default pipeline so the curves have
+    # enough points; a low TOQ keeps every variant in the profile set.
+    config = ParaproxConfig(
+        skipping_rates=(2, 4, 8, 16),
+        reaching_distances=(1, 2, 3),
+        memo_extra_tables=4,
+    )
+    paraprox = Paraprox(target_quality=0.50, config=config)
+    result = ExperimentResult(
+        experiment="fig12",
+        title="Speedup vs output quality while varying tuning parameters",
+        columns=["application", "variant", "quality", "speedup"],
+    )
+    for app_cls in FIG12_APPS:
+        app = app_cls(seed=seed)
+        tuning = paraprox.optimize(app, device)
+        for profile in tuning.frontier():
+            result.rows.append(
+                {
+                    "application": app.info.name,
+                    "variant": profile.name,
+                    "quality": profile.quality,
+                    "speedup": profile.speedup,
+                }
+            )
+    result.notes.append(
+        "each row is one knob setting; speedup rises as quality is traded "
+        "away (paper Fig 12)"
+    )
+    return result

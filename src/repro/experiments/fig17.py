@@ -1,0 +1,61 @@
+"""Fig 17: lookup-table size vs serialization overhead and speedup.
+
+Large lookup tables defeat coalescing: neighbouring threads' inputs map to
+levels spread across many 128-byte segments, so each warp's table read
+issues more transactions.  The paper plots the fraction of serialized
+(uncoalesced) instruction overhead and the resulting speedup against table
+size for the Bass function; speedup falls as the serialization overhead
+grows.  Both series come straight out of our coalescing simulator.
+"""
+
+from __future__ import annotations
+
+from ..apps.mapfuncs import BassApp
+from ..device import CostModel, DeviceKind, spec_for
+from .base import ExperimentResult
+from .fig15 import memo_variants_at_sizes
+
+TABLE_BITS = (3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+
+
+def run(seed: int = 0) -> ExperimentResult:
+    app = BassApp(seed=seed)
+    cost_model = CostModel(spec_for(DeviceKind.GPU))
+    inputs = app.generate_inputs(seed + 11)
+    exact_out, exact_trace = app.run_exact(inputs)
+    exact_cycles = cost_model.cycles(exact_trace)
+
+    result = ExperimentResult(
+        experiment="fig17",
+        title="Lookup-table size vs serialization overhead and speedup (Bass, GPU)",
+        columns=[
+            "table_entries",
+            "serialization_overhead_pct",
+            "transactions_per_warp",
+            "speedup",
+        ],
+    )
+    for variant in memo_variants_at_sizes(
+        app, TABLE_BITS, modes=("nearest",), spaces=("global",)
+    ):
+        _out, trace = app.run_variant(variant, inputs)
+        breakdown = cost_model.breakdown(trace)
+        table_stream = next(
+            stats
+            for (space, kind, array), stats in trace.mem.items()
+            if array.startswith("__memo_")
+        )
+        result.rows.append(
+            {
+                "table_entries": 1 << variant.knobs["table_bits"],
+                "serialization_overhead_pct": breakdown.serialization_overhead * 100,
+                "transactions_per_warp": table_stream.transactions_per_warp,
+                "speedup": exact_cycles / breakdown.total_cycles,
+            }
+        )
+    result.rows.sort(key=lambda r: r["table_entries"])
+    result.notes.append(
+        "paper: serialization overhead rises with table size and speedup "
+        "falls correspondingly"
+    )
+    return result

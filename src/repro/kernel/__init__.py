@@ -1,0 +1,66 @@
+"""The data-parallel kernel substrate: types, IR, frontend, validation.
+
+This package is the reproduction's analogue of the CUDA/OpenCL + Clang
+layer the paper builds on.  Typical use::
+
+    from repro.kernel import kernel, device
+    from repro.kernel.dsl import *
+
+    @kernel
+    def scale(out: array_f32, x: array_f32, a: f32):
+        i = global_id()
+        out[i] = a * x[i]
+"""
+
+from .frontend import (
+    KernelFn,
+    array_f32,
+    array_f64,
+    array_i32,
+    array_i64,
+    array_u32,
+    array_of,
+    device,
+    kernel,
+)
+from .types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    U32,
+    ArrayType,
+    DType,
+    ScalarType,
+    dtype_by_name,
+    from_numpy,
+    promote,
+)
+from .validate import validate_function, validate_module
+
+__all__ = [
+    "kernel",
+    "device",
+    "KernelFn",
+    "array_f32",
+    "array_f64",
+    "array_i32",
+    "array_i64",
+    "array_u32",
+    "array_of",
+    "DType",
+    "ScalarType",
+    "ArrayType",
+    "F32",
+    "F64",
+    "I32",
+    "I64",
+    "U32",
+    "BOOL",
+    "dtype_by_name",
+    "from_numpy",
+    "promote",
+    "validate_function",
+    "validate_module",
+]

@@ -1,0 +1,327 @@
+"""Programmatic IR construction.
+
+The frontend covers kernels written as Python source; transforms, tests
+and downstream tools that synthesise IR directly get a small fluent layer
+here instead of hand-assembling node constructors.  Expressions support
+operator overloading through :class:`E` wrappers; :class:`FunctionBuilder`
+assembles bodies with structured ``if_``/``for_`` context managers.
+
+Example::
+
+    b = FunctionBuilder("saxpy", kind="kernel")
+    out = b.array_param("out", F32)
+    x = b.array_param("x", F32)
+    a = b.scalar_param("a", F32)
+    n = b.scalar_param("n", I32)
+    i = b.let("i", b.global_id())
+    with b.if_(i < n):
+        b.store(out, i, a * x[i])
+    fn = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Union
+
+from ..errors import ValidationError
+from . import ir
+from .types import BOOL, F32, I32, ArrayType, DType, ScalarType
+
+
+class E:
+    """An expression wrapper providing Python operator overloading."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ir.Expr) -> None:
+        self.node = node
+
+    @property
+    def dtype(self) -> DType:
+        return self.node.dtype
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _bin(self, op: str, other) -> "E":
+        return E(ir.binop(op, self.node, _lift(other, self.dtype).node))
+
+    def _rbin(self, op: str, other) -> "E":
+        return E(ir.binop(op, _lift(other, self.dtype).node, self.node))
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._rbin("add", other)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._rbin("sub", other)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    def __rmul__(self, other):
+        return self._rbin("mul", other)
+
+    def __truediv__(self, other):
+        return self._bin("div", other)
+
+    def __rtruediv__(self, other):
+        return self._rbin("div", other)
+
+    def __mod__(self, other):
+        return self._bin("mod", other)
+
+    def __lshift__(self, other):
+        return self._bin("shl", other)
+
+    def __rshift__(self, other):
+        return self._bin("shr", other)
+
+    def __and__(self, other):
+        op = "land" if self.dtype.is_bool else "and"
+        return self._bin(op, other)
+
+    def __or__(self, other):
+        op = "lor" if self.dtype.is_bool else "or"
+        return self._bin(op, other)
+
+    def __xor__(self, other):
+        return self._bin("xor", other)
+
+    def __neg__(self):
+        return E(ir.UnOp("neg", self.node, self.dtype))
+
+    def __invert__(self):
+        if self.dtype.is_bool:
+            return E(ir.UnOp("lnot", self.node, BOOL))
+        return E(ir.UnOp("bnot", self.node, self.dtype))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def __lt__(self, other):
+        return self._bin("lt", other)
+
+    def __le__(self, other):
+        return self._bin("le", other)
+
+    def __gt__(self, other):
+        return self._bin("gt", other)
+
+    def __ge__(self, other):
+        return self._bin("ge", other)
+
+    def eq(self, other) -> "E":
+        """Equality as a method (``==`` is kept for Python identity use)."""
+        return self._bin("eq", other)
+
+    def ne(self, other) -> "E":
+        return self._bin("ne", other)
+
+    # -- misc -----------------------------------------------------------------
+
+    def cast(self, dtype: DType) -> "E":
+        return E(ir.Cast(self.node, dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        from .printer import print_expr
+
+        return f"E({print_expr(self.node)})"
+
+
+class ArrayHandle:
+    """A named array usable with subscript syntax inside the builder."""
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: ir.ArrayRef) -> None:
+        self.ref = ref
+
+    @property
+    def name(self) -> str:
+        return self.ref.name
+
+    def __getitem__(self, index) -> E:
+        idx = _lift(index, I32).node
+        return E(ir.Load(ir.ArrayRef(self.ref.name, self.ref.type), idx))
+
+
+def _lift(value, hint: DType = F32) -> E:
+    if isinstance(value, E):
+        return value
+    if isinstance(value, ir.Expr):
+        return E(value)
+    if isinstance(value, bool):
+        return E(ir.Const(value, BOOL))
+    if isinstance(value, int):
+        return E(ir.Const(value, I32 if not hint.is_float else hint))
+    if isinstance(value, float):
+        return E(ir.Const(value, hint if hint.is_float else F32))
+    raise TypeError(f"cannot lift {value!r} into an IR expression")
+
+
+def call(func: str, *args) -> E:
+    """Call a math builtin by name with lifted arguments."""
+    from . import intrinsics
+
+    builtin = intrinsics.get(func)
+    if builtin is None:
+        raise KeyError(f"unknown builtin {func!r}")
+    lifted = [_lift(a).node for a in args]
+    return E(ir.Call(func, lifted, builtin.result_dtype([a.dtype for a in lifted])))
+
+
+class FunctionBuilder:
+    """Assembles an :class:`~repro.kernel.ir.Function` statement by
+    statement, with structured control flow via context managers."""
+
+    def __init__(self, name: str, kind: str = "kernel") -> None:
+        self.name = name
+        self.kind = kind
+        self.params: List[ir.Param] = []
+        self._body_stack: List[List[ir.Stmt]] = [[]]
+        self._locals: dict = {}
+        self._return_dtype: Optional[DType] = None
+        self._tmp = 0
+
+    # -- parameters -----------------------------------------------------------
+
+    def scalar_param(self, name: str, dtype: DType) -> E:
+        self.params.append(ir.Param(name, ScalarType(dtype)))
+        return E(ir.Var(name, dtype))
+
+    def array_param(
+        self, name: str, dtype: DType, space: str = "global"
+    ) -> ArrayHandle:
+        atype = ArrayType(dtype, space)
+        self.params.append(ir.Param(name, atype))
+        return ArrayHandle(ir.ArrayRef(name, atype))
+
+    # -- intrinsics -----------------------------------------------------------
+
+    def global_id(self) -> E:
+        return E(ir.Call("global_id", [], I32))
+
+    def thread_id(self) -> E:
+        return E(ir.Call("thread_id", [], I32))
+
+    def block_id(self) -> E:
+        return E(ir.Call("block_id", [], I32))
+
+    def block_dim(self) -> E:
+        return E(ir.Call("block_dim", [], I32))
+
+    # -- statements -----------------------------------------------------------
+
+    def _emit(self, stmt: ir.Stmt) -> None:
+        self._body_stack[-1].append(stmt)
+
+    def let(self, name: str, value) -> E:
+        lifted = _lift(value)
+        self._emit(ir.Assign(name, lifted.node))
+        self._locals[name] = lifted.dtype
+        return E(ir.Var(name, lifted.dtype))
+
+    def assign(self, var: E, value) -> None:
+        if not isinstance(var.node, ir.Var):
+            raise ValidationError("assign target must be a variable")
+        self._emit(ir.Assign(var.node.name, _lift(value, var.dtype).node))
+
+    def store(self, array: ArrayHandle, index, value) -> None:
+        ref = ir.ArrayRef(array.ref.name, array.ref.type)
+        self._emit(
+            ir.Store(ref, _lift(index, I32).node, _lift(value, ref.dtype).node)
+        )
+
+    def atomic(self, op: str, array: ArrayHandle, index, value) -> None:
+        ref = ir.ArrayRef(array.ref.name, array.ref.type)
+        self._emit(
+            ir.AtomicRMW(op, ref, _lift(index, I32).node, _lift(value, ref.dtype).node)
+        )
+
+    def barrier(self) -> None:
+        self._emit(ir.Barrier())
+
+    def shared(self, name: str, size: int, dtype: DType) -> ArrayHandle:
+        self._emit(ir.SharedAlloc(name, (size,), dtype))
+        return ArrayHandle(ir.ArrayRef(name, ArrayType(dtype, "shared")))
+
+    def ret(self, value=None) -> None:
+        if value is None:
+            self._emit(ir.Return(None))
+            return
+        lifted = _lift(value)
+        self._return_dtype = self._return_dtype or lifted.dtype
+        self._emit(ir.Return(lifted.node))
+
+    # -- structured control flow ------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond, orelse: bool = False):
+        """``with b.if_(c): ...`` — optionally followed by :meth:`else_`."""
+        then_body: List[ir.Stmt] = []
+        self._body_stack.append(then_body)
+        try:
+            yield
+        finally:
+            self._body_stack.pop()
+        self._emit(ir.If(_lift(cond, BOOL).node, then_body, []))
+
+    @contextlib.contextmanager
+    def else_(self):
+        """Populate the else-arm of the most recent ``if_``."""
+        current = self._body_stack[-1]
+        if not current or not isinstance(current[-1], ir.If):
+            raise ValidationError("else_ must directly follow an if_")
+        else_body: List[ir.Stmt] = []
+        self._body_stack.append(else_body)
+        try:
+            yield
+        finally:
+            self._body_stack.pop()
+        current[-1].else_body.extend(else_body)
+
+    @contextlib.contextmanager
+    def for_(self, var: str, start, stop, step=1):
+        body: List[ir.Stmt] = []
+        self._body_stack.append(body)
+        self._locals[var] = I32
+        try:
+            yield E(ir.Var(var, I32))
+        finally:
+            self._body_stack.pop()
+        self._emit(
+            ir.For(
+                var,
+                _lift(start, I32).node,
+                _lift(stop, I32).node,
+                _lift(step, I32).node,
+                body,
+            )
+        )
+
+    # -- finish -----------------------------------------------------------------
+
+    def build(self, module: Optional[ir.Module] = None) -> ir.Function:
+        """Finalise and validate the function; returns the IR node."""
+        if len(self._body_stack) != 1:
+            raise ValidationError("unclosed control-flow block in builder")
+        fn = ir.Function(
+            name=self.name,
+            params=self.params,
+            body=self._body_stack[0],
+            kind=self.kind,
+            return_type=(
+                ScalarType(self._return_dtype)
+                if self.kind == "device" and self._return_dtype
+                else None
+            ),
+        )
+        from .validate import validate_function
+
+        validate_function(fn, module)
+        return fn

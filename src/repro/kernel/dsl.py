@@ -1,0 +1,153 @@
+"""Names importable into modules that define kernels.
+
+Kernel bodies never execute as Python, so these definitions exist purely to
+keep linters and readers happy (``from repro.kernel.dsl import *``).  Each
+placeholder raises if it is actually invoked from host code, with the one
+useful exception of the math builtins, which evaluate with NumPy so that
+``@device`` functions double as reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import intrinsics
+from .types import F32, F64, I32, I64, U32
+
+__all__ = [
+    "global_id",
+    "thread_id",
+    "block_id",
+    "block_dim",
+    "grid_dim",
+    "global_id_x",
+    "global_id_y",
+    "thread_id_x",
+    "thread_id_y",
+    "block_id_x",
+    "block_id_y",
+    "block_dim_x",
+    "block_dim_y",
+    "grid_dim_x",
+    "grid_dim_y",
+    "barrier",
+    "shared",
+    "exp",
+    "log",
+    "log2",
+    "sin",
+    "cos",
+    "sqrt",
+    "rsqrt",
+    "fabs",
+    "floor",
+    "ceil",
+    "round",
+    "lgamma",
+    "erf",
+    "pow",
+    "fmin",
+    "fmax",
+    "imin",
+    "imax",
+    "printf",
+    "clock",
+    "atomic_add",
+    "atomic_min",
+    "atomic_max",
+    "atomic_inc",
+    "atomic_and",
+    "atomic_or",
+    "atomic_xor",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "u32",
+]
+
+
+def _host_only(name):
+    def stub(*_args, **_kwargs):
+        raise RuntimeError(
+            f"{name}() is a kernel intrinsic; it has no meaning on the host"
+        )
+
+    stub.__name__ = name
+    return stub
+
+
+global_id = _host_only("global_id")
+thread_id = _host_only("thread_id")
+block_id = _host_only("block_id")
+block_dim = _host_only("block_dim")
+grid_dim = _host_only("grid_dim")
+global_id_x = _host_only("global_id_x")
+global_id_y = _host_only("global_id_y")
+thread_id_x = _host_only("thread_id_x")
+thread_id_y = _host_only("thread_id_y")
+block_id_x = _host_only("block_id_x")
+block_id_y = _host_only("block_id_y")
+block_dim_x = _host_only("block_dim_x")
+block_dim_y = _host_only("block_dim_y")
+grid_dim_x = _host_only("grid_dim_x")
+grid_dim_y = _host_only("grid_dim_y")
+barrier = _host_only("barrier")
+shared = _host_only("shared")
+printf = _host_only("printf")
+clock = _host_only("clock")
+
+atomic_add = _host_only("atomic_add")
+atomic_min = _host_only("atomic_min")
+atomic_max = _host_only("atomic_max")
+atomic_inc = _host_only("atomic_inc")
+atomic_and = _host_only("atomic_and")
+atomic_or = _host_only("atomic_or")
+atomic_xor = _host_only("atomic_xor")
+
+
+from .frontend import (  # noqa: E402  (re-exported for kernel modules)
+    array_f32,
+    array_f64,
+    array_i32,
+    array_i64,
+    array_u32,
+    array_of,
+)
+
+__all__ += ["array_f32", "array_f64", "array_i32", "array_i64", "array_u32", "array_of"]
+
+
+def _math(name):
+    builtin = intrinsics.get(name)
+
+    def fn(*args):
+        return builtin.evaluate(*args)
+
+    fn.__name__ = name
+    return fn
+
+
+exp = _math("exp")
+log = _math("log")
+log2 = _math("log2")
+sin = _math("sin")
+cos = _math("cos")
+sqrt = _math("sqrt")
+rsqrt = _math("rsqrt")
+fabs = _math("fabs")
+floor = _math("floor")
+ceil = _math("ceil")
+round = _math("round")
+lgamma = _math("lgamma")
+erf = _math("erf")
+pow = _math("pow")
+fmin = _math("fmin")
+fmax = _math("fmax")
+imin = _math("imin")
+imax = _math("imax")
+
+
+# The dtype names double as annotations (they are DType instances) and as
+# host-side casts (DType.__call__), so `x: f32` and `f32(x)` both work.
+f32, f64, i32, i64, u32 = F32, F64, I32, I64, U32

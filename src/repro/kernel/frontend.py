@@ -1,0 +1,639 @@
+"""Python-embedded kernel DSL: restricted Python functions lowered to IR.
+
+This is the reproduction's stand-in for the paper's Clang 3.3 frontend
+(paper Fig 10: *Driver → AST visitor → pattern detection*).  A kernel is an
+ordinary Python function decorated with :func:`kernel` (or :func:`device`
+for callable subroutines); the decorator grabs the source with ``inspect``,
+parses it with the standard :mod:`ast` module, and lowers the supported
+subset to :mod:`repro.kernel.ir`.  The function body never executes as
+Python.
+
+Supported subset (deliberately mirroring the C subset CUDA kernels use):
+
+* scalar locals with implicit declaration, ``x = ...`` / ``x += ...``,
+* flat array reads/writes ``a[i]``, where indices are integer expressions,
+* ``for v in range(start, stop, step)`` counted loops with uniform bounds,
+* ``if``/``else`` (conditions may be thread-divergent),
+* ternary expressions ``a if c else b`` (lowered to branch-free Select),
+* calls to math builtins (:mod:`repro.kernel.intrinsics`), thread
+  intrinsics (``global_id()`` ...), atomics (``atomic_add(a, i, v)``),
+  ``barrier()``, ``shared(n, f32)`` allocations, and other ``@device``
+  functions,
+* references to Python-level numeric constants captured from the enclosing
+  module (lowered to literals, the way ``#define`` constants appear in C).
+
+Anything outside the subset raises :class:`~repro.errors.FrontendError`
+with the offending source line.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, List, Optional, Union
+
+from ..errors import FrontendError
+from . import intrinsics, ir
+from .types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    U32,
+    ArrayType,
+    DType,
+    ScalarType,
+    promote,
+)
+
+# ---------------------------------------------------------------------------
+# Annotation vocabulary (exported via repro.kernel)
+# ---------------------------------------------------------------------------
+
+f32, f64, i32, i64, u32 = F32, F64, I32, I64, U32
+
+array_f32 = ArrayType(F32)
+array_f64 = ArrayType(F64)
+array_i32 = ArrayType(I32)
+array_i64 = ArrayType(I64)
+array_u32 = ArrayType(U32)
+
+
+def array_of(dtype: DType, space: str = "global") -> ArrayType:
+    """Build an array annotation in a specific memory space."""
+    return ArrayType(dtype, space)
+
+
+_AST_BINOPS = {
+    ast.Add: "add",
+    ast.Sub: "sub",
+    ast.Mult: "mul",
+    ast.Div: "div",
+    ast.FloorDiv: "div",  # on float operands FloorDiv is rejected below
+    ast.Mod: "mod",
+    ast.BitAnd: "and",
+    ast.BitOr: "or",
+    ast.BitXor: "xor",
+    ast.LShift: "shl",
+    ast.RShift: "shr",
+}
+
+_AST_CMPOPS = {
+    ast.Lt: "lt",
+    ast.LtE: "le",
+    ast.Gt: "gt",
+    ast.GtE: "ge",
+    ast.Eq: "eq",
+    ast.NotEq: "ne",
+}
+
+_ATOMIC_FUNCS = {f"atomic_{op}": op for op in ir.ATOMIC_OPS}
+
+_CAST_FUNCS = {"f32": F32, "f64": F64, "i32": I32, "i64": I64, "u32": U32}
+
+
+class KernelFn:
+    """The object a :func:`kernel`/:func:`device` decorator returns.
+
+    Attributes:
+        fn: the lowered :class:`~repro.kernel.ir.Function`.
+        module: a :class:`~repro.kernel.ir.Module` containing ``fn`` and
+            every device function it (transitively) calls.
+        pyfunc: the original Python function (kept for reference execution
+            of device functions in tests).
+    """
+
+    def __init__(self, fn: ir.Function, module: ir.Module, pyfunc) -> None:
+        self.fn = fn
+        self.module = module
+        self.pyfunc = pyfunc
+        self.name = fn.name
+        self.__doc__ = pyfunc.__doc__
+
+    def __call__(self, *args, **kwargs):
+        if self.fn.kind == "device":
+            # Device functions remain directly callable as plain Python —
+            # handy for building ground truth in tests.
+            return self.pyfunc(*args, **kwargs)
+        raise TypeError(
+            f"kernel {self.name!r} cannot be called directly; "
+            "launch it with repro.engine.launch"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.fn.kind} {self.name}>"
+
+
+def kernel(pyfunc=None, *, default_float: DType = F32):
+    """Decorator lowering a Python function to an IR kernel."""
+    if pyfunc is None:
+        return lambda f: kernel(f, default_float=default_float)
+    return _lower(pyfunc, kind="kernel", default_float=default_float)
+
+
+def device(pyfunc=None, *, default_float: DType = F32):
+    """Decorator lowering a Python function to an IR device function."""
+    if pyfunc is None:
+        return lambda f: device(f, default_float=default_float)
+    return _lower(pyfunc, kind="device", default_float=default_float)
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _lower(pyfunc, kind: str, default_float: DType) -> KernelFn:
+    try:
+        source = textwrap.dedent(inspect.getsource(pyfunc))
+    except (OSError, TypeError) as exc:
+        raise FrontendError(f"cannot fetch source of {pyfunc!r}: {exc}")
+    tree = ast.parse(source)
+    fdef = tree.body[0]
+    if not isinstance(fdef, ast.FunctionDef):
+        raise FrontendError(f"{pyfunc!r} does not parse to a function definition")
+    lowerer = _Lowerer(pyfunc, fdef, kind, default_float)
+    fn = lowerer.lower()
+    module = ir.Module()
+    module.add(fn)
+    for dep in lowerer.device_deps.values():
+        for dep_fn in dep.module.functions.values():
+            if dep_fn.name not in module:
+                module.add(dep_fn)
+    return KernelFn(fn, module, pyfunc)
+
+
+class _Scope:
+    """Symbol table for one function body."""
+
+    def __init__(self) -> None:
+        self.scalars: Dict[str, DType] = {}
+        self.arrays: Dict[str, ArrayType] = {}
+
+    def declare_scalar(self, name: str, dtype: DType) -> None:
+        self.scalars[name] = dtype
+
+    def declare_array(self, name: str, atype: ArrayType) -> None:
+        self.arrays[name] = atype
+
+
+class _Lowerer:
+    """Lowers a single ``ast.FunctionDef`` to an ``ir.Function``."""
+
+    def __init__(self, pyfunc, fdef: ast.FunctionDef, kind: str, default_float: DType):
+        self.pyfunc = pyfunc
+        self.fdef = fdef
+        self.kind = kind
+        self.default_float = default_float
+        self.scope = _Scope()
+        self.device_deps: Dict[str, KernelFn] = {}
+        self.return_type: Optional[ScalarType] = None
+        # Statements synthesised while lowering sub-expressions (ternaries
+        # become predicated Ifs writing a fresh temp); flushed before the
+        # statement that triggered them.
+        self.pending: List[ir.Stmt] = []
+        self._tmp_count = 0
+        # Python globals + closure cells, for device-fn and constant lookup.
+        self.env = dict(pyfunc.__globals__)
+        if pyfunc.__closure__:
+            for cell_name, cell in zip(pyfunc.__code__.co_freevars, pyfunc.__closure__):
+                self.env[cell_name] = cell.cell_contents
+
+    # -- errors -------------------------------------------------------------
+
+    def _fail(self, node: ast.AST, message: str) -> FrontendError:
+        line = getattr(node, "lineno", "?")
+        return FrontendError(f"{self.fdef.name}:{line}: {message}")
+
+    # -- entry --------------------------------------------------------------
+
+    def lower(self) -> ir.Function:
+        params = self._lower_params()
+        body = self._lower_body(self.fdef.body)
+        if self.kind == "device" and self.return_type is None:
+            raise FrontendError(
+                f"device function {self.fdef.name!r} never returns a value"
+            )
+        return ir.Function(
+            name=self.fdef.name,
+            params=params,
+            body=body,
+            kind=self.kind,
+            return_type=self.return_type,
+        )
+
+    def _lower_params(self) -> List[ir.Param]:
+        args = self.fdef.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.defaults:
+            raise FrontendError(
+                f"{self.fdef.name}: kernels take only plain positional parameters"
+            )
+        annotations = dict(self.pyfunc.__annotations__)
+        params = []
+        for arg in args.args:
+            ann = annotations.get(arg.arg)
+            if isinstance(ann, str):
+                ann = eval(ann, self.env)  # postponed annotations (PEP 563)
+            if isinstance(ann, DType):
+                self.scope.declare_scalar(arg.arg, ann)
+                params.append(ir.Param(arg.arg, ScalarType(ann)))
+            elif isinstance(ann, ArrayType):
+                self.scope.declare_array(arg.arg, ann)
+                params.append(ir.Param(arg.arg, ann))
+            else:
+                raise FrontendError(
+                    f"{self.fdef.name}: parameter {arg.arg!r} needs a DType or "
+                    f"ArrayType annotation, got {ann!r}"
+                )
+        return params
+
+    # -- statements ----------------------------------------------------------
+
+    def _lower_body(self, stmts: List[ast.stmt]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        for node in stmts:
+            saved_pending = self.pending
+            self.pending = []
+            lowered = self._lower_stmt(node)
+            pending, self.pending = self.pending, saved_pending
+            out.extend(pending)
+            if lowered is not None:
+                out.extend(lowered)
+        return out
+
+    def _lower_stmt(self, node: ast.stmt) -> Optional[List[ir.Stmt]]:
+        if isinstance(node, ast.Expr):
+            return self._lower_expr_stmt(node)
+        if isinstance(node, ast.Assign):
+            return self._lower_assign(node)
+        if isinstance(node, ast.AnnAssign):
+            return self._lower_ann_assign(node)
+        if isinstance(node, ast.AugAssign):
+            return self._lower_aug_assign(node)
+        if isinstance(node, ast.If):
+            return [
+                ir.If(
+                    self._as_bool(self._lower_expr(node.test), node),
+                    self._lower_body(node.body),
+                    self._lower_body(node.orelse),
+                )
+            ]
+        if isinstance(node, ast.For):
+            return self._lower_for(node)
+        if isinstance(node, ast.Return):
+            return self._lower_return(node)
+        if isinstance(node, ast.Pass):
+            return []
+        raise self._fail(node, f"unsupported statement {type(node).__name__}")
+
+    def _lower_expr_stmt(self, node: ast.Expr) -> List[ir.Stmt]:
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return []  # docstring
+        if not isinstance(value, ast.Call) or not isinstance(value.func, ast.Name):
+            raise self._fail(node, "only call statements are allowed here")
+        name = value.func.id
+        if name == "barrier":
+            return [ir.Barrier()]
+        if name in _ATOMIC_FUNCS:
+            if len(value.args) != 3:
+                raise self._fail(node, f"{name} expects (array, index, value)")
+            arr = self._lower_expr(value.args[0])
+            if not isinstance(arr, ir.ArrayRef):
+                raise self._fail(node, f"{name}: first argument must be an array")
+            idx = self._as_int(self._lower_expr(value.args[1]), node)
+            val = self._lower_expr(value.args[2])
+            return [ir.AtomicRMW(_ATOMIC_FUNCS[name], arr, idx, val)]
+        if intrinsics.is_impure(name):
+            # I/O builtins called for effect: keep the call in the IR (the
+            # purity analysis must see it) as an assignment to a scratch var.
+            self._tmp_count += 1
+            call = self._lower_expr(value)
+            return [ir.Assign(f"_void{self._tmp_count}", call)]
+        raise self._fail(node, f"call to {name!r} is not a valid statement")
+
+    def _lower_assign(self, node: ast.Assign) -> List[ir.Stmt]:
+        if len(node.targets) != 1:
+            raise self._fail(node, "chained assignment is not supported")
+        target = node.targets[0]
+        # shared-memory allocation: name = shared(n, dtype)
+        if (
+            isinstance(target, ast.Name)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "shared"
+        ):
+            return self._lower_shared_alloc(target.id, node.value, node)
+        value = self._lower_expr(node.value)
+        return self._store_to(target, value, node)
+
+    def _lower_ann_assign(self, node: ast.AnnAssign) -> List[ir.Stmt]:
+        if node.value is None:
+            raise self._fail(node, "annotated declaration requires a value")
+        if not isinstance(node.target, ast.Name):
+            raise self._fail(node, "annotated assignment target must be a name")
+        ann = self.env.get(getattr(node.annotation, "id", None))
+        if not isinstance(ann, DType):
+            raise self._fail(node, "annotation must name a scalar dtype")
+        value = self._cast_to(self._lower_expr(node.value), ann)
+        self.scope.declare_scalar(node.target.id, ann)
+        return [ir.Assign(node.target.id, value)]
+
+    def _lower_aug_assign(self, node: ast.AugAssign) -> List[ir.Stmt]:
+        op = _AST_BINOPS.get(type(node.op))
+        if op is None:
+            raise self._fail(node, f"unsupported augmented op {type(node.op).__name__}")
+        rhs = self._lower_expr(node.value)
+        if isinstance(node.target, ast.Name):
+            name = node.target.id
+            if name not in self.scope.scalars:
+                raise self._fail(node, f"augmented assignment to undefined {name!r}")
+            dtype = self.scope.scalars[name]
+            current = ir.Var(name, dtype)
+            return [ir.Assign(name, self._cast_to(ir.binop(op, current, rhs), dtype))]
+        if isinstance(node.target, ast.Subscript):
+            arr, idx = self._lower_subscript(node.target)
+            current = ir.Load(arr, idx)
+            new = self._cast_to(ir.binop(op, current, rhs), arr.dtype)
+            return [ir.Store(arr, self._clone(idx), new)]
+        raise self._fail(node, "unsupported augmented assignment target")
+
+    def _store_to(self, target: ast.expr, value: ir.Expr, node) -> List[ir.Stmt]:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self.scope.arrays:
+                raise self._fail(node, f"cannot rebind array parameter {name!r}")
+            if name in self.scope.scalars:
+                value = self._cast_to(value, self.scope.scalars[name])
+            else:
+                self.scope.declare_scalar(name, value.dtype)
+            return [ir.Assign(name, value)]
+        if isinstance(target, ast.Subscript):
+            arr, idx = self._lower_subscript(target)
+            return [ir.Store(arr, idx, self._cast_to(value, arr.dtype))]
+        if isinstance(target, ast.Tuple):
+            raise self._fail(node, "tuple assignment is not supported in kernels")
+        raise self._fail(node, f"unsupported assignment target {type(target).__name__}")
+
+    def _lower_shared_alloc(self, name: str, call: ast.Call, node) -> List[ir.Stmt]:
+        if len(call.args) != 2:
+            raise self._fail(node, "shared(size, dtype) expects two arguments")
+        size_node, dtype_node = call.args
+        size = self._constant_int(size_node)
+        dtype = self.env.get(getattr(dtype_node, "id", None))
+        if not isinstance(dtype, DType):
+            raise self._fail(node, "shared(): second argument must be a dtype")
+        atype = ArrayType(dtype, space="shared")
+        self.scope.declare_array(name, atype)
+        return [ir.SharedAlloc(name, (size,), dtype)]
+
+    def _lower_for(self, node: ast.For) -> List[ir.Stmt]:
+        if node.orelse:
+            raise self._fail(node, "for/else is not supported")
+        if not isinstance(node.target, ast.Name):
+            raise self._fail(node, "loop variable must be a plain name")
+        it = node.iter
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        ):
+            raise self._fail(node, "only range(...) loops are supported")
+        args = [self._lower_expr(a) for a in it.args]
+        if len(args) == 1:
+            start, stop, step = ir.Const(0, I32), args[0], ir.Const(1, I32)
+        elif len(args) == 2:
+            start, stop, step = args[0], args[1], ir.Const(1, I32)
+        elif len(args) == 3:
+            start, stop, step = args
+        else:
+            raise self._fail(node, "range() takes 1..3 arguments")
+        for bound in (start, stop, step):
+            if not bound.dtype.is_integer:
+                raise self._fail(node, "range() bounds must be integers")
+        var = node.target.id
+        self.scope.declare_scalar(var, I32)
+        return [ir.For(var, start, stop, step, self._lower_body(node.body))]
+
+    def _lower_return(self, node: ast.Return) -> List[ir.Stmt]:
+        if self.kind == "kernel":
+            if node.value is not None:
+                raise self._fail(node, "kernels cannot return a value")
+            return [ir.Return(None)]
+        if node.value is None:
+            raise self._fail(node, "device functions must return a value")
+        value = self._lower_expr(node.value)
+        declared = self.pyfunc.__annotations__.get("return")
+        if isinstance(declared, str):
+            declared = eval(declared, self.env)
+        if isinstance(declared, DType):
+            value = self._cast_to(value, declared)
+        if self.return_type is None:
+            self.return_type = ScalarType(value.dtype)
+        elif self.return_type.dtype != value.dtype:
+            value = self._cast_to(value, self.return_type.dtype)
+        return [ir.Return(value)]
+
+    # -- expressions ----------------------------------------------------------
+
+    def _lower_expr(self, node: ast.expr) -> ir.Expr:
+        if isinstance(node, ast.Constant):
+            return self._lower_constant(node)
+        if isinstance(node, ast.Name):
+            return self._lower_name(node)
+        if isinstance(node, ast.BinOp):
+            return self._lower_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._lower_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._lower_compare(node)
+        if isinstance(node, ast.BoolOp):
+            return self._lower_boolop(node)
+        if isinstance(node, ast.IfExp):
+            return self._lower_ifexp(node)
+        if isinstance(node, ast.Subscript):
+            arr, idx = self._lower_subscript(node)
+            return ir.Load(arr, idx)
+        if isinstance(node, ast.Call):
+            return self._lower_call(node)
+        raise self._fail(node, f"unsupported expression {type(node).__name__}")
+
+    def _lower_constant(self, node: ast.Constant) -> ir.Expr:
+        v = node.value
+        if isinstance(v, bool):
+            return ir.Const(v, BOOL)
+        if isinstance(v, int):
+            return ir.Const(v, I32)
+        if isinstance(v, float):
+            return ir.Const(v, self.default_float)
+        raise self._fail(node, f"unsupported literal {v!r}")
+
+    def _lower_name(self, node: ast.Name) -> ir.Expr:
+        name = node.id
+        if name in self.scope.scalars:
+            return ir.Var(name, self.scope.scalars[name])
+        if name in self.scope.arrays:
+            return ir.ArrayRef(name, self.scope.arrays[name])
+        # Captured Python constant (module-level parameter, like #define).
+        if name in self.env:
+            v = self.env[name]
+            if isinstance(v, bool):
+                return ir.Const(v, BOOL)
+            if isinstance(v, int):
+                return ir.Const(v, I32)
+            if isinstance(v, float):
+                return ir.Const(v, self.default_float)
+        raise self._fail(node, f"undefined name {name!r}")
+
+    def _lower_binop(self, node: ast.BinOp) -> ir.Expr:
+        op = _AST_BINOPS.get(type(node.op))
+        if op is None:
+            raise self._fail(node, f"unsupported operator {type(node.op).__name__}")
+        left = self._lower_expr(node.left)
+        right = self._lower_expr(node.right)
+        if isinstance(node.op, ast.FloorDiv) and not (
+            left.dtype.is_integer and right.dtype.is_integer
+        ):
+            raise self._fail(node, "// requires integer operands; use / for floats")
+        if op in ("mod", "shl", "shr", "and", "or", "xor") and not (
+            left.dtype.is_integer and right.dtype.is_integer
+        ):
+            if not (op == "mod" and left.dtype.is_float):
+                raise self._fail(node, f"{op} requires integer operands")
+        return ir.binop(op, left, right)
+
+    def _lower_unary(self, node: ast.UnaryOp) -> ir.Expr:
+        operand = self._lower_expr(node.operand)
+        if isinstance(node.op, ast.USub):
+            if isinstance(operand, ir.Const):
+                return ir.const_like(-operand.value, operand.dtype)
+            return ir.UnOp("neg", operand, operand.dtype)
+        if isinstance(node.op, ast.UAdd):
+            return operand
+        if isinstance(node.op, ast.Not):
+            return ir.UnOp("lnot", self._as_bool(operand, node), BOOL)
+        if isinstance(node.op, ast.Invert):
+            if not operand.dtype.is_integer:
+                raise self._fail(node, "~ requires an integer operand")
+            return ir.UnOp("bnot", operand, operand.dtype)
+        raise self._fail(node, f"unsupported unary op {type(node.op).__name__}")
+
+    def _lower_compare(self, node: ast.Compare) -> ir.Expr:
+        if len(node.ops) != 1:
+            raise self._fail(node, "chained comparisons are not supported")
+        op = _AST_CMPOPS.get(type(node.ops[0]))
+        if op is None:
+            raise self._fail(node, f"unsupported comparison {type(node.ops[0]).__name__}")
+        left = self._lower_expr(node.left)
+        right = self._lower_expr(node.comparators[0])
+        return ir.binop(op, left, right)
+
+    def _lower_boolop(self, node: ast.BoolOp) -> ir.Expr:
+        op = "land" if isinstance(node.op, ast.And) else "lor"
+        values = [self._as_bool(self._lower_expr(v), node) for v in node.values]
+        result = values[0]
+        for v in values[1:]:
+            result = ir.BinOp(op, result, v, BOOL)
+        return result
+
+    def _lower_subscript(self, node: ast.Subscript):
+        value = self._lower_expr(node.value)
+        if not isinstance(value, ir.ArrayRef):
+            raise self._fail(node, "only arrays can be subscripted")
+        sl = node.slice
+        if isinstance(sl, ast.Slice) or isinstance(sl, ast.Tuple):
+            raise self._fail(node, "arrays are flat; index with a single integer")
+        idx = self._as_int(self._lower_expr(sl), node)
+        return value, idx
+
+    def _lower_call(self, node: ast.Call) -> ir.Expr:
+        if not isinstance(node.func, ast.Name):
+            raise self._fail(node, "only plain-name calls are supported")
+        if node.keywords:
+            raise self._fail(node, "keyword arguments are not supported in kernels")
+        name = node.func.id
+        args = [self._lower_expr(a) for a in node.args]
+        if name in _CAST_FUNCS:
+            if len(args) != 1:
+                raise self._fail(node, f"{name}() takes one argument")
+            return ir.Cast(args[0], _CAST_FUNCS[name])
+        builtin = intrinsics.get(name)
+        if builtin is not None:
+            if builtin.arity != len(args) and name not in intrinsics.IMPURE_BUILTINS:
+                raise self._fail(
+                    node, f"{name}() takes {builtin.arity} argument(s), got {len(args)}"
+                )
+            dtype = builtin.result_dtype([a.dtype for a in args])
+            return ir.Call(name, args, dtype)
+        target = self.env.get(name)
+        if isinstance(target, KernelFn) and target.fn.kind == "device":
+            self.device_deps[name] = target
+            expected = target.fn.scalar_params
+            if len(target.fn.params) != len(expected):
+                raise self._fail(node, f"device fn {name!r} with array params not callable")
+            if len(args) != len(expected):
+                raise self._fail(
+                    node, f"{name}() takes {len(expected)} argument(s), got {len(args)}"
+                )
+            args = [
+                self._cast_to(a, p.type.dtype) for a, p in zip(args, expected)
+            ]
+            return ir.Call(name, args, target.fn.return_type.dtype)
+        raise self._fail(node, f"unknown function {name!r}")
+
+    def _lower_ifexp(self, node: ast.IfExp) -> ir.Expr:
+        """Lower ``a if c else b`` to a predicated If writing a fresh temp.
+
+        A C ternary evaluates only the taken side, so lowering to the IR's
+        branch-free ``Select`` (which evaluates both) would fault on guarded
+        loads like ``sh[t - off] if t >= off else 0.0``.  A masked ``If``
+        preserves the short-circuit semantics exactly.
+        """
+        cond = self._as_bool(self._lower_expr(node.test), node)
+        saved = self.pending
+        self.pending = then_pending = []
+        a = self._lower_expr(node.body)
+        self.pending = else_pending = []
+        b = self._lower_expr(node.orelse)
+        self.pending = saved
+        dtype = promote(a.dtype, b.dtype)
+        self._tmp_count += 1
+        name = f"_sel{self._tmp_count}"
+        self.scope.declare_scalar(name, dtype)
+        then_body = then_pending + [ir.Assign(name, self._cast_to(a, dtype))]
+        else_body = else_pending + [ir.Assign(name, self._cast_to(b, dtype))]
+        self.pending.append(ir.If(cond, then_body, else_body))
+        return ir.Var(name, dtype)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _cast_to(self, expr: ir.Expr, dtype: DType) -> ir.Expr:
+        if expr.dtype == dtype:
+            return expr
+        if isinstance(expr, ir.Const):
+            return ir.const_like(expr.value, dtype)
+        return ir.Cast(expr, dtype)
+
+    def _as_bool(self, expr: ir.Expr, node) -> ir.Expr:
+        if expr.dtype.is_bool:
+            return expr
+        return ir.binop("ne", expr, ir.const_like(0, expr.dtype))
+
+    def _as_int(self, expr: ir.Expr, node) -> ir.Expr:
+        if expr.dtype.is_integer:
+            return expr
+        raise self._fail(node, f"expected an integer expression, got {expr.dtype}")
+
+    def _constant_int(self, node: ast.expr) -> int:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name) and isinstance(self.env.get(node.id), int):
+            return self.env[node.id]
+        raise self._fail(node, "expected a compile-time integer constant")
+
+    def _clone(self, expr: ir.Expr) -> ir.Expr:
+        from .visitors import clone
+
+        return clone(expr)

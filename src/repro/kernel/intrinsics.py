@@ -1,0 +1,186 @@
+"""Math builtins and thread intrinsics available inside kernels.
+
+Each builtin carries
+
+* a NumPy evaluation function used by the vectorized interpreter,
+* a *latency class* consumed by the device cost model (``repro.analysis
+  .latency`` maps classes to per-device cycle counts — e.g. ``exp`` is a
+  cheap SFU op on the GPU model but an expensive libm call on the CPU
+  model, which is what makes Kernel Density Estimation gain more from
+  approximation on the CPU, as §4.3 of the paper reports),
+* a result-dtype rule.
+
+Purity is a property of everything in this table: none of the builtins
+touch global state, so calling them never disqualifies a device function
+from approximate memoization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .types import BOOL, F32, F64, I32, DType, promote
+
+# Result dtype rules ---------------------------------------------------------
+
+
+def _float_unary(arg_dtypes):
+    """Unary math function: float in, same float out (ints promote to f32)."""
+    (a,) = arg_dtypes
+    return a if a.is_float else F32
+
+
+def _same_as_args(arg_dtypes):
+    out = arg_dtypes[0]
+    for d in arg_dtypes[1:]:
+        out = promote(out, d)
+    return out
+
+
+def _always(dtype: DType):
+    def rule(_arg_dtypes):
+        return dtype
+
+    return rule
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """Description of one kernel builtin."""
+
+    name: str
+    arity: int
+    evaluate: Callable
+    latency_class: str
+    result_dtype: Callable
+
+
+def _lgamma(x):
+    """Vectorized log-gamma (paper §4.4.2 uses CUDA ``lgammaf``).
+
+    Uses the Lanczos approximation with the classic g=7, n=9 coefficients
+    plus the reflection formula for x < 0.5; accurate to ~1e-13 in float64,
+    far below the quantization error the memoization study measures.
+    """
+    coeffs = np.array(
+        [
+            0.99999999999980993,
+            676.5203681218851,
+            -1259.1392167224028,
+            771.32342877765313,
+            -176.61502916214059,
+            12.507343278686905,
+            -0.13857109526572012,
+            9.9843695780195716e-6,
+            1.5056327351493116e-7,
+        ]
+    )
+    x = np.asarray(x, dtype=np.float64)
+    reflect = x < 0.5
+    xr = np.where(reflect, 1.0 - x, x)
+    z = xr - 1.0
+    series = np.full_like(z, coeffs[0])
+    for i in range(1, 9):
+        series = series + coeffs[i] / (z + i)
+    t = z + 7.5
+    out = 0.5 * math.log(2 * math.pi) + (z + 0.5) * np.log(t) - t + np.log(series)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        reflected = np.log(np.abs(np.pi / np.sin(np.pi * x))) - out
+    return np.where(reflect, reflected, out)
+
+
+def _erf(x):
+    """Vectorized error function (Abramowitz & Stegun 7.1.26, |err|<1.5e-7)."""
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+def _rsqrt(x):
+    return 1.0 / np.sqrt(x)
+
+
+_BUILTINS: Dict[str, Builtin] = {}
+
+
+def _register(name, arity, evaluate, latency_class, result_dtype):
+    _BUILTINS[name] = Builtin(name, arity, evaluate, latency_class, result_dtype)
+
+
+# Exponentials and reciprocal sqrt hit the GPU's special function unit and
+# are cheap there (the paper's §4.3/§4.4.2 notes on KDE and Gompertz); with
+# precise math, log/sin/cos compile to slower software routines ("trans").
+# On a CPU every transcendental is a libm call.
+for _name, _fn in [("exp", np.exp), ("rsqrt", _rsqrt)]:
+    _register(_name, 1, _fn, "sfu", _float_unary)
+for _name, _fn in [("log", np.log), ("log2", np.log2), ("sin", np.sin), ("cos", np.cos)]:
+    _register(_name, 1, _fn, "trans", _float_unary)
+
+_register("sqrt", 1, np.sqrt, "sqrt", _float_unary)
+_register("fabs", 1, np.abs, "alu", lambda a: a[0])
+_register("floor", 1, np.floor, "alu", _float_unary)
+_register("ceil", 1, np.ceil, "alu", _float_unary)
+_register("round", 1, np.round, "alu", _float_unary)
+_register("lgamma", 1, _lgamma, "libcall", _float_unary)
+_register("erf", 1, _erf, "libcall", _float_unary)
+_register("pow", 2, np.power, "libcall", _same_as_args)
+_register("fmin", 2, np.minimum, "alu", _same_as_args)
+_register("fmax", 2, np.maximum, "alu", _same_as_args)
+_register("imin", 2, np.minimum, "alu", _same_as_args)
+_register("imax", 2, np.maximum, "alu", _same_as_args)
+
+# Thread/block intrinsics — evaluated by the interpreter itself (they need
+# launch geometry), so `evaluate` is None.  The unsuffixed names are the
+# x-linearized 1-D forms; the _x/_y variants address 2-D launches.
+for _name in (
+    "global_id",
+    "thread_id",
+    "block_id",
+    "block_dim",
+    "grid_dim",
+    "global_id_x",
+    "global_id_y",
+    "thread_id_x",
+    "thread_id_y",
+    "block_id_x",
+    "block_id_y",
+    "block_dim_x",
+    "block_dim_y",
+    "grid_dim_x",
+    "grid_dim_y",
+):
+    _register(_name, 0, None, "alu", _always(I32))
+
+#: Impure builtins a kernel may call; calling one disqualifies the caller
+#: from memoization (paper §3.1.2: no I/O in pure functions).  These exist
+#: so the purity analysis has something real to reject.
+IMPURE_BUILTINS = ("printf", "clock")
+for _name in IMPURE_BUILTINS:
+    _register(_name, 1, lambda *a: np.zeros(1), "libcall", _always(I32))
+
+
+def get(name: str) -> Optional[Builtin]:
+    """Return the builtin named ``name`` or None if it is not a builtin."""
+    return _BUILTINS.get(name)
+
+
+def is_builtin(name: str) -> bool:
+    return name in _BUILTINS
+
+
+def is_impure(name: str) -> bool:
+    return name in IMPURE_BUILTINS
+
+
+def all_names():
+    return sorted(_BUILTINS)

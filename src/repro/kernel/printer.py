@@ -1,0 +1,252 @@
+"""Render IR back to CUDA- or OpenCL-flavoured pseudo source.
+
+Used for documentation, debugging and golden tests: every approximation
+transform's output can be inspected as readable code, the same way the
+paper's rewriter emits CUDA text (paper Fig 10, the *Rewriter* stage).
+The OpenCL dialect mirrors the paper's CUDA-to-OpenCL conversion script
+(§4.1), which is how generated kernels reached the CPU runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from . import ir
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Textual conventions of one target language."""
+
+    name: str
+    kernel_qualifier: str
+    device_qualifier: str
+    shared_qualifier: str
+    barrier: str
+    intrinsics: Dict[str, str]
+    pointer_space: Dict[str, str]  # memory space -> parameter qualifier
+    atomic_format: str  # format(op=..., args=...)
+
+
+CUDA = Dialect(
+    name="cuda",
+    kernel_qualifier="__global__ void",
+    device_qualifier="__device__",
+    shared_qualifier="__shared__",
+    barrier="__syncthreads();",
+    intrinsics={
+        "global_id": "blockIdx.x * blockDim.x + threadIdx.x",
+        "thread_id": "threadIdx.x",
+        "block_id": "blockIdx.x",
+        "block_dim": "blockDim.x",
+        "grid_dim": "gridDim.x",
+        "global_id_x": "blockIdx.x * blockDim.x + threadIdx.x",
+        "global_id_y": "blockIdx.y * blockDim.y + threadIdx.y",
+        "thread_id_x": "threadIdx.x",
+        "thread_id_y": "threadIdx.y",
+        "block_id_x": "blockIdx.x",
+        "block_id_y": "blockIdx.y",
+        "block_dim_x": "blockDim.x",
+        "block_dim_y": "blockDim.y",
+        "grid_dim_x": "gridDim.x",
+        "grid_dim_y": "gridDim.y",
+    },
+    pointer_space={"global": "", "shared": "", "constant": "__constant__ "},
+    atomic_format="atomic{Op}({args});",
+)
+
+OPENCL = Dialect(
+    name="opencl",
+    kernel_qualifier="__kernel void",
+    device_qualifier="",
+    shared_qualifier="__local",
+    barrier="barrier(CLK_LOCAL_MEM_FENCE);",
+    intrinsics={
+        "global_id": "get_global_id(0)",
+        "thread_id": "get_local_id(0)",
+        "block_id": "get_group_id(0)",
+        "block_dim": "get_local_size(0)",
+        "grid_dim": "get_num_groups(0)",
+        "global_id_x": "get_global_id(0)",
+        "global_id_y": "get_global_id(1)",
+        "thread_id_x": "get_local_id(0)",
+        "thread_id_y": "get_local_id(1)",
+        "block_id_x": "get_group_id(0)",
+        "block_id_y": "get_group_id(1)",
+        "block_dim_x": "get_local_size(0)",
+        "block_dim_y": "get_local_size(1)",
+        "grid_dim_x": "get_num_groups(0)",
+        "grid_dim_y": "get_num_groups(1)",
+    },
+    pointer_space={
+        "global": "__global ",
+        "shared": "__local ",
+        "constant": "__constant ",
+    },
+    atomic_format="atomic_{op}({args});",
+)
+
+_DIALECTS = {"cuda": CUDA, "opencl": OPENCL}
+
+_BINOP_SYMBOLS = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "mod": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "shl": "<<",
+    "shr": ">>",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+    "eq": "==",
+    "ne": "!=",
+    "land": "&&",
+    "lor": "||",
+}
+
+_UNOP_SYMBOLS = {"neg": "-", "lnot": "!", "bnot": "~"}
+
+_CTYPES = {
+    "f32": "float",
+    "f64": "double",
+    "i32": "int",
+    "i64": "long long",
+    "u32": "unsigned int",
+    "bool": "bool",
+}
+
+
+def resolve_dialect(dialect) -> Dialect:
+    if isinstance(dialect, Dialect):
+        return dialect
+    try:
+        return _DIALECTS[dialect]
+    except KeyError:
+        raise KeyError(f"unknown dialect {dialect!r}; known: {sorted(_DIALECTS)}")
+
+
+def print_expr(expr: ir.Expr, dialect="cuda") -> str:
+    """Render one expression as C-like text."""
+    dialect = resolve_dialect(dialect)
+    if isinstance(expr, ir.Const):
+        if expr.dtype.is_float:
+            text = repr(float(expr.value))
+            return text + ("f" if expr.dtype.name == "f32" else "")
+        if expr.dtype.is_bool:
+            return "true" if expr.value else "false"
+        return str(int(expr.value))
+    if isinstance(expr, ir.Var):
+        return expr.name
+    if isinstance(expr, ir.ArrayRef):
+        return expr.name
+    if isinstance(expr, ir.BinOp):
+        return (
+            f"({print_expr(expr.left, dialect)} {_BINOP_SYMBOLS[expr.op]} "
+            f"{print_expr(expr.right, dialect)})"
+        )
+    if isinstance(expr, ir.UnOp):
+        return f"{_UNOP_SYMBOLS[expr.op]}({print_expr(expr.operand, dialect)})"
+    if isinstance(expr, ir.Cast):
+        return f"({_CTYPES[expr.dtype.name]})({print_expr(expr.operand, dialect)})"
+    if isinstance(expr, ir.Select):
+        return (
+            f"({print_expr(expr.cond, dialect)} ? {print_expr(expr.if_true, dialect)}"
+            f" : {print_expr(expr.if_false, dialect)})"
+        )
+    if isinstance(expr, ir.Load):
+        return f"{expr.array.name}[{print_expr(expr.index, dialect)}]"
+    if isinstance(expr, ir.Call):
+        args = ", ".join(print_expr(a, dialect) for a in expr.args)
+        if expr.func in dialect.intrinsics:
+            return f"({dialect.intrinsics[expr.func]})"
+        return f"{expr.func}({args})"
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _print_body(
+    body: List[ir.Stmt], indent: int, lines: List[str], dialect: Dialect = CUDA
+) -> None:
+    pad = "    " * indent
+    for stmt in body:
+        if isinstance(stmt, ir.Assign):
+            lines.append(f"{pad}{stmt.target} = {print_expr(stmt.value, dialect)};")
+        elif isinstance(stmt, ir.Store):
+            lines.append(
+                f"{pad}{stmt.array.name}[{print_expr(stmt.index, dialect)}] = "
+                f"{print_expr(stmt.value, dialect)};"
+            )
+        elif isinstance(stmt, ir.AtomicRMW):
+            args = (
+                f"&{stmt.array.name}[{print_expr(stmt.index, dialect)}], "
+                f"{print_expr(stmt.value, dialect)}"
+            )
+            call = dialect.atomic_format.format(
+                Op=stmt.op.capitalize(), op=stmt.op, args=args
+            )
+            lines.append(f"{pad}{call}")
+        elif isinstance(stmt, ir.If):
+            lines.append(f"{pad}if ({print_expr(stmt.cond, dialect)}) {{")
+            _print_body(stmt.then_body, indent + 1, lines, dialect)
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                _print_body(stmt.else_body, indent + 1, lines, dialect)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, ir.For):
+            v = stmt.var
+            lines.append(
+                f"{pad}for (int {v} = {print_expr(stmt.start, dialect)}; "
+                f"{v} < {print_expr(stmt.stop, dialect)}; "
+                f"{v} += {print_expr(stmt.step, dialect)}) {{"
+            )
+            _print_body(stmt.body, indent + 1, lines, dialect)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, ir.Return):
+            if stmt.value is None:
+                lines.append(f"{pad}return;")
+            else:
+                lines.append(f"{pad}return {print_expr(stmt.value, dialect)};")
+        elif isinstance(stmt, ir.Barrier):
+            lines.append(f"{pad}{dialect.barrier}")
+        elif isinstance(stmt, ir.SharedAlloc):
+            size = "][".join(str(s) for s in stmt.shape)
+            lines.append(
+                f"{pad}{dialect.shared_qualifier} {_CTYPES[stmt.dtype.name]} "
+                f"{stmt.name}[{size}];"
+            )
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def print_function(fn: ir.Function, dialect="cuda") -> str:
+    """Render one function as CUDA- or OpenCL-flavoured pseudo source."""
+    dialect = resolve_dialect(dialect)
+    if fn.kind == "kernel":
+        qualifier = dialect.kernel_qualifier
+    else:
+        ret = _CTYPES[fn.return_type.dtype.name]
+        qualifier = f"{dialect.device_qualifier} {ret}".strip()
+    params = []
+    for p in fn.params:
+        if p.is_array:
+            space = dialect.pointer_space.get(p.type.space, "")
+            params.append(f"{space}{_CTYPES[p.type.dtype.name]}* {p.name}")
+        else:
+            params.append(f"{_CTYPES[p.type.dtype.name]} {p.name}")
+    lines = [f"{qualifier} {fn.name}({', '.join(params)}) {{"]
+    _print_body(fn.body, 1, lines, dialect)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: ir.Module, dialect="cuda") -> str:
+    """Render a whole module, device functions before kernels."""
+    dialect = resolve_dialect(dialect)
+    chunks = [print_function(f, dialect) for f in module.device_functions()]
+    chunks += [print_function(f, dialect) for f in module.kernels()]
+    return "\n\n".join(chunks)

@@ -1,0 +1,172 @@
+"""Structural validation of IR modules.
+
+The frontend produces well-formed IR by construction, but approximation
+transforms build IR programmatically, and a malformed rewrite should fail
+loudly at compile time rather than as a cryptic interpreter error.  The
+validator checks:
+
+* every ``Var`` refers to a parameter, loop variable, or a local assigned on
+  every path before use,
+* every ``ArrayRef`` refers to an array parameter or ``SharedAlloc``,
+* array indices are integers; stored values match the element dtype;
+  ``If``/``Select`` conditions are boolean,
+* ``Return`` appears only with the right shape for the function kind,
+* every ``Call`` resolves to a builtin or a device function in the module
+  with matching arity,
+* loop bounds are integer expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..errors import ValidationError
+from . import intrinsics, ir
+
+
+def validate_module(module: ir.Module) -> None:
+    """Validate every function in ``module``; raise ValidationError on the
+    first problem found."""
+    for fn in module.functions.values():
+        validate_function(fn, module)
+
+
+def validate_function(fn: ir.Function, module: ir.Module = None) -> None:
+    """Validate a single function against its (optional) containing module."""
+    _Validator(fn, module or ir.Module()).run()
+
+
+class _Validator:
+    def __init__(self, fn: ir.Function, module: ir.Module) -> None:
+        self.fn = fn
+        self.module = module
+        self.arrays = {p.name for p in fn.params if p.is_array}
+        self.scalars: Set[str] = {p.name for p in fn.params if not p.is_array}
+
+    def _fail(self, message: str) -> ValidationError:
+        return ValidationError(f"{self.fn.name}: {message}")
+
+    def run(self) -> None:
+        self._check_body(self.fn.body, self.scalars)
+
+    # Defined-variable tracking is flow-sensitive in a simple way: a variable
+    # assigned in both arms of an If counts as defined afterwards; one
+    # assigned in a loop body or a single arm only counts inside it.
+    def _check_body(self, body: List[ir.Stmt], defined: Set[str]) -> Set[str]:
+        for stmt in body:
+            defined = self._check_stmt(stmt, defined)
+        return defined
+
+    def _check_stmt(self, stmt: ir.Stmt, defined: Set[str]) -> Set[str]:
+        if isinstance(stmt, ir.Assign):
+            self._check_expr(stmt.value, defined)
+            return defined | {stmt.target}
+        if isinstance(stmt, ir.Store):
+            self._check_array(stmt.array)
+            self._check_index(stmt.index, defined)
+            self._check_expr(stmt.value, defined)
+            if stmt.value.dtype != stmt.array.dtype:
+                raise self._fail(
+                    f"store to {stmt.array.name!r} of {stmt.value.dtype} "
+                    f"into {stmt.array.dtype} elements"
+                )
+            return defined
+        if isinstance(stmt, ir.AtomicRMW):
+            self._check_array(stmt.array)
+            self._check_index(stmt.index, defined)
+            self._check_expr(stmt.value, defined)
+            return defined
+        if isinstance(stmt, ir.If):
+            self._check_expr(stmt.cond, defined)
+            if not stmt.cond.dtype.is_bool:
+                raise self._fail("if condition must be boolean")
+            then_defs = self._check_body(stmt.then_body, set(defined))
+            else_defs = self._check_body(stmt.else_body, set(defined))
+            return then_defs & else_defs
+        if isinstance(stmt, ir.For):
+            for bound, label in ((stmt.start, "start"), (stmt.stop, "stop"), (stmt.step, "step")):
+                self._check_expr(bound, defined)
+                if not bound.dtype.is_integer:
+                    raise self._fail(f"loop {label} must be an integer expression")
+            self._check_body(stmt.body, defined | {stmt.var})
+            return defined
+        if isinstance(stmt, ir.Return):
+            if self.fn.kind == "kernel" and stmt.value is not None:
+                raise self._fail("kernel returns a value")
+            if self.fn.kind == "device":
+                if stmt.value is None:
+                    raise self._fail("device function returns nothing")
+                self._check_expr(stmt.value, defined)
+            return defined
+        if isinstance(stmt, ir.Barrier):
+            return defined
+        if isinstance(stmt, ir.SharedAlloc):
+            if stmt.name in self.arrays or stmt.name in self.scalars:
+                raise self._fail(f"shared array {stmt.name!r} shadows another name")
+            self.arrays.add(stmt.name)
+            return defined
+        raise self._fail(f"unknown statement {type(stmt).__name__}")
+
+    def _check_array(self, ref: ir.ArrayRef) -> None:
+        if ref.name not in self.arrays:
+            raise self._fail(f"reference to unknown array {ref.name!r}")
+
+    def _check_index(self, index: ir.Expr, defined: Set[str]) -> None:
+        self._check_expr(index, defined)
+        if not index.dtype.is_integer:
+            raise self._fail(f"array index has dtype {index.dtype}, expected integer")
+
+    def _check_expr(self, expr: ir.Expr, defined: Set[str]) -> None:
+        if isinstance(expr, ir.Const):
+            return
+        if isinstance(expr, ir.Var):
+            if expr.name not in defined:
+                raise self._fail(f"use of undefined variable {expr.name!r}")
+            return
+        if isinstance(expr, ir.ArrayRef):
+            self._check_array(expr)
+            return
+        if isinstance(expr, ir.BinOp):
+            self._check_expr(expr.left, defined)
+            self._check_expr(expr.right, defined)
+            return
+        if isinstance(expr, ir.UnOp):
+            self._check_expr(expr.operand, defined)
+            return
+        if isinstance(expr, ir.Cast):
+            self._check_expr(expr.operand, defined)
+            return
+        if isinstance(expr, ir.Select):
+            self._check_expr(expr.cond, defined)
+            if not expr.cond.dtype.is_bool:
+                raise self._fail("select condition must be boolean")
+            self._check_expr(expr.if_true, defined)
+            self._check_expr(expr.if_false, defined)
+            return
+        if isinstance(expr, ir.Load):
+            self._check_array(expr.array)
+            self._check_index(expr.index, defined)
+            return
+        if isinstance(expr, ir.Call):
+            for a in expr.args:
+                self._check_expr(a, defined)
+            builtin = intrinsics.get(expr.func)
+            if builtin is not None:
+                if builtin.arity != len(expr.args) and not intrinsics.is_impure(expr.func):
+                    raise self._fail(
+                        f"{expr.func}() called with {len(expr.args)} args, "
+                        f"expects {builtin.arity}"
+                    )
+                return
+            if expr.func in self.module:
+                callee = self.module[expr.func]
+                if callee.kind != "device":
+                    raise self._fail(f"cannot call kernel {expr.func!r}")
+                if len(callee.params) != len(expr.args):
+                    raise self._fail(
+                        f"{expr.func}() called with {len(expr.args)} args, "
+                        f"expects {len(callee.params)}"
+                    )
+                return
+            raise self._fail(f"call to unknown function {expr.func!r}")
+        raise self._fail(f"unknown expression {type(expr).__name__}")

@@ -1,0 +1,215 @@
+"""Generic traversal and rewriting machinery for the kernel IR.
+
+Three tools live here:
+
+* :func:`walk` — yield every node of a function/statement/expression tree in
+  pre-order; the workhorse of the pattern detectors.
+* :class:`Transformer` — a rebuild-on-the-way-out rewriter.  Subclasses
+  override ``visit_<NodeClass>`` methods and return replacement nodes; the
+  default implementation reconstructs each node from transformed children,
+  so unmodified subtrees are fresh copies (transforms never alias the input
+  tree).
+* :func:`clone` — a deep structural copy implemented as the identity
+  transform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from . import ir
+
+
+def _children(node: ir.Node) -> List[ir.Node]:
+    """Return the direct child nodes of ``node`` in source order."""
+    if isinstance(node, ir.Const) or isinstance(node, ir.Var):
+        return []
+    if isinstance(node, ir.ArrayRef):
+        return []
+    if isinstance(node, ir.BinOp):
+        return [node.left, node.right]
+    if isinstance(node, ir.UnOp):
+        return [node.operand]
+    if isinstance(node, ir.Cast):
+        return [node.operand]
+    if isinstance(node, ir.Select):
+        return [node.cond, node.if_true, node.if_false]
+    if isinstance(node, ir.Load):
+        return [node.array, node.index]
+    if isinstance(node, ir.Call):
+        return list(node.args)
+    if isinstance(node, ir.Assign):
+        return [node.value]
+    if isinstance(node, ir.Store):
+        return [node.array, node.index, node.value]
+    if isinstance(node, ir.AtomicRMW):
+        return [node.array, node.index, node.value]
+    if isinstance(node, ir.If):
+        return [node.cond, *node.then_body, *node.else_body]
+    if isinstance(node, ir.For):
+        return [node.start, node.stop, node.step, *node.body]
+    if isinstance(node, ir.Return):
+        return [node.value] if node.value is not None else []
+    if isinstance(node, (ir.Barrier, ir.SharedAlloc)):
+        return []
+    if isinstance(node, ir.Function):
+        return list(node.body)
+    raise TypeError(f"unknown IR node {type(node).__name__}")
+
+
+def walk(node: ir.Node) -> Iterator[ir.Node]:
+    """Yield ``node`` and all its descendants in pre-order."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(_children(current)))
+
+
+def walk_statements(body: List[ir.Stmt]) -> Iterator[ir.Stmt]:
+    """Yield every statement in ``body``, recursing into If/For bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ir.If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, ir.For):
+            yield from walk_statements(stmt.body)
+
+
+class Transformer:
+    """Rebuild an IR tree, letting subclasses replace selected nodes.
+
+    Dispatch is by exact class name: a subclass defining ``visit_For`` sees
+    every :class:`~repro.kernel.ir.For` node (children already transformed)
+    and returns its replacement.  Statement hooks may return a single
+    statement or a list of statements, which lets transforms splice in
+    adjustment code — the mechanism Paraprox uses to insert the reduction
+    scaling fix-up.
+    """
+
+    # -- public API ---------------------------------------------------------
+
+    def transform_function(self, fn: ir.Function) -> ir.Function:
+        return ir.Function(
+            name=fn.name,
+            params=[ir.Param(p.name, p.type) for p in fn.params],
+            body=self.transform_body(fn.body),
+            kind=fn.kind,
+            return_type=fn.return_type,
+        )
+
+    def transform_body(self, body: List[ir.Stmt]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        for stmt in body:
+            result = self.transform_stmt(stmt)
+            if result is None:
+                continue
+            if isinstance(result, list):
+                out.extend(result)
+            else:
+                out.append(result)
+        return out
+
+    def transform_stmt(self, stmt: ir.Stmt):
+        rebuilt = self._rebuild_stmt(stmt)
+        hook = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if hook is not None:
+            return hook(rebuilt)
+        return rebuilt
+
+    def transform_expr(self, expr: ir.Expr) -> ir.Expr:
+        rebuilt = self._rebuild_expr(expr)
+        hook = getattr(self, f"visit_{type(expr).__name__}", None)
+        if hook is not None:
+            return hook(rebuilt)
+        return rebuilt
+
+    # -- node reconstruction ------------------------------------------------
+
+    def _rebuild_expr(self, e: ir.Expr) -> ir.Expr:
+        if isinstance(e, ir.Const):
+            return ir.Const(e.value, e.dtype)
+        if isinstance(e, ir.Var):
+            return ir.Var(e.name, e.dtype)
+        if isinstance(e, ir.ArrayRef):
+            return ir.ArrayRef(e.name, e.type)
+        if isinstance(e, ir.BinOp):
+            return ir.BinOp(
+                e.op, self.transform_expr(e.left), self.transform_expr(e.right), e.dtype
+            )
+        if isinstance(e, ir.UnOp):
+            return ir.UnOp(e.op, self.transform_expr(e.operand), e.dtype)
+        if isinstance(e, ir.Cast):
+            return ir.Cast(self.transform_expr(e.operand), e.dtype)
+        if isinstance(e, ir.Select):
+            return ir.Select(
+                self.transform_expr(e.cond),
+                self.transform_expr(e.if_true),
+                self.transform_expr(e.if_false),
+                e.dtype,
+            )
+        if isinstance(e, ir.Load):
+            return ir.Load(self.transform_expr(e.array), self.transform_expr(e.index))
+        if isinstance(e, ir.Call):
+            return ir.Call(e.func, [self.transform_expr(a) for a in e.args], e.dtype)
+        raise TypeError(f"unknown expression {type(e).__name__}")
+
+    def _rebuild_stmt(self, s: ir.Stmt) -> ir.Stmt:
+        if isinstance(s, ir.Assign):
+            return ir.Assign(s.target, self.transform_expr(s.value))
+        if isinstance(s, ir.Store):
+            return ir.Store(
+                self.transform_expr(s.array),
+                self.transform_expr(s.index),
+                self.transform_expr(s.value),
+            )
+        if isinstance(s, ir.AtomicRMW):
+            return ir.AtomicRMW(
+                s.op,
+                self.transform_expr(s.array),
+                self.transform_expr(s.index),
+                self.transform_expr(s.value),
+            )
+        if isinstance(s, ir.If):
+            return ir.If(
+                self.transform_expr(s.cond),
+                self.transform_body(s.then_body),
+                self.transform_body(s.else_body),
+            )
+        if isinstance(s, ir.For):
+            return ir.For(
+                s.var,
+                self.transform_expr(s.start),
+                self.transform_expr(s.stop),
+                self.transform_expr(s.step),
+                self.transform_body(s.body),
+            )
+        if isinstance(s, ir.Return):
+            value = self.transform_expr(s.value) if s.value is not None else None
+            return ir.Return(value)
+        if isinstance(s, ir.Barrier):
+            return ir.Barrier()
+        if isinstance(s, ir.SharedAlloc):
+            return ir.SharedAlloc(s.name, tuple(s.shape), s.dtype)
+        raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def clone(node):
+    """Deep-copy a function, statement or expression tree."""
+    t = Transformer()
+    if isinstance(node, ir.Function):
+        return t.transform_function(node)
+    if isinstance(node, ir.Stmt):
+        return t.transform_stmt(node)
+    if isinstance(node, ir.Expr):
+        return t.transform_expr(node)
+    raise TypeError(f"cannot clone {type(node).__name__}")
+
+
+def clone_module(module: ir.Module) -> ir.Module:
+    """Deep-copy a whole module."""
+    out = ir.Module()
+    for fn in module.functions.values():
+        out.add(clone(fn))
+    return out

@@ -1,0 +1,33 @@
+"""Detection of the six data-parallel patterns Paraprox targets."""
+
+from .base import (
+    MapMatch,
+    Pattern,
+    PatternMatch,
+    ReductionMatch,
+    ScanMatch,
+    StencilMatch,
+)
+from .detector import DetectionResult, PatternDetector
+from .map_detect import detect_map
+from .reduction_detect import detect_reduction
+from .scan_detect import detect_scan, mark_scan, register_template, signature
+from .stencil_detect import detect_stencil
+
+__all__ = [
+    "Pattern",
+    "PatternMatch",
+    "MapMatch",
+    "StencilMatch",
+    "ReductionMatch",
+    "ScanMatch",
+    "PatternDetector",
+    "DetectionResult",
+    "detect_map",
+    "detect_stencil",
+    "detect_reduction",
+    "detect_scan",
+    "mark_scan",
+    "register_template",
+    "signature",
+]

@@ -1,0 +1,83 @@
+"""Pattern taxonomy and match records (paper §2, Fig 1).
+
+Paraprox targets six data-parallel patterns; a detector produces one
+:class:`PatternMatch` per occurrence, and each approximation optimization
+consumes the match kind it specialises in:
+
+=================  =================================
+Pattern            Optimization (paper §3)
+=================  =================================
+Map                approximate memoization (§3.1)
+Scatter/Gather     approximate memoization (§3.1)
+Stencil            tile replication (§3.2)
+Partition          tile replication (§3.2)
+Reduction          sampling + adjustment (§3.3)
+Scan               subarray substitution (§3.4)
+=================  =================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.affine import TileGeometry
+from ..analysis.reductions import ReductionLoop
+from ..kernel import ir
+
+
+class Pattern(enum.Enum):
+    """The six data-parallel patterns of paper Fig 1."""
+
+    MAP = "map"
+    SCATTER_GATHER = "scatter_gather"
+    REDUCTION = "reduction"
+    SCAN = "scan"
+    STENCIL = "stencil"
+    PARTITION = "partition"
+
+
+@dataclass
+class PatternMatch:
+    """Base record: a pattern found in ``kernel``."""
+
+    pattern: Pattern
+    kernel: str
+
+
+@dataclass
+class MapMatch(PatternMatch):
+    """A map or scatter/gather kernel: it calls pure, compute-heavy device
+    functions that qualify for approximate memoization."""
+
+    #: names of pure device functions worth memoizing, outermost first
+    candidates: List[str] = field(default_factory=list)
+    #: pure functions rejected by the Eq.-1 profitability test
+    unprofitable: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StencilMatch(PatternMatch):
+    """A stencil/partition kernel and the tile geometry of each array."""
+
+    tiles: List[TileGeometry] = field(default_factory=list)
+
+    @property
+    def tile(self) -> TileGeometry:
+        return max(self.tiles, key=lambda t: t.size)
+
+
+@dataclass
+class ReductionMatch(PatternMatch):
+    """A kernel with one or more reduction loops."""
+
+    loops: List[ReductionLoop] = field(default_factory=list)
+
+
+@dataclass
+class ScanMatch(PatternMatch):
+    """A kernel recognised as the first phase of a three-phase scan."""
+
+    #: how the match was established: "template" or "pragma"
+    source: str = "template"

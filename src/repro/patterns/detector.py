@@ -1,0 +1,81 @@
+"""Pattern detection orchestrator (the *Pattern Detection* box of paper
+Fig 2 / Fig 10).
+
+Runs every detector over every kernel of a module and reports all matches.
+A kernel can exhibit several patterns at once — Convolution Separable is
+both stencil and reduction in the paper (Table 1) — and the optimizer
+downstream generates approximate variants for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.latency import GPU_LATENCIES, LatencyTable
+from ..kernel import ir
+from ..kernel.frontend import KernelFn
+from .base import PatternMatch
+from .map_detect import detect_map
+from .reduction_detect import detect_reduction
+from .scan_detect import detect_scan
+from .stencil_detect import detect_stencil
+
+
+@dataclass
+class DetectionResult:
+    """All pattern matches found in one module, per kernel."""
+
+    matches: Dict[str, List[PatternMatch]] = field(default_factory=dict)
+
+    def for_kernel(self, name: str) -> List[PatternMatch]:
+        return self.matches.get(name, [])
+
+    def all_matches(self) -> List[PatternMatch]:
+        return [m for ms in self.matches.values() for m in ms]
+
+    def patterns(self) -> List[str]:
+        return sorted({m.pattern.value for m in self.all_matches()})
+
+
+class PatternDetector:
+    """Detects all six data-parallel patterns in kernels of a module.
+
+    Args:
+        latency_table: the target's instruction latency table, used by the
+            map detector's Eq.-1 profitability test.  Defaults to the GPU
+            table.
+    """
+
+    def __init__(self, latency_table: LatencyTable = GPU_LATENCIES) -> None:
+        self.latency_table = latency_table
+
+    def detect_kernel(self, fn: ir.Function, module: ir.Module) -> List[PatternMatch]:
+        """All matches for one kernel, in optimization priority order."""
+        matches: List[PatternMatch] = []
+        scan = detect_scan(fn, module)
+        if scan is not None:
+            # A scan kernel's internal accumulations are part of the scan
+            # template; do not additionally classify them as reductions.
+            return [scan]
+        for found in (
+            detect_map(fn, module, self.latency_table),
+            detect_stencil(fn, module),
+            detect_reduction(fn, module),
+        ):
+            if found is not None:
+                matches.append(found)
+        return matches
+
+    def detect(self, target) -> DetectionResult:
+        """Detect patterns in a KernelFn or a whole Module."""
+        if isinstance(target, KernelFn):
+            module = target.module
+        elif isinstance(target, ir.Module):
+            module = target
+        else:
+            raise TypeError(f"cannot detect patterns in {type(target).__name__}")
+        result = DetectionResult()
+        for fn in module.kernels():
+            result.matches[fn.name] = self.detect_kernel(fn, module)
+        return result

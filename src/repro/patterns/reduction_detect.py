@@ -1,0 +1,22 @@
+"""Reduction detection — a thin kernel-level wrapper over the loop analysis
+of :mod:`repro.analysis.reductions` (paper §3.3.2)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.reductions import find_reduction_loops
+from ..kernel import ir
+from .base import Pattern, ReductionMatch
+
+
+def detect_reduction(
+    fn: ir.Function, module: ir.Module = None
+) -> Optional[ReductionMatch]:
+    """Return a ReductionMatch if ``fn`` contains reduction loops."""
+    if fn.kind != "kernel":
+        return None
+    loops = find_reduction_loops(fn)
+    if not loops:
+        return None
+    return ReductionMatch(pattern=Pattern.REDUCTION, kernel=fn.name, loops=loops)

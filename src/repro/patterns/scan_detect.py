@@ -1,0 +1,151 @@
+"""Scan detection by AST template matching (paper §3.4.2).
+
+"Because of its complicated implementation, detecting a scan pattern is
+generally difficult.  A programmer can mark scan patterns for the compiler
+using pragmas, or the compiler can use template matching to find scan
+kernels...  Paraprox uses the second approach by performing a recursive
+post order traversal of the abstract syntax tree of the kernel and
+comparing it with the template."
+
+We implement exactly that: :func:`signature` canonicalises a kernel body
+into a post-order token string with variable names alpha-renamed in order
+of first appearance and integer constants erased (subarray sizes differ
+between template and subject), and a registry of known scan-phase-I
+signatures is compared against each kernel.  The pragma escape hatch is
+:func:`mark_scan`.
+
+The paper's §5 admits this technique is brittle against code variation;
+that brittleness is inherited faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..kernel import ir
+from ..kernel.frontend import KernelFn
+from .base import Pattern, ScanMatch
+
+#: kernels explicitly marked by the programmer (pragma equivalent)
+_PRAGMA_MARKED: set = set()
+
+#: registered template signatures: signature -> template name
+_TEMPLATES: Dict[str, str] = {}
+
+
+def signature(fn: ir.Function) -> str:
+    """Canonical post-order token string of a function body."""
+    names: Dict[str, str] = {}
+
+    def rename(name: str) -> str:
+        if name not in names:
+            names[name] = f"v{len(names)}"
+        return names[name]
+
+    tokens: List[str] = []
+
+    def expr(e: ir.Expr) -> None:
+        if isinstance(e, ir.Const):
+            tokens.append("c")  # value-erased
+        elif isinstance(e, ir.Var):
+            tokens.append(rename(e.name))
+        elif isinstance(e, ir.ArrayRef):
+            tokens.append(rename(e.name))
+        elif isinstance(e, ir.BinOp):
+            expr(e.left)
+            expr(e.right)
+            tokens.append(e.op)
+        elif isinstance(e, ir.UnOp):
+            expr(e.operand)
+            tokens.append(e.op)
+        elif isinstance(e, ir.Cast):
+            expr(e.operand)
+            tokens.append("cast")
+        elif isinstance(e, ir.Select):
+            expr(e.cond)
+            expr(e.if_true)
+            expr(e.if_false)
+            tokens.append("select")
+        elif isinstance(e, ir.Load):
+            expr(e.array)
+            expr(e.index)
+            tokens.append("load")
+        elif isinstance(e, ir.Call):
+            for a in e.args:
+                expr(a)
+            tokens.append(f"call:{e.func}" if e.func in ir.THREAD_INTRINSICS else "call")
+        else:  # pragma: no cover
+            raise TypeError(type(e).__name__)
+
+    def stmt(s: ir.Stmt) -> None:
+        if isinstance(s, ir.Assign):
+            expr(s.value)
+            tokens.append(f"assign:{rename(s.target)}")
+        elif isinstance(s, ir.Store):
+            expr(s.array)
+            expr(s.index)
+            expr(s.value)
+            tokens.append("store")
+        elif isinstance(s, ir.AtomicRMW):
+            expr(s.array)
+            expr(s.index)
+            expr(s.value)
+            tokens.append(f"atomic:{s.op}")
+        elif isinstance(s, ir.If):
+            expr(s.cond)
+            for b in s.then_body:
+                stmt(b)
+            tokens.append("then")
+            for b in s.else_body:
+                stmt(b)
+            tokens.append("if")
+        elif isinstance(s, ir.For):
+            expr(s.start)
+            expr(s.stop)
+            expr(s.step)
+            for b in s.body:
+                stmt(b)
+            tokens.append(f"for:{rename(s.var)}")
+        elif isinstance(s, ir.Return):
+            if s.value is not None:
+                expr(s.value)
+            tokens.append("return")
+        elif isinstance(s, ir.Barrier):
+            tokens.append("barrier")
+        elif isinstance(s, ir.SharedAlloc):
+            tokens.append(f"shared:{rename(s.name)}")
+        else:  # pragma: no cover
+            raise TypeError(type(s).__name__)
+
+    for s in fn.body:
+        stmt(s)
+    return " ".join(tokens)
+
+
+def register_template(kernel: Union[KernelFn, ir.Function], name: str = None) -> None:
+    """Register a known scan phase-I implementation as a match template."""
+    fn = kernel.fn if isinstance(kernel, KernelFn) else kernel
+    _TEMPLATES[signature(fn)] = name or fn.name
+
+
+def mark_scan(kernel: Union[KernelFn, ir.Function]) -> None:
+    """Programmer pragma: assert that ``kernel`` implements a scan phase."""
+    fn = kernel.fn if isinstance(kernel, KernelFn) else kernel
+    _PRAGMA_MARKED.add(fn.name)
+
+
+def clear_registry() -> None:
+    """Forget all templates and pragmas (test isolation)."""
+    _TEMPLATES.clear()
+    _PRAGMA_MARKED.clear()
+
+
+def detect_scan(fn: ir.Function, module: ir.Module = None) -> Optional[ScanMatch]:
+    """Return a ScanMatch if ``fn`` is pragma-marked or matches a template."""
+    if fn.kind != "kernel":
+        return None
+    if fn.name in _PRAGMA_MARKED:
+        return ScanMatch(pattern=Pattern.SCAN, kernel=fn.name, source="pragma")
+    if signature(fn) in _TEMPLATES:
+        return ScanMatch(pattern=Pattern.SCAN, kernel=fn.name, source="template")
+    return None

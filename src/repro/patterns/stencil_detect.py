@@ -1,0 +1,57 @@
+"""Stencil/partition detection (paper §3.2.2).
+
+The detector looks for a constant number of affine loads from the same
+array whose indices share the shape ``(f + i) * w + (g + j)``: the affine
+analysis recovers the tile offsets, and a tile with at least
+:data:`MIN_TILE` distinct accesses marks the kernel as a stencil (or
+partition, when the tile's anchor advances by the tile extent per thread
+rather than by one element).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.affine import extract_load_polynomials, infer_tile
+from ..kernel import ir
+from .base import Pattern, StencilMatch
+
+#: Minimum distinct same-array accesses that constitute a tile.
+MIN_TILE = 3
+
+
+def detect_stencil(fn: ir.Function, module: ir.Module = None) -> Optional[StencilMatch]:
+    """Return a StencilMatch if ``fn`` reads at least one array as tiles."""
+    if fn.kind != "kernel":
+        return None
+    accesses = extract_load_polynomials(fn)
+    tiles = []
+    partition = False
+    for name, acc in accesses.items():
+        distinct = {p.terms for p in acc.forms}
+        if len(distinct) < MIN_TILE:
+            continue
+        tile = infer_tile(name, acc.forms)
+        if tile is None or tile.size < MIN_TILE:
+            continue
+        tiles.append(tile)
+        partition = partition or _is_partition(acc.forms, tile)
+    if not tiles:
+        return None
+    return StencilMatch(
+        pattern=Pattern.PARTITION if partition else Pattern.STENCIL,
+        kernel=fn.name,
+        tiles=tiles,
+    )
+
+
+def _is_partition(forms, tile) -> bool:
+    """Partition heuristic: the anchor polynomial scales a thread-derived
+    symbol by (at least) the tile extent, i.e. tiles do not overlap between
+    neighbouring threads.  Stencil anchors advance by 1 per thread."""
+    base = forms[0]
+    extent = max(tile.cols, 1)
+    for mono, coeff in base.nonconst_terms:
+        if any(s.startswith("%") for s in mono) and abs(coeff) >= extent > 1:
+            return True
+    return False

@@ -1,0 +1,132 @@
+"""SAGE/Green-style online calibration (paper §5, "Runtime System").
+
+The runtime does not check quality on every invocation — that would erase
+the speedup.  Instead it samples: every ``check_interval``-th invocation
+also runs the exact kernel, measures quality, and
+
+* backs off to the next less aggressive variant when the TOQ is violated,
+* (optionally) advances to a more aggressive variant when quality exceeds
+  the TOQ by a margin for several consecutive checks (Green's behaviour).
+
+SAGE's experiments put the overhead of checking every 40-50 invocations
+below 5%; :attr:`CalibratedRuntime.overhead` reports the same statistic
+for our runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import TuningError
+
+
+@dataclass
+class InvocationRecord:
+    """What happened on one invocation of the calibrated runtime."""
+
+    index: int
+    variant: str
+    checked: bool
+    quality: Optional[float] = None
+    action: str = ""  # "", "back_off", "advance"
+
+
+@dataclass
+class CalibrationStats:
+    invocations: int = 0
+    checks: int = 0
+    violations: int = 0
+    back_offs: int = 0
+    advances: int = 0
+    records: List[InvocationRecord] = field(default_factory=list)
+
+    @property
+    def overhead(self) -> float:
+        """Fraction of extra (exact) executions spent on quality checks."""
+        if self.invocations == 0:
+            return 0.0
+        return self.checks / self.invocations
+
+
+class CalibratedRuntime:
+    """Executes an invocation stream with periodic quality calibration.
+
+    Args:
+        app: the application.
+        ladder: variants ordered least -> most aggressive (None entries are
+            not allowed; the exact program is the implicit rung below 0).
+        toq: target output quality.
+        check_interval: invocations between quality checks (paper: 40-50).
+        advance_after: consecutive clean checks before trying the next more
+            aggressive rung; 0 disables advancing.
+        margin: quality slack over the TOQ required to advance.
+    """
+
+    def __init__(
+        self,
+        app,
+        ladder: List[object],
+        toq: float = 0.90,
+        check_interval: int = 40,
+        advance_after: int = 2,
+        margin: float = 0.02,
+    ) -> None:
+        if check_interval < 1:
+            raise TuningError("check_interval must be >= 1")
+        self.app = app
+        self.ladder = list(ladder)
+        self.toq = toq
+        self.check_interval = check_interval
+        self.advance_after = advance_after
+        self.margin = margin
+        #: current rung: -1 = exact, 0..len(ladder)-1 = ladder index
+        self.rung = len(self.ladder) - 1 if self.ladder else -1
+        self.stats = CalibrationStats()
+        self._clean_streak = 0
+
+    @property
+    def current_name(self) -> str:
+        return "exact" if self.rung < 0 else self.ladder[self.rung].name
+
+    def invoke(self, inputs):
+        """Run one invocation; periodically also run exact and calibrate."""
+        i = self.stats.invocations
+        self.stats.invocations += 1
+        checked = (i % self.check_interval) == self.check_interval - 1
+
+        if self.rung < 0:
+            out, _trace = self.app.run_exact(inputs)
+            self.stats.records.append(
+                InvocationRecord(i, "exact", checked=False)
+            )
+            return out
+
+        variant = self.ladder[self.rung]
+        out, _trace = self.app.run_variant(variant, inputs)
+        record = InvocationRecord(i, variant.name, checked=checked)
+        if checked:
+            self.stats.checks += 1
+            exact_out, _t = self.app.run_exact(inputs)
+            q = self.app.quality(out, exact_out)
+            record.quality = q
+            if q < self.toq:
+                self.stats.violations += 1
+                self.stats.back_offs += 1
+                self.rung -= 1
+                self._clean_streak = 0
+                record.action = "back_off"
+            else:
+                self._clean_streak += 1
+                if (
+                    self.advance_after
+                    and self._clean_streak >= self.advance_after
+                    and q >= self.toq + self.margin
+                    and self.rung < len(self.ladder) - 1
+                ):
+                    self.rung += 1
+                    self.stats.advances += 1
+                    self._clean_streak = 0
+                    record.action = "advance"
+        self.stats.records.append(record)
+        return out

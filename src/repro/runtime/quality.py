@@ -1,0 +1,83 @@
+"""Output-quality metrics (paper Table 1 and §4.2).
+
+Each benchmark measures quality with an application-specific error metric —
+L1-norm, L2-norm or mean relative error — always comparing the approximate
+output against the unmodified exact output.  Quality is reported as a
+fraction in [0, 1]; the paper's 90 % target output quality is ``toq=0.90``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+#: Guard against division by zero in relative errors.
+EPSILON = 1e-12
+
+
+def _as_f64(a, e):
+    a = np.asarray(a, dtype=np.float64).ravel()
+    e = np.asarray(e, dtype=np.float64).ravel()
+    if a.shape != e.shape:
+        raise ValueError(f"shape mismatch: approx {a.shape} vs exact {e.shape}")
+    return a, e
+
+
+def mean_relative_error(approx, exact) -> float:
+    """mean(|approx - exact| / |exact|), with an epsilon floor on |exact|."""
+    a, e = _as_f64(approx, exact)
+    denom = np.maximum(np.abs(e), EPSILON)
+    return float(np.mean(np.abs(a - e) / denom))
+
+
+def l1_norm_error(approx, exact) -> float:
+    """sum(|approx - exact|) / sum(|exact|) — relative L1 distance."""
+    a, e = _as_f64(approx, exact)
+    denom = max(float(np.sum(np.abs(e))), EPSILON)
+    return float(np.sum(np.abs(a - e)) / denom)
+
+
+def l2_norm_error(approx, exact) -> float:
+    """||approx - exact||_2 / ||exact||_2 — relative L2 distance."""
+    a, e = _as_f64(approx, exact)
+    denom = max(float(np.sqrt(np.sum(e * e))), EPSILON)
+    return float(np.sqrt(np.sum((a - e) ** 2)) / denom)
+
+
+def relative_errors(approx, exact) -> np.ndarray:
+    """Per-element relative error — the quantity behind the error CDF of
+    paper Fig 13."""
+    a, e = _as_f64(approx, exact)
+    return np.abs(a - e) / np.maximum(np.abs(e), EPSILON)
+
+
+_METRICS: Dict[str, Callable] = {
+    "mean_relative": mean_relative_error,
+    "l1": l1_norm_error,
+    "l2": l2_norm_error,
+}
+
+
+@dataclass(frozen=True)
+class QualityMetric:
+    """A named error metric with the quality = 1 - error convention."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _METRICS:
+            raise KeyError(f"unknown metric {self.name!r}; known: {sorted(_METRICS)}")
+
+    def error(self, approx, exact) -> float:
+        return _METRICS[self.name](approx, exact)
+
+    def quality(self, approx, exact) -> float:
+        """Output quality in [0, 1]: 1 - error, floored at 0."""
+        return max(0.0, 1.0 - self.error(approx, exact))
+
+
+MEAN_RELATIVE = QualityMetric("mean_relative")
+L1_NORM = QualityMetric("l1")
+L2_NORM = QualityMetric("l2")

@@ -1,0 +1,155 @@
+"""The runtime tuner (paper Fig 2, right-hand box).
+
+Paraprox's compiler emits approximate kernels with knobs; a Green/SAGE-
+style runtime then *profiles* them on training inputs and greedily picks
+the fastest variant whose measured output quality satisfies the TOQ,
+falling back to the exact kernel when nothing qualifies.  Modelled cycles
+come from the device cost model, quality from the application's metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..device import CostModel, DeviceSpec
+from ..errors import TuningError
+
+
+@dataclass
+class VariantProfile:
+    """Measured behaviour of one variant on the training inputs."""
+
+    variant: object  # ApproxKernel | ScanVariant | None for exact
+    quality: float
+    cycles: float
+    speedup: float
+
+    @property
+    def name(self) -> str:
+        return "exact" if self.variant is None else self.variant.name
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one application for one device."""
+
+    app: str
+    device: str
+    toq: float
+    chosen: VariantProfile
+    profiles: List[VariantProfile] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.chosen.speedup
+
+    @property
+    def quality(self) -> float:
+        return self.chosen.quality
+
+    def frontier(self) -> List[VariantProfile]:
+        """Quality/speedup pairs sorted by quality, for Fig-12-style
+        tradeoff curves (exact point included)."""
+        return sorted(self.profiles, key=lambda p: -p.quality)
+
+    def summary(self) -> dict:
+        """A JSON-serialisable record of this tuning run — what a
+        deployment would persist to skip retuning on restart."""
+        def row(p: VariantProfile) -> dict:
+            return {
+                "name": p.name,
+                "quality": float(p.quality),
+                "speedup": float(p.speedup),
+                "knobs": _plain(getattr(p.variant, "knobs", {})),
+            }
+
+        return {
+            "app": self.app,
+            "device": self.device,
+            "toq": float(self.toq),
+            "chosen": row(self.chosen),
+            "profiles": [row(p) for p in self.profiles],
+        }
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.summary(), indent=2)
+
+
+def _plain(knobs: dict) -> dict:
+    """Knob values coerced to JSON-friendly types."""
+    out = {}
+    for k, v in (knobs or {}).items():
+        if isinstance(v, tuple):
+            out[k] = list(v)
+        elif isinstance(v, (str, int, float, bool, list)) or v is None:
+            out[k] = v
+        else:
+            out[k] = str(v)
+    return out
+
+
+class GreedyTuner:
+    """Profiles variants and picks the fastest that satisfies the TOQ."""
+
+    def __init__(self, spec: DeviceSpec, toq: float = 0.90) -> None:
+        if not 0.0 < toq <= 1.0:
+            raise TuningError(f"TOQ must be in (0, 1], got {toq}")
+        self.spec = spec
+        self.cost_model = CostModel(spec)
+        self.toq = toq
+
+    def profile(self, app, variants, inputs, repeats: int = 1) -> TuningResult:
+        """Run the exact program and every variant on ``inputs`` and build
+        the tuning result.
+
+        ``repeats`` > 1 averages quality over several fresh input sets
+        (the paper trains over its first 10 executions).
+        """
+        input_sets = [inputs]
+        for r in range(1, repeats):
+            input_sets.append(app.generate_inputs(seed=app.seed + 1000 + r))
+
+        exact_runs = [app.run_exact(i) for i in input_sets]
+        exact_cycles = sum(
+            self.cost_model.cycles(t) for _o, t in exact_runs
+        ) / len(exact_runs)
+
+        profiles = [
+            VariantProfile(
+                variant=None, quality=1.0, cycles=exact_cycles, speedup=1.0
+            )
+        ]
+        for variant in variants:
+            qualities, cycles = [], []
+            for (exact_out, _t), ins in zip(exact_runs, input_sets):
+                out, trace = app.run_variant(variant, ins)
+                qualities.append(app.quality(out, exact_out))
+                cycles.append(self.cost_model.cycles(trace))
+            mean_cycles = sum(cycles) / len(cycles)
+            profiles.append(
+                VariantProfile(
+                    variant=variant,
+                    quality=sum(qualities) / len(qualities),
+                    cycles=mean_cycles,
+                    speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
+                )
+            )
+
+        chosen = self.choose(profiles)
+        return TuningResult(
+            app=app.name,
+            device=self.spec.kind.value,
+            toq=self.toq,
+            chosen=chosen,
+            profiles=profiles,
+        )
+
+    def choose(self, profiles: List[VariantProfile]) -> VariantProfile:
+        """Fastest variant meeting the TOQ; the exact program otherwise."""
+        eligible = [p for p in profiles if p.quality >= self.toq]
+        if not eligible:
+            return next(p for p in profiles if p.variant is None)
+        return max(eligible, key=lambda p: p.speedup)

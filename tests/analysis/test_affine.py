@@ -1,0 +1,136 @@
+"""Tests for affine access analysis: Poly algebra, extraction, tile
+inference — including hypothesis property tests on the polynomial ring."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import kernel_zoo as zoo
+from repro.analysis.affine import (
+    Poly,
+    extract_load_polynomials,
+    group_tile_forms,
+    infer_tile,
+)
+
+
+def poly_strategy():
+    symbols = st.sampled_from(["x", "y", "w", "h"])
+    monomial = st.lists(symbols, min_size=0, max_size=2).map(
+        lambda s: tuple(sorted(s))
+    )
+    term = st.tuples(monomial, st.integers(-50, 50))
+    return st.lists(term, max_size=4).map(
+        lambda terms: Poly._from_dict(
+            {m: sum(c for mm, c in terms if mm == m) for m, c in terms}
+        )
+    )
+
+
+class TestPolyAlgebra:
+    @given(poly_strategy(), poly_strategy())
+    @settings(max_examples=50)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(poly_strategy(), poly_strategy(), poly_strategy())
+    @settings(max_examples=50)
+    def test_multiplication_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(poly_strategy())
+    @settings(max_examples=50)
+    def test_subtraction_is_inverse(self, a):
+        assert (a - a) == Poly(())
+
+    @given(poly_strategy(), poly_strategy())
+    @settings(max_examples=50)
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    def test_constant_and_symbol(self):
+        p = Poly.symbol("x") * Poly.constant(3) + Poly.constant(4)
+        assert p.const == 4
+        assert p.nonconst_terms == ((("x",), 3),)
+
+    def test_zero_constant_is_empty(self):
+        assert Poly.constant(0) == Poly(())
+
+    def test_is_constant(self):
+        assert Poly.constant(5).is_constant()
+        assert not Poly.symbol("x").is_constant()
+
+
+class TestExtraction:
+    def test_mean3x3_forms(self):
+        accesses = extract_load_polynomials(zoo.mean3x3.fn)
+        assert "img" in accesses
+        # 9 tile loads (one duplicated centre form counts once per load)
+        # plus the border pass-through.
+        assert len(accesses["img"].forms) == 10
+        assert accesses["img"].opaque_loads == 0
+
+    def test_loop_unrolling_expands_forms(self):
+        accesses = extract_load_polynomials(zoo.row_stencil.fn)
+        assert len(accesses["x"].forms) == 7  # trip count of range(-3, 4)
+
+    def test_single_assignment_inlining(self):
+        # sum_chunks indexes via idx = i*chunk + k; the poly must contain
+        # chunk terms rather than an opaque "idx" symbol.
+        accesses = extract_load_polynomials(zoo.sum_chunks.fn)
+        monomials = {
+            m for f in accesses["x"].forms for m, _c in f.nonconst_terms
+        }
+        assert ("idx",) not in monomials
+
+
+class TestTileInference:
+    def test_mean3x3_tile(self):
+        accesses = extract_load_polynomials(zoo.mean3x3.fn)
+        tile = infer_tile("img", accesses["img"].forms)
+        assert (tile.rows, tile.cols) == (3, 3)
+        assert tile.width_symbol == ("w",)
+        assert len(tile.offsets) == 9
+        assert tile.base is not None
+
+    def test_row_tile(self):
+        accesses = extract_load_polynomials(zoo.row_stencil.fn)
+        tile = infer_tile("x", accesses["x"].forms)
+        assert (tile.rows, tile.cols) == (1, 7)
+        assert tile.dims == 1
+
+    def test_outlier_forms_do_not_poison_tile(self):
+        # mean3x3's border branch loads img[gid]; grouping must isolate it.
+        accesses = extract_load_polynomials(zoo.mean3x3.fn)
+        groups = group_tile_forms(accesses["img"].forms)
+        assert len(groups[0]) == 9
+        assert len(groups) == 2
+
+    def test_single_form_yields_no_tile(self):
+        assert infer_tile("a", [Poly.symbol("i")]) is None
+
+    def test_constant_stride_column_tile(self):
+        forms = [Poly.constant(k * 64) + Poly.symbol("base") for k in range(5)]
+        tile = infer_tile("a", forms)
+        assert (tile.rows, tile.cols) == (5, 1)
+        assert tile.pitch == 64
+
+    def test_constant_grid_tile(self):
+        w = 100
+        forms = [
+            Poly.constant(r * w + c) + Poly.symbol("base")
+            for r in range(3)
+            for c in range(3)
+        ]
+        tile = infer_tile("a", forms)
+        assert (tile.rows, tile.cols) == (3, 3)
+        assert tile.pitch == w
+
+    def test_cross_shaped_tile(self):
+        # HotSpot's 5-point cross: offsets c, n, s, e, w.
+        accesses = extract_load_polynomials(
+            __import__("repro.apps.hotspot", fromlist=["hotspot_kernel"]).hotspot_kernel.fn
+        )
+        tile = infer_tile("temp", accesses["temp"].forms)
+        assert (tile.rows, tile.cols) == (3, 3)
+        assert len(tile.offsets) == 5

@@ -1,0 +1,91 @@
+"""Tests for the Eq.-1 cost estimate and latency tables."""
+
+import pytest
+
+import kernel_zoo as zoo
+from repro.analysis.latency import (
+    CPU_LATENCIES,
+    GPU_LATENCIES,
+    PROFITABILITY_FACTOR,
+    cycles_needed,
+    is_memoization_profitable,
+)
+from repro.kernel import ir
+from repro.kernel.types import F32, I32
+
+
+class TestCyclesNeeded:
+    def test_paper_ordering_cnd_vs_bs_body(self):
+        """§4.3: Cnd() is cheap, BlackScholesBody() expensive."""
+        module = zoo.black_scholes.module
+        cnd_cost = cycles_needed(zoo.cnd.fn, GPU_LATENCIES, module)
+        body_cost = cycles_needed(zoo.bs_body.fn, GPU_LATENCIES, module)
+        assert body_cost > 2 * cnd_cost
+
+    def test_callee_cost_included(self):
+        """bs_body must include its two cnd() calls."""
+        module = zoo.black_scholes.module
+        body_cost = cycles_needed(zoo.bs_body.fn, GPU_LATENCIES, module)
+        without_module = cycles_needed(zoo.bs_body.fn, GPU_LATENCIES, None)
+        assert body_cost > without_module
+
+    def test_loop_multiplies_body(self):
+        c = ir.Const
+        body = [ir.Assign("x", ir.binop("mul", ir.Const(2.0, F32), ir.Const(3.0, F32)))]
+        short = ir.Function("f", [], [ir.For("i", c(0, I32), c(2, I32), c(1, I32), body)])
+        long = ir.Function("g", [], [ir.For("i", c(0, I32), c(20, I32), c(1, I32), body)])
+        assert cycles_needed(long, GPU_LATENCIES) > 5 * cycles_needed(short, GPU_LATENCIES)
+
+    def test_both_if_arms_charged(self):
+        arm = [ir.Assign("x", ir.Call("exp", [ir.Const(1.0, F32)], F32))]
+        fn = ir.Function("f", [], [ir.If(ir.bool_const(True), arm, arm)])
+        single = ir.Function("g", [], arm)
+        assert cycles_needed(fn, GPU_LATENCIES) > 2 * cycles_needed(single, GPU_LATENCIES) - 1
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError, match="no latency"):
+            GPU_LATENCIES.of_class("quantum")
+
+
+class TestProfitability:
+    def test_cnd_unprofitable_on_gpu(self):
+        """The paper's exact scenario: Cnd() alone fails the x10-L1 test."""
+        assert not is_memoization_profitable(
+            zoo.cnd.fn, GPU_LATENCIES, zoo.black_scholes.module
+        )
+
+    def test_bs_body_profitable_on_gpu(self):
+        assert is_memoization_profitable(
+            zoo.bs_body.fn, GPU_LATENCIES, zoo.black_scholes.module
+        )
+
+    def test_cheap_square_never_profitable(self):
+        for table in (GPU_LATENCIES, CPU_LATENCIES):
+            assert not is_memoization_profitable(
+                zoo.cheap_square.fn, table, zoo.square_map.module
+            )
+
+    def test_threshold_is_order_of_magnitude_over_l1(self):
+        assert PROFITABILITY_FACTOR == 10.0
+
+
+class TestDeviceAsymmetries:
+    def test_exp_cheap_on_gpu_expensive_on_cpu(self):
+        """The KDE story (§4.3): SFU exponentials."""
+        gpu_ratio = GPU_LATENCIES.of_class("sfu") / GPU_LATENCIES.of_class("alu")
+        cpu_ratio = CPU_LATENCIES.of_class("sfu") / CPU_LATENCIES.of_class("alu")
+        assert cpu_ratio > gpu_ratio
+
+    def test_fdiv_is_a_slow_subroutine_on_gpu(self):
+        """§4.4.2: Bass/Credit float divisions."""
+        assert GPU_LATENCIES.of_class("fdiv") >= 10 * GPU_LATENCIES.of_class("fmul")
+
+    def test_atomics_pricier_on_gpu(self):
+        gpu = GPU_LATENCIES.of_class("atomic") / GPU_LATENCIES.of_class("alu")
+        cpu = CPU_LATENCIES.of_class("atomic") / CPU_LATENCIES.of_class("alu")
+        assert gpu > cpu / 2  # relative to compute, GPU atomics dominate
+
+    def test_memory_accessor(self):
+        assert GPU_LATENCIES.memory("shared") == GPU_LATENCIES.shared
+        assert GPU_LATENCIES.memory("global", cached=False) == GPU_LATENCIES.global_mem
+        assert GPU_LATENCIES.memory("global", cached=True) == GPU_LATENCIES.l1

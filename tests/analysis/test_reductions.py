@@ -1,0 +1,74 @@
+"""Tests for reduction-loop recognition (paper §3.3.2)."""
+
+import kernel_zoo as zoo
+from repro.analysis.reductions import find_reduction_loops
+from repro.apps.denoise import denoise_kernel
+from repro.apps.kde import kde_kernel
+from repro.apps.matmul import build_matmul_kernel
+
+
+class TestAccumulativeDetection:
+    def test_sum_chunks(self):
+        loops = find_reduction_loops(zoo.sum_chunks.fn)
+        assert len(loops) == 1
+        assert loops[0].variable == "acc"
+        assert loops[0].op == "add"
+        assert loops[0].is_additive
+        assert not loops[0].via_atomic
+
+    def test_min_via_fmin_call(self):
+        loops = find_reduction_loops(zoo.min_reduce.fn)
+        assert len(loops) == 1
+        assert loops[0].op == "min"
+        assert not loops[0].is_additive
+
+    def test_no_reduction_in_map_kernel(self):
+        assert find_reduction_loops(zoo.black_scholes.fn) == []
+
+    def test_no_reduction_in_unrolled_stencil(self):
+        assert find_reduction_loops(zoo.mean3x3.fn) == []
+
+
+class TestMultiVariableLoops:
+    def test_denoise_has_weighted_sum_and_weight_total(self):
+        loops = find_reduction_loops(denoise_kernel.fn)
+        assert len(loops) == 1
+        targets = dict(loops[0].targets)
+        assert targets == {"acc": "add", "wsum": "add"}
+        assert loops[0].is_additive
+
+
+class TestNestedLoops:
+    def test_innermost_attribution_matmul(self):
+        """The dot-product loop, not the tile loop, is the reduction."""
+        fn = build_matmul_kernel(64).fn
+        loops = find_reduction_loops(fn)
+        assert len(loops) == 1
+        # inner loop over 16 shared-memory elements
+        assert loops[0].loop.stop.value == 16
+
+    def test_kde_reports_both_levels(self):
+        """Feature-distance loop (inner) and reference loop (outer) each
+        own an accumulation."""
+        loops = find_reduction_loops(kde_kernel.fn)
+        variables = {l.variable for l in loops}
+        assert variables == {"dsq", "acc"}
+
+
+class TestAtomicReductions:
+    def test_atomic_histogram(self):
+        loops = find_reduction_loops(zoo.atomic_histogram.fn)
+        assert len(loops) == 1
+        assert loops[0].via_atomic
+        assert loops[0].variable is None
+
+    def test_induction_tied_atomic_excluded(self):
+        """An atomic writing cell f (the induction var) must not make the
+        feature loop a reduction — skipping would zero whole bins."""
+        from repro.apps.naivebayes import naive_bayes_kernel
+
+        loops = find_reduction_loops(naive_bayes_kernel.fn)
+        # only the sample loop qualifies (its atomic cells come from data)
+        assert len(loops) == 1
+        assert loops[0].via_atomic
+        assert loops[0].loop.stop.value == 64  # the sample-chunk loop

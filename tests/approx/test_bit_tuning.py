@@ -1,0 +1,111 @@
+"""Tests for bit tuning: hill climbing and the TOQ table-size search."""
+
+import numpy as np
+import pytest
+
+from repro.approx.bit_tuning import (
+    BitTuner,
+    equal_split,
+    neighbours,
+    search_table_size,
+)
+from repro.approx.quantize import InputRange
+from repro.runtime.quality import MEAN_RELATIVE
+
+
+class TestTreeStructure:
+    def test_equal_split(self):
+        assert equal_split(15, 3) == (5, 5, 5)
+        assert equal_split(16, 3) == (6, 5, 5)
+        assert equal_split(4, 1) == (4,)
+
+    def test_equal_split_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            equal_split(8, 0)
+
+    def test_neighbours_move_one_bit_between_adjacent_inputs(self):
+        kids = neighbours((5, 5, 5))
+        assert (4, 6, 5) in kids and (6, 4, 5) in kids
+        assert (5, 4, 6) in kids and (5, 6, 4) in kids
+        # non-adjacent moves are not children (paper Fig 4)
+        assert (4, 5, 6) not in kids
+
+    def test_neighbours_respect_zero(self):
+        kids = neighbours((0, 4))
+        assert (-1, 5) not in kids
+        assert (1, 3) in kids
+
+    def test_neighbour_totals_preserved(self):
+        for child in neighbours((3, 7, 2)):
+            assert sum(child) == 12
+
+
+def _make_tuner(sensitivity=(1.0, 30.0)):
+    """A 2-input function much more sensitive to its second input."""
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0, 1, 4000)
+    b = rng.uniform(0, 1, 4000)
+
+    def f(x, y):
+        return sensitivity[0] * x + np.sin(sensitivity[1] * y)
+
+    exact = f(a, b)
+    return BitTuner(
+        f,
+        [a, b],
+        exact,
+        MEAN_RELATIVE.quality,
+        ranges=[InputRange(0, 1), InputRange(0, 1)],
+    )
+
+
+class TestHillClimbing:
+    def test_sensitive_input_receives_more_bits(self):
+        tuner = _make_tuner()
+        config = tuner.tune(12)
+        assert config.bits[1] > config.bits[0]
+
+    def test_quality_improves_monotonically_along_path(self):
+        tuner = _make_tuner()
+        tuner.tune(12)
+        path_q = [q for _n, q, _c in tuner.path]
+        assert all(b > a for a, b in zip(path_q, path_q[1:]))
+
+    def test_memoization_of_node_quality(self):
+        tuner = _make_tuner()
+        tuner.tune(10)
+        n1 = tuner.nodes_evaluated
+        tuner.tune(10)
+        assert tuner.nodes_evaluated == n1  # all nodes cached
+
+    def test_more_bits_never_hurt_at_optimum(self):
+        tuner = _make_tuner()
+        q_small = tuner.tune(6).quality
+        q_large = tuner.tune(14).quality
+        assert q_large >= q_small
+
+
+class TestTableSizeSearch:
+    def test_finds_smallest_satisfying_table(self):
+        tuner = _make_tuner(sensitivity=(1.0, 6.0))
+        result = search_table_size(tuner, toq=0.95, start_bits=10)
+        assert result.chosen is not None
+        chosen_bits = result.chosen.total
+        assert result.chosen.quality >= 0.95
+        # one bit fewer must fail the TOQ (that is why the search stopped)
+        if chosen_bits - 1 in result.explored:
+            assert result.explored[chosen_bits - 1].quality < 0.95
+
+    def test_grows_when_start_misses(self):
+        tuner = _make_tuner()
+        result = search_table_size(tuner, toq=0.97, start_bits=4)
+        assert result.chosen is not None
+        assert result.chosen.total > 4
+
+    def test_unreachable_toq_returns_best_available(self):
+        tuner = _make_tuner()
+        result = search_table_size(tuner, toq=0.9999999, start_bits=6, max_bits=8)
+        assert result.chosen is None
+        best = result.best_available()
+        assert best.total in result.explored
+        assert best.quality == max(c.quality for c in result.explored.values())

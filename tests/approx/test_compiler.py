@@ -1,0 +1,75 @@
+"""Tests for the Paraprox facade: detection -> transforms -> tuning."""
+
+import pytest
+
+from repro import DeviceKind, Paraprox, ParaproxConfig
+from repro.apps.blackscholes import BlackScholesApp
+from repro.apps.cumhist import CumulativeHistogramApp
+from repro.apps.gaussian import GaussianFilterApp
+from repro.apps.matmul import MatrixMultiplyApp
+from repro.approx.base import ApproxKernel
+from repro.approx.scan import ScanVariant
+from repro.patterns.base import Pattern
+
+
+class TestCompile:
+    def test_map_app_yields_memo_variants(self):
+        variants = Paraprox(target_quality=0.90).compile(BlackScholesApp(scale=0.01))
+        assert variants
+        assert all(isinstance(v, ApproxKernel) for v in variants)
+        assert all(v.pattern is Pattern.MAP for v in variants)
+        assert all("table_bits" in v.knobs for v in variants)
+
+    def test_stencil_app_yields_scheme_variants(self):
+        variants = Paraprox().compile(GaussianFilterApp(scale=0.05))
+        schemes = {v.knobs.get("scheme") for v in variants}
+        assert {"center", "row", "column"} <= schemes
+
+    def test_reduction_and_partition_app(self):
+        px = Paraprox()
+        variants = px.compile(MatrixMultiplyApp(scale=0.05))
+        kinds = {v.pattern for v in variants}
+        assert Pattern.REDUCTION in kinds
+        rates = {v.knobs["skipping_rate"] for v in variants if "skipping_rate" in v.knobs}
+        assert rates == {2, 4, 8}
+
+    def test_custom_pipeline_app_delegates(self):
+        variants = Paraprox().compile(CumulativeHistogramApp(scale=0.02))
+        assert all(isinstance(v, ScanVariant) for v in variants)
+
+    def test_config_controls_knob_ranges(self):
+        config = ParaproxConfig(skipping_rates=(2,), reaching_distances=(1,))
+        variants = Paraprox(config=config).compile(MatrixMultiplyApp(scale=0.05))
+        rates = {v.knobs["skipping_rate"] for v in variants if "skipping_rate" in v.knobs}
+        assert rates == {2}
+
+    def test_failed_transforms_recorded_not_raised(self):
+        from repro.apps.naivebayes import NaiveBayesApp
+
+        px = Paraprox()
+        variants = px.compile(NaiveBayesApp(scale=0.01))
+        assert variants  # reduction variants exist
+        assert any("partition" in s for s in px.last_skipped)
+
+
+class TestOptimize:
+    def test_explicit_variants_bypass_compile(self):
+        px = Paraprox(target_quality=0.90)
+        app = GaussianFilterApp(scale=0.05)
+        result = px.optimize(app, DeviceKind.GPU, variants=[])
+        assert result.chosen.name == "exact"
+
+    def test_device_specific_results(self):
+        px = Paraprox(target_quality=0.90)
+        app = BlackScholesApp(scale=0.01)
+        gpu = px.optimize(app, DeviceKind.GPU)
+        cpu = px.optimize(app, DeviceKind.CPU)
+        assert gpu.device == "gpu" and cpu.device == "cpu"
+        assert gpu.speedup != cpu.speedup  # the cost models differ
+
+    def test_result_metadata(self):
+        px = Paraprox(target_quality=0.90)
+        result = px.optimize(GaussianFilterApp(scale=0.05), DeviceKind.GPU)
+        assert result.app == "Gaussian Filter"
+        assert result.toq == 0.90
+        assert len(result.profiles) >= 2

@@ -1,0 +1,105 @@
+"""Composed memoization: a kernel calling two independent expensive pure
+functions gets a variant replacing both, each with its own table."""
+
+import numpy as np
+import pytest
+
+from repro.approx.memoization import MemoizationTransform, profile_device_calls
+from repro.engine import Grid, launch
+from repro.kernel import device, kernel, validate_module
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.patterns import PatternDetector
+from repro.runtime.quality import MEAN_RELATIVE
+
+
+@device
+def heavy_logit(x: f32) -> f32:
+    z = log(x / (1.0 - x))
+    return 1.0 / (1.0 + exp(-2.0 * z)) + 0.01 * pow(x, 3.0)
+
+
+@device
+def heavy_gauss(y: f32) -> f32:
+    damped = exp(-y * y) * cos(3.0 * y)
+    return damped + pow(fabs(y), 1.5) + 0.1 * log(1.0 + fabs(y))
+
+
+@kernel
+def two_candidates(out: array_f32, a: array_f32, b: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = heavy_logit(a[i]) + heavy_gauss(b[i])
+
+
+@pytest.fixture(scope="module")
+def variants():
+    n = 8192
+    rng = np.random.default_rng(0)
+    a = rng.uniform(0.05, 0.95, n).astype(np.float32)
+    b = rng.uniform(-2.0, 2.0, n).astype(np.float32)
+    args = [np.zeros(n, dtype=np.float32), a, b, n]
+    grid = Grid.for_elements(n)
+    match = PatternDetector().detect(two_candidates).for_kernel("two_candidates")[0]
+    assert set(match.candidates) == {"heavy_logit", "heavy_gauss"}
+    profiles = profile_device_calls(two_candidates, grid, args, match.candidates)
+    transform = MemoizationTransform(toq=0.95, quality_fn=MEAN_RELATIVE.quality)
+    return (
+        transform.generate(two_candidates.module, "two_candidates", match, profiles),
+        (a, b, n, grid),
+    )
+
+
+class TestComposition:
+    def test_composed_variant_emitted(self, variants):
+        vs, _ = variants
+        composed = [v for v in vs if v.knobs.get("composed")]
+        assert len(composed) == 1
+        assert composed[0].knobs["function"] == "heavy_logit+heavy_gauss"
+        assert len(composed[0].extra_args) == 2
+
+    def test_composed_kernel_has_two_table_params(self, variants):
+        vs, _ = variants
+        composed = next(v for v in vs if v.knobs.get("composed"))
+        validate_module(composed.module)
+        names = [p.name for p in composed.module[composed.kernel].params]
+        assert "__memo_heavy_logit" in names and "__memo_heavy_gauss" in names
+
+    def test_composed_variant_executes_at_quality(self, variants):
+        vs, (a, b, n, grid) = variants
+        composed = next(v for v in vs if v.knobs.get("composed"))
+        exact = np.zeros(n, dtype=np.float32)
+        launch(two_candidates, grid, [exact, a, b, n])
+        out = np.zeros(n, dtype=np.float32)
+        launch(
+            composed.module[composed.kernel],
+            grid,
+            composed.launch_args([out, a, b, n]),
+            module=composed.module,
+        )
+        assert MEAN_RELATIVE.quality(out, exact) >= 0.90
+
+    def test_composed_cheaper_than_single_candidate_variants(self, variants):
+        vs, (a, b, n, grid) = variants
+        from repro.device import CostModel, GTX560
+
+        cm = CostModel(GTX560)
+
+        def cycles_of(v):
+            out = np.zeros(n, dtype=np.float32)
+            trace = launch(
+                v.module[v.kernel], grid, v.launch_args([out, a, b, n]), module=v.module
+            )
+            return cm.cycles(trace)
+
+        composed = next(v for v in vs if v.knobs.get("composed"))
+        singles = [v for v in vs if not v.knobs.get("composed")]
+        assert cycles_of(composed) < min(cycles_of(v) for v in singles)
+
+    def test_single_candidate_kernels_get_no_composed_variant(self):
+        from repro.apps.blackscholes import BlackScholesApp
+        from repro import DeviceKind, Paraprox
+
+        vs = Paraprox(target_quality=0.90).compile(
+            BlackScholesApp(scale=0.005), DeviceKind.GPU
+        )
+        assert not any(v.knobs.get("composed") for v in vs)

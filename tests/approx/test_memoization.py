@@ -1,0 +1,164 @@
+"""Tests for the approximate memoization transform (paper §3.1)."""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.approx.bit_tuning import BitConfig
+from repro.approx.memoization import (
+    MemoizationTransform,
+    build_table,
+    profile_device_calls,
+    rewrite_kernel_with_table,
+)
+from repro.approx.quantize import InputRange
+from repro.engine import Grid, launch
+from repro.errors import TransformError
+from repro.kernel import ir, validate_module
+from repro.kernel.visitors import walk
+from repro.patterns import PatternDetector
+from repro.runtime.quality import L1_NORM
+
+
+def _bs_setup(n=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    s = (rng.random(n) * 90 + 10).astype(np.float32)
+    x = (rng.random(n) * 90 + 10).astype(np.float32)
+    t = (rng.random(n) * 9 + 0.2).astype(np.float32)
+    out = np.zeros(n, dtype=np.float32)
+    return [out, s, x, t, 0.02, 0.30, n], Grid.for_elements(n)
+
+
+class TestProfiling:
+    def test_constant_inputs_detected(self):
+        args, grid = _bs_setup()
+        profiles = profile_device_calls(zoo.black_scholes, grid, args, ["bs_body"])
+        prof = profiles["bs_body"]
+        assert prof.variable_indices == [0, 1, 2]  # R and V constant
+        assert prof.ranges[3].is_constant and prof.ranges[4].is_constant
+
+    def test_sample_cap(self):
+        args, grid = _bs_setup(n=4096)
+        profiles = profile_device_calls(
+            zoo.black_scholes, grid, args, ["bs_body"], max_samples=100
+        )
+        assert all(s.size <= 101 for s in profiles["bs_body"].samples)
+
+    def test_unseen_function_absent(self):
+        args, grid = _bs_setup()
+        profiles = profile_device_calls(zoo.black_scholes, grid, args, ["ghost"])
+        assert profiles == {}
+
+
+class TestTableConstruction:
+    def test_table_holds_exact_function_values(self):
+        module = zoo.black_scholes.module
+        ranges = [
+            InputRange(50.0, 60.0),
+            InputRange(90.0, 110.0),
+            InputRange(1.0, 2.0),
+            InputRange(0.02, 0.02),
+            InputRange(0.3, 0.3),
+        ]
+        bits = [2, 2, 1, 0, 0]
+        table = build_table(module["bs_body"], module, ranges, bits)
+        assert table.shape == (32,)
+        # spot-check one entry against a direct evaluation
+        from repro.engine import call_device_function
+
+        direct = call_device_function(
+            module["bs_body"], module, [50.0, 90.0, 1.0, 0.02, 0.3]
+        )
+        np.testing.assert_allclose(table[0], direct[0], rtol=1e-6)
+
+
+class TestRewrite:
+    def _memo(self, bits=(5, 5, 4)):
+        args, grid = _bs_setup()
+        profiles = profile_device_calls(zoo.black_scholes, grid, args, ["bs_body"])
+        transform = MemoizationTransform(quality_fn=L1_NORM.quality)
+        return transform.build_memo(
+            zoo.black_scholes.module, profiles["bs_body"], BitConfig(bits, 0.0)
+        )
+
+    def test_rewritten_module_validates(self):
+        memo = self._memo()
+        module, name = rewrite_kernel_with_table(
+            zoo.black_scholes.module, "black_scholes", memo
+        )
+        validate_module(module)
+        assert name in module
+
+    def test_rewritten_kernel_no_longer_calls_function(self):
+        memo = self._memo()
+        module, name = rewrite_kernel_with_table(
+            zoo.black_scholes.module, "black_scholes", memo
+        )
+        calls = [
+            n for n in walk(module[name])
+            if isinstance(n, ir.Call) and n.func == "bs_body"
+        ]
+        assert calls == []
+
+    def test_table_parameter_appended(self):
+        memo = self._memo()
+        module, name = rewrite_kernel_with_table(
+            zoo.black_scholes.module, "black_scholes", memo
+        )
+        assert module[name].params[-1].name == "__memo_bs_body"
+
+    def test_nearest_execution_quality(self):
+        memo = self._memo(bits=(6, 6, 5))
+        module, name = rewrite_kernel_with_table(
+            zoo.black_scholes.module, "black_scholes", memo
+        )
+        args, grid = _bs_setup(seed=3)
+        exact = np.zeros_like(args[0])
+        launch(zoo.black_scholes, grid, [exact] + args[1:])
+        launch(module[name], grid, args + [memo.table], module=module)
+        assert L1_NORM.quality(args[0], exact) > 0.90
+
+    def test_linear_beats_nearest_quality(self):
+        memo = self._memo(bits=(5, 5, 4))
+        results = {}
+        for mode in ("nearest", "linear"):
+            module, name = rewrite_kernel_with_table(
+                zoo.black_scholes.module, "black_scholes", memo, mode=mode
+            )
+            args, grid = _bs_setup(seed=4)
+            exact = np.zeros_like(args[0])
+            launch(zoo.black_scholes, grid, [exact] + args[1:])
+            launch(module[name], grid, args + [memo.table], module=module)
+            results[mode] = L1_NORM.quality(args[0], exact)
+        assert results["linear"] >= results["nearest"]
+
+    def test_missing_call_rejected(self):
+        memo = self._memo()
+        with pytest.raises(TransformError, match="nothing to memoize"):
+            rewrite_kernel_with_table(zoo.noop.module, "noop", memo)
+
+    def test_bad_space_rejected(self):
+        memo = self._memo()
+        with pytest.raises(TransformError, match="bad table space"):
+            rewrite_kernel_with_table(
+                zoo.black_scholes.module, "black_scholes", memo, space="texture"
+            )
+
+
+class TestEndToEnd:
+    def test_generate_respects_toq(self):
+        args, grid = _bs_setup()
+        detector = PatternDetector()
+        match = detector.detect(zoo.black_scholes).for_kernel("black_scholes")[0]
+        profiles = profile_device_calls(
+            zoo.black_scholes, grid, args, match.candidates
+        )
+        transform = MemoizationTransform(toq=0.90, quality_fn=L1_NORM.quality)
+        variants = transform.generate(
+            zoo.black_scholes.module, "black_scholes", match, profiles
+        )
+        assert variants
+        for v in variants:
+            assert v.knobs["training_quality"] >= 0.90
+            assert isinstance(v.extra_args[0], np.ndarray)
+            validate_module(v.module)

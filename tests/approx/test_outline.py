@@ -1,0 +1,173 @@
+"""Tests for pure-section outlining (the §5 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GPU_LATENCIES
+from repro.analysis.purity import is_pure
+from repro.approx.outline import find_slices, outline_best_slice, outline_slice
+from repro.engine import Grid, launch
+from repro.kernel import kernel, validate_module
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.patterns import PatternDetector
+
+
+@kernel
+def inline_blackscholes(
+    call: array_f32, price: array_f32, strike: array_f32, years: array_f32, n: i32
+):
+    """BlackScholes with everything written inline: no device function, so
+    the stock map detector finds no memoization candidate."""
+    i = global_id()
+    if i < n:
+        s = price[i]
+        x = strike[i]
+        t = years[i]
+        srt = 0.30 * sqrt(t)
+        d1 = (log(s / x) + (0.02 + 0.5 * 0.30 * 0.30) * t) / srt
+        d2 = d1 - srt
+        k1 = 1.0 / (1.0 + 0.2316419 * fabs(d1))
+        nd1 = 1.0 - 0.3989423 * exp(-0.5 * d1 * d1) * k1 * 0.937298
+        k2 = 1.0 / (1.0 + 0.2316419 * fabs(d2))
+        nd2 = 1.0 - 0.3989423 * exp(-0.5 * d2 * d2) * k2 * 0.937298
+        c = s * nd1 - x * exp(-0.02 * t) * nd2
+        call[i] = c
+
+
+@kernel
+def cheap_inline(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        a = x[i] + 1.0
+        b = a * 2.0
+        out[i] = b
+
+
+def _args(n=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.zeros(n, dtype=np.float32),
+        (rng.random(n) * 25 + 5).astype(np.float32),
+        (rng.random(n) * 99 + 1).astype(np.float32),
+        (rng.random(n) * 9 + 0.25).astype(np.float32),
+        n,
+    ]
+
+
+class TestSliceDiscovery:
+    def test_finds_the_inline_computation(self):
+        slices = find_slices(inline_blackscholes.fn)
+        assert slices
+        best = slices[0]
+        assert best.output == "c"
+        assert best.size >= 8
+        # external inputs are the loaded values, not intermediates
+        assert {n for n, _dt in best.inputs} == {"s", "x", "t"}
+
+    def test_slices_exclude_loads(self):
+        # statements s = price[i] etc. are not pure (loads) and stay out
+        slices = find_slices(inline_blackscholes.fn)
+        for s in slices:
+            assert all(stmt.target not in ("s", "x", "t") for stmt in s.statements)
+
+    def test_small_kernel_yields_small_slices_only(self):
+        slices = find_slices(cheap_inline.fn)
+        assert all(s.size <= 2 for s in slices)
+
+
+class TestOutlining:
+    def test_outlined_module_validates_and_is_pure(self):
+        result = outline_best_slice(
+            inline_blackscholes.module, "inline_blackscholes", GPU_LATENCIES
+        )
+        assert result is not None
+        module, fn_name = result
+        validate_module(module)
+        assert module[fn_name].kind == "device"
+        assert is_pure(module[fn_name], module)
+
+    def test_outlined_kernel_preserves_semantics(self):
+        module, _fn = outline_best_slice(
+            inline_blackscholes.module, "inline_blackscholes", GPU_LATENCIES
+        )
+        args_a, args_b = _args(seed=1), _args(seed=1)
+        grid = Grid.for_elements(4096)
+        launch(inline_blackscholes, grid, args_a)
+        launch(module["inline_blackscholes"], grid, args_b, module=module)
+        np.testing.assert_allclose(args_b[0], args_a[0], rtol=1e-6)
+
+    def test_outlined_kernel_becomes_a_map_match(self):
+        module, fn_name = outline_best_slice(
+            inline_blackscholes.module, "inline_blackscholes", GPU_LATENCIES
+        )
+        matches = PatternDetector().detect_kernel(
+            module["inline_blackscholes"], module
+        )
+        assert any(
+            getattr(m, "candidates", None) == [fn_name] for m in matches
+        )
+
+    def test_unprofitable_kernel_returns_none(self):
+        assert (
+            outline_best_slice(cheap_inline.module, "cheap_inline", GPU_LATENCIES)
+            is None
+        )
+
+    def test_name_collision_rejected(self):
+        from repro.errors import TransformError
+
+        slices = find_slices(inline_blackscholes.fn)
+        with pytest.raises(TransformError, match="already exists"):
+            outline_slice(
+                inline_blackscholes.module,
+                "inline_blackscholes",
+                slices[0],
+                "inline_blackscholes",  # collides with the kernel itself
+            )
+
+
+class TestCompilerIntegration:
+    def test_end_to_end_memoization_of_inline_kernel(self):
+        from repro import DeviceKind, Paraprox, ParaproxConfig
+        from repro.apps.base import AppInfo, KernelApplication
+        from repro.engine import Grid as G
+        from repro.runtime.quality import L1_NORM
+
+        class InlineApp(KernelApplication):
+            info = AppInfo("InlineBS", "test", "4K", ("map",), "L1-norm")
+            metric = L1_NORM
+            kernel = inline_blackscholes
+
+            def __init__(self):
+                super().__init__(scale=1.0, seed=0)
+                self.n = 4096
+
+            def generate_inputs(self, seed=None):
+                rng = np.random.default_rng(self.seed if seed is None else seed)
+                return {
+                    "price": (rng.random(self.n) * 25 + 5).astype(np.float32),
+                    "strike": (rng.random(self.n) * 99 + 1).astype(np.float32),
+                    "years": (rng.random(self.n) * 9 + 0.25).astype(np.float32),
+                }
+
+            def make_output(self, inputs):
+                return np.zeros(self.n, dtype=np.float32)
+
+            def make_args(self, inputs, out):
+                return [out, inputs["price"], inputs["strike"], inputs["years"], self.n]
+
+            def grid(self, inputs):
+                return G.for_elements(self.n)
+
+        app = InlineApp()
+        off = Paraprox(target_quality=0.90)
+        assert off.compile(app, DeviceKind.GPU) == []  # paper behaviour
+
+        on = Paraprox(
+            target_quality=0.90,
+            config=ParaproxConfig(enable_section_outlining=True),
+        )
+        result = on.optimize(app, DeviceKind.GPU)
+        assert result.chosen.variant is not None
+        assert result.speedup > 1.2
+        assert result.quality >= 0.90

@@ -1,0 +1,105 @@
+"""Property-based tests for input quantization and address packing."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.approx.quantize import (
+    InputRange,
+    dequantize,
+    level_grid,
+    pack_address,
+    quantize_index,
+    quantize_value,
+    unpack_address,
+)
+
+ranges = st.tuples(
+    st.floats(-1e4, 1e4, allow_nan=False),
+    st.floats(-1e4, 1e4, allow_nan=False),
+).map(lambda ab: InputRange(min(ab), max(ab) + 1.0))
+
+bits = st.integers(1, 12)
+
+
+class TestQuantization:
+    @given(ranges, bits, st.floats(-2e4, 2e4, allow_nan=False))
+    @settings(max_examples=100)
+    def test_quantized_value_is_idempotent(self, rng, q, x):
+        once = quantize_value(x, rng, q)
+        twice = quantize_value(once, rng, q)
+        np.testing.assert_allclose(once, twice, rtol=1e-12)
+
+    @given(ranges, bits, st.floats(-2e4, 2e4, allow_nan=False))
+    @settings(max_examples=100)
+    def test_index_in_range(self, rng, q, x):
+        idx = quantize_index(x, rng, q)
+        assert 0 <= int(idx) < (1 << q)
+
+    @given(ranges, bits)
+    @settings(max_examples=100)
+    def test_error_bounded_by_half_step(self, rng, q):
+        xs = np.linspace(rng.lo, rng.hi, 257)
+        snapped = quantize_value(xs, rng, q)
+        step = (rng.hi - rng.lo) / ((1 << q) - 1)
+        assert np.abs(snapped - xs).max() <= step / 2 + 1e-9
+
+    @given(ranges, bits)
+    @settings(max_examples=50)
+    def test_out_of_range_clamps_to_nearest_level(self, rng, q):
+        lo_val = quantize_value(rng.lo - 100.0, rng, q)
+        hi_val = quantize_value(rng.hi + 100.0, rng, q)
+        np.testing.assert_allclose(lo_val, rng.lo, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(hi_val, rng.hi, rtol=1e-9, atol=1e-9)
+
+    def test_zero_bits_maps_to_midpoint(self):
+        rng = InputRange(0.0, 10.0)
+        assert float(quantize_value(3.3, rng, 0)) == 5.0
+
+    def test_constant_range(self):
+        rng = InputRange(2.0, 2.0)
+        assert rng.is_constant
+        assert float(quantize_value(123.0, rng, 5)) == 2.0
+
+    def test_range_of_samples(self):
+        r = InputRange.of(np.array([3.0, -1.0, 7.5]))
+        assert (r.lo, r.hi) == (-1.0, 7.5)
+
+
+class TestAddressPacking:
+    @given(
+        st.lists(st.tuples(st.integers(1, 6), st.integers(0, 63)), min_size=1, max_size=4)
+    )
+    @settings(max_examples=100)
+    def test_pack_unpack_roundtrip(self, spec):
+        qs = [q for q, _v in spec]
+        vals = [np.array([v & ((1 << q) - 1)]) for q, v in spec]
+        addr = pack_address(vals, qs)
+        out = unpack_address(addr, qs)
+        for got, want in zip(out, vals):
+            np.testing.assert_array_equal(got, want)
+
+    def test_first_input_in_msbs(self):
+        addr = pack_address([np.array([1]), np.array([0])], [1, 3])
+        assert int(addr[0]) == 8
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            pack_address([np.array([1])], [1, 2])
+
+
+class TestLevelGrid:
+    def test_grid_covers_every_address(self):
+        ranges_ = [InputRange(0.0, 1.0), InputRange(0.0, 2.0)]
+        grids = level_grid(ranges_, [2, 3])
+        assert len(grids) == 2
+        assert grids[0].size == 32 and grids[1].size == 32
+        # last input varies fastest
+        assert grids[1][0] != grids[1][1]
+        assert grids[0][0] == grids[0][1]
+
+    def test_grid_matches_address_decoding(self):
+        ranges_ = [InputRange(0.0, 3.0)]
+        grids = level_grid(ranges_, [2])
+        np.testing.assert_allclose(grids[0], [0.0, 1.0, 2.0, 3.0])

@@ -1,0 +1,154 @@
+"""Tests for reduction perforation + adjustment (paper §3.3), including a
+hypothesis property: the adjusted estimator is exact on constant data."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+import kernel_zoo as zoo
+from repro.approx.reduction import ReductionTransform, perforate_all_loops
+from repro.engine import Grid, launch
+from repro.errors import TransformError
+from repro.kernel import ir, validate_module
+from repro.kernel.printer import print_function
+from repro.kernel.visitors import walk
+from repro.patterns import detect_reduction
+
+
+def _variants(kernelfn, rates=(2,)):
+    match = detect_reduction(kernelfn.fn)
+    return ReductionTransform(skipping_rates=rates).generate(
+        kernelfn.module, kernelfn.fn.name, match
+    )
+
+
+class TestRewriteStructure:
+    def test_step_multiplied(self):
+        v = _variants(zoo.sum_chunks, rates=(4,))[0]
+        loops = [n for n in walk(v.module[v.kernel]) if isinstance(n, ir.For)]
+        assert loops[0].step.value == 4
+
+    def test_adjustment_code_inserted_for_addition(self):
+        v = _variants(zoo.sum_chunks, rates=(2,))[0]
+        text = print_function(v.module[v.kernel])
+        assert "_red_acc" in text
+        assert "* 2.0f" in text  # scaled fold-back
+
+    def test_min_reduction_has_no_adjustment(self):
+        v = _variants(zoo.min_reduce, rates=(2,))[0]
+        text = print_function(v.module[v.kernel])
+        assert "_red_best" not in text  # no temp+scale for min
+
+    def test_variants_validate(self):
+        for v in _variants(zoo.sum_chunks, rates=(2, 4, 8)):
+            validate_module(v.module)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(TransformError, match="skipping rate"):
+            _variants(zoo.sum_chunks, rates=(1,))
+
+    def test_variant_per_loop_and_rate(self):
+        from repro.apps.kde import kde_kernel
+
+        match = detect_reduction(kde_kernel.fn)
+        variants = ReductionTransform(skipping_rates=(2, 4)).generate(
+            kde_kernel.module, "kde_kernel", match
+        )
+        assert len(variants) == 4  # 2 loops x 2 rates
+        assert {v.knobs["loop"] for v in variants} == {0, 1}
+
+
+class TestNumericalBehaviour:
+    @given(st.floats(0.1, 100.0, allow_nan=False), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_adjusted_sum_exact_on_constant_data(self, value, rate_pow):
+        """sum(c * N_sampled) * rate == sum over all iff data constant."""
+        rate = 2**rate_pow
+        v = _variants(zoo.sum_chunks, rates=(rate,))[0]
+        n, chunk = 640, 64  # chunk divisible by every rate used
+        x = np.full(n, value, dtype=np.float32)
+        out = np.zeros(10, dtype=np.float32)
+        launch(v.module[v.kernel], Grid.for_elements(10, 2), [out, x, n, chunk],
+               module=v.module)
+        np.testing.assert_allclose(out, value * chunk, rtol=1e-5)
+
+    def test_estimator_unbiased_on_random_data(self):
+        rng = np.random.default_rng(0)
+        v = _variants(zoo.sum_chunks, rates=(4,))[0]
+        n, chunk = 64000, 64
+        x = rng.random(n).astype(np.float32)
+        out = np.zeros(1000, dtype=np.float32)
+        launch(v.module[v.kernel], Grid.for_elements(1000, 64),
+               [out, x, n, chunk], module=v.module)
+        exact = x.reshape(1000, 64).sum(axis=1)
+        # per-chunk errors exist, but the mean is unbiased
+        assert abs(out.mean() - exact.mean()) / exact.mean() < 0.01
+
+    def test_nonzero_initial_value_preserved(self):
+        """The temp-variable trick (§3.3.3): an accumulator that starts
+        nonzero must not have its initial value scaled."""
+        v = _variants(zoo.min_reduce, rates=(2,))[0]
+        # min_reduce initialises best = 3.4e38; perforated version must
+        # still return a value from the array, not a scaled sentinel.
+        x = np.full(128, 5.0, dtype=np.float32)
+        out = np.zeros(2, dtype=np.float32)
+        launch(v.module[v.kernel], Grid.for_elements(2, 1), [out, x, 128, 64],
+               module=v.module)
+        np.testing.assert_allclose(out, 5.0)
+
+    def test_atomic_adjustment_scales_counts(self):
+        match = detect_reduction(zoo.atomic_histogram.fn)
+        v = ReductionTransform(skipping_rates=(2,)).generate(
+            zoo.atomic_histogram.module, "atomic_histogram", match
+        )[0]
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, 8, 4096).astype(np.int32)
+        exact = np.zeros(8, dtype=np.int32)
+        launch(zoo.atomic_histogram, Grid.for_elements(64, 16),
+               [exact, xs, 4096, 64])
+        approx = np.zeros(8, dtype=np.int32)
+        launch(v.module[v.kernel], Grid.for_elements(64, 16),
+               [approx, xs, 4096, 64], module=v.module)
+        assert approx.sum() == exact.sum()  # total count preserved by x2
+        assert np.abs(approx - exact).max() / exact.mean() < 0.25
+
+    def test_coupled_reductions_keep_ratio(self):
+        """Weighted mean: scaling only the numerator would be catastrophic."""
+        from repro.apps.denoise import ImageDenoisingApp
+
+        app = ImageDenoisingApp(scale=0.002)
+        inputs = app.generate_inputs(0)
+        exact, _t = app.run_exact(inputs)
+        match = detect_reduction(app.kernel.fn)
+        v = ReductionTransform(skipping_rates=(2,)).generate(
+            app.kernel.module, app.kernel.fn.name, match
+        )[0]
+        approx, _t = app.run_variant(v, inputs)
+        # a weighted mean of pixel values stays a plausible pixel value
+        assert float(np.abs(approx - exact).mean()) < 0.05
+
+
+class TestNaivePerforation:
+    def test_every_loop_perforated(self):
+        module, name = perforate_all_loops(zoo.scan_phase1.module, "scan_phase1", 2)
+        loops = [n for n in walk(module[name]) if isinstance(n, ir.For)]
+        assert all(l.step.value == 2 for l in loops)
+
+    def test_no_adjustment_added(self):
+        module, name = perforate_all_loops(zoo.sum_chunks.module, "sum_chunks", 2)
+        assert "_red_" not in print_function(module[name])
+
+    def test_loopless_kernel_returns_none(self):
+        assert perforate_all_loops(zoo.noop.module, "noop", 2) is None
+
+    def test_perforated_scan_is_wrong(self):
+        """The §4.4.1 point: uniform skipping corrupts scan output."""
+        module, name = perforate_all_loops(zoo.scan_phase1.module, "scan_phase1", 2)
+        x = np.ones(64, dtype=np.float32)
+        good = np.zeros_like(x)
+        sums = np.zeros(1, dtype=np.float32)
+        launch(zoo.scan_phase1, Grid(1, 64), [good, sums, x])
+        bad = np.zeros_like(x)
+        launch(module[name], Grid(1, 64), [bad, sums, x], module=module)
+        assert not np.allclose(bad, good)

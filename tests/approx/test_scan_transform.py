@@ -1,0 +1,141 @@
+"""Tests for the scan subarray-substitution transform (paper §3.4)."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.apps.scanlib import MAX_BLOCK, ScanProgram, reference_scan
+from repro.approx.scan import ScanTransform, ScanVariant
+from repro.errors import ExecutionError, TransformError
+from repro.patterns.base import Pattern, ScanMatch
+from repro.runtime.quality import MEAN_RELATIVE
+
+
+def _match():
+    return ScanMatch(pattern=Pattern.SCAN, kernel="scan_phase1", source="pragma")
+
+
+class TestScanProgramExactness:
+    @given(st.integers(2, 24), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_scan_matches_cumsum(self, blocks, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random(blocks * 64).astype(np.float32)
+        out = ScanProgram(block=64).run(x)
+        np.testing.assert_allclose(out, reference_scan(x), rtol=2e-4)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ExecutionError, match="power of two"):
+            ScanProgram(block=96)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ExecutionError):
+            ScanProgram(block=2 * MAX_BLOCK)
+
+    def test_unpadded_input_rejected(self):
+        with pytest.raises(ExecutionError, match="multiple"):
+            ScanProgram(block=64).run(np.ones(100, dtype=np.float32))
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ExecutionError, match="float32"):
+            ScanProgram(block=64).run(np.ones(128, dtype=np.float64))
+
+
+class TestApproximateScan:
+    def test_kept_prefix_is_exact(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(64 * 16).astype(np.float32)
+        out = ScanProgram(block=64).run_approx(x, skipped=4)
+        ref = reference_scan(x)
+        np.testing.assert_allclose(out[: 12 * 64], ref[: 12 * 64], rtol=2e-4)
+
+    def test_tail_is_predicted_not_computed(self):
+        x = np.ones(64 * 8, dtype=np.float32)
+        out = ScanProgram(block=64).run_approx(x, skipped=2)
+        # uniform data: prediction is exact for all-ones input
+        np.testing.assert_allclose(out, reference_scan(x), rtol=1e-5)
+
+    def test_quality_stays_high_at_half_skip(self):
+        """Paper §4.3: ~99% quality even skipping half the subarrays."""
+        rng = np.random.default_rng(4)
+        x = rng.random(256 * 64).astype(np.float32)
+        out = ScanProgram(block=256).run_approx(x, skipped=32)
+        q = MEAN_RELATIVE.quality(out, reference_scan(x))
+        assert q > 0.985
+
+    def test_quality_degrades_monotonically_with_skip(self):
+        rng = np.random.default_rng(5)
+        x = rng.random(64 * 32).astype(np.float32)
+        ref = reference_scan(x)
+        qualities = [
+            MEAN_RELATIVE.quality(ScanProgram(block=64).run_approx(x, k), ref)
+            for k in (0, 4, 8, 16)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(qualities, qualities[1:]))
+
+    def test_exclusive_scan_exact(self):
+        rng = np.random.default_rng(6)
+        x = rng.random(64 * 8).astype(np.float32)
+        out = ScanProgram(block=64).run(x, exclusive=True)
+        np.testing.assert_allclose(
+            out, reference_scan(x, exclusive=True), rtol=2e-4, atol=1e-5
+        )
+        assert out[0] == 0.0
+
+    def test_exclusive_approximate_scan(self):
+        rng = np.random.default_rng(7)
+        x = rng.random(64 * 16).astype(np.float32)
+        out = ScanProgram(block=64).run_approx(x, skipped=4, exclusive=True)
+        ref = reference_scan(x, exclusive=True)
+        q = MEAN_RELATIVE.quality(out[1:], ref[1:])
+        assert q > 0.98
+
+    def test_skip_zero_is_exact(self):
+        x = np.arange(128, dtype=np.float32)
+        out = ScanProgram(block=64).run_approx(x, skipped=0)
+        np.testing.assert_allclose(out, reference_scan(x), rtol=1e-5)
+
+    def test_skipping_more_than_half_rejected(self):
+        x = np.ones(64 * 8, dtype=np.float32)
+        with pytest.raises(ExecutionError, match="skipped <= kept"):
+            ScanProgram(block=64).run_approx(x, skipped=5)
+
+    def test_trace_shrinks_with_skipping(self):
+        x = np.ones(64 * 16, dtype=np.float32)
+        exact_prog = ScanProgram(block=64)
+        exact_prog.run(x)
+        approx_prog = ScanProgram(block=64)
+        approx_prog.run_approx(x, skipped=8)
+        assert approx_prog.trace.total_ops() < exact_prog.trace.total_ops()
+
+
+class TestScanTransform:
+    def test_generate_variants(self):
+        variants = ScanTransform().generate("cumhist", _match())
+        assert len(variants) == 4
+        assert all(isinstance(v, ScanVariant) for v in variants)
+        assert variants[-1].skip_fraction == 0.5
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(TransformError, match="skip fraction"):
+            ScanTransform(skip_fractions=(0.6,))
+        with pytest.raises(TransformError):
+            ScanTransform(skip_fractions=(0.0,))
+
+    def test_non_scan_match_rejected(self):
+        bad = ScanMatch(pattern=Pattern.SCAN, kernel="k", source="pragma")
+        bad.pattern = Pattern.MAP
+        with pytest.raises(TransformError):
+            ScanTransform().generate("k", bad)
+
+    def test_skipped_blocks_clamped(self):
+        v = ScanVariant(name="v", pattern=Pattern.SCAN, skip_fraction=0.5)
+        assert v.skipped_blocks(10) == 5
+        assert v.skipped_blocks(3) <= 1
+
+    def test_variant_run_through_program(self):
+        v = ScanTransform(skip_fractions=(0.25,)).generate("cumhist", _match())[0]
+        x = np.ones(64 * 8, dtype=np.float32)
+        out = v.run(ScanProgram(block=64), x)
+        np.testing.assert_allclose(out, reference_scan(x), rtol=1e-5)

@@ -1,0 +1,92 @@
+"""Hypothesis property tests on tile-replication plans (paper §3.2)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis.affine import TileGeometry
+from repro.approx.stencil import SCHEMES, build_plan, representative, snap
+
+tiles = st.tuples(st.integers(1, 9), st.integers(1, 9)).map(
+    lambda rc: TileGeometry(
+        array="a",
+        offsets=[(r, c) for r in range(rc[0]) for c in range(rc[1])],
+        rows=rc[0],
+        cols=rc[1],
+        width_symbol=("w",),
+    )
+)
+schemes = st.sampled_from(SCHEMES)
+rds = st.integers(1, 6)
+
+
+class TestSnap:
+    @given(st.integers(-20, 20), st.integers(-20, 20), rds)
+    @settings(max_examples=100)
+    def test_snap_moves_at_most_half_stride(self, v, anchor, rd):
+        s = snap(v, anchor, rd)
+        assert abs(s - v) <= (rd + 1) / 2
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), rds)
+    @settings(max_examples=100)
+    def test_snap_is_idempotent(self, v, anchor, rd):
+        s = snap(v, anchor, rd)
+        assert snap(s, anchor, rd) == s
+
+    @given(st.integers(-20, 20), rds)
+    @settings(max_examples=50)
+    def test_anchor_is_fixed_point(self, anchor, rd):
+        assert snap(anchor, anchor, rd) == anchor
+
+
+class TestPlans:
+    @given(tiles, schemes, rds)
+    @settings(max_examples=150)
+    def test_representatives_stay_inside_tile(self, tile, scheme, rd):
+        plan = build_plan(tile, scheme, rd)
+        for r, c in plan.mapping.values():
+            assert 0 <= r < tile.rows
+            assert 0 <= c < tile.cols
+
+    @given(tiles, schemes, rds)
+    @settings(max_examples=150)
+    def test_every_offset_mapped(self, tile, scheme, rd):
+        plan = build_plan(tile, scheme, rd)
+        assert set(plan.mapping) == set(tile.offsets)
+
+    @given(tiles, schemes, rds)
+    @settings(max_examples=150)
+    def test_mapping_is_idempotent(self, tile, scheme, rd):
+        """Representatives are their own representatives (the accessed
+        subset really is accessed)."""
+        plan = build_plan(tile, scheme, rd)
+        for rep in set(plan.mapping.values()):
+            assert plan.mapping[rep] == rep
+
+    @given(tiles, schemes, rds)
+    @settings(max_examples=150)
+    def test_saving_bounds(self, tile, scheme, rd):
+        plan = build_plan(tile, scheme, rd)
+        assert 0.0 <= plan.saving < 1.0
+        assert 1 <= plan.accessed <= plan.total
+
+    @given(tiles, schemes)
+    @settings(max_examples=100)
+    def test_larger_reaching_distance_never_accesses_more(self, tile, scheme):
+        accessed = [
+            build_plan(tile, scheme, rd).accessed for rd in (1, 2, 4, 8)
+        ]
+        assert all(b <= a for a, b in zip(accessed, accessed[1:]))
+
+    @given(tiles, rds)
+    @settings(max_examples=100)
+    def test_row_scheme_preserves_columns(self, tile, rd):
+        plan = build_plan(tile, "row", rd)
+        for (r, c), (rr, cc) in plan.mapping.items():
+            assert cc == c
+
+    @given(tiles, rds)
+    @settings(max_examples=100)
+    def test_column_scheme_preserves_rows(self, tile, rd):
+        plan = build_plan(tile, "column", rd)
+        for (r, c), (rr, cc) in plan.mapping.items():
+            assert rr == r

@@ -1,0 +1,166 @@
+"""Tests for tile replication (paper §3.2) plus its unroll/CSE helpers."""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.approx.cse import eliminate_duplicate_loads
+from repro.approx.stencil import StencilTransform, build_plan, representative, snap
+from repro.approx.unroll import unroll_loop, unroll_where
+from repro.engine import Grid, launch
+from repro.errors import TransformError
+from repro.kernel import ir, validate_function
+from repro.kernel.visitors import walk
+from repro.patterns import detect_stencil
+from repro.runtime.quality import MEAN_RELATIVE
+
+
+class TestSnapAndSchemes:
+    def test_snap_rd1_collapses_3x3_to_center(self):
+        for v in (0, 1, 2):
+            assert snap(v, 1, 1) == 1
+
+    def test_snap_rd1_17_wide_keeps_alternating(self):
+        kept = {snap(v, 8, 1) for v in range(17)}
+        assert kept == {0, 2, 4, 6, 8, 10, 12, 14, 16}
+
+    def test_center_scheme(self):
+        assert representative((0, 0), (1, 1), "center", 1) == (1, 1)
+        assert representative((2, 2), (1, 1), "center", 1) == (1, 1)
+
+    def test_row_scheme_preserves_columns(self):
+        assert representative((0, 2), (1, 1), "row", 1) == (1, 2)
+
+    def test_column_scheme_preserves_rows(self):
+        assert representative((2, 0), (1, 1), "column", 1) == (2, 1)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(TransformError):
+            representative((0, 0), (0, 0), "diagonal", 1)
+
+
+class TestPlans:
+    def _tile(self):
+        return detect_stencil(zoo.mean3x3.fn).tile
+
+    def test_center_plan_keeps_one_of_nine(self):
+        plan = build_plan(self._tile(), "center", 1)
+        assert plan.total == 9 and plan.accessed == 1
+        assert plan.saving == pytest.approx(8 / 9)
+
+    def test_row_plan_keeps_three(self):
+        plan = build_plan(self._tile(), "row", 1)
+        assert plan.accessed == 3
+
+    def test_representatives_stay_inside_tile(self):
+        plan = build_plan(self._tile(), "center", 5)
+        for (r, c) in plan.mapping.values():
+            assert 0 <= r <= 2 and 0 <= c <= 2
+
+
+class TestUnroll:
+    def test_unroll_loop_substitutes_induction_values(self):
+        loop = next(s for s in zoo.row_stencil.fn.body[1].then_body
+                    if isinstance(s, ir.For))
+        stmts = unroll_loop(loop)
+        assert len(stmts) == 7
+        assert not any(isinstance(n, ir.Var) and n.name == "j"
+                       for s in stmts for n in walk(s))
+
+    def test_unroll_where_preserves_semantics(self):
+        fn = unroll_where(zoo.row_stencil.fn, lambda loop: True)
+        validate_function(fn)
+        x = np.random.default_rng(0).random(128).astype(np.float32)
+        a = np.zeros_like(x)
+        b = np.zeros_like(x)
+        launch(zoo.row_stencil, Grid(1, 128), [a, x, 128])
+        launch(fn, Grid(1, 128), [b, x, 128], module=zoo.row_stencil.module)
+        np.testing.assert_array_equal(a, b)
+
+    def test_dynamic_bounds_not_unrolled(self):
+        fn = unroll_where(zoo.sum_chunks.fn, lambda loop: True)
+        # trip 4096 exceeds the unroll bound: loop kept
+        assert any(isinstance(n, ir.For) for n in walk(fn))
+
+
+class TestCSE:
+    def test_duplicate_loads_collapse(self):
+        # build a kernel with two identical loads via the stencil rewrite
+        match = detect_stencil(zoo.mean3x3.fn)
+        variants = StencilTransform(schemes=("center",), reaching_distances=(1,)).generate(
+            zoo.mean3x3.module, "mean3x3", match
+        )
+        fn = variants[0].module[variants[0].kernel]
+        img = zoo.make_image(16, 16)
+        out = np.zeros_like(img)
+        trace = launch(fn, Grid.for_elements(256), [out, img, 16, 16],
+                       module=variants[0].module)
+        # interior threads issue 1 img load instead of 9
+        assert trace.accesses("global", "load", "img") < 2 * 256
+
+    def test_cse_does_not_merge_across_stores(self):
+        # noop writes out[i]; loads of out would be unsafe to cache, but
+        # there are none; x is never stored -> safe. Semantics preserved:
+        fn = eliminate_duplicate_loads(zoo.noop.fn)
+        validate_function(fn)
+        x = np.arange(8, dtype=np.float32)
+        out = np.zeros_like(x)
+        launch(fn, Grid(1, 8), [out, x, 8], module=zoo.noop.module)
+        np.testing.assert_array_equal(out, x)
+
+
+class TestTransformEndToEnd:
+    def test_variants_validate_and_execute(self):
+        match = detect_stencil(zoo.mean3x3.fn)
+        variants = StencilTransform().generate(zoo.mean3x3.module, "mean3x3", match)
+        assert len(variants) >= 3
+        img = zoo.make_image(32, 32, seed=2)
+        exact = np.zeros_like(img)
+        launch(zoo.mean3x3, Grid.for_elements(img.size), [exact, img, 32, 32])
+        for v in variants:
+            from repro.kernel import validate_module
+
+            validate_module(v.module)
+            out = np.zeros_like(img)
+            launch(v.module[v.kernel], Grid.for_elements(img.size),
+                   [out, img, 32, 32], module=v.module)
+            assert MEAN_RELATIVE.quality(out, exact) > 0.5
+
+    def test_center_rd1_equals_center_pixel_replication(self):
+        """For a 3x3 mean with center/rd=1 the output must be exactly the
+        center pixel (all nine loads redirected there)."""
+        match = detect_stencil(zoo.mean3x3.fn)
+        v = StencilTransform(schemes=("center",), reaching_distances=(1,)).generate(
+            zoo.mean3x3.module, "mean3x3", match
+        )[0]
+        img = zoo.make_image(16, 16, seed=3)
+        out = np.zeros_like(img)
+        launch(v.module[v.kernel], Grid.for_elements(img.size), [out, img, 16, 16],
+               module=v.module)
+        np.testing.assert_allclose(out[1:-1, 1:-1], img[1:-1, 1:-1], rtol=1e-6)
+
+    def test_loop_based_stencil_rewritten(self):
+        match = detect_stencil(zoo.row_stencil.fn)
+        variants = StencilTransform(
+            schemes=("column",), reaching_distances=(1,)
+        ).generate(zoo.row_stencil.module, "row_stencil", match)
+        x = np.random.default_rng(5).random(256).astype(np.float32)
+        exact = np.zeros_like(x)
+        launch(zoo.row_stencil, Grid.for_elements(256), [exact, x, 256])
+        out = np.zeros_like(x)
+        trace = launch(
+            variants[0].module[variants[0].kernel],
+            Grid.for_elements(256),
+            [out, x, 256],
+            module=variants[0].module,
+        )
+        exact_trace = launch(zoo.row_stencil, Grid.for_elements(256),
+                             [np.zeros_like(x), x, 256])
+        assert trace.accesses("global", "load") < exact_trace.accesses("global", "load")
+
+    def test_no_variant_for_saving_free_plans(self):
+        match = detect_stencil(zoo.row_stencil.fn)  # 1x7 row tile
+        variants = StencilTransform(schemes=("row",), reaching_distances=(1,)).generate(
+            zoo.row_stencil.module, "row_stencil", match
+        )
+        assert variants == []  # row scheme cannot save loads on a 1-row tile

@@ -1,0 +1,194 @@
+"""Exactness tests: every benchmark's kernel output must match its NumPy
+reference implementation (the approximations are then judged against these
+verified-exact baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import blackscholes, boxmuller, convsep, cumhist, denoise
+from repro.apps import gamma, gaussian, hotspot, kde, matmul, naivebayes, quasirandom
+from repro.apps.scanlib import reference_scan
+
+
+class TestBlackScholes:
+    def test_matches_scipy_reference(self):
+        app = blackscholes.BlackScholesApp(scale=0.005)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        calls = out[: app.n]
+        ref = blackscholes.reference(
+            inputs["price"], inputs["strike"], inputs["years"],
+            blackscholes.RISKFREE, blackscholes.VOLATILITY,
+        )
+        np.testing.assert_allclose(calls, ref, rtol=5e-3, atol=5e-3)
+
+    def test_put_call_parity(self):
+        app = blackscholes.BlackScholesApp(scale=0.005)
+        inputs = app.generate_inputs(2)
+        out, _t = app.run_exact(inputs)
+        calls, puts = out[: app.n], out[app.n :]
+        parity = (
+            calls
+            - inputs["price"]
+            + inputs["strike"]
+            * np.exp(-blackscholes.RISKFREE * inputs["years"])
+        )
+        np.testing.assert_allclose(puts, parity, rtol=1e-4, atol=1e-4)
+
+
+class TestQuasirandom:
+    def test_matches_norm_ppf(self):
+        app = quasirandom.QuasirandomApp(scale=0.002)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = quasirandom.reference(inputs["offset"], app.n)
+        np.testing.assert_allclose(out, ref, atol=5e-3)
+
+    def test_output_is_standard_normal_ish(self):
+        app = quasirandom.QuasirandomApp(scale=0.05)
+        out, _t = app.run_exact(app.generate_inputs(2))
+        assert abs(float(out.mean())) < 0.05
+        assert abs(float(out.std()) - 1.0) < 0.05
+
+
+class TestGamma:
+    def test_matches_reference(self):
+        app = gamma.GammaCorrectionApp(scale=0.005)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = gamma.reference(inputs["img"], app.gamma)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_output_in_unit_range(self):
+        app = gamma.GammaCorrectionApp(scale=0.005)
+        out, _t = app.run_exact(app.generate_inputs(3))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestBoxMuller:
+    def test_matches_reference(self):
+        app = boxmuller.BoxMullerApp(scale=0.001)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = boxmuller.reference(inputs["u"], inputs["perm"])
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-3)
+
+    def test_payoff_nonnegative(self):
+        app = boxmuller.BoxMullerApp(scale=0.001)
+        out, _t = app.run_exact(app.generate_inputs(2))
+        assert out.min() >= 0.0
+
+
+class TestHotSpot:
+    def test_matches_reference(self):
+        app = hotspot.HotSpotApp(scale=0.01)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = hotspot.reference(inputs["temp"], inputs["power"])
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+
+class TestConvSep:
+    def test_matches_reference(self):
+        app = convsep.ConvolutionSeparableApp(scale=0.005)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = convsep.reference(inputs["img"], app.taps)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_taps_normalised(self):
+        assert convsep.gaussian_taps().sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFilters:
+    def test_gaussian_matches_reference(self):
+        app = gaussian.GaussianFilterApp(scale=0.02)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        np.testing.assert_allclose(out, gaussian.reference(inputs["img"]), rtol=1e-5)
+
+    def test_mean_matches_reference(self):
+        app = gaussian.MeanFilterApp(scale=0.02)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        np.testing.assert_allclose(
+            out, gaussian.mean_reference(inputs["img"]), rtol=1e-5
+        )
+
+    def test_borders_passed_through(self):
+        app = gaussian.MeanFilterApp(scale=0.02)
+        inputs = app.generate_inputs(2)
+        out, _t = app.run_exact(inputs)
+        np.testing.assert_array_equal(out[0, :], inputs["img"][0, :])
+
+
+class TestMatMul:
+    def test_matches_numpy(self):
+        app = matmul.MatrixMultiplyApp(scale=0.025)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = matmul.reference(inputs["a"], inputs["b"])
+        np.testing.assert_allclose(out, ref, rtol=2e-5)
+
+
+class TestDenoise:
+    def test_matches_reference(self):
+        app = denoise.ImageDenoisingApp(scale=0.001)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = denoise.reference(inputs["img"])
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_denoising_reduces_noise(self):
+        app = denoise.ImageDenoisingApp(scale=0.002)
+        inputs = app.generate_inputs(2)
+        out, _t = app.run_exact(inputs)
+        interior = slice(4, -4)
+        assert out[interior, interior].std() < inputs["img"][interior, interior].std()
+
+
+class TestNaiveBayes:
+    def test_counts_match_reference(self):
+        app = naivebayes.NaiveBayesApp(scale=0.02)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        split = app.nfeat * naivebayes.VALUES * naivebayes.CLASSES
+        counts, class_counts = naivebayes.reference(
+            inputs["data"], inputs["labels"], app.nfeat
+        )
+        np.testing.assert_array_equal(out[:split], counts)
+        np.testing.assert_array_equal(out[split:], class_counts)
+
+
+class TestKDE:
+    def test_matches_reference(self):
+        app = kde.KernelDensityApp(scale=0.002, queries=64)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = kde.reference(
+            inputs["queries"].reshape(-1, app.nfeat),
+            inputs["refs"].reshape(-1, app.nfeat),
+        )
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+
+class TestCumulativeHistogram:
+    def test_matches_reference(self):
+        app = cumhist.CumulativeHistogramApp(scale=0.01)
+        inputs = app.generate_inputs(1)
+        out, _t = app.run_exact(inputs)
+        ref = cumhist.reference(inputs["values"], app.nbins)
+        np.testing.assert_allclose(out, ref, rtol=1e-4)
+
+    def test_in_kernel_histogram_matches_bincount(self):
+        app = cumhist.CumulativeHistogramApp(scale=0.01)
+        inputs = app.generate_inputs(2)
+        hist = app.build_histogram(inputs)
+        ref = np.bincount(inputs["values"], minlength=app.nbins)
+        np.testing.assert_array_equal(hist.astype(np.int64), ref)
+
+    def test_final_value_is_total_count(self):
+        app = cumhist.CumulativeHistogramApp(scale=0.01)
+        inputs = app.generate_inputs(3)
+        out, _t = app.run_exact(inputs)
+        assert float(out[-1]) == pytest.approx(app.n, rel=1e-5)

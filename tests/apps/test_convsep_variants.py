@@ -1,0 +1,87 @@
+"""Tests for the two-pass Convolution Separable app and its paired
+stencil/reduction variants."""
+
+import numpy as np
+import pytest
+
+from repro import DeviceKind, Paraprox, ParaproxConfig
+from repro.apps.convsep import ConvolutionSeparableApp, ConvSepVariant
+from repro.patterns.base import Pattern
+
+
+@pytest.fixture(scope="module")
+def app_and_variants():
+    app = ConvolutionSeparableApp(scale=0.005)
+    px = Paraprox(target_quality=0.90)
+    return app, px.compile(app)
+
+
+class TestVariantGeneration:
+    def test_both_families_present(self, app_and_variants):
+        _app, variants = app_and_variants
+        kinds = {v.pattern for v in variants}
+        assert kinds == {Pattern.STENCIL, Pattern.REDUCTION}
+
+    def test_variants_pair_row_and_column_kernels(self, app_and_variants):
+        _app, variants = app_and_variants
+        for v in variants:
+            assert isinstance(v, ConvSepVariant)
+            assert v.row.kernel in v.row.module
+            assert v.col.kernel in v.col.module
+            assert v.row.kernel != v.col.kernel
+
+    def test_matched_knobs_across_passes(self, app_and_variants):
+        _app, variants = app_and_variants
+        for v in variants:
+            if v.pattern is Pattern.REDUCTION:
+                assert (
+                    v.row.knobs["skipping_rate"] == v.col.knobs["skipping_rate"]
+                )
+            else:
+                # The passes have transposed tiles (1x17 vs 17x1), so the
+                # *effective* knobs must match: same reaching distance and
+                # the same number of loads kept per tile.
+                assert (
+                    v.row.knobs["reaching_distance"]
+                    == v.col.knobs["reaching_distance"]
+                )
+                assert v.row.knobs["loads_kept"] == v.col.knobs["loads_kept"]
+
+    def test_stencil_targets_image_not_taps(self, app_and_variants):
+        _app, variants = app_and_variants
+        stencil = [v for v in variants if v.pattern is Pattern.STENCIL]
+        assert stencil
+        for v in stencil:
+            # the rewritten row kernel still reads all 17 taps exactly
+            from repro.kernel.visitors import walk
+            from repro.kernel import ir
+
+            taps_loads = [
+                n
+                for n in walk(v.row.module[v.row.kernel])
+                if isinstance(n, ir.Load) and n.array.name == "taps"
+            ]
+            assert len(taps_loads) == 17
+
+
+class TestVariantExecution:
+    def test_all_variants_run_and_rank_sanely(self, app_and_variants):
+        app, variants = app_and_variants
+        inputs = app.generate_inputs(11)
+        exact, _t = app.run_exact(inputs)
+        for v in variants:
+            out, trace = app.run_variant(v, inputs)
+            q = app.quality(out, exact)
+            assert 0.0 <= q <= 1.0
+            assert trace.launches == 2  # both passes traced
+
+    def test_mild_knobs_keep_high_quality(self, app_and_variants):
+        app, variants = app_and_variants
+        inputs = app.generate_inputs(12)
+        exact, _t = app.run_exact(inputs)
+        mild = min(
+            (v for v in variants if v.pattern is Pattern.REDUCTION),
+            key=lambda v: v.knobs["skipping_rate"],
+        )
+        out, _t = app.run_variant(mild, inputs)
+        assert app.quality(out, exact) > 0.95

@@ -1,0 +1,50 @@
+"""Paper-size spot checks (Table-1 input sizes).
+
+Gated behind ``REPRO_PAPER_SCALE=1`` because a full-size run takes minutes;
+the default suite exercises the same code paths at reduced scales.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+paper_scale = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="set REPRO_PAPER_SCALE=1 to run Table-1-size inputs",
+)
+
+
+@paper_scale
+def test_blackscholes_at_4m_elements():
+    from repro import DeviceKind, Paraprox
+    from repro.apps.blackscholes import BlackScholesApp
+
+    app = BlackScholesApp(scale=1.0)
+    assert app.n == 4_000_000
+    result = Paraprox(target_quality=0.90).optimize(app, DeviceKind.GPU)
+    assert result.quality >= 0.90
+    assert result.speedup > 1.5
+
+
+@paper_scale
+def test_gaussian_filter_at_512x512():
+    from repro import DeviceKind, Paraprox
+    from repro.apps.gaussian import GaussianFilterApp
+
+    app = GaussianFilterApp(scale=1.0)
+    assert app.side == 512
+    result = Paraprox(target_quality=0.90).optimize(app, DeviceKind.GPU)
+    assert result.quality >= 0.90
+    assert result.speedup > 1.2
+
+
+@paper_scale
+def test_cumulative_histogram_at_1m_elements():
+    from repro import DeviceKind, Paraprox
+    from repro.apps.cumhist import CumulativeHistogramApp
+
+    app = CumulativeHistogramApp(scale=1.0)
+    result = Paraprox(target_quality=0.90).optimize(app, DeviceKind.GPU)
+    assert result.quality >= 0.90
+    assert result.speedup > 1.3

@@ -1,0 +1,103 @@
+"""Tests for the three-phase tree reduction substrate (§3.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.reducelib import ReduceProgram, reference_sum
+from repro.errors import ExecutionError
+
+
+class TestExactPipeline:
+    def test_sum_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(100_000).astype(np.float32)
+        got = ReduceProgram(chunk=64).run(x)
+        assert got == pytest.approx(reference_sum(x), rel=1e-4)
+
+    def test_non_multiple_sizes(self):
+        for n in (1, 7, 255, 257, 16385):
+            x = np.ones(n, dtype=np.float32)
+            assert ReduceProgram(chunk=16).run(x) == pytest.approx(n, rel=1e-5)
+
+    def test_three_launches_traced(self):
+        prog = ReduceProgram(chunk=32)
+        prog.run(np.ones(10_000, dtype=np.float32))
+        assert prog.trace.launches == 3
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ExecutionError, match="float32"):
+            ReduceProgram().run(np.ones(16, dtype=np.float64))
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ExecutionError):
+            ReduceProgram(chunk=0)
+
+
+class TestPerPhaseVariants:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        prog = ReduceProgram(chunk=64)
+        return prog, prog.variants(skipping_rates=(2, 4))
+
+    def test_phases_one_and_three_perforable(self, setup):
+        _prog, variants = setup
+        phases = {v.phase for v in variants}
+        # Phase II is a shared-memory *tree* (stores, not a scalar
+        # accumulation), so only the scalar-loop phases perforate — the
+        # runtime still gets approximate kernels "for each loop" that is
+        # a reduction loop.
+        assert phases == {1, 3}
+        assert len(variants) == 4  # 2 phases x 2 rates
+
+    def test_phase1_variant_samples_the_data(self, setup):
+        prog, variants = setup
+        rng = np.random.default_rng(1)
+        x = rng.random(200_000).astype(np.float32)
+        exact = reference_sum(x)
+        v = next(v for v in variants if v.phase == 1 and v.skipping_rate == 2)
+        got = prog.run_variant(x, v)
+        assert got == pytest.approx(exact, rel=0.02)  # adjusted estimate
+
+    def test_phase3_variant_samples_block_sums(self, setup):
+        prog, variants = setup
+        rng = np.random.default_rng(2)
+        x = rng.random(200_000).astype(np.float32)
+        exact = reference_sum(x)
+        v = next(v for v in variants if v.phase == 3 and v.skipping_rate == 2)
+        got = prog.run_variant(x, v)
+        assert got == pytest.approx(exact, rel=0.05)
+
+    def test_phase1_cheaper_than_phase3_perforation(self, setup):
+        """Phase I dominates the work, so perforating it saves far more —
+        the information the paper's runtime uses to pick a phase."""
+        prog, variants = setup
+        from repro.device import CostModel, GTX560
+
+        cm = CostModel(GTX560)
+        x = np.random.default_rng(3).random(100_000).astype(np.float32)
+
+        def cycles_for(v):
+            p = ReduceProgram(chunk=64)
+            p.run_variant(x, v)
+            return cm.cycles(p.trace)
+
+        exact_prog = ReduceProgram(chunk=64)
+        exact_prog.run(x)
+        exact_cycles = cm.cycles(exact_prog.trace)
+        v1 = next(v for v in variants if v.phase == 1 and v.skipping_rate == 4)
+        v3 = next(v for v in variants if v.phase == 3 and v.skipping_rate == 4)
+        assert cycles_for(v1) < 0.5 * exact_cycles
+        assert cycles_for(v3) > 0.9 * exact_cycles  # phase 3 is tiny
+
+    def test_variant_quality_degrades_with_rate(self, setup):
+        prog, variants = setup
+        rng = np.random.default_rng(4)
+        x = rng.random(100_000).astype(np.float32)
+        exact = reference_sum(x)
+        errs = []
+        for rate in (2, 4):
+            v = next(
+                v for v in variants if v.phase == 1 and v.skipping_rate == rate
+            )
+            errs.append(abs(prog.run_variant(x, v) - exact) / exact)
+        assert errs[1] >= errs[0] * 0.5  # noisier, modulo sampling luck

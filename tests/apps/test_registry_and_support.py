@@ -1,0 +1,126 @@
+"""Tests for the app registry, synthetic images, and case-study functions."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.apps import APP_CLASSES, all_apps, make_app
+from repro.apps.images import (
+    adjacent_percent_differences,
+    difference_histogram,
+    synthetic_image,
+)
+from repro.apps.mapfuncs import BassApp, CreditApp, GompertzApp, LgammaApp
+from repro.engine import call_device_function
+
+
+class TestRegistry:
+    def test_thirteen_apps(self):
+        assert len(APP_CLASSES) == 13
+
+    def test_make_app_by_name(self):
+        app = make_app("blackscholes")
+        assert app.info.name == "BlackScholes"
+
+    def test_make_app_scale_override(self):
+        app = make_app("gaussian", scale=0.3)
+        assert app.scale == 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown app"):
+            make_app("bitcoin_miner")
+
+    def test_all_apps_order_and_metrics(self):
+        apps = all_apps()
+        assert [a.info.name for a in apps][:3] == [
+            "BlackScholes",
+            "Quasirandom Generator",
+            "Gamma Correction",
+        ]
+        for a in apps:
+            assert a.info.error_metric in (
+                "L1-norm",
+                "L2-norm",
+                "Mean relative error",
+            )
+
+    def test_inputs_reproducible_by_seed(self):
+        a1 = make_app("gaussian").generate_inputs(5)
+        a2 = make_app("gaussian").generate_inputs(5)
+        np.testing.assert_array_equal(a1["img"], a2["img"])
+
+
+class TestSyntheticImages:
+    def test_range_and_dtype(self):
+        img = synthetic_image(64, 48, seed=0)
+        assert img.shape == (48, 64)
+        assert img.dtype == np.float32
+        assert img.min() > 0.0 and img.max() <= 1.0
+
+    def test_smooth_images_have_local_similarity(self):
+        # The Fig-5 property is a population statistic: aggregate over a
+        # handful of images (single seeds vary with their random shading).
+        diffs = np.concatenate(
+            [
+                adjacent_percent_differences(
+                    synthetic_image(128, 128, seed=s, smoothness=1.0)
+                )
+                for s in range(6)
+            ]
+        )
+        assert (diffs < 10).mean() > 0.65
+
+    def test_noise_images_do_not(self):
+        img = synthetic_image(128, 128, seed=1, smoothness=0.0)
+        diffs = adjacent_percent_differences(img)
+        assert (diffs < 10).mean() < 0.1
+
+    def test_histogram_sums_to_100(self):
+        pct, edges = difference_histogram([synthetic_image(64, 64)])
+        assert pct.sum() == pytest.approx(100.0)
+        assert len(pct) == len(edges) - 1
+
+    def test_seed_changes_image(self):
+        a = synthetic_image(32, 32, seed=0)
+        b = synthetic_image(32, 32, seed=1)
+        assert not np.array_equal(a, b)
+
+
+class TestCaseStudyFunctions:
+    def test_lgamma_against_scipy(self):
+        app = LgammaApp(n=256)
+        inputs = app.generate_inputs(0)
+        out, _t = app.run_exact(inputs)
+        ref = special.gammaln(inputs["x"].astype(np.float64))
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+    def test_gompertz_is_a_cdf(self):
+        app = GompertzApp(n=512)
+        x = np.linspace(0, 10, 512).astype(np.float32)
+        out, _t = app.run_exact({"x": x})
+        assert out[0] == pytest.approx(0.0, abs=1e-5)
+        assert 0.9 < out[-1] <= 1.0
+        assert np.all(np.diff(out) >= -1e-6)  # monotone
+
+    def test_credit_months_increase_with_rate(self):
+        app = CreditApp(n=256)
+        x = np.linspace(5e-5, 6e-4, 256).astype(np.float32)
+        out, _t = app.run_exact({"x": x})
+        assert np.all(out > 0)
+        assert out[-1] > out[0]
+
+    def test_bass_is_a_unimodal_adoption_curve(self):
+        app = BassApp(n=512)
+        x = np.linspace(0, 20, 512).astype(np.float32)
+        out, _t = app.run_exact({"x": x})
+        peak = int(np.argmax(out))
+        assert 0 < peak < 511
+        assert np.all(out >= 0)
+
+    def test_all_four_detected_as_pure(self):
+        from repro.analysis.purity import is_pure
+
+        for app_cls in (CreditApp, GompertzApp, LgammaApp, BassApp):
+            app = app_cls()
+            fn = app.kernel.module.device_functions()[0]
+            assert is_pure(fn, app.kernel.module)

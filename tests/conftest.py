@@ -1,0 +1,6 @@
+"""Shared pytest configuration: make the test-local kernel zoo importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,139 @@
+"""Tests for the device cost model: pricing rules and the paper's
+qualitative asymmetries."""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.device import CORE_I7, GTX560, CostModel, DeviceKind, spec_for
+from repro.engine import Grid, Trace, launch
+from repro.engine.trace import WARP_SIZE
+from repro.errors import DeviceError
+
+
+def _compute_trace(op="sfu", count=32000, dtype="f32"):
+    t = Trace()
+    t.count_op(op, dtype, count)
+    return t
+
+
+class TestBasicPricing:
+    def test_more_ops_cost_more(self):
+        cm = CostModel(GTX560)
+        assert cm.cycles(_compute_trace(count=2000)) < cm.cycles(
+            _compute_trace(count=4000)
+        )
+
+    def test_speedup_is_cycle_ratio(self):
+        cm = CostModel(GTX560)
+        a, b = _compute_trace(count=4000), _compute_trace(count=2000)
+        assert cm.speedup(a, b) == pytest.approx(2.0)
+
+    def test_zero_cost_optimized_rejected(self):
+        cm = CostModel(GTX560)
+        with pytest.raises(DeviceError):
+            cm.speedup(_compute_trace(), Trace())
+
+    def test_seconds_conversion(self):
+        cm = CostModel(GTX560)
+        trace = _compute_trace(count=1000)
+        assert cm.seconds(trace) == pytest.approx(
+            cm.cycles(trace) / (GTX560.clock_ghz * 1e9)
+        )
+
+    def test_memory_accesses_cost_issue_slots(self):
+        cm = CostModel(GTX560)
+        t = Trace()
+        t.record_access("global", "load", 4, 32000, None, "a")
+        b = cm.breakdown(t)
+        assert b.compute_cycles > 0  # LSU issue cost even without addresses
+
+
+class TestCoalescingEffects:
+    def _loads(self, addresses):
+        t = Trace()
+        t.record_access("global", "load", 4, len(addresses), np.asarray(addresses), "a")
+        return t
+
+    def test_uncoalesced_loads_cost_more(self):
+        cm = CostModel(GTX560)
+        coalesced = self._loads(np.arange(4096))
+        scattered = self._loads((np.arange(4096) * 997) % (1 << 20))
+        assert cm.cycles(scattered) > 3 * cm.cycles(coalesced)
+
+    def test_serialization_overhead_reported(self):
+        cm = CostModel(GTX560)
+        scattered = self._loads((np.arange(4096) * 997) % (1 << 20))
+        assert cm.breakdown(scattered).serialization_overhead > 0.5
+        coalesced = self._loads(np.arange(4096))
+        assert cm.breakdown(coalesced).serialization_overhead < 0.05
+
+    def test_cache_resident_stream_cheaper_than_dram(self):
+        cm = CostModel(GTX560)
+        small = self._loads(np.tile(np.arange(1024), 16))  # 4KB, reused
+        big = self._loads((np.arange(16384) * 131) % (1 << 22))  # >L1, scattered
+        assert cm.cycles(big) > cm.cycles(small)
+
+
+class TestAtomics:
+    def _atomics(self, addresses):
+        t = Trace()
+        t.record_access("global", "atomic", 4, len(addresses), np.asarray(addresses), "h")
+        t.count_op("atomic", "i32", len(addresses))
+        return t
+
+    def test_contended_atomics_cost_more_on_gpu(self):
+        cm = CostModel(GTX560)
+        contended = self._atomics(np.zeros(4096, dtype=np.int64))
+        spread = self._atomics(np.arange(4096))
+        assert cm.cycles(contended) > 4 * cm.cycles(spread)
+
+    def test_cpu_chain_capped_at_core_count(self):
+        gpu, cpu = CostModel(GTX560), CostModel(CORE_I7)
+        contended = self._atomics(np.zeros(4096, dtype=np.int64))
+        spread = self._atomics(np.arange(4096))
+        gpu_penalty = gpu.cycles(contended) / gpu.cycles(spread)
+        cpu_penalty = cpu.cycles(contended) / cpu.cycles(spread)
+        assert gpu_penalty > cpu_penalty
+
+
+class TestSharedAndConstant:
+    def test_readonly_shared_table_pays_staging(self):
+        cm = CostModel(GTX560)
+        t = Trace()
+        t.count_launch(256 * 64)
+        t.record_access("shared", "load", 4, 8192, np.arange(8192) % 1024, "lut")
+        with_staging = cm.cycles(t)
+        # same accesses but the array is also written (true scratchpad)
+        t2 = Trace()
+        t2.count_launch(256 * 64)
+        t2.record_access("shared", "load", 4, 8192, np.arange(8192) % 1024, "sh")
+        t2.record_access("shared", "store", 4, 8192, np.arange(8192) % 1024, "sh")
+        b2 = cm.breakdown(t2)
+        assert with_staging > b2.streams[("shared", "load", "sh")]
+
+    def test_constant_thrash_beyond_cache(self):
+        cm = CostModel(GTX560)
+        small = Trace()
+        small.record_access("constant", "load", 4, 4096, np.arange(4096) % 512, "c")
+        big = Trace()
+        big.record_access(
+            "constant", "load", 4, 4096, (np.arange(4096) * 37) % (1 << 16), "c"
+        )
+        assert cm.cycles(big) > 5 * cm.cycles(small)
+
+
+class TestDeviceSpecs:
+    def test_spec_for(self):
+        assert spec_for(DeviceKind.GPU) is GTX560
+        assert spec_for(DeviceKind.CPU) is CORE_I7
+        assert GTX560.is_gpu and not CORE_I7.is_gpu
+
+    def test_end_to_end_kernel_pricing(self):
+        x = np.ones(2048, dtype=np.float32)
+        out = np.zeros_like(x)
+        trace = launch(zoo.noop, Grid.for_elements(2048), [out, x, 2048])
+        for spec in (GTX560, CORE_I7):
+            b = CostModel(spec).breakdown(trace)
+            assert b.total_cycles > 0
+            assert b.compute_cycles > 0 and b.memory_cycles > 0

@@ -1,0 +1,93 @@
+"""Hypothesis property tests on the cost model: pricing must be monotone,
+additive over trace merges, and positive-homogeneous where expected."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.device import CORE_I7, GTX560, CostModel
+from repro.engine import Trace
+
+OP_CLASSES = ("alu", "fmul", "fdiv", "sfu", "trans", "libcall", "atomic")
+
+
+def trace_strategy():
+    ops = st.lists(
+        st.tuples(st.sampled_from(OP_CLASSES), st.integers(1, 100000)),
+        min_size=1,
+        max_size=5,
+    )
+
+    def build(op_list):
+        t = Trace()
+        for cls, count in op_list:
+            t.count_op(cls, "f32", count)
+        return t
+
+    return ops.map(build)
+
+
+class TestComputePricing:
+    @given(trace_strategy())
+    @settings(max_examples=60)
+    def test_cost_positive(self, trace):
+        for spec in (GTX560, CORE_I7):
+            assert CostModel(spec).cycles(trace) > 0
+
+    @given(trace_strategy(), st.sampled_from(OP_CLASSES), st.integers(1, 10000))
+    @settings(max_examples=60)
+    def test_adding_work_never_cheapens(self, trace, cls, extra):
+        cm = CostModel(GTX560)
+        before = cm.cycles(trace)
+        trace.count_op(cls, "f32", extra)
+        assert cm.cycles(trace) >= before
+
+    @given(trace_strategy())
+    @settings(max_examples=60)
+    def test_merge_is_additive_for_compute(self, trace):
+        cm = CostModel(GTX560)
+        single = cm.cycles(trace)
+        doubled = trace.copy()
+        doubled.merge(trace)
+        assert np.isclose(cm.cycles(doubled), 2 * single, rtol=1e-9)
+
+    @given(trace_strategy())
+    @settings(max_examples=30)
+    def test_speedup_antisymmetry(self, trace):
+        cm = CostModel(GTX560)
+        heavier = trace.copy()
+        heavier.merge(trace)
+        s = cm.speedup(heavier, trace)
+        assert np.isclose(cm.speedup(trace, heavier), 1.0 / s, rtol=1e-9)
+
+
+class TestMemoryPricing:
+    def _mem_trace(self, addresses, count=None):
+        t = Trace()
+        addr = np.asarray(addresses)
+        t.record_access("global", "load", 4, count or addr.size, addr, "a")
+        return t
+
+    @given(st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_wider_stride_never_cheaper(self, stride_pow):
+        """Worsening coalescing can only raise the price — for streams
+        with no reuse (distinct addresses; wrapping strides create cache
+        reuse and legitimately get cheaper)."""
+        cm = CostModel(GTX560)
+        n = 2048
+        narrow = self._mem_trace(np.arange(n, dtype=np.int64))
+        wide = self._mem_trace(np.arange(n, dtype=np.int64) * (1 << stride_pow))
+        assert cm.cycles(wide) >= cm.cycles(narrow) - 1e-9
+
+    @given(st.integers(6, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_bigger_tables_never_cheaper(self, bits):
+        """The Fig-17 monotonicity as a property: random lookups into a
+        bigger table cost at least as much as into a smaller one."""
+        cm = CostModel(GTX560)
+        rng = np.random.default_rng(bits)
+        n = 4096
+        small = self._mem_trace(rng.integers(0, 1 << 6, n))
+        large = self._mem_trace(rng.integers(0, 1 << bits, n))
+        assert cm.cycles(large) >= cm.cycles(small) * 0.999

@@ -1,0 +1,173 @@
+"""Tests for 2-D launch geometry and the _x/_y thread intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Grid, launch
+from repro.errors import ExecutionError
+from repro.kernel import kernel
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.kernel.printer import print_function
+
+
+@kernel
+def coords_kernel(xs: array_i32, ys: array_i32, w: i32, h: i32):
+    x = global_id_x()
+    y = global_id_y()
+    if (x < w) and (y < h):
+        xs[y * w + x] = x
+        ys[y * w + x] = y
+
+
+@kernel
+def transpose_kernel(out: array_f32, src: array_f32, w: i32, h: i32):
+    x = global_id_x()
+    y = global_id_y()
+    if (x < w) and (y < h):
+        out[x * h + y] = src[y * w + x]
+
+
+@kernel
+def tile_ids(out: array_i32, w: i32, h: i32):
+    x = global_id_x()
+    y = global_id_y()
+    if (x < w) and (y < h):
+        out[y * w + x] = block_id_y() * grid_dim_x() + block_id_x()
+
+
+class TestGridGeometry:
+    def test_threads_and_blocks(self):
+        g = Grid(4, 16, blocks_y=2, threads_per_block_y=8)
+        assert g.block_threads == 128
+        assert g.total_blocks == 8
+        assert g.threads == 1024
+        assert g.is_2d
+
+    def test_1d_defaults(self):
+        g = Grid(4, 64)
+        assert not g.is_2d
+        assert g.threads == 256
+
+    def test_for_image_rounds_up(self):
+        g = Grid.for_image(33, 17)
+        assert (g.blocks, g.blocks_y) == (3, 2)
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ExecutionError):
+            Grid(1, 16, blocks_y=0)
+
+
+class TestExecution:
+    def test_coordinate_coverage(self):
+        w, h = 40, 24
+        xs = np.full((h, w), -1, dtype=np.int32)
+        ys = np.full((h, w), -1, dtype=np.int32)
+        launch(coords_kernel, Grid.for_image(w, h), [xs, ys, w, h])
+        np.testing.assert_array_equal(xs, np.tile(np.arange(w), (h, 1)))
+        np.testing.assert_array_equal(ys, np.tile(np.arange(h)[:, None], (1, w)))
+
+    def test_transpose(self):
+        rng = np.random.default_rng(0)
+        w, h = 48, 20
+        src = rng.random((h, w)).astype(np.float32)
+        out = np.zeros((w, h), dtype=np.float32)
+        launch(transpose_kernel, Grid.for_image(w, h), [out, src, w, h])
+        np.testing.assert_array_equal(out, src.T)
+
+    def test_block_ids_tile_the_image(self):
+        w = h = 32
+        out = np.zeros((h, w), dtype=np.int32)
+        launch(tile_ids, Grid.for_image(w, h, tx=16, ty=16), [out, w, h])
+        assert out[0, 0] == 0 and out[0, 31] == 1
+        assert out[31, 0] == 2 and out[31, 31] == 3
+
+    def test_1d_intrinsics_consistent_on_1d_grids(self):
+        # for a pure 1-D launch, global_id_x == global_id
+        @kernel
+        def check(out: array_i32, n: i32):
+            i = global_id()
+            ix = global_id_x()
+            if i < n:
+                out[i] = ix
+
+        out = np.zeros(100, dtype=np.int32)
+        launch(check, Grid.for_elements(100), [out, 100])
+        np.testing.assert_array_equal(out, np.arange(100))
+
+    def test_warps_run_along_x(self):
+        """Coalescing statistics assume x-fastest linearization: row-major
+        image stores from a 2-D launch must be (mostly) coalesced."""
+        w, h = 64, 64
+        xs = np.zeros((h, w), dtype=np.int32)
+        ys = np.zeros((h, w), dtype=np.int32)
+        trace = launch(coords_kernel, Grid.for_image(w, h), [xs, ys, w, h])
+        stats = trace.mem[("global", "store", "xs")]
+        assert stats.transactions_per_warp <= 3.0
+
+
+class TestPrinting:
+    def test_cuda_y_intrinsics(self):
+        text = print_function(coords_kernel.fn, "cuda")
+        assert "blockIdx.y * blockDim.y + threadIdx.y" in text
+
+    def test_opencl_y_intrinsics(self):
+        text = print_function(coords_kernel.fn, "opencl")
+        assert "get_global_id(1)" in text
+
+
+class TestPipelineWith2D:
+    def test_stencil_detection_on_2d_kernel(self):
+        """A natively 2-D stencil kernel still yields the (f+i)*w+(g+j)
+        affine shape the detector needs."""
+
+        @kernel
+        def blur2d(out: array_f32, img: array_f32, w: i32, h: i32):
+            x = global_id_x()
+            y = global_id_y()
+            if (x > 0) and (x < w - 1) and (y > 0) and (y < h - 1):
+                acc = img[(y - 1) * w + x]
+                acc += img[y * w + (x - 1)]
+                acc += img[y * w + x]
+                acc += img[y * w + (x + 1)]
+                acc += img[(y + 1) * w + x]
+                out[y * w + x] = acc / 5.0
+
+        from repro.patterns import detect_stencil
+
+        match = detect_stencil(blur2d.fn)
+        assert match is not None
+        assert (match.tile.rows, match.tile.cols) == (3, 3)
+        assert len(match.tile.offsets) == 5
+
+    def test_stencil_transform_on_2d_kernel(self):
+        @kernel
+        def blur2d_b(out: array_f32, img: array_f32, w: i32, h: i32):
+            x = global_id_x()
+            y = global_id_y()
+            if (x > 0) and (x < w - 1) and (y > 0) and (y < h - 1):
+                acc = img[(y - 1) * w + x]
+                acc += img[y * w + (x - 1)]
+                acc += img[y * w + x]
+                acc += img[y * w + (x + 1)]
+                acc += img[(y + 1) * w + x]
+                out[y * w + x] = acc / 5.0
+
+        from repro.approx.stencil import StencilTransform
+        from repro.patterns import detect_stencil
+        from repro.apps.images import synthetic_image
+
+        match = detect_stencil(blur2d_b.fn)
+        variants = StencilTransform(
+            schemes=("center",), reaching_distances=(1,)
+        ).generate(blur2d_b.module, "blur2d_b", match)
+        img = synthetic_image(32, 32, seed=1)
+        out = np.zeros_like(img)
+        trace = launch(
+            variants[0].module[variants[0].kernel],
+            Grid.for_image(32, 32),
+            [out, img, 32, 32],
+            module=variants[0].module,
+        )
+        # all five loads redirected to the centre and CSE'd to one
+        interior_threads = 32 * 32
+        assert trace.accesses("global", "load", "img") < 1.2 * interior_threads

@@ -1,0 +1,160 @@
+"""Tests for the vectorized interpreter: numerical semantics, predication,
+atomics, shared memory, bounds checking."""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.engine import Grid, launch
+from repro.errors import ExecutionError
+
+
+def black_scholes_ref(s, x, t, r, v):
+    """NumPy ground truth mirroring the zoo kernel."""
+    k = 1.0 / (1.0 + 0.2316419 * np.abs(0))  # placeholder, replaced below
+
+    def cnd(d):
+        k = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+        w = k * (
+            0.31938153
+            + k
+            * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429)))
+        )
+        ret = 1.0 - 0.3989422804 * np.exp(-0.5 * d * d) * w
+        return np.where(d > 0, ret, 1.0 - ret)
+
+    srt = v * np.sqrt(t)
+    d1 = (np.log(s / x) + (r + 0.5 * v * v) * t) / srt
+    d2 = d1 - srt
+    return s * cnd(d1) - x * np.exp(-r * t) * cnd(d2)
+
+
+class TestMapExecution:
+    def test_black_scholes_matches_reference(self):
+        rng = np.random.default_rng(7)
+        n = 1000
+        s = (rng.random(n) * 90 + 10).astype(np.float32)
+        x = (rng.random(n) * 90 + 10).astype(np.float32)
+        t = (rng.random(n) * 9 + 0.2).astype(np.float32)
+        out = np.zeros(n, dtype=np.float32)
+        launch(zoo.black_scholes, Grid.for_elements(n), [out, s, x, t, 0.02, 0.30, n])
+        ref = black_scholes_ref(
+            s.astype(np.float64), x.astype(np.float64), t.astype(np.float64), 0.02, 0.30
+        )
+        np.testing.assert_allclose(out, ref, rtol=2e-4, atol=2e-4)
+
+    def test_guard_prevents_out_of_range_threads(self):
+        # Grid rounds up to 256-thread blocks; guarded lanes must not write.
+        n = 100
+        x = np.ones(n, dtype=np.float32)
+        out = np.zeros(n, dtype=np.float32)
+        launch(zoo.noop, Grid.for_elements(n), [out, x, n])
+        np.testing.assert_array_equal(out, x)
+
+    def test_writes_alias_caller_buffer(self):
+        x = np.arange(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        launch(zoo.noop, Grid(1, 8), [out, x, 8])
+        assert out[5] == 5.0
+
+
+class TestDivergence:
+    def test_mean_filter_interior_and_border(self):
+        img = zoo.make_image(16, 16, seed=1)
+        out = np.zeros_like(img)
+        launch(zoo.mean3x3, Grid.for_elements(img.size), [out, img, 16, 16, ])
+        # interior pixel: true 3x3 mean
+        expected = img[4:7, 4:7].mean()
+        assert out[5, 5] == pytest.approx(expected, rel=1e-6)
+        # border pixel: copied through the else-branch
+        assert out[0, 3] == img[0, 3]
+
+    def test_both_arms_of_divergent_if_execute(self):
+        img = zoo.make_image(8, 8, seed=2)
+        out = np.full_like(img, -1.0)
+        launch(zoo.mean3x3, Grid.for_elements(img.size), [out, img, 8, 8])
+        assert not (out == -1.0).any()
+
+
+class TestReductionAndAtomics:
+    def test_chunked_sum(self):
+        n, chunk = 1000, 10
+        x = np.arange(n, dtype=np.float32)
+        out = np.zeros(100, dtype=np.float32)
+        launch(zoo.sum_chunks, Grid.for_elements(100, 32), [out, x, n, chunk])
+        ref = x.reshape(100, 10).sum(axis=1)
+        np.testing.assert_allclose(out, ref, rtol=1e-6)
+
+    def test_atomic_histogram_counts_collisions(self):
+        n = 512
+        x = np.zeros(n, dtype=np.int32)  # every thread hits bin 0
+        hist = np.zeros(4, dtype=np.int32)
+        launch(zoo.atomic_histogram, Grid.for_elements(8, 8), [hist, x, n, 64])
+        assert hist[0] == n
+
+    def test_atomic_histogram_uniform_bins(self):
+        rng = np.random.default_rng(3)
+        n = 1024
+        x = rng.integers(0, 16, n).astype(np.int32)
+        hist = np.zeros(16, dtype=np.int32)
+        launch(zoo.atomic_histogram, Grid.for_elements(16, 16), [hist, x, n, 64])
+        ref = np.bincount(x, minlength=16)
+        np.testing.assert_array_equal(hist, ref)
+
+    def test_min_reduce(self):
+        rng = np.random.default_rng(4)
+        x = rng.random(640).astype(np.float32)
+        out = np.zeros(10, dtype=np.float32)
+        launch(zoo.min_reduce, Grid.for_elements(10, 2), [out, x, 640, 64])
+        np.testing.assert_allclose(out, x.reshape(10, 64).min(axis=1))
+
+
+class TestSharedMemoryScan:
+    def test_block_scan_matches_cumsum(self):
+        b = zoo.SCAN_BLOCK
+        rng = np.random.default_rng(5)
+        x = rng.random(4 * b).astype(np.float32)
+        partial = np.zeros_like(x)
+        sums = np.zeros(4, dtype=np.float32)
+        launch(zoo.scan_phase1, Grid(4, b), [partial, sums, x])
+        for blk in range(4):
+            seg = x[blk * b : (blk + 1) * b]
+            np.testing.assert_allclose(
+                partial[blk * b : (blk + 1) * b], np.cumsum(seg), rtol=1e-5
+            )
+            assert sums[blk] == pytest.approx(seg.sum(), rel=1e-5)
+
+
+class TestErrorHandling:
+    def test_out_of_bounds_raises(self):
+        x = np.ones(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        with pytest.raises(ExecutionError, match="out of range"):
+            # n larger than the buffers: unguarded lanes index past the end
+            launch(zoo.noop, Grid(1, 32), [out, x, 32])
+
+    def test_wrong_dtype_rejected(self):
+        x = np.ones(8, dtype=np.float64)
+        out = np.zeros(8, dtype=np.float32)
+        with pytest.raises(ExecutionError, match="dtype"):
+            launch(zoo.noop, Grid(1, 8), [out, x, 8])
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ExecutionError, match="takes"):
+            launch(zoo.noop, Grid(1, 8), [np.zeros(8, dtype=np.float32)])
+
+    def test_non_contiguous_array_rejected(self):
+        x = np.ones((8, 8), dtype=np.float32)[:, ::2]
+        out = np.zeros(32, dtype=np.float32)
+        with pytest.raises(ExecutionError, match="contiguous"):
+            launch(zoo.noop, Grid(1, 32), [out, x, 32])
+
+    def test_keyword_argument_binding(self):
+        x = np.ones(8, dtype=np.float32)
+        out = np.zeros(8, dtype=np.float32)
+        launch(zoo.noop, Grid(1, 8), {"out": out, "x": x, "n": 8})
+        np.testing.assert_array_equal(out, x)
+
+    def test_missing_keyword_rejected(self):
+        with pytest.raises(ExecutionError, match="missing"):
+            launch(zoo.noop, Grid(1, 8), {"out": np.zeros(8, dtype=np.float32)})

@@ -1,0 +1,173 @@
+"""Deeper interpreter semantics: C arithmetic rules, nested divergence,
+returns under masks, uniformity enforcement — including hypothesis
+properties comparing against C semantics."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import Grid, launch
+from repro.engine.interpreter import _c_divide, _c_mod
+from repro.errors import ExecutionError
+from repro.kernel import device, kernel
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.kernel.types import F32, I32
+
+ints = st.integers(-1000, 1000)
+nonzero = ints.filter(lambda v: v != 0)
+
+
+class TestCArithmetic:
+    @given(ints, nonzero)
+    @settings(max_examples=200)
+    def test_integer_division_truncates_toward_zero(self, a, b):
+        got = int(_c_divide(np.int64(a), np.int64(b), I32))
+        want = int(a / b)  # float division + int() truncates toward zero
+        assert got == want
+
+    @given(ints, nonzero)
+    @settings(max_examples=200)
+    def test_remainder_sign_follows_dividend(self, a, b):
+        r = int(_c_mod(np.int64(a), np.int64(b), I32))
+        assert a == int(_c_divide(np.int64(a), np.int64(b), I32)) * b + r
+        if r != 0:
+            assert (r > 0) == (a > 0)
+
+    def test_float_division_is_ieee(self):
+        out = _c_divide(np.float32(1.0), np.float32(4.0), F32)
+        assert float(out) == 0.25
+
+
+@kernel
+def nested_divergence(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        v = x[i]
+        if v > 0.5:
+            if v > 0.75:
+                out[i] = 4.0
+            else:
+                out[i] = 3.0
+        else:
+            if v > 0.25:
+                out[i] = 2.0
+            else:
+                out[i] = 1.0
+
+
+@kernel
+def early_return_quartiles(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i >= n:
+        return
+    v = x[i]
+    if v > 0.75:
+        out[i] = 4.0
+        return
+    if v > 0.5:
+        out[i] = 3.0
+        return
+    if v > 0.25:
+        out[i] = 2.0
+        return
+    out[i] = 1.0
+
+
+@device
+def sign_via_returns(x: f32) -> f32:
+    if x > 0.0:
+        return 1.0
+    if x < 0.0:
+        return -1.0
+    return 0.0
+
+
+@kernel
+def sign_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = sign_via_returns(x[i])
+
+
+class TestDivergence:
+    def _quartile_ref(self, x):
+        return np.select(
+            [x > 0.75, x > 0.5, x > 0.25], [4.0, 3.0, 2.0], default=1.0
+        ).astype(np.float32)
+
+    def test_nested_ifs(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(1000).astype(np.float32)
+        out = np.zeros_like(x)
+        launch(nested_divergence, Grid.for_elements(1000), [out, x, 1000])
+        np.testing.assert_array_equal(out, self._quartile_ref(x))
+
+    def test_early_returns_in_kernel(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(1000).astype(np.float32)
+        out = np.zeros_like(x)
+        launch(early_return_quartiles, Grid.for_elements(1000), [out, x, 1000])
+        np.testing.assert_array_equal(out, self._quartile_ref(x))
+
+    def test_returned_lanes_stop_writing(self):
+        # lanes beyond n return before any store: out stays zero there
+        x = np.ones(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        launch(early_return_quartiles, Grid(1, 64), [out, x, 32])
+        assert (out[32:] == 0).all()
+        assert (out[:32] == 4.0).all()
+
+    def test_device_function_multi_return(self):
+        x = np.array([-2.0, -0.0, 0.0, 3.0], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        launch(sign_kernel, Grid(1, 4), [out, x, 4])
+        np.testing.assert_array_equal(out, [-1.0, 0.0, 0.0, 1.0])
+
+
+@kernel
+def divergent_loop_bound(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    m = i + 1  # thread-dependent
+    for k in range(0, m):
+        out[i] = f32(k)
+
+
+@kernel
+def zero_step(out: array_f32, n: i32):
+    for k in range(0, 4, 0):
+        out[0] = 1.0
+
+
+class TestUniformityEnforcement:
+    def test_divergent_loop_bound_rejected(self):
+        out = np.zeros(8, dtype=np.float32)
+        x = np.zeros(8, dtype=np.float32)
+        with pytest.raises(ExecutionError, match="uniform"):
+            launch(divergent_loop_bound, Grid(1, 8), [out, x, 8])
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ExecutionError, match="zero loop step"):
+            launch(zero_step, Grid(1, 4), [np.zeros(4, dtype=np.float32), 4])
+
+
+@kernel
+def masked_atomic(hist: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if x[i] > 0.5:
+        atomic_add(hist, 0, 1.0)
+
+
+class TestMaskedSideEffects:
+    def test_atomics_respect_masks(self):
+        rng = np.random.default_rng(2)
+        x = rng.random(256).astype(np.float32)
+        hist = np.zeros(1, dtype=np.float32)
+        launch(masked_atomic, Grid.for_elements(256), [hist, x, 256])
+        assert hist[0] == float((x > 0.5).sum())
+
+    def test_masked_stores_do_not_touch_inactive_lanes(self):
+        x = np.linspace(0, 1, 64, dtype=np.float32)
+        out = np.full(64, -5.0, dtype=np.float32)
+        launch(nested_divergence, Grid(1, 64), [out, x, 32])
+        assert (out[32:] == -5.0).all()

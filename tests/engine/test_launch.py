@@ -1,0 +1,97 @@
+"""Tests for launch geometry, argument binding and Program orchestration."""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.engine import Grid, Program, bind_arguments
+from repro.engine.interpreter import call_device_function
+from repro.errors import ExecutionError
+
+
+class TestGrid:
+    def test_threads(self):
+        assert Grid(4, 64).threads == 256
+
+    def test_for_elements_rounds_up(self):
+        g = Grid.for_elements(1000, 256)
+        assert g.blocks == 4 and g.threads == 1024
+
+    def test_for_elements_minimum_one_block(self):
+        assert Grid.for_elements(1).blocks == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ExecutionError):
+            Grid(0, 32)
+        with pytest.raises(ExecutionError):
+            Grid(1, 0)
+
+
+class TestBinding:
+    def test_positional_binding(self):
+        out = np.zeros(4, dtype=np.float32)
+        x = np.ones(4, dtype=np.float32)
+        bound = bind_arguments(zoo.noop.fn, [out, x, 4])
+        assert bound["n"] == 4
+        assert bound["out"] is not None
+
+    def test_scalar_cast_to_declared_dtype(self):
+        out = np.zeros(4, dtype=np.float32)
+        x = np.ones(4, dtype=np.float32)
+        bound = bind_arguments(zoo.noop.fn, [out, x, 4.9])
+        assert bound["n"] == 4  # i32 truncation
+        assert bound["n"].dtype == np.int32
+
+    def test_array_flattened_as_view(self):
+        out = np.zeros((2, 2), dtype=np.float32)
+        x = np.ones(4, dtype=np.float32)
+        bound = bind_arguments(zoo.noop.fn, [out, x, 4])
+        bound["out"][3] = 7.0
+        assert out[1, 1] == 7.0
+
+    def test_scalar_passed_for_array_rejected(self):
+        with pytest.raises(ExecutionError, match="must be a numpy array"):
+            bind_arguments(zoo.noop.fn, [1.0, np.ones(4, dtype=np.float32), 4])
+
+    def test_unexpected_keyword_rejected(self):
+        with pytest.raises(ExecutionError, match="unexpected"):
+            bind_arguments(
+                zoo.noop.fn,
+                {
+                    "out": np.zeros(4, dtype=np.float32),
+                    "x": np.ones(4, dtype=np.float32),
+                    "n": 4,
+                    "bogus": 1,
+                },
+            )
+
+
+class TestProgram:
+    def test_program_accumulates_traces(self):
+        prog = Program()
+        x = np.ones(64, dtype=np.float32)
+        out = np.zeros(64, dtype=np.float32)
+        prog.launch(zoo.noop, Grid(1, 64), [out, x, 64])
+        prog.launch(zoo.noop, Grid(1, 64), [out, x, 64])
+        assert prog.trace.launches == 2
+        prog.reset_trace()
+        assert prog.trace.launches == 0
+
+
+class TestCallDeviceFunction:
+    def test_vectorized_evaluation(self):
+        d = np.linspace(-3, 3, 100).astype(np.float32)
+        out = call_device_function(zoo.cnd, None, [d])
+        assert out.shape == (100,)
+        assert out[0] < 0.01 and out[-1] > 0.99
+        # symmetric CDF
+        np.testing.assert_allclose(out + out[::-1], 1.0, atol=1e-6)
+
+    def test_broadcasting_scalars(self):
+        out = call_device_function(zoo.bs_body, None, [100.0, 100.0, 1.0, 0.02, 0.3])
+        assert out.shape == (1,)
+        assert 5.0 < float(out[0]) < 25.0
+
+    def test_kernel_rejected(self):
+        with pytest.raises(ExecutionError, match="not a device function"):
+            call_device_function(zoo.noop.fn, zoo.noop.module, [1.0])

@@ -1,0 +1,146 @@
+"""Tests for execution-trace accounting: op counts, coalescing, working
+sets, atomic chains."""
+
+import numpy as np
+import pytest
+
+from repro.engine.trace import (
+    SEGMENT_BYTES,
+    WARP_SIZE,
+    MemStats,
+    Trace,
+    _max_run_length,
+)
+
+
+class TestOpCounting:
+    def test_count_and_total(self):
+        t = Trace()
+        t.count_op("alu", "f32", 10)
+        t.count_op("alu", "i32", 5)
+        t.count_op("sfu", "f32", 3)
+        assert t.total_ops() == 18
+        assert t.ops_in_class("alu") == 15
+        assert t.ops_in_class("sfu") == 3
+
+    def test_zero_counts_ignored(self):
+        t = Trace()
+        t.count_op("alu", "f32", 0)
+        assert t.total_ops() == 0
+
+    def test_merge_accumulates(self):
+        a, b = Trace(), Trace()
+        a.count_op("alu", "f32", 1)
+        b.count_op("alu", "f32", 2)
+        b.count_launch(64)
+        a.merge(b)
+        assert a.total_ops() == 3
+        assert a.launches == 1 and a.threads_launched == 64
+
+    def test_copy_is_independent(self):
+        a = Trace()
+        a.count_op("alu", "f32", 1)
+        b = a.copy()
+        b.count_op("alu", "f32", 1)
+        assert a.total_ops() == 1 and b.total_ops() == 2
+
+
+class TestCoalescing:
+    def _record(self, addresses, element_size=4, space="global", kind="load"):
+        t = Trace()
+        t.record_access(space, kind, element_size, len(addresses), np.asarray(addresses))
+        return t.mem[(space, kind, "")]
+
+    def test_sequential_addresses_coalesce(self):
+        stats = self._record(np.arange(64))
+        # 64 consecutive f32 = 256 bytes = 2 segments over 2 warps
+        assert stats.transactions_per_warp == pytest.approx(1.0)
+
+    def test_strided_addresses_serialize(self):
+        stats = self._record(np.arange(64) * 64)  # 256B stride: 1 tx each
+        assert stats.transactions_per_warp == pytest.approx(WARP_SIZE)
+
+    def test_broadcast_address_is_one_transaction(self):
+        stats = self._record(np.zeros(64, dtype=np.int64))
+        assert stats.transactions_per_warp == pytest.approx(1.0)
+
+    def test_partial_warp(self):
+        stats = self._record(np.arange(7))
+        assert stats.warps == 1
+        assert stats.transactions == 1
+
+    def test_element_size_matters(self):
+        f64_stats = self._record(np.arange(32), element_size=8)
+        assert f64_stats.transactions_per_warp == pytest.approx(2.0)
+
+
+class TestWorkingSet:
+    def test_working_set_tracks_distinct_segments(self):
+        t = Trace()
+        t.record_access("global", "load", 4, 64, np.arange(64))
+        stats = t.mem[("global", "load", "")]
+        assert stats.working_set_bytes == 2 * SEGMENT_BYTES
+
+    def test_repeat_accesses_do_not_grow_working_set(self):
+        t = Trace()
+        for _ in range(5):
+            t.record_access("global", "load", 4, 64, np.arange(64))
+        assert t.mem[("global", "load", "")].working_set_bytes == 2 * SEGMENT_BYTES
+
+    def test_saturation(self):
+        stats = MemStats()
+        stats.note_segments(np.arange(1 << 17))
+        assert stats.segments_saturated
+        assert stats.working_set_bytes > (1 << 16) * SEGMENT_BYTES
+
+
+class TestAtomicChains:
+    def test_max_run_length_all_equal(self):
+        rows = np.zeros((1, 32), dtype=np.int64)
+        assert _max_run_length(rows) == 32
+
+    def test_max_run_length_all_distinct(self):
+        rows = np.arange(32, dtype=np.int64)[None, :]
+        assert _max_run_length(rows) == 1
+
+    def test_max_run_length_mixed(self):
+        row = np.sort(np.array([5, 5, 5, 1, 2, 3, 4, 6], dtype=np.int64))[None, :]
+        assert _max_run_length(row) == 3
+
+    def test_atomic_chain_recorded(self):
+        t = Trace()
+        t.record_access("global", "atomic", 4, 32, np.zeros(32, dtype=np.int64))
+        stats = t.mem[("global", "atomic", "")]
+        assert stats.atomic_chain_per_warp == pytest.approx(32.0)
+
+    def test_conflict_free_atomics(self):
+        t = Trace()
+        t.record_access("global", "atomic", 4, 32, np.arange(32))
+        assert t.mem[("global", "atomic", "")].atomic_chain_per_warp == 1.0
+
+
+class TestSpaceSpecificStats:
+    def test_shared_records_bank_conflicts(self):
+        t = Trace()
+        # all 32 threads hit bank 0 (addresses multiple of 32)
+        t.record_access("shared", "load", 4, 32, np.arange(32) * 32, "sh")
+        stats = t.mem[("shared", "load", "sh")]
+        assert stats.transactions_per_warp == pytest.approx(32.0)
+
+    def test_shared_conflict_free(self):
+        t = Trace()
+        t.record_access("shared", "load", 4, 32, np.arange(32), "sh")
+        assert t.mem[("shared", "load", "sh")].transactions_per_warp == 1.0
+
+    def test_constant_counts_distinct_words(self):
+        t = Trace()
+        # 32 consecutive words: 1 segment but 32 distinct broadcast words
+        t.record_access("constant", "load", 4, 32, np.arange(32), "lut")
+        assert t.mem[("constant", "load", "lut")].transactions_per_warp == 32.0
+
+    def test_accesses_filter_by_array(self):
+        t = Trace()
+        t.record_access("global", "load", 4, 10, None, "a")
+        t.record_access("global", "load", 4, 20, None, "b")
+        assert t.accesses("global", "load") == 30
+        assert t.accesses("global", "load", array="a") == 10

@@ -1,0 +1,105 @@
+"""Smoke + shape tests for the experiment harness (the heavyweight shape
+assertions live in benchmarks/; these cover the result containers and the
+fast experiments)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.base import ExperimentResult, geometric_mean
+from repro.experiments import fig05, fig18, table1
+
+
+class TestResultContainer:
+    def _result(self):
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.rows = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5}]
+        return r
+
+    def test_column(self):
+        assert self._result().column("a") == [1, 2]
+
+    def test_row_for(self):
+        assert self._result().row_for("a", 2)["b"] == 3.5
+        with pytest.raises(KeyError):
+            self._result().row_for("a", 99)
+
+    def test_to_text_contains_header_and_rows(self):
+        text = self._result().to_text()
+        assert "figX" in text and "2.500" in text
+
+    def test_missing_cells_render_empty(self):
+        r = ExperimentResult("f", "t", ["a", "b"])
+        r.rows = [{"a": 1}]
+        assert "1" in r.to_text()
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1",
+            "ablations",
+            "scale_study",
+            "fig04",
+            "fig05",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+        }
+
+    def test_modules_expose_run(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+class TestFastExperiments:
+    def test_table1_covers_all_apps(self):
+        result = table1.run()
+        assert len(result.rows) == 13
+        assert all(r["detected_patterns"] for r in result.rows)
+
+    def test_fig05_bands(self):
+        result = fig05.run()
+        assert result.rows[0]["natural_images_pct"] > 70.0
+
+    def test_fig18_monotone(self):
+        result = fig18.run(points=5)
+        q = result.column("quality")
+        assert q == sorted(q)
+
+    def test_cli_runs_selected_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig18", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18" in out and "quality" in out
+
+    def test_cli_save_writes_text_and_json(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+        from repro.experiments.base import ExperimentResult
+
+        assert main(["fig18", "--save", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "fig18.txt").exists()
+        restored = ExperimentResult.from_json(
+            (tmp_path / "fig18.json").read_text()
+        )
+        assert restored.experiment == "fig18"
+        assert len(restored.rows) == 9
+
+    def test_json_round_trip_preserves_rows(self):
+        from repro.experiments.base import ExperimentResult
+
+        r = ExperimentResult("figX", "demo", ["a", "b"])
+        r.rows = [{"a": 1, "b": 2.5}]
+        r.notes = ["hello"]
+        back = ExperimentResult.from_json(r.to_json())
+        assert back.rows == r.rows and back.notes == r.notes

@@ -1,0 +1,70 @@
+"""Broad integration sweep: every registry app goes through compile ->
+validate -> execute for every generated variant."""
+
+import numpy as np
+import pytest
+
+from repro import DeviceKind, Paraprox
+from repro.apps import APP_CLASSES, make_app
+from repro.approx.base import ApproxKernel
+from repro.kernel import validate_module
+
+#: apps light enough to sweep every variant in-test
+SWEEP = (
+    "blackscholes",
+    "gamma",
+    "hotspot",
+    "gaussian",
+    "meanfilter",
+    "naivebayes",
+    "cumhist",
+)
+
+
+@pytest.mark.parametrize("name", SWEEP)
+def test_every_variant_validates_and_executes(name):
+    app = make_app(name, seed=3)
+    px = Paraprox(target_quality=0.90)
+    variants = px.compile(app, DeviceKind.GPU)
+    assert variants, f"{name}: no variants generated"
+    inputs = app.generate_inputs(3)
+    exact, exact_trace = app.run_exact(inputs)
+    assert exact_trace.total_ops() > 0
+    for v in variants:
+        if isinstance(v, ApproxKernel):
+            validate_module(v.module)
+        out, trace = app.run_variant(v, inputs)
+        q = app.quality(out, exact)
+        assert 0.0 <= q <= 1.0, (name, v.name)
+        assert np.asarray(out).shape == np.asarray(exact).shape
+        # Approximation must reduce modelled work relative to exact.
+        assert trace.total_ops() <= exact_trace.total_ops() * 1.35, (name, v.name)
+
+
+def test_registry_covers_every_table1_pattern():
+    patterns = set()
+    for cls in APP_CLASSES.values():
+        patterns.update(cls.info.patterns)
+    assert patterns == {
+        "map",
+        "scatter_gather",
+        "stencil",
+        "partition",
+        "reduction",
+        "scan",
+    }
+
+
+def test_deterministic_compilation():
+    """Two compilations of the same app produce the same variant names and
+    knob settings (tables are rebuilt from the same profiles)."""
+    a = Paraprox(target_quality=0.90).compile(make_app("gaussian", seed=5))
+    b = Paraprox(target_quality=0.90).compile(make_app("gaussian", seed=5))
+    assert [v.name for v in a] == [v.name for v in b]
+    assert [v.knobs for v in a] == [v.knobs for v in b]
+
+
+def test_deterministic_memo_tables():
+    a = Paraprox(target_quality=0.90).compile(make_app("blackscholes", seed=5))
+    b = Paraprox(target_quality=0.90).compile(make_app("blackscholes", seed=5))
+    np.testing.assert_array_equal(a[0].extra_args[0], b[0].extra_args[0])

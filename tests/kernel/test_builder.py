@@ -1,0 +1,158 @@
+"""Tests for the programmatic IR builder."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Grid, launch
+from repro.errors import ValidationError
+from repro.kernel import ir
+from repro.kernel.builder import E, FunctionBuilder, call
+from repro.kernel.printer import print_function
+from repro.kernel.types import BOOL, F32, I32
+
+
+def build_saxpy():
+    b = FunctionBuilder("saxpy")
+    out = b.array_param("out", F32)
+    x = b.array_param("x", F32)
+    a = b.scalar_param("a", F32)
+    n = b.scalar_param("n", I32)
+    i = b.let("i", b.global_id())
+    with b.if_(i < n):
+        b.store(out, i, a * x[i] + out[i])
+    return b.build()
+
+
+class TestExpressionWrapper:
+    def test_operator_dtypes(self):
+        x = E(ir.Var("x", F32))
+        assert (x + 1.0).dtype is F32
+        assert (x < 2.0).dtype is BOOL
+        assert (-x).dtype is F32
+        assert x.cast(I32).dtype is I32
+
+    def test_reflected_operators(self):
+        x = E(ir.Var("x", F32))
+        node = (2.0 - x).node
+        assert isinstance(node.left, ir.Const) and node.op == "sub"
+
+    def test_bool_and_or(self):
+        c = E(ir.Var("c", BOOL))
+        d = E(ir.Var("d", BOOL))
+        assert (c & d).node.op == "land"
+        assert (c | d).node.op == "lor"
+        assert (~c).node.op == "lnot"
+
+    def test_int_bitwise(self):
+        i = E(ir.Var("i", I32))
+        assert (i & 7).node.op == "and"
+        assert (i << 2).node.op == "shl"
+
+    def test_call_builtin(self):
+        e = call("exp", E(ir.Var("x", F32)))
+        assert e.node.func == "exp" and e.dtype is F32
+
+    def test_unknown_builtin(self):
+        with pytest.raises(KeyError):
+            call("warp_shuffle", 1.0)
+
+    def test_unliftable_value(self):
+        with pytest.raises(TypeError):
+            E(ir.Var("x", F32)) + "three"
+
+
+class TestFunctionBuilder:
+    def test_saxpy_builds_and_runs(self):
+        fn = build_saxpy()
+        x = np.arange(8, dtype=np.float32)
+        out = np.ones(8, dtype=np.float32)
+        launch(fn, Grid(1, 8), [out, x, 2.0, 8])
+        np.testing.assert_allclose(out, 2.0 * x + 1.0)
+
+    def test_printable(self):
+        text = print_function(build_saxpy())
+        assert "__global__ void saxpy" in text
+
+    def test_if_else(self):
+        b = FunctionBuilder("clamp01")
+        out = b.array_param("out", F32)
+        x = b.array_param("x", F32)
+        n = b.scalar_param("n", I32)
+        i = b.let("i", b.global_id())
+        with b.if_(i < n):
+            v = b.let("v", x[i])
+            with b.if_(v > 1.0):
+                b.store(out, i, 1.0)
+            with b.else_():
+                b.store(out, i, v)
+        fn = b.build()
+        xs = np.array([0.5, 2.0, -1.0, 1.5], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        launch(fn, Grid(1, 4), [out, xs, 4])
+        np.testing.assert_allclose(out, [0.5, 1.0, -1.0, 1.0])
+
+    def test_else_without_if_rejected(self):
+        b = FunctionBuilder("bad")
+        with pytest.raises(ValidationError, match="follow an if_"):
+            with b.else_():
+                pass
+
+    def test_for_loop_reduction(self):
+        b = FunctionBuilder("rowsum")
+        out = b.array_param("out", F32)
+        x = b.array_param("x", F32)
+        width = b.scalar_param("width", I32)
+        i = b.let("i", b.global_id())
+        acc = b.let("acc", 0.0)
+        with b.for_("k", 0, width) as k:
+            b.assign(acc, acc + x[i * width + k])
+        b.store(out, i, acc)
+        fn = b.build()
+        xs = np.arange(12, dtype=np.float32)
+        out = np.zeros(3, dtype=np.float32)
+        launch(fn, Grid(1, 3), [out, xs, 4])
+        np.testing.assert_allclose(out, xs.reshape(3, 4).sum(axis=1))
+
+    def test_shared_and_atomic(self):
+        b = FunctionBuilder("count")
+        hist = b.array_param("hist", I32)
+        n = b.scalar_param("n", I32)
+        i = b.let("i", b.global_id())
+        with b.if_(i < n):
+            b.atomic("add", hist, 0, 1)
+        fn = b.build()
+        h = np.zeros(1, dtype=np.int32)
+        launch(fn, Grid(1, 32), [h, 20])
+        assert h[0] == 20
+
+    def test_device_function(self):
+        b = FunctionBuilder("square", kind="device")
+        x = b.scalar_param("x", F32)
+        b.ret(x * x)
+        fn = b.build()
+        assert fn.kind == "device"
+        assert fn.return_type.dtype is F32
+
+    def test_built_function_is_validated(self):
+        b = FunctionBuilder("broken")
+        out = b.array_param("out", F32)
+        b._emit(ir.Assign("y", ir.Var("ghost", F32)))
+        with pytest.raises(ValidationError, match="undefined"):
+            b.build()
+
+    def test_built_kernel_feeds_the_pipeline(self):
+        """Builder output is a first-class citizen: detectable patterns."""
+        from repro.patterns import detect_reduction
+
+        b = FunctionBuilder("built_sum")
+        out = b.array_param("out", F32)
+        x = b.array_param("x", F32)
+        chunk = b.scalar_param("chunk", I32)
+        i = b.let("i", b.global_id())
+        acc = b.let("acc", 0.0)
+        with b.for_("k", 0, chunk) as k:
+            b.assign(acc, acc + x[i * chunk + k])
+        b.store(out, i, acc)
+        fn = b.build()
+        match = detect_reduction(fn)
+        assert match is not None and match.loops[0].variable == "acc"

@@ -1,0 +1,109 @@
+"""Control-flow lowering depth: elif chains, nested device calls, loops
+inside branches."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Grid, launch
+from repro.kernel import device, ir, kernel
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.kernel.visitors import walk
+
+
+@device
+def level3(x: f32) -> f32:
+    return x * 2.0
+
+
+@device
+def level2(x: f32) -> f32:
+    return level3(x) + 1.0
+
+
+@device
+def level1(x: f32) -> f32:
+    return level2(x) * level2(x + 1.0)
+
+
+@kernel
+def deep_calls(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = level1(x[i])
+
+
+@kernel
+def elif_chain(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        v = x[i]
+        if v < 0.25:
+            out[i] = 1.0
+        elif v < 0.5:
+            out[i] = 2.0
+        elif v < 0.75:
+            out[i] = 3.0
+        else:
+            out[i] = 4.0
+
+
+@kernel
+def loop_in_branch(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        if x[i] > 0.5:
+            acc = 0.0
+            for k in range(0, 4):
+                acc += x[i] * f32(k)
+            out[i] = acc
+        else:
+            out[i] = -1.0
+
+
+class TestDeepDeviceCalls:
+    def test_transitive_module_contents(self):
+        for name in ("level1", "level2", "level3"):
+            assert name in deep_calls.module
+
+    def test_execution(self):
+        x = np.array([1.0, 2.0], dtype=np.float32)
+        out = np.zeros(2, dtype=np.float32)
+        launch(deep_calls, Grid(1, 2), [out, x, 2])
+        ref = (2 * x + 1) * (2 * (x + 1) + 1)
+        np.testing.assert_allclose(out, ref)
+
+    def test_eq1_cost_includes_whole_chain(self):
+        from repro.analysis import GPU_LATENCIES, cycles_needed
+
+        shallow = cycles_needed(level3.fn, GPU_LATENCIES, deep_calls.module)
+        deep = cycles_needed(level1.fn, GPU_LATENCIES, deep_calls.module)
+        assert deep > 2 * shallow
+
+
+class TestElif:
+    def test_lowering_nests_ifs(self):
+        ifs = [n for n in walk(elif_chain.fn) if isinstance(n, ir.If)]
+        assert len(ifs) == 4  # guard + 3-way chain
+
+    def test_execution_covers_all_arms(self):
+        x = np.array([0.1, 0.3, 0.6, 0.9], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        launch(elif_chain, Grid(1, 4), [out, x, 4])
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0, 4.0])
+
+
+class TestLoopInsideBranch:
+    def test_execution(self):
+        x = np.array([0.9, 0.1], dtype=np.float32)
+        out = np.zeros(2, dtype=np.float32)
+        launch(loop_in_branch, Grid(1, 2), [out, x, 2])
+        # f32 accumulation order differs from the folded constant product
+        assert out[0] == pytest.approx(0.9 * (0 + 1 + 2 + 3), rel=1e-6)
+        assert out[1] == -1.0
+
+    def test_loop_ops_counted_only_for_active_lanes(self):
+        x = np.array([0.9] * 8 + [0.1] * 24, dtype=np.float32)
+        out = np.zeros(32, dtype=np.float32)
+        trace = launch(loop_in_branch, Grid(1, 32), [out, x, 32])
+        # fmul in the loop: 4 iterations x 8 active lanes = 32, not 128
+        assert trace.op_counts[("fmul", "f32")] == 32

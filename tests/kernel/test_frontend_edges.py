@@ -1,0 +1,139 @@
+"""Frontend edge cases: annotated assignments, boolean operators, casts,
+captured constants, augmented subscripts, shared() validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontendError
+from repro.kernel import device, ir, kernel
+from repro.kernel.dsl import *  # noqa: F401,F403
+from repro.kernel.types import F32, F64, I32
+from repro.kernel.visitors import walk
+from repro.engine import Grid, launch
+
+MODULE_CONSTANT = 7
+
+
+@kernel
+def edge_kernel(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        total: f32 = 0.0
+        total += x[i]
+        flag = (x[i] > 0.1) or (x[i] < -0.1)
+        scaled = f32(i32(x[i] * 4.0))  # explicit casts both ways
+        picked = total if flag else scaled
+        out[i] = picked + f32(MODULE_CONSTANT)
+
+
+@kernel
+def aug_subscript(out: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = 1.0
+        out[i] += 2.0
+        out[i] *= 3.0
+
+
+class TestLoweredForms:
+    def test_ann_assign_casts_value(self):
+        assigns = [s for s in walk(edge_kernel.fn) if isinstance(s, ir.Assign)]
+        total = next(s for s in assigns if s.target == "total")
+        assert total.value.dtype is F32
+
+    def test_or_lowered_to_lor(self):
+        assert any(
+            isinstance(n, ir.BinOp) and n.op == "lor" for n in walk(edge_kernel.fn)
+        )
+
+    def test_casts_lowered(self):
+        casts = [n for n in walk(edge_kernel.fn) if isinstance(n, ir.Cast)]
+        assert any(c.dtype is I32 for c in casts)
+        assert any(c.dtype is F32 for c in casts)
+
+    def test_module_constant_becomes_literal(self):
+        consts = [
+            n.value for n in walk(edge_kernel.fn) if isinstance(n, ir.Const)
+        ]
+        assert 7.0 in consts or 7 in consts
+
+    def test_executes_correctly(self):
+        x = np.array([0.05, 0.5, -0.5, 0.0], dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        launch(edge_kernel, Grid(1, 4), [out, x, 4])
+        # x=0.05: flag False -> scaled = int(0.2)=0 -> 0+7
+        assert out[0] == pytest.approx(7.0)
+        # x=0.5: flag True -> total = 0.5 -> 7.5
+        assert out[1] == pytest.approx(7.5)
+
+    def test_augmented_subscript(self):
+        out = np.zeros(4, dtype=np.float32)
+        launch(aug_subscript, Grid(1, 4), [out, 4])
+        np.testing.assert_allclose(out, 9.0)
+
+
+class TestDefaultFloatOverride:
+    def test_f64_literals(self):
+        @kernel(default_float=F64)
+        def doubles(out: array_f64, n: i32):
+            i = global_id()
+            if i < n:
+                out[i] = 0.1
+
+        consts = [
+            n for n in walk(doubles.fn) if isinstance(n, ir.Const) and n.dtype.is_float
+        ]
+        assert all(c.dtype is F64 for c in consts)
+        out = np.zeros(2, dtype=np.float64)
+        launch(doubles, Grid(1, 2), [out, 2])
+        assert out[0] == 0.1  # exact f64 literal, no f32 rounding
+
+
+class TestSharedValidation:
+    def test_shared_size_must_be_constant(self):
+        with pytest.raises(FrontendError, match="compile-time integer"):
+
+            @kernel
+            def bad(out: array_f32, n: i32):
+                sh = shared(n, f32)
+                out[0] = sh[0]
+
+    def test_shared_dtype_must_be_dtype(self):
+        with pytest.raises(FrontendError, match="dtype"):
+
+            @kernel
+            def bad(out: array_f32, n: i32):
+                sh = shared(8, 42)
+                out[0] = sh[0]
+
+    def test_shared_size_via_module_constant(self):
+        @kernel
+        def good(out: array_f32, n: i32):
+            sh = shared(MODULE_CONSTANT, f32)
+            t = thread_id()
+            if t < MODULE_CONSTANT:
+                sh[t] = 1.0
+                out[t] = sh[t]
+
+        allocs = [s for s in good.fn.body if isinstance(s, ir.SharedAlloc)]
+        assert allocs[0].shape == (7,)
+
+
+class TestDeviceFunctionEdges:
+    def test_return_annotation_coerces(self):
+        @device
+        def half(x: f32) -> f32:
+            return x * 0.5
+
+        assert half.fn.return_type.dtype is F32
+
+    def test_device_call_arity_checked(self):
+        @device
+        def two_args(a: f32, b: f32) -> f32:
+            return a + b
+
+        with pytest.raises(FrontendError, match="takes 2"):
+
+            @kernel
+            def bad(out: array_f32):
+                out[0] = two_args(1.0)

@@ -1,0 +1,77 @@
+"""Tests for the kernel builtin table."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.kernel import intrinsics
+from repro.kernel.types import F32, F64, I32
+
+
+class TestRegistry:
+    def test_known_builtins_present(self):
+        for name in ("exp", "log", "sqrt", "pow", "fmin", "lgamma", "erf"):
+            assert intrinsics.is_builtin(name)
+
+    def test_unknown_name(self):
+        assert intrinsics.get("frobnicate") is None
+        assert not intrinsics.is_builtin("frobnicate")
+
+    def test_impure_builtins_flagged(self):
+        assert intrinsics.is_impure("printf")
+        assert intrinsics.is_impure("clock")
+        assert not intrinsics.is_impure("exp")
+
+    def test_thread_intrinsics_registered(self):
+        for name in ("global_id", "thread_id", "block_id", "block_dim", "grid_dim"):
+            b = intrinsics.get(name)
+            assert b is not None and b.arity == 0
+
+    def test_all_names_sorted(self):
+        names = intrinsics.all_names()
+        assert names == sorted(names)
+        assert "exp" in names
+
+
+class TestResultDtypes:
+    def test_float_unary_promotes_int_input(self):
+        b = intrinsics.get("exp")
+        assert b.result_dtype([I32]) is F32
+        assert b.result_dtype([F64]) is F64
+
+    def test_fmin_promotes(self):
+        b = intrinsics.get("fmin")
+        assert b.result_dtype([F32, F64]) is F64
+
+    def test_fabs_preserves_dtype(self):
+        b = intrinsics.get("fabs")
+        assert b.result_dtype([I32]) is I32
+
+
+class TestNumericalAccuracy:
+    def test_lgamma_matches_scipy(self):
+        x = np.linspace(0.1, 20.0, 500)
+        ours = intrinsics.get("lgamma").evaluate(x)
+        np.testing.assert_allclose(ours, special.gammaln(x), rtol=1e-9, atol=1e-9)
+
+    def test_lgamma_reflection_negative_arguments(self):
+        x = np.array([-0.5, -1.5, -2.3])
+        ours = intrinsics.get("lgamma").evaluate(x)
+        np.testing.assert_allclose(ours, special.gammaln(x), rtol=1e-7)
+
+    def test_erf_matches_scipy(self):
+        x = np.linspace(-4, 4, 401)
+        ours = intrinsics.get("erf").evaluate(x)
+        np.testing.assert_allclose(ours, special.erf(x), atol=2e-7)
+
+    def test_rsqrt(self):
+        assert intrinsics.get("rsqrt").evaluate(4.0) == pytest.approx(0.5)
+
+    def test_transcendental_latency_classes(self):
+        # exp is SFU-cheap on the GPU; log/sin/cos are software routines.
+        assert intrinsics.get("exp").latency_class == "sfu"
+        for name in ("log", "sin", "cos"):
+            assert intrinsics.get(name).latency_class == "trans"
+        assert intrinsics.get("pow").latency_class == "libcall"

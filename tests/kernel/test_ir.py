@@ -1,0 +1,109 @@
+"""Tests for IR node construction and helpers."""
+
+import pytest
+
+from repro.kernel import ir
+from repro.kernel.types import BOOL, F32, F64, I32, ArrayType
+
+
+class TestNodeConstruction:
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown binary op"):
+            ir.BinOp("plus", ir.Const(1, I32), ir.Const(2, I32), I32)
+
+    def test_unop_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown unary op"):
+            ir.UnOp("negate", ir.Const(1, I32), I32)
+
+    def test_atomic_rejects_unknown_op(self):
+        arr = ir.ArrayRef("a", ArrayType(I32))
+        with pytest.raises(ValueError, match="unknown atomic op"):
+            ir.AtomicRMW("sub", arr, ir.Const(0, I32), ir.Const(1, I32))
+
+    def test_function_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="bad function kind"):
+            ir.Function("f", [], [], kind="host")
+
+    def test_load_dtype_follows_array(self):
+        arr = ir.ArrayRef("a", ArrayType(F64))
+        load = ir.Load(arr, ir.Const(0, I32))
+        assert load.dtype is F64
+
+    def test_arrayref_dtype(self):
+        assert ir.ArrayRef("a", ArrayType(F32)).dtype is F32
+
+
+class TestBinopHelper:
+    def test_comparison_yields_bool(self):
+        node = ir.binop("lt", ir.Const(1, I32), ir.Const(2, I32))
+        assert node.dtype is BOOL
+
+    def test_arith_promotes(self):
+        node = ir.binop("add", ir.Const(1, I32), ir.Const(2.0, F32))
+        assert node.dtype is F32
+
+    def test_logic_yields_bool(self):
+        node = ir.binop("land", ir.bool_const(True), ir.bool_const(False))
+        assert node.dtype is BOOL
+
+
+class TestConstHelpers:
+    def test_const_like_coerces_float(self):
+        c = ir.const_like(3, F32)
+        assert isinstance(c.value, float) and c.value == 3.0
+
+    def test_const_like_coerces_int(self):
+        c = ir.const_like(3.7, I32)
+        assert isinstance(c.value, int) and c.value == 3
+
+    def test_bool_const(self):
+        assert ir.bool_const(1).value is True
+        assert ir.bool_const(0).dtype is BOOL
+
+
+class TestModule:
+    def _fn(self, name, kind="kernel"):
+        from repro.kernel.types import ScalarType
+
+        rt = ScalarType(F32) if kind == "device" else None
+        return ir.Function(name, [], [], kind=kind, return_type=rt)
+
+    def test_duplicate_function_rejected(self):
+        m = ir.Module()
+        m.add(self._fn("k"))
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add(self._fn("k"))
+
+    def test_kernel_device_partition(self):
+        m = ir.Module()
+        m.add(self._fn("k"))
+        m.add(self._fn("d", kind="device"))
+        assert [f.name for f in m.kernels()] == ["k"]
+        assert [f.name for f in m.device_functions()] == ["d"]
+
+    def test_contains_and_getitem(self):
+        m = ir.Module()
+        m.add(self._fn("k"))
+        assert "k" in m and m["k"].name == "k"
+        assert "x" not in m
+
+    def test_param_lookup(self):
+        fn = ir.Function(
+            "k",
+            [ir.Param("a", ArrayType(F32)), ir.Param("n", None)],
+            [],
+        )
+        assert fn.param("a").is_array
+        with pytest.raises(KeyError):
+            fn.param("zzz")
+
+    def test_array_scalar_param_split(self):
+        from repro.kernel.types import ScalarType
+
+        fn = ir.Function(
+            "k",
+            [ir.Param("a", ArrayType(F32)), ir.Param("n", ScalarType(I32))],
+            [],
+        )
+        assert [p.name for p in fn.array_params] == ["a"]
+        assert [p.name for p in fn.scalar_params] == ["n"]

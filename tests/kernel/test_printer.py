@@ -1,0 +1,67 @@
+"""Tests for the CUDA-flavoured pseudo-source printer."""
+
+import kernel_zoo as zoo
+from repro.kernel import ir
+from repro.kernel.printer import print_expr, print_function, print_module
+from repro.kernel.types import BOOL, F32, I32, ArrayType
+
+
+class TestExpressions:
+    def test_float_constant_gets_f_suffix(self):
+        assert print_expr(ir.Const(1.5, F32)) == "1.5f"
+
+    def test_double_constant_has_no_suffix(self):
+        from repro.kernel.types import F64
+
+        assert print_expr(ir.Const(1.5, F64)) == "1.5"
+
+    def test_bool_constants(self):
+        assert print_expr(ir.bool_const(True)) == "true"
+        assert print_expr(ir.bool_const(False)) == "false"
+
+    def test_nested_binop_parenthesized(self):
+        e = ir.binop("mul", ir.binop("add", ir.Var("a", I32), ir.Var("b", I32)), ir.Var("c", I32))
+        assert print_expr(e) == "((a + b) * c)"
+
+    def test_cast_renders_c_style(self):
+        assert print_expr(ir.Cast(ir.Var("x", F32), I32)) == "(int)(x)"
+
+    def test_select_renders_ternary(self):
+        sel = ir.Select(ir.Var("c", BOOL), ir.Const(1, I32), ir.Const(2, I32), I32)
+        assert print_expr(sel) == "(c ? 1 : 2)"
+
+    def test_thread_intrinsics_render_cuda_names(self):
+        assert "threadIdx.x" in print_expr(ir.Call("thread_id", [], I32))
+        assert "blockIdx.x * blockDim.x" in print_expr(ir.Call("global_id", [], I32))
+
+    def test_load_renders_subscript(self):
+        arr = ir.ArrayRef("buf", ArrayType(F32))
+        assert print_expr(ir.Load(arr, ir.Var("i", I32))) == "buf[i]"
+
+
+class TestFunctions:
+    def test_kernel_signature(self):
+        text = print_function(zoo.noop.fn)
+        assert text.startswith("__global__ void noop(float* out, float* x, int n)")
+
+    def test_device_signature_and_return(self):
+        text = print_function(zoo.cnd.fn)
+        assert text.startswith("__device__ float cnd(float d)")
+        assert "return" in text
+
+    def test_barrier_and_shared_render(self):
+        text = print_function(zoo.scan_phase1.fn)
+        assert "__syncthreads();" in text
+        assert "__shared__ float sh[64];" in text
+
+    def test_atomic_renders(self):
+        text = print_function(zoo.atomic_histogram.fn)
+        assert "atomicAdd(&hist[" in text
+
+    def test_for_loop_renders(self):
+        text = print_function(zoo.row_stencil.fn)
+        assert "for (int j = -3; j < 4; j += 1) {" in text
+
+    def test_module_puts_device_functions_first(self):
+        text = print_module(zoo.black_scholes.module)
+        assert text.index("__device__") < text.index("__global__")

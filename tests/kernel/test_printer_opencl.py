@@ -1,0 +1,60 @@
+"""Tests for the OpenCL printer dialect (the paper's §4.1 CUDA-to-OpenCL
+conversion path)."""
+
+import pytest
+
+import kernel_zoo as zoo
+from repro.kernel.printer import OPENCL, print_expr, print_function, resolve_dialect
+from repro.kernel import ir
+from repro.kernel.types import I32
+
+
+class TestDialectResolution:
+    def test_by_name(self):
+        assert resolve_dialect("opencl") is OPENCL
+        assert resolve_dialect(OPENCL) is OPENCL
+
+    def test_unknown_dialect(self):
+        with pytest.raises(KeyError, match="unknown dialect"):
+            resolve_dialect("metal")
+
+
+class TestOpenCLRendering:
+    def test_kernel_qualifier_and_pointer_spaces(self):
+        text = print_function(zoo.noop.fn, "opencl")
+        assert text.startswith("__kernel void noop(__global float* out")
+
+    def test_thread_intrinsics(self):
+        assert print_expr(ir.Call("global_id", [], I32), "opencl") == "(get_global_id(0))"
+        assert print_expr(ir.Call("thread_id", [], I32), "opencl") == "(get_local_id(0))"
+        assert print_expr(ir.Call("block_id", [], I32), "opencl") == "(get_group_id(0))"
+
+    def test_barrier_and_local_memory(self):
+        text = print_function(zoo.scan_phase1.fn, "opencl")
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in text
+        assert "__local float sh[64];" in text
+        assert "__syncthreads" not in text
+
+    def test_atomics_lowercase(self):
+        text = print_function(zoo.atomic_histogram.fn, "opencl")
+        assert "atomic_add(&hist[" in text
+        assert "atomicAdd" not in text
+
+    def test_device_function_has_no_qualifier(self):
+        text = print_function(zoo.cnd.fn, "opencl")
+        assert text.startswith("float cnd(float d)")
+
+    def test_cuda_and_opencl_share_body_semantics(self):
+        """Same statements, different surface syntax: line counts match."""
+        cuda = print_function(zoo.mean3x3.fn, "cuda").splitlines()
+        ocl = print_function(zoo.mean3x3.fn, "opencl").splitlines()
+        assert len(cuda) == len(ocl)
+
+    def test_generated_approximate_kernel_prints_in_both_dialects(self):
+        from repro import DeviceKind, Paraprox
+        from repro.apps.gaussian import MeanFilterApp
+
+        variants = Paraprox().compile(MeanFilterApp(scale=0.05), DeviceKind.GPU)
+        fn = variants[0].module[variants[0].kernel]
+        assert "__global__" in print_function(fn, "cuda")
+        assert "__kernel" in print_function(fn, "opencl")

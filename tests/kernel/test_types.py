@@ -1,0 +1,91 @@
+"""Tests for the kernel type system."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.types import (
+    BOOL,
+    F32,
+    F64,
+    I32,
+    I64,
+    U32,
+    ArrayType,
+    ScalarType,
+    dtype_by_name,
+    from_numpy,
+    promote,
+)
+
+
+class TestDType:
+    def test_float_classification(self):
+        assert F32.is_float and F64.is_float
+        assert not F32.is_integer and not F32.is_bool
+
+    def test_integer_classification(self):
+        assert I32.is_integer and I64.is_integer and U32.is_integer
+        assert not I32.is_float
+
+    def test_bool_classification(self):
+        assert BOOL.is_bool
+        assert not BOOL.is_float and not BOOL.is_integer
+
+    def test_numpy_round_trip(self):
+        for d in (F32, F64, I32, I64, U32, BOOL):
+            assert from_numpy(d.to_numpy()) is d
+
+    def test_sizes(self):
+        assert F32.size == 4
+        assert F64.size == 8
+        assert I64.size == 8
+
+    def test_lookup_by_name(self):
+        assert dtype_by_name("f32") is F32
+        with pytest.raises(KeyError):
+            dtype_by_name("f16")
+
+    def test_unknown_numpy_dtype(self):
+        with pytest.raises(KeyError):
+            from_numpy(np.float16)
+
+    def test_dtype_is_callable_as_cast(self):
+        assert F32(1).dtype == np.float32
+        out = I32(np.array([1.7, 2.9]))
+        assert out.dtype == np.int32
+        assert list(out) == [1, 2]
+
+
+class TestPromotion:
+    def test_same_type(self):
+        assert promote(F32, F32) is F32
+
+    def test_float_beats_int(self):
+        assert promote(F32, I32) is F32
+        assert promote(I64, F32) is F32
+
+    def test_f64_beats_f32(self):
+        assert promote(F32, F64) is F64
+
+    def test_i64_beats_i32(self):
+        assert promote(I32, I64) is I64
+
+    def test_u32_i32_mix_is_i32(self):
+        assert promote(U32, I32) is I32
+        assert promote(I32, U32) is I32
+
+    def test_bool_promotes_to_anything(self):
+        assert promote(BOOL, I32) is I32
+        assert promote(F32, BOOL) is F32
+
+
+class TestArrayType:
+    def test_default_space_is_global(self):
+        assert ArrayType(F32).space == "global"
+
+    def test_bad_space_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(F32, space="texture")
+
+    def test_scalar_repr(self):
+        assert "f32" in repr(ScalarType(F32))

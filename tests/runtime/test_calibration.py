@@ -1,0 +1,120 @@
+"""Tests for the SAGE/Green-style online calibration runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.runtime.calibration import CalibratedRuntime
+
+
+class FakeVariant:
+    def __init__(self, name, quality):
+        self.name = name
+        self.quality = quality
+
+
+class FakeApp:
+    """An 'application' whose variant quality we script directly."""
+
+    def __init__(self):
+        self.exact_runs = 0
+        self.variant_runs = 0
+
+    def run_exact(self, inputs):
+        self.exact_runs += 1
+        return np.zeros(4), None
+
+    def run_variant(self, variant, inputs):
+        self.variant_runs += 1
+        self._last_quality = variant.quality(inputs) if callable(variant.quality) else variant.quality
+        return np.full(4, 1.0 - self._last_quality), None
+
+    def quality(self, approx, exact):
+        return 1.0 - float(approx[0])
+
+
+def _ladder(*qualities):
+    return [FakeVariant(f"v{i}", q) for i, q in enumerate(qualities)]
+
+
+class TestBackOff:
+    def test_starts_at_most_aggressive(self):
+        rt = CalibratedRuntime(FakeApp(), _ladder(0.99, 0.95), toq=0.9, check_interval=1)
+        assert rt.current_name == "v1"
+
+    def test_backs_off_on_violation(self):
+        rt = CalibratedRuntime(
+            FakeApp(), _ladder(0.95, 0.85), toq=0.9, check_interval=1, advance_after=0
+        )
+        rt.invoke({})
+        assert rt.current_name == "v0"
+        assert rt.stats.back_offs == 1 and rt.stats.violations == 1
+
+    def test_falls_back_to_exact_when_ladder_exhausted(self):
+        app = FakeApp()
+        rt = CalibratedRuntime(app, _ladder(0.5), toq=0.9, check_interval=1, advance_after=0)
+        rt.invoke({})
+        assert rt.current_name == "exact"
+        rt.invoke({})
+        assert rt.stats.invocations == 2
+
+    def test_checks_only_every_interval(self):
+        app = FakeApp()
+        rt = CalibratedRuntime(app, _ladder(0.95), toq=0.9, check_interval=5)
+        for _ in range(10):
+            rt.invoke({})
+        assert rt.stats.checks == 2
+        assert rt.stats.overhead == pytest.approx(0.2)
+
+    def test_interval_of_40_has_small_overhead(self):
+        """The §5 claim: checking every 40-50 invocations costs <5%."""
+        app = FakeApp()
+        rt = CalibratedRuntime(app, _ladder(0.95), toq=0.9, check_interval=40)
+        for _ in range(200):
+            rt.invoke({})
+        assert rt.stats.overhead < 0.05
+        assert app.exact_runs == rt.stats.checks
+
+
+class TestAdvance:
+    def test_advances_after_clean_streak(self):
+        rt = CalibratedRuntime(
+            FakeApp(),
+            _ladder(0.99, 0.98),
+            toq=0.9,
+            check_interval=1,
+            advance_after=2,
+            margin=0.02,
+        )
+        rt.rung = 0  # start conservative
+        for _ in range(2):
+            rt.invoke({})
+        assert rt.stats.advances == 1
+        assert rt.current_name == "v1"
+
+    def test_no_advance_without_margin(self):
+        rt = CalibratedRuntime(
+            FakeApp(),
+            _ladder(0.905, 0.90),
+            toq=0.9,
+            check_interval=1,
+            advance_after=1,
+            margin=0.05,
+        )
+        rt.rung = 0
+        for _ in range(5):
+            rt.invoke({})
+        assert rt.stats.advances == 0
+
+
+class TestValidation:
+    def test_bad_interval_rejected(self):
+        with pytest.raises(TuningError):
+            CalibratedRuntime(FakeApp(), [], check_interval=0)
+
+    def test_records_have_quality_on_checked_invocations(self):
+        rt = CalibratedRuntime(FakeApp(), _ladder(0.95), toq=0.9, check_interval=2)
+        rt.invoke({})
+        rt.invoke({})
+        assert rt.stats.records[0].quality is None
+        assert rt.stats.records[1].quality == pytest.approx(0.95)

@@ -1,0 +1,92 @@
+"""Tests for the quality metrics, including metric-axiom property tests."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.runtime.quality import (
+    L1_NORM,
+    L2_NORM,
+    MEAN_RELATIVE,
+    QualityMetric,
+    l1_norm_error,
+    l2_norm_error,
+    mean_relative_error,
+    relative_errors,
+)
+
+finite = arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestMetricAxioms:
+    @given(finite)
+    @settings(max_examples=60)
+    def test_zero_error_on_identical_outputs(self, x):
+        for fn in (mean_relative_error, l1_norm_error, l2_norm_error):
+            assert fn(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    @given(finite)
+    @settings(max_examples=60)
+    def test_errors_are_nonnegative(self, x):
+        noisy = x + 1.0
+        for fn in (mean_relative_error, l1_norm_error, l2_norm_error):
+            assert fn(noisy, x) >= 0.0
+
+    @given(finite, st.floats(0.001, 0.2))
+    @settings(max_examples=60)
+    def test_error_scales_with_perturbation(self, x, eps):
+        small = l1_norm_error(x * (1 + eps / 2), x)
+        large = l1_norm_error(x * (1 + eps), x)
+        assert large >= small - 1e-12
+
+
+class TestMetricValues:
+    def test_l1_norm_is_relative(self):
+        exact = np.array([10.0, 10.0])
+        approx = np.array([11.0, 9.0])
+        assert l1_norm_error(approx, exact) == pytest.approx(0.1)
+
+    def test_l2_norm(self):
+        exact = np.array([3.0, 4.0])
+        approx = np.array([3.0, 4.0]) + np.array([3.0, 4.0]) * 0.1
+        assert l2_norm_error(approx, exact) == pytest.approx(0.1)
+
+    def test_mean_relative(self):
+        exact = np.array([1.0, 2.0])
+        approx = np.array([1.1, 2.4])
+        assert mean_relative_error(approx, exact) == pytest.approx(0.15)
+
+    def test_zero_exact_values_use_epsilon_floor(self):
+        err = mean_relative_error(np.array([0.1]), np.array([0.0]))
+        assert np.isfinite(err) and err > 1.0
+
+    def test_per_element_errors(self):
+        errs = relative_errors(np.array([1.1, 2.0]), np.array([1.0, 2.0]))
+        np.testing.assert_allclose(errs, [0.1, 0.0], atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            l1_norm_error(np.ones(3), np.ones(4))
+
+
+class TestQualityMetricWrapper:
+    def test_quality_is_one_minus_error(self):
+        exact = np.array([10.0])
+        approx = np.array([10.5])
+        assert L1_NORM.quality(approx, exact) == pytest.approx(0.95)
+
+    def test_quality_floored_at_zero(self):
+        assert MEAN_RELATIVE.quality(np.array([100.0]), np.array([1.0])) == 0.0
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            QualityMetric("l7")
+
+    def test_named_instances(self):
+        assert L2_NORM.name == "l2" and MEAN_RELATIVE.name == "mean_relative"

@@ -1,0 +1,60 @@
+"""Tests for the inspection CLI."""
+
+import pytest
+
+from repro.tools import main
+
+
+class TestListCommand:
+    def test_lists_all_apps(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "blackscholes" in out and "cumhist" in out
+        assert out.count("\n") >= 14
+
+
+class TestInspectCommand:
+    def test_inspect_kernel_app(self, capsys):
+        assert main(["inspect", "gaussian"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void gaussian_kernel" in out
+        assert "stencil tile=3x3" in out
+        assert "stencil_center_rd1" in out
+
+    def test_inspect_opencl_dialect(self, capsys):
+        assert main(["inspect", "gaussian", "--dialect", "opencl"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void gaussian_kernel" in out
+
+    def test_inspect_shows_eq1_costs(self, capsys):
+        assert main(["inspect", "blackscholes", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "bs_body:" in out and "threshold" in out
+
+    def test_inspect_show_variant(self, capsys):
+        assert main(["inspect", "gaussian", "--show-variant"]) == 0
+        out = capsys.readouterr().out
+        assert "rewritten kernel" in out and "_cse1" in out
+
+    def test_inspect_program_app(self, capsys):
+        assert main(["inspect", "cumhist", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-kernel program" in out
+        assert "scan" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "bitcoin"])
+
+
+class TestTuneCommand:
+    def test_tune_prints_frontier_with_choice(self, capsys):
+        assert main(["tune", "meanfilter", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "<= chosen" in out
+        assert "exact" in out
+
+    def test_tune_cpu_device(self, capsys):
+        assert main(["tune", "meanfilter", "--scale", "0.05", "--device", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "on cpu" in out
