@@ -16,18 +16,23 @@ Quick start::
     print(result.chosen.name, result.speedup, result.quality)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from .approx.base import VariantSet
 from .approx.compiler import Paraprox, ParaproxConfig
 from .device import CORE_I7, GTX560, CostModel, DeviceKind, DeviceSpec
 from .engine import Grid, launch
 from .kernel import device, kernel
 from .patterns import Pattern, PatternDetector
 from .runtime import GreedyTuner, QualityMetric
+from .serve import ApproxSession, MonitorConfig
 
 __all__ = [
     "Paraprox",
     "ParaproxConfig",
+    "VariantSet",
+    "ApproxSession",
+    "MonitorConfig",
     "DeviceKind",
     "DeviceSpec",
     "CostModel",

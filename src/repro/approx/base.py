@@ -55,13 +55,110 @@ class ApproxKernel:
 
 @dataclass
 class VariantSet:
-    """All variants generated for one kernel, exact version included."""
+    """The typed result of ``Paraprox.compile``: every approximate variant
+    generated for one kernel, plus a handle on the exact program.
+
+    Iterating (or indexing) a ``VariantSet`` yields the approximate
+    variants in generation order, so code written against the old
+    ``List[object]`` return type keeps working unchanged; comparison
+    against a plain list compares the variants the same way.
+
+    Attributes:
+        kernel: name of the kernel the variants approximate ("" for
+            multi-kernel programs that build their own pipeline).
+        variants: the generated variants (:class:`ApproxKernel` or an
+            app-specific variant type such as ``ScanVariant``).
+        exact: the unmodified kernel (a ``KernelFn``) when the app has a
+            single-kernel shape, else ``None``.
+        skipped: notes about patterns that matched but could not be
+            rewritten (mirrors ``Paraprox.last_skipped``).
+    """
 
     kernel: str
     variants: List[ApproxKernel] = field(default_factory=list)
+    exact: Optional[object] = None
+    skipped: List[str] = field(default_factory=list)
+
+    # -- container protocol (backward compatibility with the list return) ----
+
+    def __iter__(self):
+        return iter(self.variants)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __getitem__(self, index):
+        return self.variants[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.variants)
+
+    def __contains__(self, item) -> bool:
+        return item in self.variants
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, VariantSet):
+            return (
+                self.kernel == other.kernel and self.variants == other.variants
+            )
+        if isinstance(other, (list, tuple)):
+            return self.variants == list(other)
+        return NotImplemented
+
+    # -- typed accessors -----------------------------------------------------
+
+    def names(self) -> List[str]:
+        return [v.name for v in self.variants]
+
+    def by_pattern(self, pattern) -> List[ApproxKernel]:
+        """Variants produced for ``pattern`` (a :class:`Pattern` or its
+        string value, e.g. ``"stencil"``)."""
+        if isinstance(pattern, str):
+            try:
+                pattern = Pattern(pattern)
+            except ValueError:
+                raise KeyError(
+                    f"unknown pattern {pattern!r}; "
+                    f"known: {[p.value for p in Pattern]}"
+                ) from None
+        return [v for v in self.variants if getattr(v, "pattern", None) is pattern]
+
+    def by_name(self, name: str) -> ApproxKernel:
+        """The variant called ``name``; raises ``KeyError`` with the known
+        names when absent."""
+        for v in self.variants:
+            if v.name == name:
+                return v
+        raise KeyError(f"no variant named {name!r}; known: {self.names()}")
 
     def sorted_by_aggressiveness(self) -> List[ApproxKernel]:
         return sorted(self.variants, key=lambda v: v.aggressiveness)
+
+    def patterns(self) -> List[Pattern]:
+        """Distinct patterns represented, in first-seen order."""
+        seen: List[Pattern] = []
+        for v in self.variants:
+            p = getattr(v, "pattern", None)
+            if p is not None and p not in seen:
+                seen.append(p)
+        return seen
+
+    def describe(self) -> str:
+        """A human-readable table of the set: one line per variant with its
+        pattern and knob values (what ``repro.tools inspect`` prints)."""
+        header = f"VariantSet for kernel {self.kernel or '<pipeline>'!r}: " \
+                 f"{len(self.variants)} variant(s)"
+        lines = [header]
+        for v in self.variants:
+            pattern = getattr(v, "pattern", None)
+            pname = pattern.value if isinstance(pattern, Pattern) else "?"
+            knobs = ", ".join(
+                f"{k}={val}" for k, val in getattr(v, "knobs", {}).items()
+            )
+            lines.append(f"  {v.name:<58s} [{pname}] {knobs}")
+        for note in self.skipped:
+            lines.append(f"  [skipped] {note}")
+        return "\n".join(lines)
 
 
 def fresh_name(base: str, suffix: str) -> str:

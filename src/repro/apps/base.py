@@ -20,6 +20,21 @@ from ..kernel.frontend import KernelFn
 from ..runtime.quality import QualityMetric
 
 
+def _input_fingerprint(inputs: Dict[str, object]) -> Tuple:
+    """A cheap content key for one input set (arrays hashed by bytes)."""
+    import hashlib
+
+    parts: List[Tuple[str, object]] = []
+    for key in sorted(inputs):
+        value = inputs[key]
+        if isinstance(value, np.ndarray):
+            digest = hashlib.blake2b(value.tobytes(), digest_size=16).hexdigest()
+            parts.append((key, f"{value.dtype}{value.shape}{digest}"))
+        else:
+            parts.append((key, repr(value)))
+    return tuple(parts)
+
+
 @dataclass
 class AppInfo:
     """Table-1 row: static facts about a benchmark."""
@@ -63,6 +78,35 @@ class Application(abc.ABC):
 
     def quality(self, approx_output, exact_output) -> float:
         return self.metric.quality(approx_output, exact_output)
+
+    # -- golden-output evaluation (used by the serving monitor) ---------------
+
+    #: how many exact outputs :meth:`golden_output` keeps (a monitor samples
+    #: the same input set it just launched, so a tiny cache suffices).
+    GOLDEN_CACHE_SIZE = 8
+
+    def golden_output(self, inputs) -> np.ndarray:
+        """The exact program's output for ``inputs``, cached by content.
+
+        A quality monitor checks sampled launches against the exact output
+        of the *same* inputs; caching by input fingerprint makes repeated
+        checks on one input set cost a single exact execution.
+        """
+        cache = getattr(self, "_golden_cache", None)
+        if cache is None:
+            cache = self._golden_cache = {}
+        key = _input_fingerprint(inputs)
+        if key not in cache:
+            if len(cache) >= self.GOLDEN_CACHE_SIZE:
+                cache.pop(next(iter(cache)))
+            out, _trace = self.run_exact(inputs)
+            cache[key] = np.array(out, copy=True)
+        return cache[key]
+
+    def evaluate(self, output, inputs) -> float:
+        """Quality of ``output`` against the golden output for ``inputs`` —
+        the cheap evaluator the serving monitor calls on sampled launches."""
+        return self.quality(output, self.golden_output(inputs))
 
     @property
     def name(self) -> str:

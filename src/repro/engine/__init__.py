@@ -1,5 +1,6 @@
 """Execution engine: launch geometry, vectorized interpreter, traces."""
 
+from .hooks import LaunchEvent, add_launch_hook, launch_hook, remove_launch_hook
 from .interpreter import call_device_function, launch
 from .launch import Grid, Program, bind_arguments
 from .trace import MemStats, Trace
@@ -12,4 +13,8 @@ __all__ = [
     "bind_arguments",
     "Trace",
     "MemStats",
+    "LaunchEvent",
+    "add_launch_hook",
+    "remove_launch_hook",
+    "launch_hook",
 ]

@@ -1,0 +1,61 @@
+"""Launch observation hooks.
+
+The serving runtime needs to see every kernel launch that flows through
+the engine — which kernel ran, over what geometry, and the trace it
+produced — without the interpreter knowing anything about sessions or
+monitors.  Hooks are process-global and deliberately cheap: when none are
+registered (the common case) a launch pays one truthiness check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .launch import Grid
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """What one kernel launch looked like from the outside."""
+
+    kernel: str
+    grid: Grid
+    trace: object  # repro.engine.trace.Trace
+
+
+_HOOKS: List[Callable[[LaunchEvent], None]] = []
+
+
+def add_launch_hook(hook: Callable[[LaunchEvent], None]) -> Callable:
+    """Register ``hook`` to be called after every kernel launch; returns the
+    hook so callers can hold it for :func:`remove_launch_hook`."""
+    _HOOKS.append(hook)
+    return hook
+
+
+def remove_launch_hook(hook: Callable[[LaunchEvent], None]) -> None:
+    """Deregister ``hook``; unknown hooks are ignored."""
+    with contextlib.suppress(ValueError):
+        _HOOKS.remove(hook)
+
+
+@contextlib.contextmanager
+def launch_hook(hook: Callable[[LaunchEvent], None]):
+    """Scope a hook to a ``with`` block (what sessions use per launch)."""
+    add_launch_hook(hook)
+    try:
+        yield hook
+    finally:
+        remove_launch_hook(hook)
+
+
+def notify_launch(kernel: str, grid: Grid, trace) -> None:
+    """Called by the interpreter after each launch completes."""
+    if not _HOOKS:
+        return
+    event = LaunchEvent(kernel=kernel, grid=grid, trace=trace)
+    # Iterate over a copy so a hook may deregister itself while running.
+    for hook in list(_HOOKS):
+        hook(event)

@@ -63,6 +63,9 @@ def launch(
     execution = _Execution(fn, mod, grid, bound, t, bounds_check)
     execution.call_observer = call_observer
     execution.run()
+    from .hooks import notify_launch
+
+    notify_launch(fn.name, grid, t)
     return t
 
 

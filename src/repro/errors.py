@@ -38,3 +38,20 @@ class TuningError(ReproError):
 
 class DeviceError(ReproError):
     """The device cost model was configured or queried incorrectly."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration object carries invalid knob values or a serialized
+    form that cannot be deserialized.
+
+    Also a :class:`ValueError` so callers validating user input can keep a
+    generic ``except ValueError`` clause.
+    """
+
+
+class SerializationError(ReproError):
+    """A to_dict/from_dict round trip was given malformed data."""
+
+
+class ServeError(ReproError):
+    """The serving runtime (sessions, caches, monitors) was misused."""

@@ -13,21 +13,33 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..device import CostModel, DeviceSpec
-from ..errors import TuningError
+from ..errors import SerializationError, TuningError
 
 
 @dataclass
 class VariantProfile:
-    """Measured behaviour of one variant on the training inputs."""
+    """Measured behaviour of one variant on the training inputs.
+
+    ``variant_name`` preserves the identity of a profile that was
+    deserialized from :meth:`TuningResult.from_dict` before its variant
+    object has been rebound (see :meth:`GreedyTuner.resume`).
+    """
 
     variant: object  # ApproxKernel | ScanVariant | None for exact
     quality: float
     cycles: float
     speedup: float
+    variant_name: Optional[str] = None
 
     @property
     def name(self) -> str:
-        return "exact" if self.variant is None else self.variant.name
+        if self.variant is not None:
+            return self.variant.name
+        return self.variant_name or "exact"
+
+    @property
+    def is_exact(self) -> bool:
+        return self.variant is None and (self.variant_name in (None, "exact"))
 
 
 @dataclass
@@ -76,6 +88,105 @@ class TuningResult:
         import json
 
         return json.dumps(self.summary(), indent=2)
+
+    # -- round-trip serialization (disk cache / session restarts) ------------
+
+    def to_dict(self) -> dict:
+        """A complete JSON-serialisable form; unlike :meth:`summary` it also
+        records modelled cycles so :meth:`from_dict` restores every field."""
+        def row(p: VariantProfile) -> dict:
+            return {
+                "name": p.name,
+                "quality": float(p.quality),
+                "cycles": float(p.cycles),
+                "speedup": float(p.speedup),
+            }
+
+        return {
+            "app": self.app,
+            "device": self.device,
+            "toq": float(self.toq),
+            "chosen": self.chosen.name,
+            "profiles": [row(p) for p in self.profiles],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningResult":
+        """Rebuild a result whose profiles carry names but no live variant
+        objects; :meth:`rebind` (or :meth:`GreedyTuner.resume`) reattaches
+        compiled variants.  Malformed data raises
+        :class:`~repro.errors.SerializationError`."""
+        if not isinstance(data, dict):
+            raise SerializationError(
+                f"TuningResult.from_dict expects a dict, "
+                f"got {type(data).__name__}"
+            )
+        missing = [
+            k for k in ("app", "device", "toq", "chosen", "profiles")
+            if k not in data
+        ]
+        if missing:
+            raise SerializationError(
+                f"TuningResult.from_dict: missing keys {missing}"
+            )
+        toq = data["toq"]
+        if not isinstance(toq, (int, float)) or not 0.0 < float(toq) <= 1.0:
+            raise SerializationError(
+                f"TuningResult.from_dict: toq must be in (0, 1], got {toq!r}"
+            )
+        profiles: List[VariantProfile] = []
+        for i, row in enumerate(data["profiles"]):
+            bad = [
+                k for k in ("name", "quality", "cycles", "speedup")
+                if not isinstance(row.get(k), (str if k == "name" else (int, float)))
+            ]
+            if bad:
+                raise SerializationError(
+                    f"TuningResult.from_dict: profile {i} has missing or "
+                    f"mistyped keys {bad}: {row!r}"
+                )
+            profiles.append(
+                VariantProfile(
+                    variant=None,
+                    quality=float(row["quality"]),
+                    cycles=float(row["cycles"]),
+                    speedup=float(row["speedup"]),
+                    variant_name=str(row["name"]),
+                )
+            )
+        chosen_name = data["chosen"]
+        chosen = next((p for p in profiles if p.name == chosen_name), None)
+        if chosen is None:
+            raise SerializationError(
+                f"TuningResult.from_dict: chosen variant {chosen_name!r} "
+                f"not among profiles {[p.name for p in profiles]}"
+            )
+        return cls(
+            app=str(data["app"]),
+            device=str(data["device"]),
+            toq=float(toq),
+            chosen=chosen,
+            profiles=profiles,
+        )
+
+    def rebind(self, variants) -> "TuningResult":
+        """Reattach live variant objects (matched by name) to profiles that
+        were deserialized.  Profiles whose variant is no longer in the
+        compiled set keep ``variant=None`` and stay name-only; the chosen
+        profile must rebind (or be exact) for the result to be runnable."""
+        by_name = {v.name: v for v in variants}
+        for p in self.profiles:
+            if p.variant is None and p.variant_name not in (None, "exact"):
+                p.variant = by_name.get(p.variant_name)
+        if (
+            self.chosen.variant is None
+            and self.chosen.variant_name not in (None, "exact")
+        ):
+            raise TuningError(
+                f"cannot rebind chosen variant {self.chosen.name!r}: not in "
+                f"the compiled set {sorted(by_name)}"
+            )
+        return self
 
 
 def _plain(knobs: dict) -> dict:
@@ -151,5 +262,35 @@ class GreedyTuner:
         """Fastest variant meeting the TOQ; the exact program otherwise."""
         eligible = [p for p in profiles if p.quality >= self.toq]
         if not eligible:
-            return next(p for p in profiles if p.variant is None)
+            return next(p for p in profiles if p.is_exact)
         return max(eligible, key=lambda p: p.speedup)
+
+    def resume(self, app, variants, data: dict) -> TuningResult:
+        """Resume tuning from a serialized :class:`TuningResult` instead of
+        re-profiling from scratch.
+
+        The persisted profiles are rebound to the freshly compiled
+        ``variants`` by name.  When every profiled variant (including the
+        chosen one) rebinds and the persisted TOQ matches this tuner's, the
+        result is returned as-is — the near-free restart path a serving
+        session uses.  When the variant set has drifted (new names, missing
+        names) or the TOQ changed, the stale profiles are discarded and the
+        variants re-profiled.
+        """
+        try:
+            restored = TuningResult.from_dict(data)
+        except SerializationError:
+            return self.profile(app, variants, app.generate_inputs(seed=app.seed))
+        names = {v.name for v in variants}
+        persisted = {
+            p.name for p in restored.profiles if p.variant_name != "exact"
+        }
+        if (
+            abs(restored.toq - self.toq) > 1e-12
+            or restored.device != self.spec.kind.value
+            or persisted != names
+        ):
+            return self.profile(app, variants, app.generate_inputs(seed=app.seed))
+        restored.rebind(variants)
+        restored.resumed = True
+        return restored

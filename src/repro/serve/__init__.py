@@ -1,0 +1,34 @@
+"""Online approximation serving (paper §3.5 as a persistent runtime).
+
+The package turns the one-shot compile/tune pipeline into a long-lived
+service: :class:`ApproxSession` caches compiled variant sets in-process
+and on disk, resumes tuning results across restarts, monitors sampled
+output quality through a windowed estimator, and greedily recalibrates
+the variant ladder when quality drifts — with every decision visible in a
+structured metrics snapshot and optional JSONL event log.
+"""
+
+from .cache import CacheEntry, VariantCache, app_fingerprint, cache_key
+from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
+from .monitor import DRIFT, HEADROOM, OK, VIOLATION, MonitorConfig, QualityMonitor
+from .recalibrate import Recalibrator
+from .session import ApproxSession
+
+__all__ = [
+    "ApproxSession",
+    "VariantCache",
+    "CacheEntry",
+    "cache_key",
+    "app_fingerprint",
+    "MonitorConfig",
+    "QualityMonitor",
+    "Recalibrator",
+    "SessionMetrics",
+    "LaunchRecord",
+    "Transition",
+    "EventLog",
+    "VIOLATION",
+    "DRIFT",
+    "HEADROOM",
+    "OK",
+]

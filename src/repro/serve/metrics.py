@@ -1,0 +1,159 @@
+"""Structured observability for approximation sessions.
+
+A session records one :class:`LaunchRecord` per launch and rolls the
+aggregate counters a deployment would scrape — launches served, sampled
+quality checks, TOQ violations, recalibrations, cache traffic — into a
+JSON-friendly snapshot.  An optional JSONL event log persists every event
+for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Deque, Dict, List, Optional
+
+
+@dataclass
+class LaunchRecord:
+    """What one monitored launch did."""
+
+    index: int
+    variant: str
+    knobs: Dict[str, object] = field(default_factory=dict)
+    sampled: bool = False
+    quality: Optional[float] = None
+    speedup_estimate: float = 1.0
+    kernel_launches: int = 0
+    action: str = ""  # "", "recalibrate_down", "recalibrate_up"
+    reason: str = ""  # "", "toq_violation", "drift", "headroom"
+
+
+@dataclass
+class Transition:
+    """A variant change the recalibrator performed mid-stream."""
+
+    launch: int
+    from_variant: str
+    to_variant: str
+    reason: str
+    quality: Optional[float] = None
+
+
+class EventLog:
+    """Append-only JSONL sink; one JSON object per line."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class SessionMetrics:
+    """Counters and recent history for one :class:`ApproxSession`."""
+
+    def __init__(self, history: int = 256, event_log: Optional[EventLog] = None):
+        self.launches = 0
+        self.sampled_checks = 0
+        self.toq_violations = 0
+        self.drift_events = 0
+        self.recalibrations_down = 0
+        self.recalibrations_up = 0
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
+        self.tune_cache_hits = 0
+        self.tune_cache_misses = 0
+        self.kernel_launches = 0
+        self.compile_seconds = 0.0
+        self.tune_seconds = 0.0
+        self.records: Deque[LaunchRecord] = deque(maxlen=history)
+        self.transitions: List[Transition] = []
+        self.event_log = event_log
+
+    # -- recording -----------------------------------------------------------
+
+    def record_launch(self, record: LaunchRecord) -> None:
+        self.launches += 1
+        self.kernel_launches += record.kernel_launches
+        if record.sampled:
+            self.sampled_checks += 1
+        if record.reason == "toq_violation":
+            self.toq_violations += 1
+        if record.reason == "drift":
+            self.drift_events += 1
+        if record.action == "recalibrate_down":
+            self.recalibrations_down += 1
+        elif record.action == "recalibrate_up":
+            self.recalibrations_up += 1
+        self.records.append(record)
+        self._emit({"event": "launch", **asdict(record)})
+
+    def record_transition(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+        self._emit({"event": "transition", **asdict(transition)})
+
+    def record_compile(self, cache: str, seconds: float) -> None:
+        """``cache`` is "memory", "disk" or "miss"."""
+        if cache == "miss":
+            self.compile_cache_misses += 1
+        else:
+            self.compile_cache_hits += 1
+        self.compile_seconds += seconds
+        self._emit({"event": "compile", "cache": cache, "seconds": seconds})
+
+    def record_tune(self, cache: str, seconds: float) -> None:
+        if cache == "miss":
+            self.tune_cache_misses += 1
+        else:
+            self.tune_cache_hits += 1
+        self.tune_seconds += seconds
+        self._emit({"event": "tune", "cache": cache, "seconds": seconds})
+
+    def _emit(self, event: Dict[str, object]) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(event)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def sampling_overhead(self) -> float:
+        """Fraction of launches that also paid an exact execution."""
+        return self.sampled_checks / self.launches if self.launches else 0.0
+
+    def snapshot(self) -> dict:
+        """The JSON-serialisable state a metrics endpoint would return."""
+        recent = list(self.records)[-16:]
+        return {
+            "launches": self.launches,
+            "kernel_launches": self.kernel_launches,
+            "sampled_checks": self.sampled_checks,
+            "sampling_overhead": self.sampling_overhead,
+            "toq_violations": self.toq_violations,
+            "drift_events": self.drift_events,
+            "recalibrations": {
+                "down": self.recalibrations_down,
+                "up": self.recalibrations_up,
+            },
+            "cache": {
+                "compile_hits": self.compile_cache_hits,
+                "compile_misses": self.compile_cache_misses,
+                "tune_hits": self.tune_cache_hits,
+                "tune_misses": self.tune_cache_misses,
+            },
+            "timings": {
+                "compile_seconds": self.compile_seconds,
+                "tune_seconds": self.tune_seconds,
+            },
+            "transitions": [asdict(t) for t in self.transitions],
+            "recent_launches": [asdict(r) for r in recent],
+        }

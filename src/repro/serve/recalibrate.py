@@ -1,0 +1,112 @@
+"""Greedy knob recalibration (paper §3.5, "Runtime System").
+
+Training (the tuner) orders a kernel's deployable variants on a ladder of
+increasing aggressiveness; serving starts at the tuned choice.  When the
+monitor reports a TOQ violation or drift, the recalibrator greedily steps
+*down* one rung — toward less aggressive knob values, bottoming out at the
+exact program — and when the monitor reports sustained headroom it steps
+back *up*, reclaiming speedup after a transient shift passes.  This is
+exactly the paper's knob-stepping loop, expressed over the variant ladder
+rather than raw knob tuples so it works uniformly across all four
+approximation families.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ServeError
+from ..runtime.tuner import TuningResult, VariantProfile
+
+
+class Recalibrator:
+    """Walks the tuned variant ladder one rung at a time.
+
+    Args:
+        tuning: the (possibly resumed) tuning result; its profiles supply
+            the ladder and the per-variant speedup estimates.
+        toq: target output quality; only variants whose *training* quality
+            met the TOQ are deployable rungs (the others are known-bad).
+    """
+
+    def __init__(self, tuning: TuningResult, toq: float) -> None:
+        rungs = [
+            p
+            for p in tuning.profiles
+            if p.variant is not None and p.quality >= toq
+        ]
+        named = [p for p in tuning.profiles if not p.is_exact]
+        if named and all(p.variant is None for p in named):
+            raise ServeError(
+                "tuning result has only unbound (name-only) variant "
+                "profiles; call TuningResult.rebind(variants) before serving"
+            )
+        #: least -> most aggressive; exact is the implicit rung below 0.
+        self.ladder: List[VariantProfile] = sorted(
+            rungs, key=lambda p: (self._aggressiveness(p), p.speedup)
+        )
+        self.exact_profile = next(
+            (p for p in tuning.profiles if p.is_exact), None
+        )
+        if tuning.chosen.variant is None:
+            self.rung = -1
+        else:
+            self.rung = next(
+                (
+                    i
+                    for i, p in enumerate(self.ladder)
+                    if p.name == tuning.chosen.name
+                ),
+                len(self.ladder) - 1,
+            )
+
+    @staticmethod
+    def _aggressiveness(profile: VariantProfile) -> float:
+        value = getattr(profile.variant, "aggressiveness", 0.0)
+        # Variants that don't rank themselves fall back to modelled speedup:
+        # faster approximations are, by construction, more aggressive.
+        return value if value else profile.speedup
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[object]:
+        """The serving variant (None means the exact program)."""
+        return self.ladder[self.rung].variant if self.rung >= 0 else None
+
+    @property
+    def current_profile(self) -> Optional[VariantProfile]:
+        return self.ladder[self.rung] if self.rung >= 0 else self.exact_profile
+
+    @property
+    def current_name(self) -> str:
+        return self.ladder[self.rung].name if self.rung >= 0 else "exact"
+
+    @property
+    def speedup_estimate(self) -> float:
+        profile = self.current_profile
+        return profile.speedup if profile is not None else 1.0
+
+    @property
+    def at_exact(self) -> bool:
+        return self.rung < 0
+
+    @property
+    def at_top(self) -> bool:
+        return self.rung >= len(self.ladder) - 1
+
+    # -- stepping --------------------------------------------------------------
+
+    def step_down(self) -> bool:
+        """Move one rung toward the exact program; False when already there."""
+        if self.at_exact:
+            return False
+        self.rung -= 1
+        return True
+
+    def step_up(self) -> bool:
+        """Move one rung toward the most aggressive variant; False at top."""
+        if self.at_top:
+            return False
+        self.rung += 1
+        return True

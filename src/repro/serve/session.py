@@ -1,0 +1,286 @@
+"""Long-lived approximation sessions: compile once, serve monitored launches.
+
+``ApproxSession`` is the persistent-runtime counterpart of the one-shot
+``Paraprox.optimize`` pipeline (paper Fig 2).  The lifecycle is
+
+1. **compile** — generate the variant set, served from the two-level
+   cache when the kernel IR, config, device and TOQ are unchanged;
+2. **serve** — tune (resuming a persisted tuning result when the cache
+   holds one) and start launching;
+3. **monitor** — sample output quality on a cadence through a windowed
+   estimator;
+4. **recalibrate** — greedily step the variant ladder down on TOQ
+   violations or drift and back up on sustained headroom (paper §3.5).
+
+Every launch is recorded; :meth:`ApproxSession.metrics_snapshot` returns
+the structured counters and the transition history.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..approx.base import VariantSet
+from ..approx.compiler import Paraprox, ParaproxConfig
+from ..device import DeviceKind, spec_for
+from ..engine import launch_hook
+from ..errors import ServeError
+from ..runtime.tuner import GreedyTuner, TuningResult
+from .cache import CacheEntry, VariantCache, cache_key
+from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
+from .monitor import DRIFT, HEADROOM, VIOLATION, MonitorConfig, QualityMonitor
+from .recalibrate import Recalibrator
+
+
+class ApproxSession:
+    """One application served continuously on one device under one TOQ.
+
+    Args:
+        app: the application (any :class:`~repro.apps.base.Application`).
+        target_quality: the TOQ in (0, 1].
+        device: modelled device to serve on.
+        config: knob ranges for variant generation.
+        cache_dir: directory for the on-disk variant cache; None keeps the
+            cache purely in-process.
+        monitor: quality-monitor knobs (sampling cadence, window, drift).
+        event_log: path of an optional JSONL event log.
+        tuner_repeats: training input sets the tuner averages over.
+    """
+
+    def __init__(
+        self,
+        app,
+        target_quality: float = 0.90,
+        device: DeviceKind = DeviceKind.GPU,
+        config: Optional[ParaproxConfig] = None,
+        cache_dir: Optional[object] = None,
+        monitor: Optional[MonitorConfig] = None,
+        event_log: Optional[object] = None,
+        tuner_repeats: int = 1,
+    ) -> None:
+        self.app = app
+        self.paraprox = Paraprox(
+            target_quality=target_quality, device=device, config=config
+        )
+        self.device = device
+        self.spec = spec_for(device)
+        self.cache = VariantCache(cache_dir)
+        self.monitor = QualityMonitor(self.toq, monitor)
+        self.metrics = SessionMetrics(
+            event_log=EventLog(event_log) if event_log is not None else None
+        )
+        self.tuner_repeats = tuner_repeats
+        self._entry: Optional[CacheEntry] = None
+        self._variants: Optional[VariantSet] = None
+        self._tuning: Optional[TuningResult] = None
+        self._recalibrator: Optional[Recalibrator] = None
+        self._key: Optional[str] = None
+        self._closed = False
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def toq(self) -> float:
+        return self.paraprox.toq
+
+    @property
+    def key(self) -> str:
+        """The stable cache key of this session's compiled artifact.
+
+        Computed once: a session serves one program on one device under
+        one TOQ, so the fingerprint cannot change over its lifetime.
+        """
+        if self._key is None:
+            self._key = cache_key(
+                self.app, self.paraprox.config, self.spec, self.toq
+            )
+        return self._key
+
+    # -- lifecycle: compile ----------------------------------------------------
+
+    def compile(self, force: bool = False) -> VariantSet:
+        """The variant set for this session, from cache when possible.
+
+        Repeat calls on an unchanged kernel are an in-process hash lookup;
+        a fresh process with the same ``cache_dir`` starts from the disk
+        level.  ``force=True`` recompiles and overwrites both levels.
+        """
+        self._check_open()
+        key = self.key
+        started = time.perf_counter()
+        tier = "miss" if force else self.cache.tier(key)
+        entry = None if force else self.cache.get(key)
+        if entry is None:
+            tier = "miss"
+            variants = self.paraprox.compile(self.app, self.device)
+            entry = CacheEntry(
+                key=key,
+                variants=variants,
+                meta={
+                    "app": self.app.name,
+                    "device": self.spec.kind.value,
+                    "toq": self.toq,
+                },
+            )
+            self.cache.put(entry)
+        elif (
+            isinstance(entry.variants, VariantSet)
+            and entry.variants.exact is None
+        ):
+            # The disk level drops the exact KernelFn; reattach the app's.
+            entry.variants.exact = getattr(self.app, "kernel", None)
+        self.metrics.record_compile(tier, time.perf_counter() - started)
+        self._entry = entry
+        self._variants = entry.variants
+        return self._variants
+
+    # -- lifecycle: tune / serve ----------------------------------------------
+
+    def tune(self, force: bool = False) -> TuningResult:
+        """Profile the variants (or resume the persisted tuning result) and
+        arm the monitor and recalibrator."""
+        self._check_open()
+        if self._tuning is not None and not force:
+            return self._tuning
+        variants = self._variants if self._variants is not None else self.compile()
+        tuner = GreedyTuner(self.spec, toq=self.toq)
+        started = time.perf_counter()
+        saved = self._entry.tuning if self._entry is not None else None
+        if saved is not None and not force:
+            result = tuner.resume(self.app, variants, saved)
+        else:
+            result = tuner.profile(
+                self.app,
+                variants,
+                self.app.generate_inputs(seed=self.app.seed),
+                repeats=self.tuner_repeats,
+            )
+        cache_state = "resume" if getattr(result, "resumed", False) else "miss"
+        self.metrics.record_tune(cache_state, time.perf_counter() - started)
+        self._tuning = result
+        if self._entry is not None:
+            self._entry.tuning = result.to_dict()
+            self.cache.put(self._entry)
+        self._recalibrator = Recalibrator(result, self.toq)
+        self.monitor.reset()
+        self.monitor.set_baseline(result.chosen.quality)
+        return result
+
+    # -- lifecycle: monitored launches ----------------------------------------
+
+    def launch(self, inputs) -> object:
+        """Serve one invocation through the monitored execution loop.
+
+        Runs the current variant, samples quality on the monitor's cadence
+        against the app's golden-output evaluator, and recalibrates (one
+        ladder rung per triggered check) when the TOQ is violated, the
+        estimate drifts, or sustained headroom accrues.
+        """
+        self._check_open()
+        if self._recalibrator is None:
+            self.tune()
+        recal = self._recalibrator
+        index = self.metrics.launches
+        kernel_launches = [0]
+
+        def count(_event) -> None:
+            kernel_launches[0] += 1
+
+        variant = recal.current
+        with launch_hook(count):
+            if variant is None:
+                out, _trace = self.app.run_exact(inputs)
+            else:
+                out, _trace = self.app.run_variant(variant, inputs)
+
+        record = LaunchRecord(
+            index=index,
+            variant=recal.current_name,
+            knobs=dict(getattr(variant, "knobs", {}) or {}),
+            speedup_estimate=recal.speedup_estimate,
+            kernel_launches=kernel_launches[0],
+        )
+        if self.monitor.should_sample(index):
+            record.sampled = True
+            quality = 1.0 if variant is None else self.app.evaluate(out, inputs)
+            record.quality = quality
+            self._react(self.monitor.observe(quality), record)
+        self.metrics.record_launch(record)
+        return out
+
+    def _react(self, verdict: str, record: LaunchRecord) -> None:
+        """Apply the monitor's verdict: one greedy ladder step (§3.5)."""
+        recal = self._recalibrator
+        if verdict in (VIOLATION, DRIFT):
+            record.reason = verdict
+            previous = recal.current_name
+            if recal.step_down():
+                record.action = "recalibrate_down"
+                self.monitor.reset()
+                self.metrics.record_transition(
+                    Transition(
+                        launch=record.index,
+                        from_variant=previous,
+                        to_variant=recal.current_name,
+                        reason=verdict,
+                        quality=record.quality,
+                    )
+                )
+        elif verdict == HEADROOM and not recal.at_top:
+            record.reason = "headroom"
+            previous = recal.current_name
+            if recal.step_up():
+                record.action = "recalibrate_up"
+                self.monitor.reset()
+                self.metrics.record_transition(
+                    Transition(
+                        launch=record.index,
+                        from_variant=previous,
+                        to_variant=recal.current_name,
+                        reason="headroom",
+                        quality=record.quality,
+                    )
+                )
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def current_variant(self) -> str:
+        """Name of the variant the next launch will run."""
+        if self._recalibrator is None:
+            return "untuned"
+        return self._recalibrator.current_name
+
+    def metrics_snapshot(self) -> dict:
+        """Counters, cache statistics, transition history and current state."""
+        snapshot = self.metrics.snapshot()
+        snapshot["session"] = {
+            "app": self.app.name,
+            "device": self.spec.kind.value,
+            "toq": self.toq,
+            "cache_key": self.key,
+            "current_variant": self.current_variant,
+            "quality_estimate": self.monitor.estimate,
+            "ladder": [p.name for p in self._recalibrator.ladder]
+            if self._recalibrator is not None
+            else [],
+        }
+        return snapshot
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.metrics.event_log is not None:
+            self.metrics.event_log.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("session is closed")
+
+    def __enter__(self) -> "ApproxSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -48,8 +48,8 @@ def cmd_inspect(args) -> int:
     if not hasattr(app, "kernel"):
         print(f"{app.info.name} is a multi-kernel program; its pipeline:")
         print(f"  patterns (Table 1): {'+'.join(app.info.patterns)}")
-        variants = Paraprox(target_quality=args.toq).compile(app)
-        print(f"  variants: {[getattr(v, 'name', v) for v in variants]}")
+        variant_set = Paraprox(target_quality=args.toq).compile(app)
+        print(f"  variants: {variant_set.names()}")
         return 0
 
     module = app.kernel.module
@@ -76,15 +76,11 @@ def cmd_inspect(args) -> int:
         print(f"  {match.pattern.value}{extra}")
 
     paraprox = Paraprox(target_quality=args.toq)
-    variants = paraprox.compile(app, _device(args))
+    variant_set = paraprox.compile(app, _device(args))
     print(f"\n=== generated variants (TOQ {args.toq:.0%}) ===")
-    for v in variants:
-        print(f"  {v.name}")
-        print(f"     knobs: {v.knobs}")
-    for note in paraprox.last_skipped:
-        print(f"  [skipped] {note}")
-    if args.show_variant and variants:
-        v = variants[0]
+    print(variant_set.describe())
+    if args.show_variant and variant_set:
+        v = variant_set[0]
         print(f"\n=== rewritten kernel: {v.name} ({args.dialect}) ===")
         print(print_function(v.module[v.kernel], args.dialect))
     return 0

@@ -1,0 +1,110 @@
+"""The typed VariantSet returned by Paraprox.compile: accessors and the
+backward-compatible list protocol."""
+
+import pytest
+
+from repro import DeviceKind, Paraprox, VariantSet
+from repro.apps.blackscholes import BlackScholesApp
+from repro.apps.cumhist import CumulativeHistogramApp
+from repro.apps.gaussian import GaussianFilterApp
+from repro.patterns.base import Pattern
+
+
+@pytest.fixture(scope="module")
+def stencil_set():
+    return Paraprox(target_quality=0.9).compile(
+        GaussianFilterApp(scale=0.05), DeviceKind.GPU
+    )
+
+
+class TestTypedAccessors:
+    def test_compile_returns_variant_set(self, stencil_set):
+        assert isinstance(stencil_set, VariantSet)
+        assert stencil_set.kernel
+
+    def test_exact_is_the_app_kernel(self, stencil_set):
+        app = GaussianFilterApp(scale=0.05)
+        vs = Paraprox(target_quality=0.9).compile(app, DeviceKind.GPU)
+        assert vs.exact is app.kernel
+
+    def test_by_pattern_accepts_enum_and_string(self, stencil_set):
+        by_enum = stencil_set.by_pattern(Pattern.STENCIL)
+        by_str = stencil_set.by_pattern("stencil")
+        assert by_enum == by_str
+        assert by_enum, "stencil app must yield stencil variants"
+        assert all(v.pattern is Pattern.STENCIL for v in by_enum)
+
+    def test_by_pattern_unknown_string_raises(self, stencil_set):
+        with pytest.raises(KeyError, match="unknown pattern"):
+            stencil_set.by_pattern("vectorize")
+
+    def test_by_pattern_absent_pattern_is_empty(self, stencil_set):
+        assert stencil_set.by_pattern(Pattern.SCAN) == []
+
+    def test_by_name_round_trips(self, stencil_set):
+        for name in stencil_set.names():
+            assert stencil_set.by_name(name).name == name
+
+    def test_by_name_unknown_raises_with_known_names(self, stencil_set):
+        with pytest.raises(KeyError) as exc:
+            stencil_set.by_name("nope")
+        assert stencil_set.names()[0] in str(exc.value)
+
+    def test_patterns_and_sort(self, stencil_set):
+        assert Pattern.STENCIL in stencil_set.patterns()
+        ordered = stencil_set.sorted_by_aggressiveness()
+        keys = [v.aggressiveness for v in ordered]
+        assert keys == sorted(keys)
+
+    def test_describe_lists_every_variant(self, stencil_set):
+        text = stencil_set.describe()
+        assert f"{len(stencil_set)} variant(s)" in text
+        for name in stencil_set.names():
+            assert name in text
+        assert "[stencil]" in text
+
+
+class TestListCompatibility:
+    def test_iteration_indexing_len_bool(self, stencil_set):
+        assert len(stencil_set) == len(list(stencil_set))
+        assert stencil_set[0] is list(stencil_set)[0]
+        assert bool(stencil_set)
+        assert stencil_set[0] in stencil_set
+
+    def test_equality_with_plain_list(self, stencil_set):
+        assert stencil_set == list(stencil_set)
+        assert stencil_set == tuple(stencil_set)
+        assert stencil_set != list(stencil_set)[:-1]
+        assert VariantSet(kernel="k") == []
+
+    def test_equality_between_sets(self, stencil_set):
+        clone = VariantSet(
+            kernel=stencil_set.kernel, variants=list(stencil_set.variants)
+        )
+        assert stencil_set == clone
+        assert VariantSet(kernel="other", variants=list(stencil_set)) != stencil_set
+
+    def test_empty_set_is_falsy_like_a_list(self):
+        vs = VariantSet(kernel="k")
+        assert vs == []
+        assert not vs
+        assert len(vs) == 0
+        assert vs.names() == []
+        assert "0 variant(s)" in vs.describe()
+
+
+class TestCustomPipelineApps:
+    def test_build_variants_app_is_wrapped(self):
+        vs = Paraprox(target_quality=0.9).compile(
+            CumulativeHistogramApp(scale=0.02), DeviceKind.GPU
+        )
+        assert isinstance(vs, VariantSet)
+        assert len(vs) >= 1
+        assert vs.names()
+
+    def test_memo_app_has_map_variants(self):
+        vs = Paraprox(target_quality=0.9).compile(
+            BlackScholesApp(scale=0.01), DeviceKind.GPU
+        )
+        assert isinstance(vs, VariantSet)
+        assert vs.by_pattern(Pattern.MAP)

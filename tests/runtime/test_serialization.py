@@ -1,0 +1,178 @@
+"""Round-trip serialization of ParaproxConfig and TuningResult, and the
+resumable tuner built on top of it."""
+
+import json
+
+import pytest
+
+from repro import DeviceKind, Paraprox, ParaproxConfig
+from repro.apps.gaussian import GaussianFilterApp
+from repro.device import spec_for
+from repro.errors import ConfigError, SerializationError, TuningError
+from repro.runtime.tuner import GreedyTuner, TuningResult
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trips(self):
+        config = ParaproxConfig()
+        clone = ParaproxConfig.from_dict(config.to_dict())
+        assert clone == config
+        json.dumps(config.to_dict())  # JSON-serialisable as promised
+
+    def test_custom_round_trips_with_tuple_restoration(self):
+        config = ParaproxConfig(
+            skipping_rates=(2, 16), memo_modes=("nearest", "linear"),
+            memo_start_bits=7, guard_divisions=True,
+        )
+        clone = ParaproxConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert isinstance(clone.skipping_rates, tuple)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            ParaproxConfig.from_dict({"skip_rates": [2]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            ParaproxConfig.from_dict([1, 2])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"skipping_rates": (0,)},
+            {"skipping_rates": (1,)},
+            {"skipping_rates": (2.5,)},
+            {"skipping_rates": 4},
+            {"reaching_distances": (0,)},
+            {"stencil_schemes": ("diagonal",)},
+            {"scan_skip_fractions": (0.75,)},
+            {"scan_skip_fractions": (0.0,)},
+            {"memo_modes": ("cubic",)},
+            {"memo_spaces": ("texture",)},
+            {"memo_extra_tables": -1},
+            {"memo_start_bits": 0},
+        ],
+    )
+    def test_bad_knobs_raise_at_construction(self, bad):
+        with pytest.raises(ConfigError):
+            ParaproxConfig(**bad)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ParaproxConfig(skipping_rates=(0,))
+
+
+class TestToqValidation:
+    def test_percentage_mistake_gets_a_hint(self):
+        with pytest.raises(ValueError, match="0.9"):
+            Paraprox(target_quality=90)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, float("nan"), "0.9", None])
+    def test_out_of_range_toq_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Paraprox(target_quality=bad)
+
+    def test_boundary_values_accepted(self):
+        assert Paraprox(target_quality=1.0).toq == 1.0
+        assert Paraprox(target_quality=0.01).toq == 0.01
+
+
+class TestTuningResultRoundTrip:
+    @pytest.fixture()
+    def result(self):
+        return Paraprox(target_quality=0.9).optimize(
+            GaussianFilterApp(scale=0.05), DeviceKind.GPU
+        )
+
+    def test_round_trip_preserves_every_field(self, result):
+        data = result.to_dict()
+        json.dumps(data)
+        clone = TuningResult.from_dict(data)
+        assert clone.app == result.app
+        assert clone.device == result.device
+        assert clone.toq == result.toq
+        assert clone.chosen.name == result.chosen.name
+        assert [p.name for p in clone.profiles] == [
+            p.name for p in result.profiles
+        ]
+        for original, restored in zip(result.profiles, clone.profiles):
+            assert restored.quality == pytest.approx(original.quality)
+            assert restored.cycles == pytest.approx(original.cycles)
+            assert restored.speedup == pytest.approx(original.speedup)
+
+    def test_rebind_restores_live_variants(self, result):
+        variants = Paraprox(target_quality=0.9).compile(
+            GaussianFilterApp(scale=0.05)
+        )
+        clone = TuningResult.from_dict(result.to_dict()).rebind(variants)
+        for p in clone.profiles:
+            if p.name != "exact":
+                assert p.variant is not None
+
+    def test_rebind_missing_chosen_raises(self, result):
+        if result.chosen.variant is None:
+            pytest.skip("exact chosen; nothing to unbind")
+        clone = TuningResult.from_dict(result.to_dict())
+        with pytest.raises(TuningError, match="rebind"):
+            clone.rebind([])
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("app"),
+            lambda d: d.update(toq=7.0),
+            lambda d: d.update(chosen="no_such_variant"),
+            lambda d: d["profiles"][0].pop("cycles"),
+            lambda d: d["profiles"][0].update(quality="high"),
+        ],
+    )
+    def test_malformed_data_raises_serialization_error(self, result, mutate):
+        data = result.to_dict()
+        mutate(data)
+        with pytest.raises(SerializationError):
+            TuningResult.from_dict(data)
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(SerializationError):
+            TuningResult.from_dict("{}")
+
+
+class TestTunerResume:
+    def test_resume_skips_reprofiling_when_valid(self):
+        app = GaussianFilterApp(scale=0.05)
+        paraprox = Paraprox(target_quality=0.9)
+        variants = paraprox.compile(app)
+        tuner = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
+        first = tuner.profile(app, variants, app.generate_inputs(seed=app.seed))
+        resumed = tuner.resume(app, variants, first.to_dict())
+        assert getattr(resumed, "resumed", False)
+        assert resumed.chosen.name == first.chosen.name
+        assert resumed.chosen.variant is not None or first.chosen.variant is None
+
+    def test_resume_reprofiles_on_variant_set_change(self):
+        app = GaussianFilterApp(scale=0.05)
+        paraprox = Paraprox(target_quality=0.9)
+        variants = paraprox.compile(app)
+        tuner = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
+        first = tuner.profile(app, variants, app.generate_inputs(seed=app.seed))
+        fewer = list(variants)[:-1]
+        resumed = tuner.resume(app, fewer, first.to_dict())
+        assert not getattr(resumed, "resumed", False)
+        assert len(resumed.profiles) == len(fewer) + 1  # + exact
+
+    def test_resume_reprofiles_on_toq_change(self):
+        app = GaussianFilterApp(scale=0.05)
+        variants = Paraprox(target_quality=0.9).compile(app)
+        tuner09 = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
+        first = tuner09.profile(app, variants, app.generate_inputs(seed=app.seed))
+        tuner05 = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.5)
+        resumed = tuner05.resume(app, variants, first.to_dict())
+        assert not getattr(resumed, "resumed", False)
+        assert resumed.toq == 0.5
+
+    def test_resume_survives_garbage(self):
+        app = GaussianFilterApp(scale=0.05)
+        variants = Paraprox(target_quality=0.9).compile(app)
+        tuner = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
+        resumed = tuner.resume(app, variants, {"not": "a result"})
+        assert resumed.chosen is not None  # fell back to profiling

@@ -1,0 +1,161 @@
+"""Variant-cache semantics: keys, hit/miss levels, and the warm-path speed."""
+
+import time
+
+import pytest
+
+from repro import ApproxSession, DeviceKind, Paraprox, ParaproxConfig
+from repro.apps.blackscholes import BlackScholesApp
+from repro.apps.gaussian import GaussianFilterApp
+from repro.device import spec_for
+from repro.serve import CacheEntry, VariantCache, app_fingerprint, cache_key
+
+
+GPU = spec_for(DeviceKind.GPU)
+
+
+class TestCacheKey:
+    def test_stable_across_app_instances(self):
+        config = ParaproxConfig()
+        k1 = cache_key(GaussianFilterApp(scale=0.05), config, GPU, 0.9)
+        k2 = cache_key(GaussianFilterApp(scale=0.05), config, GPU, 0.9)
+        assert k1 == k2
+
+    def test_sensitive_to_kernel_config_device_and_toq(self):
+        config = ParaproxConfig()
+        base = cache_key(GaussianFilterApp(scale=0.05), config, GPU, 0.9)
+        other_kernel = cache_key(BlackScholesApp(scale=0.01), config, GPU, 0.9)
+        other_config = cache_key(
+            GaussianFilterApp(scale=0.05),
+            ParaproxConfig(reaching_distances=(1,)),
+            GPU,
+            0.9,
+        )
+        other_device = cache_key(
+            GaussianFilterApp(scale=0.05), config, spec_for(DeviceKind.CPU), 0.9
+        )
+        other_toq = cache_key(GaussianFilterApp(scale=0.05), config, GPU, 0.8)
+        assert len({base, other_kernel, other_config, other_device, other_toq}) == 5
+
+    def test_multi_kernel_app_fingerprint(self):
+        from repro.apps.cumhist import CumulativeHistogramApp
+
+        fp1 = app_fingerprint(CumulativeHistogramApp(scale=0.02))
+        fp2 = app_fingerprint(CumulativeHistogramApp(scale=0.02))
+        fp3 = app_fingerprint(CumulativeHistogramApp(scale=0.04))
+        assert fp1 == fp2
+        assert fp1 != fp3
+
+
+class TestVariantCache:
+    def test_memory_only_hit(self):
+        cache = VariantCache(cache_dir=None)
+        vs = Paraprox().compile(GaussianFilterApp(scale=0.05))
+        cache.put(CacheEntry(key="k", variants=vs))
+        assert cache.tier("k") == "memory"
+        assert cache.get("k").variants is vs
+        assert cache.tier("missing") == "miss"
+        assert cache.get("missing") is None
+
+    def test_disk_round_trip(self, tmp_path):
+        cache = VariantCache(cache_dir=tmp_path)
+        vs = Paraprox().compile(GaussianFilterApp(scale=0.05))
+        cache.put(CacheEntry(key="k", variants=vs, tuning={"x": 1}))
+
+        fresh = VariantCache(cache_dir=tmp_path)
+        assert fresh.tier("k") == "disk"
+        entry = fresh.get("k")
+        assert entry is not None
+        assert entry.variants.names() == vs.names()
+        assert entry.tuning == {"x": 1}
+        # promoted to memory after the disk hit
+        assert fresh.tier("k") == "memory"
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = VariantCache(cache_dir=tmp_path)
+        (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = VariantCache(cache_dir=tmp_path)
+        vs = Paraprox().compile(GaussianFilterApp(scale=0.05))
+        cache.put(CacheEntry(key="k", variants=vs))
+        cache.invalidate("k")
+        assert cache.tier("k") == "miss"
+        cache.put(CacheEntry(key="k2", variants=vs))
+        cache.clear()
+        assert cache.tier("k2") == "miss"
+        assert len(list(tmp_path.glob("*.pkl"))) == 0
+
+
+class TestSessionCompileCache:
+    def test_repeat_compile_is_cache_hit_and_10x_faster(self, tmp_path):
+        session = ApproxSession(
+            GaussianFilterApp(scale=0.05),
+            target_quality=0.9,
+            cache_dir=tmp_path,
+        )
+        t0 = time.monotonic()
+        cold = session.compile()
+        t1 = time.monotonic()
+        warm = session.compile()
+        t2 = time.monotonic()
+        cold_seconds = t1 - t0
+        warm_seconds = t2 - t1
+        assert warm is cold  # the same in-process object, not a rebuild
+        snap = session.metrics_snapshot()
+        assert snap["cache"]["compile_misses"] == 1
+        assert snap["cache"]["compile_hits"] == 1
+        # Monotonic-clock guard: both intervals must be sane before the
+        # ratio means anything (perf_counter/monotonic never go backwards).
+        assert cold_seconds > 0 and warm_seconds >= 0
+        assert cold_seconds >= 1e-4, "cold compile implausibly fast"
+        assert warm_seconds * 10 <= cold_seconds, (
+            f"warm path {warm_seconds:.6f}s not 10x faster than "
+            f"cold {cold_seconds:.6f}s"
+        )
+
+    def test_fresh_session_hits_disk_and_resumes_tuning(self, tmp_path):
+        first = ApproxSession(
+            GaussianFilterApp(scale=0.05), target_quality=0.9, cache_dir=tmp_path
+        )
+        first.compile()
+        tuned = first.tune()
+
+        second = ApproxSession(
+            GaussianFilterApp(scale=0.05), target_quality=0.9, cache_dir=tmp_path
+        )
+        variants = second.compile()
+        assert variants.names() == first.compile().names()
+        # exact kernel is reattached after the disk round trip
+        assert variants.exact is second.app.kernel
+        resumed = second.tune()
+        assert getattr(resumed, "resumed", False)
+        assert resumed.chosen.name == tuned.chosen.name
+        snap = second.metrics_snapshot()
+        assert snap["cache"]["compile_hits"] == 1
+        assert snap["cache"]["compile_misses"] == 0
+        assert snap["cache"]["tune_hits"] == 1
+
+    def test_force_recompile_bypasses_cache(self, tmp_path):
+        session = ApproxSession(
+            GaussianFilterApp(scale=0.05), target_quality=0.9, cache_dir=tmp_path
+        )
+        session.compile()
+        session.compile(force=True)
+        snap = session.metrics_snapshot()
+        assert snap["cache"]["compile_misses"] == 2
+
+    def test_config_change_changes_key(self, tmp_path):
+        a = ApproxSession(
+            GaussianFilterApp(scale=0.05), target_quality=0.9, cache_dir=tmp_path
+        )
+        b = ApproxSession(
+            GaussianFilterApp(scale=0.05),
+            target_quality=0.9,
+            cache_dir=tmp_path,
+            config=ParaproxConfig(reaching_distances=(1,)),
+        )
+        assert a.key != b.key
+        a.compile()
+        assert b.cache.tier(b.key) == "miss"

@@ -1,0 +1,108 @@
+"""Acceptance: an input-distribution shift drops quality below the TOQ, the
+monitor triggers recalibration, and subsequent launches meet the TOQ again
+— with the transition visible in the metrics snapshot."""
+
+import numpy as np
+
+from repro import ApproxSession, DeviceKind, MonitorConfig
+from repro.apps.kde import KernelDensityApp
+
+TOQ = 0.80
+
+
+class DriftingKDE(KernelDensityApp):
+    """KDE whose inputs become concentration-heavy after the drift point:
+    most reference mass moves far from the queries, so perforated sampling
+    of the reduction becomes much noisier (paper §3.5 scenario)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.drifted = False
+
+    def generate_inputs(self, seed=None):
+        inputs = super().generate_inputs(seed)
+        if self.drifted:
+            rng = np.random.default_rng((seed or 0) + 1)
+            refs = inputs["refs"].reshape(-1, self.nfeat)
+            far = rng.normal(6.0, 0.05, refs.shape).astype(np.float32)
+            keep = rng.random(len(refs)) < 0.05
+            refs = np.where(keep[:, None], refs, far)
+            inputs["refs"] = np.ascontiguousarray(refs.ravel())
+        return inputs
+
+
+def make_session(app) -> ApproxSession:
+    return ApproxSession(
+        app,
+        target_quality=TOQ,
+        device=DeviceKind.GPU,
+        monitor=MonitorConfig(
+            sample_every=2,
+            window=3,
+            min_samples=2,
+            drift_drop=0.30,  # KDE quality varies a few points per seed
+            advance_after=0,  # no step-up: keeps the walk one-directional
+        ),
+    )
+
+
+def test_session_recalibrates_after_drift_and_meets_toq_again():
+    app = DriftingKDE()
+    session = make_session(app)
+    tuning = session.tune()
+    assert tuning.chosen.variant is not None  # an approximate variant won
+    served_at_start = session.current_variant
+
+    # Phase 1: stable distribution — the tuned variant holds the TOQ.
+    for i in range(12):
+        session.launch(app.generate_inputs(seed=1000 + i))
+    before = session.metrics_snapshot()
+    assert before["toq_violations"] == 0
+    assert before["transitions"] == []
+    assert session.current_variant == served_at_start
+
+    # Phase 2: the input distribution shifts.
+    app.drifted = True
+    for i in range(12, 30):
+        session.launch(app.generate_inputs(seed=1000 + i))
+
+    after = session.metrics_snapshot()
+    # The monitor caught the violation and recalibrated within the window.
+    assert after["toq_violations"] >= 1
+    assert after["recalibrations"]["down"] >= 1
+    assert after["transitions"], "transition history must be visible"
+    first = after["transitions"][0]
+    assert first["from_variant"] == served_at_start
+    assert first["quality"] < TOQ
+    assert session.current_variant != served_at_start
+
+    # Subsequent sampled launches meet the TOQ again.
+    tail = [
+        r for r in after["recent_launches"] if r["sampled"] and r["quality"] is not None
+    ][-3:]
+    assert tail, "monitoring must keep sampling after recalibration"
+    assert all(r["quality"] >= TOQ for r in tail)
+
+
+def test_drift_events_are_counted_separately():
+    """A quality decay that stays above the TOQ registers as drift (a
+    proactive step-down), not a violation."""
+    app = DriftingKDE()
+    session = ApproxSession(
+        app,
+        target_quality=0.30,  # far below any measured quality
+        device=DeviceKind.GPU,
+        monitor=MonitorConfig(
+            sample_every=1, window=3, min_samples=2, drift_drop=0.10,
+            advance_after=0,
+        ),
+    )
+    session.tune()
+    for i in range(4):
+        session.launch(app.generate_inputs(seed=2000 + i))
+    app.drifted = True
+    for i in range(4, 10):
+        session.launch(app.generate_inputs(seed=2000 + i))
+    snap = session.metrics_snapshot()
+    assert snap["drift_events"] >= 1
+    assert snap["recalibrations"]["down"] >= 1

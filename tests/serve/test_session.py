@@ -1,0 +1,190 @@
+"""Session lifecycle, monitor/recalibrator units, metrics and event log."""
+
+import json
+
+import pytest
+
+from repro import ApproxSession, DeviceKind, MonitorConfig, Paraprox
+from repro.apps.gaussian import GaussianFilterApp
+from repro.errors import ServeError
+from repro.serve import QualityMonitor, Recalibrator
+from repro.serve.monitor import DRIFT, HEADROOM, OK, VIOLATION
+
+
+class TestQualityMonitor:
+    def test_sampling_cadence(self):
+        monitor = QualityMonitor(0.9, MonitorConfig(sample_every=4))
+        sampled = [i for i in range(12) if monitor.should_sample(i)]
+        assert sampled == [3, 7, 11]
+
+    def test_violation_on_sample_below_toq(self):
+        monitor = QualityMonitor(0.9, MonitorConfig(window=4))
+        assert monitor.observe(0.95) == OK
+        assert monitor.observe(0.85) == VIOLATION
+
+    def test_windowed_estimate_triggers_violation(self):
+        monitor = QualityMonitor(0.9, MonitorConfig(window=3, advance_after=0))
+        monitor.observe(0.91)
+        monitor.observe(0.91)
+        # 0.90 alone is at the TOQ, but the window mean dips below it only
+        # when a genuinely low sample arrives.
+        assert monitor.observe(0.90) == OK
+        assert monitor.estimate == pytest.approx((0.91 + 0.91 + 0.90) / 3)
+
+    def test_drift_needs_min_samples_and_baseline(self):
+        monitor = QualityMonitor(
+            0.9, MonitorConfig(window=4, min_samples=2, drift_drop=0.04,
+                               advance_after=0)
+        )
+        monitor.set_baseline(0.99)
+        assert monitor.observe(0.93) == OK  # one sample: below min_samples
+        assert monitor.observe(0.93) == DRIFT  # mean 0.93 < 0.99 - 0.04
+
+    def test_headroom_after_clean_streak(self):
+        monitor = QualityMonitor(
+            0.9, MonitorConfig(advance_after=2, margin=0.02)
+        )
+        monitor.set_baseline(0.95)
+        assert monitor.observe(0.95) == OK
+        assert monitor.observe(0.95) == HEADROOM
+        # streak resets after the signal
+        assert monitor.observe(0.95) == OK
+
+    def test_reset_clears_window(self):
+        monitor = QualityMonitor(0.9, MonitorConfig(window=4))
+        monitor.observe(0.5)
+        monitor.reset()
+        assert monitor.estimate is None
+        assert monitor.observe(0.95) == OK
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServeError):
+            MonitorConfig(sample_every=0)
+        with pytest.raises(ServeError):
+            QualityMonitor(toq=0.0)
+
+
+class TestRecalibrator:
+    @pytest.fixture()
+    def tuning(self):
+        return Paraprox(target_quality=0.9).optimize(
+            GaussianFilterApp(scale=0.05), DeviceKind.GPU
+        )
+
+    def test_starts_at_chosen_and_walks_to_exact(self, tuning):
+        recal = Recalibrator(tuning, toq=0.9)
+        assert recal.current_name == tuning.chosen.name
+        steps = 0
+        while recal.step_down():
+            steps += 1
+        assert recal.at_exact
+        assert recal.current is None
+        assert recal.current_name == "exact"
+        assert recal.speedup_estimate == 1.0
+        assert not recal.step_down()  # bottoms out
+        assert steps >= 1
+
+    def test_ladder_only_holds_toq_meeting_variants(self, tuning):
+        recal = Recalibrator(tuning, toq=0.9)
+        assert all(p.quality >= 0.9 for p in recal.ladder)
+
+    def test_step_up_recovers(self, tuning):
+        recal = Recalibrator(tuning, toq=0.9)
+        start = recal.current_name
+        recal.step_down()
+        assert recal.step_up()
+        assert recal.current_name == start
+        while recal.step_up():
+            pass
+        assert recal.at_top
+
+    def test_unbound_tuning_result_rejected(self, tuning):
+        from repro.runtime.tuner import TuningResult
+
+        unbound = TuningResult.from_dict(tuning.to_dict())
+        if len(unbound.profiles) > 1:  # app produced approximate variants
+            with pytest.raises(ServeError):
+                Recalibrator(unbound, toq=0.9)
+
+
+class TestSessionLifecycle:
+    def test_launch_lazily_compiles_and_tunes(self):
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(app, target_quality=0.9)
+        out = session.launch(app.generate_inputs(seed=3))
+        assert out is not None
+        snap = session.metrics_snapshot()
+        assert snap["launches"] == 1
+        assert snap["cache"]["compile_misses"] == 1
+        assert snap["session"]["current_variant"] != "untuned"
+
+    def test_launch_counts_kernel_launches_via_engine_hook(self):
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(app, target_quality=0.9)
+        session.launch(app.generate_inputs(seed=3))
+        snap = session.metrics_snapshot()
+        assert snap["kernel_launches"] >= 1
+
+    def test_sampled_launch_records_quality(self):
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(
+            app, target_quality=0.9, monitor=MonitorConfig(sample_every=1)
+        )
+        session.launch(app.generate_inputs(seed=3))
+        record = session.metrics.records[-1]
+        assert record.sampled
+        assert record.quality is not None
+        assert 0.0 <= record.quality <= 1.0
+        assert record.speedup_estimate > 0
+
+    def test_snapshot_shape(self):
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(app, target_quality=0.9)
+        session.launch(app.generate_inputs(seed=3))
+        snap = session.metrics_snapshot()
+        for key in (
+            "launches",
+            "sampled_checks",
+            "sampling_overhead",
+            "toq_violations",
+            "drift_events",
+            "recalibrations",
+            "cache",
+            "timings",
+            "transitions",
+            "recent_launches",
+            "session",
+        ):
+            assert key in snap
+        assert snap["session"]["toq"] == 0.9
+        assert snap["session"]["ladder"]
+        # the snapshot is JSON-serialisable as promised
+        json.dumps(snap)
+
+    def test_event_log_is_jsonl(self, tmp_path):
+        app = GaussianFilterApp(scale=0.05)
+        log = tmp_path / "events.jsonl"
+        with ApproxSession(
+            app,
+            target_quality=0.9,
+            monitor=MonitorConfig(sample_every=1),
+            event_log=log,
+        ) as session:
+            session.launch(app.generate_inputs(seed=3))
+            session.launch(app.generate_inputs(seed=4))
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert {"compile", "tune", "launch"} <= kinds
+        launches = [e for e in events if e["event"] == "launch"]
+        assert len(launches) == 2
+
+    def test_closed_session_rejects_use(self):
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(app, target_quality=0.9)
+        session.close()
+        with pytest.raises(ServeError):
+            session.launch(app.generate_inputs(seed=3))
+
+    def test_invalid_toq_propagates(self):
+        with pytest.raises(ValueError):
+            ApproxSession(GaussianFilterApp(scale=0.05), target_quality=90)
