@@ -7,7 +7,13 @@ use ``pedantic`` single-shot mode because a full pipeline run is the thing
 being measured.
 """
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# The codegen walltime bench launches kernels from the test-local zoo.
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
 
 
 def once(benchmark, fn, *args, **kwargs):

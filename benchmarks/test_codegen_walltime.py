@@ -1,0 +1,63 @@
+"""Wall-clock check for the codegen backend on the serving hot path.
+
+Two hundred launches of the blackscholes kernel — the paper's flagship
+map/memoization workload — must run at least ``REPRO_CODEGEN_MIN_SPEEDUP``
+times faster (default 2x) through compiled NumPy callables than through
+per-launch interpretation.  Compilation is warmed outside the timed
+region: a serving session compiles once and then launches from the cache,
+and that steady state is what this benchmark models.
+"""
+
+import os
+import time
+
+import numpy as np
+
+import kernel_zoo as zoo
+from repro.engine import Grid
+
+N = 1024
+LAUNCHES = 200
+MIN_SPEEDUP = float(os.environ.get("REPRO_CODEGEN_MIN_SPEEDUP", "2.0"))
+
+
+def _args():
+    rng = np.random.default_rng(0)
+    return [
+        np.zeros(N, np.float32),
+        (rng.random(N, dtype=np.float32) * 100 + 1),
+        (rng.random(N, dtype=np.float32) * 100 + 1),
+        (rng.random(N, dtype=np.float32) + 0.1),
+        np.float32(0.02),
+        np.float32(0.3),
+        np.int32(N),
+    ]
+
+
+def _time_launches(backend: str) -> float:
+    from repro.engine import launch
+
+    grid = Grid.for_elements(N)
+    args = _args()
+    launch(zoo.black_scholes, grid, args, backend=backend)  # warm compile/caches
+    best = float("inf")
+    for _repeat in range(3):
+        started = time.perf_counter()
+        for _ in range(LAUNCHES):
+            launch(zoo.black_scholes, grid, args, backend=backend)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_codegen_beats_interpretation_on_repeated_launches():
+    interp = _time_launches("interp")
+    codegen = _time_launches("codegen")
+    speedup = interp / codegen
+    print(
+        f"\n{LAUNCHES} blackscholes launches (n={N}): "
+        f"interp {interp:.3f}s, codegen {codegen:.3f}s, {speedup:.2f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"codegen speedup {speedup:.2f}x below the required "
+        f"{MIN_SPEEDUP:.2f}x (override with REPRO_CODEGEN_MIN_SPEEDUP)"
+    )

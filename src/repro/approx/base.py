@@ -72,12 +72,16 @@ class VariantSet:
             single-kernel shape, else ``None``.
         skipped: notes about patterns that matched but could not be
             rewritten (mirrors ``Paraprox.last_skipped``).
+        backend: launch backend these variants should be served with
+            (one of ``repro.engine.BACKENDS``), or ``None`` to defer to
+            the ambient default.
     """
 
     kernel: str
     variants: List[ApproxKernel] = field(default_factory=list)
     exact: Optional[object] = None
     skipped: List[str] = field(default_factory=list)
+    backend: Optional[str] = None
 
     # -- container protocol (backward compatibility with the list return) ----
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from ..device import DeviceKind, spec_for
+from ..engine.launch import BACKENDS, validate_backend
 from ..errors import ConfigError, TransformError
 from ..patterns import (
     MapMatch,
@@ -59,6 +60,9 @@ class ParaproxConfig:
     #: division in generated approximate kernels so an approximated zero
     #: divisor skips the calculation instead of faulting.
     guard_divisions: bool = False
+    #: launch backend sessions serve compiled variants with: "interp",
+    #: "codegen", or "auto" (codegen unless a launch needs traces).
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -124,6 +128,11 @@ class ParaproxConfig:
                 f"memo_start_bits must be in [1, 24] or None, "
                 f"got {self.memo_start_bits!r}",
             )
+        check(
+            self.backend in BACKENDS,
+            f"unknown backend {self.backend!r}; valid choices are "
+            + ", ".join(repr(b) for b in BACKENDS),
+        )
 
     # -- serialization (the disk cache persists configs alongside variants) --
 
@@ -195,14 +204,26 @@ class Paraprox:
 
     # -- compilation -----------------------------------------------------------
 
-    def compile(self, app, device: Optional[DeviceKind] = None) -> VariantSet:
+    def compile(
+        self,
+        app,
+        device: Optional[DeviceKind] = None,
+        backend: Optional[str] = None,
+    ) -> VariantSet:
         """Generate every approximate variant ``app``'s patterns admit,
         returned as a typed :class:`~repro.approx.base.VariantSet` (iterable
         like the plain list earlier releases returned).
 
+        ``backend`` stamps the launch backend the variants should be served
+        with (default: the config's ``backend`` knob); unknown names raise
+        :class:`~repro.errors.ConfigError`.
+
         Applications with a custom pipeline (the scan benchmark) may define
         ``build_variants(toq, config)`` and take over entirely.
         """
+        chosen_backend = validate_backend(
+            backend if backend is not None else self.config.backend
+        )
         custom = getattr(app, "build_variants", None)
         if callable(custom):
             self.last_skipped = []
@@ -212,6 +233,7 @@ class Paraprox:
                 kernel=fn.name if fn is not None else "",
                 variants=list(custom(self.toq, self.config)),
                 exact=exact,
+                backend=chosen_backend,
             )
         spec = spec_for(device or self.device)
         detector = PatternDetector(latency_table=spec.latencies)
@@ -253,6 +275,7 @@ class Paraprox:
             variants=variants,
             exact=app.kernel,
             skipped=skipped,
+            backend=chosen_backend,
         )
 
     def _apply_match(self, app, match, kernel_name, cfg, variants, module=None) -> None:

@@ -1,0 +1,6 @@
+"""``python -m repro.codegen`` — run the differential harness over all apps."""
+
+from .check import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Compile-and-cache layer: IR fingerprint -> executable kernel.
+
+One entry per ``(kernel fingerprint, grid-shape class, bounds_check)``.
+The grid-shape class is only ``"1d"``/``"2d"``: generated code reads all
+thread-id arrays from a :class:`~repro.codegen.runtime.Geometry` object,
+so the same callable serves every grid of a class and only the (cheap,
+itself cached) geometry differs per launch.
+"""
+
+from __future__ import annotations
+
+import linecache
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import CodegenError
+from ..kernel import ir
+from .fingerprint import fingerprint_kernel
+from .lower import lower_kernel
+from .runtime import geometry
+
+
+@dataclass
+class CodegenStats:
+    """Process-wide codegen counters, surfaced by ``serve.metrics``."""
+
+    compiles: int = 0
+    cache_hits: int = 0
+    compile_seconds: float = 0.0
+    source_bytes: int = 0
+    fallbacks: int = 0  # auto-mode launches that fell back to the interpreter
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "compiles": self.compiles,
+            "cache_hits": self.cache_hits,
+            "compile_seconds": round(self.compile_seconds, 6),
+            "source_bytes": self.source_bytes,
+            "fallbacks": self.fallbacks,
+        }
+
+    def reset(self) -> None:
+        self.compiles = 0
+        self.cache_hits = 0
+        self.compile_seconds = 0.0
+        self.source_bytes = 0
+        self.fallbacks = 0
+
+
+STATS = CodegenStats()
+
+
+def stats_snapshot() -> Dict[str, object]:
+    return STATS.snapshot()
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel lowered, compiled and ready to launch."""
+
+    fn_name: str
+    param_names: List[str]
+    entry: object  # the generated function
+    source: str
+    fingerprint: str
+    grid_class: str
+    bounds_check: bool
+
+    def run(self, grid, bound_args: Dict[str, object]) -> None:
+        """Execute over ``grid`` with ``bind_arguments`` output."""
+        geo = geometry(grid)
+        self.entry(geo, *[bound_args[name] for name in self.param_names])
+
+
+_CACHE: Dict[Tuple[str, str, bool], CompiledKernel] = {}
+
+
+def get_compiled(
+    fn: ir.Function, module: ir.Module, grid, bounds_check: bool = True
+) -> CompiledKernel:
+    """Fetch (or lower + compile) the callable for one kernel/grid class."""
+    fp = fingerprint_kernel(fn, module)
+    key = (fp, "2d" if grid.is_2d else "1d", bool(bounds_check))
+    hit = _CACHE.get(key)
+    if hit is not None:
+        STATS.cache_hits += 1
+        return hit
+    started = time.perf_counter()
+    source, exec_globals, entry_name = lower_kernel(fn, module, bounds_check)
+    filename = f"<codegen:{fn.name}:{fp[:10]}>"
+    try:
+        code = compile(source, filename, "exec")
+    except SyntaxError as exc:  # pragma: no cover - emitter bug guard
+        raise CodegenError(
+            f"generated source for {fn.name} failed to compile: {exc}"
+        ) from exc
+    exec(code, exec_globals)
+    # Make generated frames readable in tracebacks and pdb.
+    linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
+    compiled = CompiledKernel(
+        fn_name=fn.name,
+        param_names=[p.name for p in fn.params],
+        entry=exec_globals[entry_name],
+        source=source,
+        fingerprint=fp,
+        grid_class=key[1],
+        bounds_check=key[2],
+    )
+    STATS.compiles += 1
+    STATS.compile_seconds += time.perf_counter() - started
+    STATS.source_bytes += len(source)
+    _CACHE[key] = compiled
+    return compiled
+
+
+def clear_cache() -> None:
+    """Drop all compiled kernels (tests; does not reset STATS)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

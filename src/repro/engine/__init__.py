@@ -2,7 +2,15 @@
 
 from .hooks import LaunchEvent, add_launch_hook, launch_hook, remove_launch_hook
 from .interpreter import call_device_function, launch
-from .launch import Grid, Program, bind_arguments
+from .launch import (
+    BACKENDS,
+    Grid,
+    Program,
+    bind_arguments,
+    default_backend,
+    use_backend,
+    validate_backend,
+)
 from .trace import MemStats, Trace
 
 __all__ = [
@@ -17,4 +25,8 @@ __all__ = [
     "add_launch_hook",
     "remove_launch_hook",
     "launch_hook",
+    "BACKENDS",
+    "default_backend",
+    "use_backend",
+    "validate_backend",
 ]

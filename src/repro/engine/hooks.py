@@ -23,6 +23,7 @@ class LaunchEvent:
     kernel: str
     grid: Grid
     trace: object  # repro.engine.trace.Trace
+    backend: str = "interp"  # which backend executed it ("interp"/"codegen")
 
 
 _HOOKS: List[Callable[[LaunchEvent], None]] = []
@@ -51,11 +52,11 @@ def launch_hook(hook: Callable[[LaunchEvent], None]):
         remove_launch_hook(hook)
 
 
-def notify_launch(kernel: str, grid: Grid, trace) -> None:
-    """Called by the interpreter after each launch completes."""
+def notify_launch(kernel: str, grid: Grid, trace, backend: str = "interp") -> None:
+    """Called by the engine after each launch completes."""
     if not _HOOKS:
         return
-    event = LaunchEvent(kernel=kernel, grid=grid, trace=trace)
+    event = LaunchEvent(kernel=kernel, grid=grid, trace=trace, backend=backend)
     # Iterate over a copy so a hook may deregister itself while running.
     for hook in list(_HOOKS):
         hook(event)

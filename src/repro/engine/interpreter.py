@@ -27,9 +27,16 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import CodegenError, ExecutionError
 from ..kernel import intrinsics, ir
-from .launch import Grid, bind_arguments, resolve_kernel, resolve_module
+from .launch import (
+    Grid,
+    bind_arguments,
+    default_backend,
+    resolve_kernel,
+    resolve_module,
+    validate_backend,
+)
 from .trace import Trace
 
 _INT_KINDS = ("i", "u")
@@ -43,6 +50,7 @@ def launch(
     trace: Optional[Trace] = None,
     bounds_check: bool = True,
     call_observer=None,
+    backend: Optional[str] = None,
 ) -> Trace:
     """Execute ``kernel`` over ``grid`` with ``args`` (sequence or mapping).
 
@@ -53,13 +61,48 @@ def launch(
     ``call_observer(name, arg_arrays)`` is invoked for every device-function
     call; the memoization profiler uses it to harvest the value streams that
     feed bit tuning (paper §3.1.3, "applying training data to the function").
+
+    ``backend`` picks the execution engine (see ``repro.engine.BACKENDS``);
+    when omitted, the ambient :func:`~repro.engine.launch.use_backend`
+    default applies.  ``"auto"`` compiles the kernel via ``repro.codegen``
+    whenever neither ``trace`` nor ``call_observer`` is requested — those
+    need the interpreter, which records per-op events codegen elides —
+    and falls back to the interpreter if lowering fails.
     """
     fn = resolve_kernel(kernel)
     mod = resolve_module(kernel, module)
     if fn.kind != "kernel":
         raise ExecutionError(f"{fn.name} is a device function, not a kernel")
+    chosen = validate_backend(backend if backend is not None else default_backend())
+    wants_interp = trace is not None or call_observer is not None
+    if chosen == "codegen" and call_observer is not None:
+        raise ExecutionError(
+            f"{fn.name}: backend 'codegen' cannot honor call_observer; "
+            "device-call observation requires the interpreter"
+        )
+    if chosen == "auto":
+        chosen = "interp" if wants_interp else "codegen"
+        fallback = True
+    else:
+        fallback = False
     bound = bind_arguments(fn, args)
     t = trace if trace is not None else Trace()
+    if chosen == "codegen":
+        from ..codegen import cache as _codegen_cache
+
+        try:
+            compiled = _codegen_cache.get_compiled(fn, mod, grid, bounds_check)
+        except CodegenError:
+            if not fallback:
+                raise
+            _codegen_cache.STATS.fallbacks += 1
+        else:
+            t.count_launch(grid.threads)
+            compiled.run(grid, bound)
+            from .hooks import notify_launch
+
+            notify_launch(fn.name, grid, t, backend="codegen")
+            return t
     execution = _Execution(fn, mod, grid, bound, t, bounds_check)
     execution.call_observer = call_observer
     execution.run()

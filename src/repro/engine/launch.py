@@ -1,15 +1,59 @@
-"""Launch geometry and argument binding for kernel execution."""
+"""Launch geometry, argument binding and backend selection for kernels."""
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ConfigError, ExecutionError
 from ..kernel import ir
 from ..kernel.frontend import KernelFn
+
+#: Valid values for the ``backend=`` launch/config knob.
+#:
+#: ``"interp"``   — walk the IR tree (supports traces and call observers).
+#: ``"codegen"``  — run the kernel compiled by :mod:`repro.codegen`.
+#: ``"auto"``     — codegen when no trace/observer is requested, else interp.
+BACKENDS = ("interp", "codegen", "auto")
+
+# The process default stays "interp": the tuner's cost model depends on
+# instruction/memory traces that only the interpreter records.  Serving
+# sessions opt into codegen with :func:`use_backend`.
+_BACKEND_STACK: List[str] = ["interp"]
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it is a known backend, else raise ConfigError."""
+    if name not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {name!r}; valid choices are "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )
+    return name
+
+
+def default_backend() -> str:
+    """The backend used when ``launch`` is not given one explicitly."""
+    return _BACKEND_STACK[-1]
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Scope the default launch backend to a ``with`` block.
+
+    Nestable; the innermost context wins.  This is how ``ApproxSession``
+    routes its hot path through codegen without threading a ``backend=``
+    argument through every app's ``run_exact``/``run_variant``.
+    """
+    validate_backend(name)
+    _BACKEND_STACK.append(name)
+    try:
+        yield
+    finally:
+        _BACKEND_STACK.pop()
 
 
 @dataclass(frozen=True)

@@ -40,6 +40,15 @@ class DeviceError(ReproError):
     """The device cost model was configured or queried incorrectly."""
 
 
+class CodegenError(ReproError):
+    """A kernel could not be lowered to a specialized NumPy callable.
+
+    Raised by :mod:`repro.codegen` when lowering or compilation fails;
+    the ``auto`` backend catches it and falls back to the interpreter,
+    while an explicit ``backend="codegen"`` request propagates it.
+    """
+
+
 class ConfigError(ReproError, ValueError):
     """A configuration object carries invalid knob values or a serialized
     form that cannot be deserialized.

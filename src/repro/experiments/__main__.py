@@ -40,10 +40,10 @@ def main(argv=None) -> int:
         save_dir = Path(args.save)
         save_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
-        start = time.time()
+        start = time.perf_counter()
         result = ALL_EXPERIMENTS[name].run(seed=args.seed)
         print(result.to_text())
-        print(f"[{name} finished in {time.time() - start:.1f}s]")
+        print(f"[{name} finished in {time.perf_counter() - start:.1f}s]")
         print()
         if save_dir is not None:
             (save_dir / f"{name}.txt").write_text(result.to_text() + "\n")

@@ -30,7 +30,7 @@ from ..device import DeviceSpec
 from ..kernel.printer import print_module
 
 #: Bump when the pickle layout changes; mismatched entries are misses.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2  # 2: VariantSet gained the `backend` field
 
 
 def app_fingerprint(app) -> str:

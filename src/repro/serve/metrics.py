@@ -27,6 +27,7 @@ class LaunchRecord:
     quality: Optional[float] = None
     speedup_estimate: float = 1.0
     kernel_launches: int = 0
+    backends: Dict[str, int] = field(default_factory=dict)  # backend -> launches
     action: str = ""  # "", "recalibrate_down", "recalibrate_up"
     reason: str = ""  # "", "toq_violation", "drift", "headroom"
 
@@ -74,8 +75,15 @@ class SessionMetrics:
         self.tune_cache_hits = 0
         self.tune_cache_misses = 0
         self.kernel_launches = 0
+        self.backend_launches: Dict[str, int] = {}
         self.compile_seconds = 0.0
         self.tune_seconds = 0.0
+        # Baseline of the process-wide codegen counters at session start,
+        # so the snapshot attributes compiles/hits to *this* session.
+        from ..codegen import stats_snapshot as _codegen_stats
+
+        self._codegen_stats = _codegen_stats
+        self._codegen_baseline = _codegen_stats()
         self.records: Deque[LaunchRecord] = deque(maxlen=history)
         self.transitions: List[Transition] = []
         self.event_log = event_log
@@ -85,6 +93,10 @@ class SessionMetrics:
     def record_launch(self, record: LaunchRecord) -> None:
         self.launches += 1
         self.kernel_launches += record.kernel_launches
+        for backend, count in record.backends.items():
+            self.backend_launches[backend] = (
+                self.backend_launches.get(backend, 0) + count
+            )
         if record.sampled:
             self.sampled_checks += 1
         if record.reason == "toq_violation":
@@ -133,9 +145,18 @@ class SessionMetrics:
     def snapshot(self) -> dict:
         """The JSON-serialisable state a metrics endpoint would return."""
         recent = list(self.records)[-16:]
+        current = self._codegen_stats()
+        codegen = {
+            key: round(current[key] - self._codegen_baseline[key], 6)
+            if isinstance(current[key], float)
+            else current[key] - self._codegen_baseline[key]
+            for key in current
+        }
         return {
             "launches": self.launches,
             "kernel_launches": self.kernel_launches,
+            "backend_launches": dict(self.backend_launches),
+            "codegen": codegen,
             "sampled_checks": self.sampled_checks,
             "sampling_overhead": self.sampling_overhead,
             "toq_violations": self.toq_violations,

@@ -24,7 +24,7 @@ from typing import Dict, Optional
 from ..approx.base import VariantSet
 from ..approx.compiler import Paraprox, ParaproxConfig
 from ..device import DeviceKind, spec_for
-from ..engine import launch_hook
+from ..engine import launch_hook, use_backend, validate_backend
 from ..errors import ServeError
 from ..runtime.tuner import GreedyTuner, TuningResult
 from .cache import CacheEntry, VariantCache, cache_key
@@ -46,6 +46,9 @@ class ApproxSession:
         monitor: quality-monitor knobs (sampling cadence, window, drift).
         event_log: path of an optional JSONL event log.
         tuner_repeats: training input sets the tuner averages over.
+        backend: launch backend for served launches ("interp", "codegen"
+            or "auto"); defaults to the config's ``backend`` knob.  Tuning
+            always interprets — its cost model needs instruction traces.
     """
 
     def __init__(
@@ -58,10 +61,14 @@ class ApproxSession:
         monitor: Optional[MonitorConfig] = None,
         event_log: Optional[object] = None,
         tuner_repeats: int = 1,
+        backend: Optional[str] = None,
     ) -> None:
         self.app = app
         self.paraprox = Paraprox(
             target_quality=target_quality, device=device, config=config
+        )
+        self.backend = validate_backend(
+            backend if backend is not None else self.paraprox.config.backend
         )
         self.device = device
         self.spec = spec_for(device)
@@ -183,12 +190,14 @@ class ApproxSession:
         recal = self._recalibrator
         index = self.metrics.launches
         kernel_launches = [0]
+        backend_counts: Dict[str, int] = {}
 
-        def count(_event) -> None:
+        def count(event) -> None:
             kernel_launches[0] += 1
+            backend_counts[event.backend] = backend_counts.get(event.backend, 0) + 1
 
         variant = recal.current
-        with launch_hook(count):
+        with use_backend(self.backend), launch_hook(count):
             if variant is None:
                 out, _trace = self.app.run_exact(inputs)
             else:
@@ -200,6 +209,7 @@ class ApproxSession:
             knobs=dict(getattr(variant, "knobs", {}) or {}),
             speedup_estimate=recal.speedup_estimate,
             kernel_launches=kernel_launches[0],
+            backends=backend_counts,
         )
         if self.monitor.should_sample(index):
             record.sampled = True
@@ -259,6 +269,7 @@ class ApproxSession:
             "app": self.app.name,
             "device": self.spec.kind.value,
             "toq": self.toq,
+            "backend": self.backend,
             "cache_key": self.key,
             "current_variant": self.current_variant,
             "quality_estimate": self.monitor.estimate,

@@ -183,3 +183,45 @@ def noop(out: array_f32, x: array_f32, n: i32):
 def make_image(w=64, h=64, seed=0):
     rng = np.random.default_rng(seed)
     return rng.random((h, w)).astype(np.float32)
+
+
+# -- codegen differential coverage ------------------------------------------
+
+
+@device
+def clamp01(x: f32) -> f32:
+    """Multiple divergent returns inside a device function."""
+    if x < 0.0:
+        return 0.0
+    if x > 1.0:
+        return 1.0
+    return x
+
+
+@kernel
+def clamp_map(out: array_f32, x: array_f32, n: i32):
+    i = global_id()
+    if i < n:
+        out[i] = clamp01(x[i] * 1.5 - 0.25)
+
+
+@kernel
+def divergent_return(out: array_f32, x: array_f32, n: i32):
+    """Lanes deactivate at different program points (guard + data return)."""
+    i = global_id()
+    if i >= n:
+        return
+    v = x[i]
+    if v < 0.25:
+        out[i] = 0.0
+        return
+    out[i] = sqrt(v)
+
+
+@kernel
+def tile_scale2d(out: array_f32, img: array_f32, w: i32, h: i32, gain: f32):
+    """True 2-D launch addressing through the x/y intrinsic pairs."""
+    x = global_id_x()
+    y = global_id_y()
+    if (x < w) and (y < h):
+        out[y * w + x] = img[y * w + x] * gain
