@@ -75,6 +75,10 @@ class VariantSet:
         backend: launch backend these variants should be served with
             (one of ``repro.engine.BACKENDS``), or ``None`` to defer to
             the ambient default.
+        parallel: worker count the variants should be served with (an
+            int, ``"auto"``, or ``None`` to defer to the ambient
+            :func:`repro.parallel.use_parallel` scope) — stamped from
+            ``ParaproxConfig.parallel_workers`` by ``Paraprox.compile``.
     """
 
     kernel: str
@@ -82,6 +86,7 @@ class VariantSet:
     exact: Optional[object] = None
     skipped: List[str] = field(default_factory=list)
     backend: Optional[str] = None
+    parallel: Optional[object] = None
 
     # -- container protocol (backward compatibility with the list return) ----
 

@@ -63,6 +63,10 @@ class ParaproxConfig:
     #: launch backend sessions serve compiled variants with: "interp",
     #: "codegen", or "auto" (codegen unless a launch needs traces).
     backend: str = "auto"
+    #: worker threads for sharded launches and concurrent profiling in
+    #: sessions: a positive int (1 = serial, the default) or "auto"
+    #: (one per host core).
+    parallel_workers: object = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -132,6 +136,16 @@ class ParaproxConfig:
             self.backend in BACKENDS,
             f"unknown backend {self.backend!r}; valid choices are "
             + ", ".join(repr(b) for b in BACKENDS),
+        )
+        check(
+            self.parallel_workers == "auto"
+            or (
+                isinstance(self.parallel_workers, int)
+                and not isinstance(self.parallel_workers, bool)
+                and self.parallel_workers >= 1
+            ),
+            f"parallel_workers must be a positive integer or 'auto', "
+            f"got {self.parallel_workers!r}",
         )
 
     # -- serialization (the disk cache persists configs alongside variants) --
@@ -234,6 +248,7 @@ class Paraprox:
                 variants=list(custom(self.toq, self.config)),
                 exact=exact,
                 backend=chosen_backend,
+                parallel=self.config.parallel_workers,
             )
         spec = spec_for(device or self.device)
         detector = PatternDetector(latency_table=spec.latencies)
@@ -276,6 +291,7 @@ class Paraprox:
             exact=app.kernel,
             skipped=skipped,
             backend=chosen_backend,
+            parallel=self.config.parallel_workers,
         )
 
     def _apply_match(self, app, match, kernel_name, cfg, variants, module=None) -> None:

@@ -341,7 +341,7 @@ class _Emitter:
             total = self._shared_totals[stmt.name]
             self.emit(
                 indent,
-                f"_sh_{stmt.name} = np.zeros(_G.nbx * {total}, "
+                f"_sh_{stmt.name} = np.zeros(_G.nsb * {total}, "
                 f"dtype={self.np_dtype(stmt.dtype)})",
             )
         else:
@@ -386,7 +386,7 @@ class _Emitter:
             size = self.shared[stmt.array.name]
             self.emit(
                 indent,
-                f"rt.store_shared({buf}, {size}, {idx}, {value}, _G.bid, {tail}",
+                f"rt.store_shared({buf}, {size}, {idx}, {value}, _G.sbid, {tail}",
             )
         else:
             self.emit(indent, f"rt.store_global({buf}, {idx}, {value}, {tail}")
@@ -404,7 +404,7 @@ class _Emitter:
             size = self.shared[stmt.array.name]
             self.emit(
                 indent,
-                f"rt.atomic_shared({buf}, {size}, {idx}, {value}, _G.bid, {tail}",
+                f"rt.atomic_shared({buf}, {size}, {idx}, {value}, _G.sbid, {tail}",
             )
         else:
             self.emit(indent, f"rt.atomic_global({buf}, {idx}, {value}, {tail}")
@@ -522,7 +522,7 @@ class _Emitter:
             tail = f"{live}, {self.bounds_check}, {self.fname!r}, {expr.array.name!r})"
             if shared:
                 size = self.shared[expr.array.name]
-                return f"rt.load_shared({buf}, {size}, {idx}, _G.bid, {tail}"
+                return f"rt.load_shared({buf}, {size}, {idx}, _G.sbid, {tail}"
             return f"rt.load_global({buf}, {idx}, {tail}"
         if isinstance(expr, ir.Call):
             return self._emit_call(expr, ctx)

@@ -326,6 +326,8 @@ class Geometry:
         "gdim",
         "gdimy",
         "nbx",
+        "sbid",
+        "nsb",
     )
 
     def __init__(self, grid: Grid) -> None:
@@ -347,6 +349,43 @@ class Geometry:
         self.gdim = np.int32(grid.blocks)
         self.gdimy = np.int32(grid.blocks_y)
         self.nbx = grid.blocks  # shared allocs are sized per x-axis block
+        # Shard-local block addressing.  A full-grid geometry *is* the
+        # single shard covering every block, so these reduce to the
+        # identity and generated code can use them unconditionally.
+        self.sbid = self.bid
+        self.nsb = grid.blocks
+
+    def shard(self, b0: int, b1: int, block_threads: int) -> "Geometry":
+        """The sub-geometry covering blocks ``[b0, b1)``.
+
+        Blocks are contiguous in linear thread order (``bid = linear //
+        block_threads``), so every per-thread array is a zero-copy slice
+        of the parent's.  Grid-wide scalars (``bdim``/``gdim``/... and
+        ``nbx``) keep their full-grid values: intrinsics must report the
+        launch geometry, not the shard.  Only the shared-memory
+        addressing pair (``sbid``/``nsb``) is rebased so each shard
+        allocates exactly its own blocks' shared storage.
+        """
+        lo, hi = b0 * block_threads, b1 * block_threads
+        geo = Geometry.__new__(Geometry)
+        geo.T = hi - lo
+        geo.gid = self.gid[lo:hi]
+        geo.tid = self.tid[lo:hi]
+        geo.bid = self.bid[lo:hi]
+        geo.gidx = self.gidx[lo:hi]
+        geo.gidy = self.gidy[lo:hi]
+        geo.tidx = self.tidx[lo:hi]
+        geo.tidy = self.tidy[lo:hi]
+        geo.bidx = self.bidx[lo:hi]
+        geo.bidy = self.bidy[lo:hi]
+        geo.bdim = self.bdim
+        geo.bdimy = self.bdimy
+        geo.gdim = self.gdim
+        geo.gdimy = self.gdimy
+        geo.nbx = self.nbx
+        geo.sbid = geo.bid - np.int32(b0)
+        geo.nsb = b1 - b0
+        return geo
 
 
 _GEOMETRY_CACHE: Dict[Grid, Geometry] = {}

@@ -1,7 +1,7 @@
 """Modelled devices: a GTX-560-class GPU and a Core-i7-class CPU."""
 
 from .costmodel import CostBreakdown, CostModel
-from .spec import CORE_I7, GTX560, DeviceKind, DeviceSpec, spec_for
+from .spec import CORE_I7, GTX560, DeviceKind, DeviceSpec, host_parallelism, spec_for
 
 __all__ = [
     "CostModel",
@@ -10,5 +10,6 @@ __all__ = [
     "DeviceSpec",
     "GTX560",
     "CORE_I7",
+    "host_parallelism",
     "spec_for",
 ]

@@ -108,3 +108,17 @@ CORE_I7 = DeviceSpec(
 def spec_for(kind: DeviceKind) -> DeviceSpec:
     """The default modelled device of each kind."""
     return GTX560 if kind is DeviceKind.GPU else CORE_I7
+
+
+def host_parallelism(workers: object = "auto") -> int:
+    """Worker threads for the *host* machine actually running kernels.
+
+    The specs above model the paper's machines for the analytic cost
+    model; the sharded runtime (:mod:`repro.parallel`) instead executes
+    on whatever box this process occupies.  ``"auto"`` resolves to the
+    host's usable core count (scheduler affinity aware); an explicit
+    positive int passes through validated.
+    """
+    from ..parallel.pool import resolve_workers
+
+    return resolve_workers(workers)

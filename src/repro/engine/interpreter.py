@@ -51,6 +51,7 @@ def launch(
     bounds_check: bool = True,
     call_observer=None,
     backend: Optional[str] = None,
+    parallel=None,
 ) -> Trace:
     """Execute ``kernel`` over ``grid`` with ``args`` (sequence or mapping).
 
@@ -68,6 +69,13 @@ def launch(
     whenever neither ``trace`` nor ``call_observer`` is requested — those
     need the interpreter, which records per-op events codegen elides —
     and falls back to the interpreter if lowering fails.
+
+    ``parallel`` controls grid sharding on the codegen path: ``None``
+    defers to the ambient :func:`~repro.parallel.use_parallel` scope, an
+    int or ``"auto"`` overrides the worker count, and a
+    :class:`~repro.parallel.ParallelPolicy` is used as-is.  Kernels the
+    shardability analysis rejects (and interpreter launches) transparently
+    run serial.
     """
     fn = resolve_kernel(kernel)
     mod = resolve_module(kernel, module)
@@ -98,7 +106,8 @@ def launch(
             _codegen_cache.STATS.fallbacks += 1
         else:
             t.count_launch(grid.threads)
-            compiled.run(grid, bound)
+            if not _maybe_shard(fn, mod, compiled, grid, bound, parallel):
+                compiled.run(grid, bound)
             from .hooks import notify_launch
 
             notify_launch(fn.name, grid, t, backend="codegen")
@@ -110,6 +119,22 @@ def launch(
 
     notify_launch(fn.name, grid, t)
     return t
+
+
+def _maybe_shard(fn, mod, compiled, grid, bound, parallel) -> bool:
+    """Shard a codegen launch when a parallel policy is in effect.
+
+    Kept import-lazy so serial launches (the default everywhere) never
+    pay for the :mod:`repro.parallel` machinery.
+    """
+    from ..parallel.pool import resolve_policy
+
+    policy = resolve_policy(parallel)
+    if policy.serial:
+        return False
+    from ..parallel.shard import maybe_run_sharded
+
+    return maybe_run_sharded(fn, mod, compiled, grid, bound, policy)
 
 
 def call_device_function(fn, module: ir.Module, args) -> np.ndarray:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Union
 
@@ -19,10 +20,22 @@ from ..kernel.frontend import KernelFn
 #: ``"auto"``     — codegen when no trace/observer is requested, else interp.
 BACKENDS = ("interp", "codegen", "auto")
 
-# The process default stays "interp": the tuner's cost model depends on
-# instruction/memory traces that only the interpreter records.  Serving
-# sessions opt into codegen with :func:`use_backend`.
-_BACKEND_STACK: List[str] = ["interp"]
+
+class _BackendStack(threading.local):
+    """Per-thread backend scope stack.
+
+    The default stays "interp" on every thread: the tuner's cost model
+    depends on instruction/memory traces that only the interpreter
+    records, and concurrent profiling workers must each start from that
+    default rather than inherit whatever the spawning thread had scoped.
+    Serving sessions opt into codegen with :func:`use_backend`.
+    """
+
+    def __init__(self) -> None:
+        self.stack: List[str] = ["interp"]
+
+
+_BACKEND_STACK = _BackendStack()
 
 
 def validate_backend(name: str) -> str:
@@ -37,7 +50,7 @@ def validate_backend(name: str) -> str:
 
 def default_backend() -> str:
     """The backend used when ``launch`` is not given one explicitly."""
-    return _BACKEND_STACK[-1]
+    return _BACKEND_STACK.stack[-1]
 
 
 @contextlib.contextmanager
@@ -49,11 +62,11 @@ def use_backend(name: str):
     argument through every app's ``run_exact``/``run_variant``.
     """
     validate_backend(name)
-    _BACKEND_STACK.append(name)
+    _BACKEND_STACK.stack.append(name)
     try:
         yield
     finally:
-        _BACKEND_STACK.pop()
+        _BACKEND_STACK.stack.pop()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,62 @@
+"""Multicore parallel runtime: grid-sharded launches + concurrent profiling.
+
+Two pipelines share this package's worker pools:
+
+* **Sharded launches** — when the static shardability analysis
+  (:mod:`repro.parallel.analysis`) proves a kernel's blocks independent,
+  the codegen backend splits the block grid into per-worker sub-grids and
+  runs them on a thread pool (:mod:`repro.parallel.shard`), bit-exact
+  with serial execution.  Scope it with :func:`use_parallel` or per
+  launch via ``launch(..., parallel=...)``.
+* **Concurrent profiling** — ``GreedyTuner`` evaluates variants
+  concurrently and memoizes per-(variant, input-set) measurements in a
+  :class:`ProfileCache` (:mod:`repro.parallel.profiler`), so serving
+  sessions recalibrate without re-measuring unchanged variants.
+
+``python -m repro.parallel`` runs the differential harness proving
+sharded == serial for every shardable kernel across the registered apps
+and the kernel zoo.
+"""
+
+from .analysis import Shardability, analyze_shardability
+from .pool import (
+    AUTO_WORKERS,
+    DEFAULT_MIN_SHARD_THREADS,
+    ParallelPolicy,
+    default_policy,
+    host_worker_count,
+    parallel_map,
+    pools_snapshot,
+    resolve_policy,
+    resolve_workers,
+    shutdown_pools,
+    use_parallel,
+)
+from .profiler import ProfileCache, profile_key, variant_identity
+from .shard import STATS, ShardStats, maybe_run_sharded, plan_shards, run_sharded
+from .shard import stats_snapshot as shard_stats_snapshot
+
+__all__ = [
+    "AUTO_WORKERS",
+    "DEFAULT_MIN_SHARD_THREADS",
+    "ParallelPolicy",
+    "ProfileCache",
+    "STATS",
+    "ShardStats",
+    "Shardability",
+    "analyze_shardability",
+    "default_policy",
+    "host_worker_count",
+    "maybe_run_sharded",
+    "parallel_map",
+    "plan_shards",
+    "pools_snapshot",
+    "profile_key",
+    "resolve_policy",
+    "resolve_workers",
+    "run_sharded",
+    "shard_stats_snapshot",
+    "shutdown_pools",
+    "use_parallel",
+    "variant_identity",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.parallel`` — sharded-vs-serial differential harness."""
+
+from .check import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

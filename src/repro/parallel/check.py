@@ -1,0 +1,154 @@
+"""Differential harness: serial codegen vs sharded execution, bit for bit.
+
+The shardability analysis promises that splitting a launch into
+per-worker sub-grids cannot change the output.  This module holds it to
+that promise the same way :mod:`repro.codegen.check` holds the code
+generator to the interpreter: run the same seeded computation serial and
+sharded, compare every output array with byte equality, no tolerances.
+
+Usage from tests::
+
+    result = diff_kernel_sharded(my_kernel, grid, args, workers=4)
+    assert result.ok, result.describe()
+
+or over the full app registry (what CI runs)::
+
+    python -m repro.parallel
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..codegen.check import DiffResult, _compare_arrays
+from ..engine.launch import Grid, use_backend
+from .pool import ParallelPolicy, use_parallel
+from .shard import STATS
+
+
+def _sharding_policy(workers: int) -> ParallelPolicy:
+    # min_shard_threads=1 so even small test grids actually shard — the
+    # harness is about correctness, not about when sharding pays off.
+    return ParallelPolicy(workers=workers, min_shard_threads=1)
+
+
+def diff_kernel_sharded(
+    kernel,
+    grid: Grid,
+    args: Sequence,
+    module=None,
+    workers: int = 4,
+    bounds_check: bool = True,
+) -> DiffResult:
+    """Launch ``kernel`` serial and sharded on copies of ``args``.
+
+    Both runs use the codegen backend; only the parallel policy differs.
+    Non-shardable kernels transparently run serial in both cases, so the
+    comparison is trivially exact for them — classification coverage is
+    the analysis tests' job, not this harness's.
+    """
+    from ..engine.interpreter import launch
+    from ..engine.launch import resolve_kernel
+
+    fn = resolve_kernel(kernel)
+    runs: Dict[str, List[np.ndarray]] = {}
+    for mode in ("serial", "sharded"):
+        local = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+        launch(
+            kernel,
+            grid,
+            local,
+            module=module,
+            bounds_check=bounds_check,
+            backend="codegen",
+            parallel=_sharding_policy(workers) if mode == "sharded" else 1,
+        )
+        runs[mode] = [a for a in local if isinstance(a, np.ndarray)]
+
+    mismatches = []
+    for i, (a, b) in enumerate(zip(runs["serial"], runs["sharded"])):
+        note = _compare_arrays(f"array[{i}]", a, b)
+        if note is not None:
+            mismatches.append(note)
+    return DiffResult(name=fn.name, ok=not mismatches, mismatches=mismatches)
+
+
+def diff_app_sharded(app, inputs=None, workers: int = 4) -> DiffResult:
+    """Run one application's exact pipeline serial and sharded.
+
+    Uses :func:`use_parallel` scoping so multi-kernel ``Program`` apps
+    are covered without the app knowing about sharding.  The result name
+    records how many launches actually sharded (non-shardable kernels
+    legitimately contribute zero).
+    """
+    if inputs is None:
+        inputs = app.generate_inputs()
+    outputs: Dict[str, List[np.ndarray]] = {}
+    sharded_launches = 0
+    for mode in ("serial", "sharded"):
+        before = STATS.sharded_launches
+        with use_backend("codegen"):
+            if mode == "sharded":
+                with use_parallel(_sharding_policy(4 if workers < 2 else workers)):
+                    out = app.run_exact(copy.deepcopy(inputs))
+            else:
+                out = app.run_exact(copy.deepcopy(inputs))
+        if mode == "sharded":
+            sharded_launches = STATS.sharded_launches - before
+        parts = out if isinstance(out, (tuple, list)) else [out]
+        outputs[mode] = [np.asarray(p) for p in parts if isinstance(p, np.ndarray)]
+    name = f"{type(app).__name__} ({sharded_launches} sharded launches)"
+    mismatches = []
+    for i, (a, b) in enumerate(zip(outputs["serial"], outputs["sharded"])):
+        note = _compare_arrays(f"output[{i}]", a, b)
+        if note is not None:
+            mismatches.append(note)
+    return DiffResult(name=name, ok=not mismatches, mismatches=mismatches)
+
+
+def check_apps(
+    names: Optional[Sequence[str]] = None,
+    workers: int = 4,
+    verbose: bool = True,
+) -> List[DiffResult]:
+    """Differential-check every registered application (CI entry point)."""
+    from ..apps.registry import APP_CLASSES, make_app
+
+    results = []
+    for name in names if names is not None else sorted(APP_CLASSES):
+        app = make_app(name, seed=0)
+        result = diff_app_sharded(app, workers=workers)
+        results.append(result)
+        if verbose:
+            status = "ok " if result.ok else "FAIL"
+            print(f"[{status}] {name}: {result.describe()}")
+    return results
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description="Assert sharded and serial codegen execution agree "
+        "bit-exactly on every registered application.",
+    )
+    parser.add_argument("apps", nargs="*", help="app names (default: all)")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="shard workers (default 4)"
+    )
+    ns = parser.parse_args(argv)
+    results = check_apps(ns.apps or None, workers=ns.workers)
+    failed = [r for r in results if not r.ok]
+    print(
+        f"{len(results) - len(failed)}/{len(results)} apps bit-exact "
+        f"(sharded vs serial); {STATS.sharded_launches} sharded launches total"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,258 @@
+"""Worker pools and the ambient parallelism policy.
+
+Two long-lived :class:`~concurrent.futures.ThreadPoolExecutor` pools back
+the parallel runtime:
+
+* ``"shard"`` — runs the per-shard sub-grid invocations of a compiled
+  kernel (:mod:`repro.parallel.shard`).
+* ``"profile"`` — runs per-variant tuner evaluations
+  (:mod:`repro.parallel.profiler`).
+
+They are separate on purpose: a profiling task *launches* kernels, and a
+launch may itself fan out shards — routing both through one pool could
+fill every worker with profiling tasks that then block waiting for shard
+tasks that can never start.  Shard tasks never submit work, so each pool
+drains independently.
+
+Threads (not processes) are the right vehicle here because the compiled
+NumPy callables spend their time inside vectorized ufuncs, which release
+the GIL; array views also let shards write disjoint slices of the same
+output buffer with zero copies.
+
+The ambient :class:`ParallelPolicy` is scoped per *thread* (a worker
+thread starts from the defaults, whatever the spawning thread had
+scoped), exactly like the launch-backend stack in
+:mod:`repro.engine.launch`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..errors import ConfigError
+
+#: Grids smaller than this many threads run serially even when a policy
+#: asks for workers: the pool handoff and geometry slicing cost more than
+#: the NumPy work they would split.  Tests and benchmarks lower it through
+#: ``ParallelPolicy(min_shard_threads=...)``.
+DEFAULT_MIN_SHARD_THREADS = 2048
+
+#: Accepted by every ``workers=`` knob: resolve to ``os.cpu_count()``.
+AUTO_WORKERS = "auto"
+
+
+def host_worker_count() -> int:
+    """Usable host cores — the resolution of ``workers="auto"``.
+
+    Prefers the scheduling affinity mask (containers and CI runners often
+    restrict it below the physical core count) and falls back to
+    ``os.cpu_count()``.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_workers(workers) -> int:
+    """Normalize a ``workers`` knob to a positive int.
+
+    Accepts a positive integer or the string ``"auto"`` (host cores);
+    anything else raises :class:`~repro.errors.ConfigError`.
+    """
+    if workers == AUTO_WORKERS:
+        return host_worker_count()
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigError(
+            f"workers must be a positive integer or {AUTO_WORKERS!r}, "
+            f"got {workers!r}"
+        )
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class ParallelPolicy:
+    """How parallel one launch (or profiling run) is allowed to be.
+
+    Attributes:
+        workers: sub-grids / concurrent evaluations to aim for; 1 = serial.
+        min_shard_threads: grids with fewer threads than this never shard.
+    """
+
+    workers: int = 1
+    min_shard_threads: int = DEFAULT_MIN_SHARD_THREADS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workers", resolve_workers(self.workers))
+        if (
+            isinstance(self.min_shard_threads, bool)
+            or not isinstance(self.min_shard_threads, int)
+            or self.min_shard_threads < 1
+        ):
+            raise ConfigError(
+                f"min_shard_threads must be a positive integer, "
+                f"got {self.min_shard_threads!r}"
+            )
+
+    @property
+    def serial(self) -> bool:
+        return self.workers <= 1
+
+
+SERIAL_POLICY = ParallelPolicy(workers=1)
+
+
+class _PolicyStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[ParallelPolicy] = [SERIAL_POLICY]
+
+
+_POLICIES = _PolicyStack()
+
+
+def default_policy() -> ParallelPolicy:
+    """The innermost :func:`use_parallel` policy on this thread."""
+    return _POLICIES.stack[-1]
+
+
+class use_parallel:
+    """Scope the default launch parallelism to a ``with`` block.
+
+    ``use_parallel(4)`` makes every ``launch`` inside the block try to
+    split its grid across 4 workers (subject to the shardability
+    analysis); ``use_parallel(1)`` forces serial execution.  Nestable;
+    the innermost scope wins, per thread.
+    """
+
+    def __init__(self, workers, min_shard_threads: int = None) -> None:
+        if min_shard_threads is None:
+            min_shard_threads = default_policy().min_shard_threads
+        self.policy = (
+            workers
+            if isinstance(workers, ParallelPolicy)
+            else ParallelPolicy(workers, min_shard_threads)
+        )
+
+    def __enter__(self) -> ParallelPolicy:
+        _POLICIES.stack.append(self.policy)
+        return self.policy
+
+    def __exit__(self, *_exc) -> None:
+        _POLICIES.stack.pop()
+
+
+def resolve_policy(parallel) -> ParallelPolicy:
+    """Normalize a ``launch(parallel=...)`` argument.
+
+    ``None`` defers to the ambient :func:`use_parallel` scope; an int or
+    ``"auto"`` overrides the worker count but keeps the ambient shard
+    threshold; a :class:`ParallelPolicy` is used as-is.
+    """
+    if parallel is None:
+        return default_policy()
+    if isinstance(parallel, ParallelPolicy):
+        return parallel
+    ambient = default_policy()
+    return ParallelPolicy(parallel, ambient.min_shard_threads)
+
+
+# ----------------------------------------------------------------- pools
+
+
+class PoolStats:
+    """Counters for one named pool (thread-safe, monotonic)."""
+
+    __slots__ = ("tasks", "batches", "workers", "_lock")
+
+    def __init__(self) -> None:
+        self.tasks = 0
+        self.batches = 0
+        self.workers = 0
+        self._lock = threading.Lock()
+
+    def record(self, tasks: int, workers: int) -> None:
+        with self._lock:
+            self.tasks += tasks
+            self.batches += 1
+            self.workers = max(self.workers, workers)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "tasks": self.tasks,
+                "batches": self.batches,
+                "max_workers": self.workers,
+            }
+
+
+_POOL_LOCK = threading.Lock()
+_POOLS: Dict[str, ThreadPoolExecutor] = {}
+_POOL_SIZES: Dict[str, int] = {}
+_POOL_STATS: Dict[str, PoolStats] = {}
+
+
+def get_pool(kind: str, workers: int) -> ThreadPoolExecutor:
+    """The shared executor for ``kind`` with at least ``workers`` threads.
+
+    Pools only ever grow: asking for more workers than the current pool
+    holds replaces it (the old one drains its queue and exits).
+    """
+    workers = resolve_workers(workers)
+    with _POOL_LOCK:
+        pool = _POOLS.get(kind)
+        if pool is None or _POOL_SIZES[kind] < workers:
+            if pool is not None:
+                pool.shutdown(wait=False)
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-{kind}"
+            )
+            _POOLS[kind] = pool
+            _POOL_SIZES[kind] = workers
+        return pool
+
+
+def parallel_map(kind: str, workers: int, fn: Callable, items: Sequence) -> List:
+    """``[fn(item) for item in items]`` over the ``kind`` pool.
+
+    Results come back in item order regardless of completion order — the
+    deterministic-assembly property every caller relies on.  The first
+    exception in item order propagates, as in the serial loop.  With one
+    worker (or one item) the pool is bypassed entirely.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    pool = get_pool(kind, workers)
+    stats = pool_stats(kind)
+    stats.record(len(items), workers)
+    return list(pool.map(fn, items))
+
+
+def pool_stats(kind: str) -> PoolStats:
+    with _POOL_LOCK:
+        stats = _POOL_STATS.get(kind)
+        if stats is None:
+            stats = _POOL_STATS[kind] = PoolStats()
+        return stats
+
+
+def pools_snapshot() -> Dict[str, Dict[str, int]]:
+    """Per-pool counters for ``metrics_snapshot()``."""
+    with _POOL_LOCK:
+        return {kind: stats.snapshot() for kind, stats in _POOL_STATS.items()}
+
+
+def shutdown_pools() -> None:
+    """Tear down every pool (tests; pools are recreated on demand)."""
+    with _POOL_LOCK:
+        for pool in _POOLS.values():
+            pool.shutdown(wait=True)
+        _POOLS.clear()
+        _POOL_SIZES.clear()

@@ -1,0 +1,102 @@
+"""Memoization support for concurrent variant profiling.
+
+``GreedyTuner.profile`` evaluates every variant against every training
+input set.  A serving session repeats that work on every recalibration,
+even though most variants (and the input sets they are measured on) have
+not changed.  :class:`ProfileCache` memoizes the per-(variant, input-set)
+measurement — quality and modelled cycles — keyed on *content*: the app,
+the device, the variant's kernel IR fingerprint (falling back to its
+name + knobs), and the input set's array-byte fingerprint.  A session
+owns one cache and passes it to every tuner it builds, so recalibration
+after drift only re-measures variants whose IR or inputs actually
+changed.
+
+The cache is thread-safe: with ``workers > 1`` the tuner evaluates
+variants concurrently on the ``"profile"`` pool and all workers share
+one cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from ..apps.base import _input_fingerprint
+
+#: (quality, modelled cycles) for one (variant, input set) measurement.
+Measurement = Tuple[float, float]
+
+
+def variant_identity(variant) -> str:
+    """A content key for one variant.
+
+    Prefers the fingerprint of the variant's kernel IR (robust against
+    two differently-configured variants sharing a name); falls back to
+    ``name + knobs`` for variants without a module (e.g. scan pipeline
+    variants, whose knobs fully determine behaviour).
+    """
+    module = getattr(variant, "module", None)
+    kernel_name = getattr(variant, "kernel", None)
+    if module is not None and kernel_name is not None:
+        try:
+            from ..codegen.fingerprint import fingerprint_kernel
+
+            return fingerprint_kernel(module[kernel_name], module)
+        except Exception:
+            pass
+    knobs = getattr(variant, "knobs", {}) or {}
+    return f"{variant.name}|{sorted(knobs.items())!r}"
+
+
+def profile_key(app_name: str, device: str, variant, inputs) -> Tuple:
+    """The full memoization key for one (variant, input set) evaluation."""
+    return (
+        app_name,
+        device,
+        variant_identity(variant),
+        _input_fingerprint(inputs),
+    )
+
+
+class ProfileCache:
+    """Thread-safe memo of (variant, input-set) -> (quality, cycles)."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self._data: Dict[Tuple, Measurement] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional[Measurement]:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def put(self, key: Tuple, value: Measurement) -> None:
+        with self._lock:
+            if key not in self._data and len(self._data) >= self.max_entries:
+                self._data.pop(next(iter(self._data)))
+            self._data[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,204 @@
+"""Grid-sharded execution of compiled kernels.
+
+The codegen backend runs a whole grid as one NumPy callable on one core.
+When the shardability analysis (:mod:`repro.parallel.analysis`) proves
+blocks independent, the launch can instead split the *block* range into
+per-worker sub-grids — blocks are contiguous in linear thread order, so
+each shard's geometry is a zero-copy slice of the full grid's
+(:meth:`repro.codegen.runtime.Geometry.shard`) — and run them on the
+``"shard"`` thread pool.  The compiled callables spend their time inside
+vectorized ufuncs, which release the GIL, so threads scale on real cores.
+
+Output assembly is deterministic and comes in two flavours:
+
+* **zero-copy** — when every global store is provably thread- or
+  block-private (``Shardability.disjoint_writes``), shards write the
+  caller's buffers directly; no assembly step exists at all.
+* **copy + overlay** — otherwise each shard runs against private copies
+  of the written arrays and the results are overlaid onto the caller's
+  buffer in ascending shard order.  Changed elements are detected by
+  *byte* comparison against a pristine snapshot (``==`` on floats would
+  miss ``-0.0`` vs ``0.0`` and NaN-payload differences).  The overlay
+  equals serial execution unless a higher block overwrites a lower
+  block's store with the pristine byte pattern — a cross-block write
+  conflict no kernel in the suite exhibits, and exactly what the
+  differential harness (:mod:`repro.parallel.check`) certifies.
+
+Exceptions (e.g. bounds-check failures) propagate from the lowest
+failing shard, matching the serial order of discovery; the reported
+index range may cover a sub-grid rather than the whole launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..codegen.cache import CompiledKernel
+from ..codegen.runtime import geometry
+from ..engine.launch import Grid
+from ..kernel import ir
+from .analysis import Shardability, analyze_shardability
+from .pool import ParallelPolicy, parallel_map
+
+# ------------------------------------------------------------------ stats
+
+
+@dataclass
+class ShardStats:
+    """Process-wide sharding counters, surfaced by ``serve.metrics``."""
+
+    sharded_launches: int = 0
+    shards_run: int = 0
+    zero_copy: int = 0
+    overlay: int = 0
+    serial_unshardable: int = 0
+    serial_small_grid: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "sharded_launches": self.sharded_launches,
+            "shards_run": self.shards_run,
+            "zero_copy": self.zero_copy,
+            "overlay": self.overlay,
+            "serial_unshardable": self.serial_unshardable,
+            "serial_small_grid": self.serial_small_grid,
+        }
+
+    def reset(self) -> None:
+        self.sharded_launches = 0
+        self.shards_run = 0
+        self.zero_copy = 0
+        self.overlay = 0
+        self.serial_unshardable = 0
+        self.serial_small_grid = 0
+
+
+STATS = ShardStats()
+
+
+def stats_snapshot() -> Dict[str, int]:
+    return STATS.snapshot()
+
+
+# ------------------------------------------------------------------- plans
+
+
+def plan_shards(total_blocks: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``[0, total_blocks)`` into ``<= workers`` contiguous ranges.
+
+    Ranges differ in size by at most one block (remainder blocks go to
+    the leading shards), every range is non-empty, and their ascending
+    order is the deterministic assembly/merge order.
+    """
+    shards = max(1, min(workers, total_blocks))
+    base, extra = divmod(total_blocks, shards)
+    plan: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        plan.append((start, start + size))
+        start += size
+    return plan
+
+
+# --------------------------------------------------------------- execution
+
+
+def _run_zero_copy(
+    compiled: CompiledKernel,
+    grid: Grid,
+    bound: Dict[str, object],
+    plan: List[Tuple[int, int]],
+    workers: int,
+) -> None:
+    geo = geometry(grid)
+    block_threads = grid.block_threads
+    args = [bound[name] for name in compiled.param_names]
+
+    def run_one(span: Tuple[int, int]) -> None:
+        b0, b1 = span
+        compiled.entry(geo.shard(b0, b1, block_threads), *args)
+
+    parallel_map("shard", workers, run_one, plan)
+
+
+def _run_overlay(
+    compiled: CompiledKernel,
+    grid: Grid,
+    bound: Dict[str, object],
+    plan: List[Tuple[int, int]],
+    workers: int,
+    written: List[str],
+) -> None:
+    geo = geometry(grid)
+    block_threads = grid.block_threads
+    pristine = {name: bound[name].copy() for name in written}
+
+    def run_one(span: Tuple[int, int]) -> Dict[str, np.ndarray]:
+        b0, b1 = span
+        private = dict(bound)
+        for name in written:
+            private[name] = pristine[name].copy()
+        compiled.entry(
+            geo.shard(b0, b1, block_threads),
+            *[private[name] for name in compiled.param_names],
+        )
+        return {name: private[name] for name in written}
+
+    results = parallel_map("shard", workers, run_one, plan)
+    for shard_out in results:  # ascending shard order = serial store order
+        for name in written:
+            target = bound[name].view(np.uint8)
+            changed = shard_out[name].view(np.uint8) != pristine[name].view(
+                np.uint8
+            )
+            target[changed] = shard_out[name].view(np.uint8)[changed]
+
+
+def run_sharded(
+    compiled: CompiledKernel,
+    grid: Grid,
+    bound: Dict[str, object],
+    workers: int,
+    analysis: Shardability,
+) -> None:
+    """Execute a launch as shards, unconditionally (caller checked policy)."""
+    plan = plan_shards(grid.total_blocks, workers)
+    if analysis.disjoint_writes:
+        STATS.zero_copy += 1
+        _run_zero_copy(compiled, grid, bound, plan, workers)
+    else:
+        STATS.overlay += 1
+        _run_overlay(compiled, grid, bound, plan, workers, analysis.written_arrays)
+    STATS.sharded_launches += 1
+    STATS.shards_run += len(plan)
+
+
+def maybe_run_sharded(
+    fn: ir.Function,
+    module: ir.Module,
+    compiled: CompiledKernel,
+    grid: Grid,
+    bound: Dict[str, object],
+    policy: ParallelPolicy,
+) -> bool:
+    """Shard the launch if the policy and the analysis both allow it.
+
+    Returns True when the kernel ran (sharded); False means the caller
+    must run it serially — either the grid is too small to pay for the
+    pool handoff or the kernel is not shardable.
+    """
+    if policy.serial:
+        return False
+    if grid.threads < policy.min_shard_threads or grid.total_blocks < 2:
+        STATS.serial_small_grid += 1
+        return False
+    analysis = analyze_shardability(fn, module, fingerprint=compiled.fingerprint)
+    if not analysis.shardable:
+        STATS.serial_unshardable += 1
+        return False
+    run_sharded(compiled, grid, bound, policy.workers, analysis)
+    return True

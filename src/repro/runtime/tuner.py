@@ -44,13 +44,19 @@ class VariantProfile:
 
 @dataclass
 class TuningResult:
-    """Outcome of tuning one application for one device."""
+    """Outcome of tuning one application for one device.
+
+    ``resumed`` records whether the result was restored from a
+    serialized snapshot (:meth:`GreedyTuner.resume`) rather than
+    measured; serving sessions surface it as the tune cache state.
+    """
 
     app: str
     device: str
     toq: float
     chosen: VariantProfile
     profiles: List[VariantProfile] = field(default_factory=list)
+    resumed: bool = False
 
     @property
     def speedup(self) -> float:
@@ -108,6 +114,7 @@ class TuningResult:
             "toq": float(self.toq),
             "chosen": self.chosen.name,
             "profiles": [row(p) for p in self.profiles],
+            "resumed": bool(self.resumed),
         }
 
     @classmethod
@@ -167,6 +174,7 @@ class TuningResult:
             toq=float(toq),
             chosen=chosen,
             profiles=profiles,
+            resumed=bool(data.get("resumed", False)),
         )
 
     def rebind(self, variants) -> "TuningResult":
@@ -203,14 +211,33 @@ def _plain(knobs: dict) -> dict:
 
 
 class GreedyTuner:
-    """Profiles variants and picks the fastest that satisfies the TOQ."""
+    """Profiles variants and picks the fastest that satisfies the TOQ.
 
-    def __init__(self, spec: DeviceSpec, toq: float = 0.90) -> None:
+    ``workers`` > 1 evaluates variants concurrently on the shared
+    ``"profile"`` thread pool (each worker reuses the exact-run outputs,
+    computed once up front); profile order and the tuning result are
+    identical to the serial path.  ``profile_cache`` (a
+    :class:`~repro.parallel.ProfileCache`) memoizes per-(variant,
+    input-set) measurements across ``profile`` calls, so a session
+    recalibration only re-measures variants whose IR or inputs changed.
+    """
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        toq: float = 0.90,
+        workers: int = 1,
+        profile_cache=None,
+    ) -> None:
         if not 0.0 < toq <= 1.0:
             raise TuningError(f"TOQ must be in (0, 1], got {toq}")
         self.spec = spec
         self.cost_model = CostModel(spec)
         self.toq = toq
+        from ..parallel.pool import resolve_workers
+
+        self.workers = resolve_workers(workers)
+        self.profile_cache = profile_cache
 
     def profile(self, app, variants, inputs, repeats: int = 1) -> TuningResult:
         """Run the exact program and every variant on ``inputs`` and build
@@ -219,6 +246,9 @@ class GreedyTuner:
         ``repeats`` > 1 averages quality over several fresh input sets
         (the paper trains over its first 10 executions).
         """
+        from ..parallel.pool import parallel_map
+        from ..parallel.profiler import profile_key
+
         input_sets = [inputs]
         for r in range(1, repeats):
             input_sets.append(app.generate_inputs(seed=app.seed + 1000 + r))
@@ -228,26 +258,44 @@ class GreedyTuner:
             self.cost_model.cycles(t) for _o, t in exact_runs
         ) / len(exact_runs)
 
+        device = self.spec.kind.value
+        cache = self.profile_cache
+
+        def measure(variant) -> VariantProfile:
+            qualities, cycles = [], []
+            for (exact_out, _t), ins in zip(exact_runs, input_sets):
+                key = (
+                    profile_key(app.name, device, variant, ins)
+                    if cache is not None
+                    else None
+                )
+                hit = cache.get(key) if cache is not None else None
+                if hit is None:
+                    out, trace = app.run_variant(variant, ins)
+                    hit = (
+                        float(app.quality(out, exact_out)),
+                        float(self.cost_model.cycles(trace)),
+                    )
+                    if cache is not None:
+                        cache.put(key, hit)
+                qualities.append(hit[0])
+                cycles.append(hit[1])
+            mean_cycles = sum(cycles) / len(cycles)
+            return VariantProfile(
+                variant=variant,
+                quality=sum(qualities) / len(qualities),
+                cycles=mean_cycles,
+                speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
+            )
+
         profiles = [
             VariantProfile(
                 variant=None, quality=1.0, cycles=exact_cycles, speedup=1.0
             )
         ]
-        for variant in variants:
-            qualities, cycles = [], []
-            for (exact_out, _t), ins in zip(exact_runs, input_sets):
-                out, trace = app.run_variant(variant, ins)
-                qualities.append(app.quality(out, exact_out))
-                cycles.append(self.cost_model.cycles(trace))
-            mean_cycles = sum(cycles) / len(cycles)
-            profiles.append(
-                VariantProfile(
-                    variant=variant,
-                    quality=sum(qualities) / len(qualities),
-                    cycles=mean_cycles,
-                    speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
-                )
-            )
+        profiles.extend(
+            parallel_map("profile", self.workers, measure, list(variants))
+        )
 
         chosen = self.choose(profiles)
         return TuningResult(
@@ -259,11 +307,16 @@ class GreedyTuner:
         )
 
     def choose(self, profiles: List[VariantProfile]) -> VariantProfile:
-        """Fastest variant meeting the TOQ; the exact program otherwise."""
+        """Fastest variant meeting the TOQ; the exact program otherwise.
+
+        Ties are broken deterministically: highest speedup, then highest
+        quality, then lexicographically smallest name — so the pick never
+        depends on variant enumeration order.
+        """
         eligible = [p for p in profiles if p.quality >= self.toq]
         if not eligible:
             return next(p for p in profiles if p.is_exact)
-        return max(eligible, key=lambda p: p.speedup)
+        return min(eligible, key=lambda p: (-p.speedup, -p.quality, p.name))
 
     def resume(self, app, variants, data: dict) -> TuningResult:
         """Resume tuning from a serialized :class:`TuningResult` instead of

@@ -78,12 +78,16 @@ class SessionMetrics:
         self.backend_launches: Dict[str, int] = {}
         self.compile_seconds = 0.0
         self.tune_seconds = 0.0
-        # Baseline of the process-wide codegen counters at session start,
-        # so the snapshot attributes compiles/hits to *this* session.
+        # Baselines of the process-wide codegen and shard counters at
+        # session start, so the snapshot attributes compiles/hits/shards
+        # to *this* session.
         from ..codegen import stats_snapshot as _codegen_stats
+        from ..parallel.shard import stats_snapshot as _shard_stats
 
         self._codegen_stats = _codegen_stats
         self._codegen_baseline = _codegen_stats()
+        self._shard_stats = _shard_stats
+        self._shard_baseline = _shard_stats()
         self.records: Deque[LaunchRecord] = deque(maxlen=history)
         self.transitions: List[Transition] = []
         self.event_log = event_log
@@ -152,11 +156,22 @@ class SessionMetrics:
             else current[key] - self._codegen_baseline[key]
             for key in current
         }
+        shard_now = self._shard_stats()
+        from ..parallel.pool import pools_snapshot as _pools
+
+        parallel = {
+            "shards": {
+                key: shard_now[key] - self._shard_baseline[key]
+                for key in shard_now
+            },
+            "pools": _pools(),
+        }
         return {
             "launches": self.launches,
             "kernel_launches": self.kernel_launches,
             "backend_launches": dict(self.backend_launches),
             "codegen": codegen,
+            "parallel": parallel,
             "sampled_checks": self.sampled_checks,
             "sampling_overhead": self.sampling_overhead,
             "toq_violations": self.toq_violations,

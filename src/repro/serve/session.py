@@ -26,6 +26,7 @@ from ..approx.compiler import Paraprox, ParaproxConfig
 from ..device import DeviceKind, spec_for
 from ..engine import launch_hook, use_backend, validate_backend
 from ..errors import ServeError
+from ..parallel import ProfileCache, resolve_workers, use_parallel
 from ..runtime.tuner import GreedyTuner, TuningResult
 from .cache import CacheEntry, VariantCache, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
@@ -49,6 +50,9 @@ class ApproxSession:
         backend: launch backend for served launches ("interp", "codegen"
             or "auto"); defaults to the config's ``backend`` knob.  Tuning
             always interprets — its cost model needs instruction traces.
+        parallel: worker threads for sharded launches and concurrent
+            variant profiling (a positive int or "auto"); defaults to
+            the config's ``parallel_workers`` knob.  1 = serial.
     """
 
     def __init__(
@@ -62,6 +66,7 @@ class ApproxSession:
         event_log: Optional[object] = None,
         tuner_repeats: int = 1,
         backend: Optional[str] = None,
+        parallel: Optional[object] = None,
     ) -> None:
         self.app = app
         self.paraprox = Paraprox(
@@ -70,6 +75,12 @@ class ApproxSession:
         self.backend = validate_backend(
             backend if backend is not None else self.paraprox.config.backend
         )
+        self.parallel_workers = resolve_workers(
+            parallel
+            if parallel is not None
+            else self.paraprox.config.parallel_workers
+        )
+        self.profile_cache = ProfileCache()
         self.device = device
         self.spec = spec_for(device)
         self.cache = VariantCache(cache_dir)
@@ -151,7 +162,12 @@ class ApproxSession:
         if self._tuning is not None and not force:
             return self._tuning
         variants = self._variants if self._variants is not None else self.compile()
-        tuner = GreedyTuner(self.spec, toq=self.toq)
+        tuner = GreedyTuner(
+            self.spec,
+            toq=self.toq,
+            workers=self.parallel_workers,
+            profile_cache=self.profile_cache,
+        )
         started = time.perf_counter()
         saved = self._entry.tuning if self._entry is not None else None
         if saved is not None and not force:
@@ -197,7 +213,9 @@ class ApproxSession:
             backend_counts[event.backend] = backend_counts.get(event.backend, 0) + 1
 
         variant = recal.current
-        with use_backend(self.backend), launch_hook(count):
+        with use_backend(self.backend), use_parallel(
+            self.parallel_workers
+        ), launch_hook(count):
             if variant is None:
                 out, _trace = self.app.run_exact(inputs)
             else:
@@ -265,6 +283,8 @@ class ApproxSession:
     def metrics_snapshot(self) -> dict:
         """Counters, cache statistics, transition history and current state."""
         snapshot = self.metrics.snapshot()
+        snapshot["parallel"]["workers"] = self.parallel_workers
+        snapshot["parallel"]["profile_cache"] = self.profile_cache.snapshot()
         snapshot["session"] = {
             "app": self.app.name,
             "device": self.spec.kind.value,

@@ -1,0 +1,148 @@
+"""Worker pools, the ambient parallelism policy, and parallel_map."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.pool import (
+    AUTO_WORKERS,
+    DEFAULT_MIN_SHARD_THREADS,
+    ParallelPolicy,
+    default_policy,
+    host_worker_count,
+    parallel_map,
+    pool_stats,
+    pools_snapshot,
+    resolve_policy,
+    resolve_workers,
+    use_parallel,
+)
+
+
+class TestResolveWorkers:
+    def test_positive_ints_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_auto_resolves_to_host_cores(self):
+        assert resolve_workers(AUTO_WORKERS) == host_worker_count()
+        assert host_worker_count() >= 1
+
+    @pytest.mark.parametrize("bad", [0, -1, True, False, 2.5, "four", None, []])
+    def test_invalid_values_raise_config_error(self, bad):
+        with pytest.raises(ConfigError):
+            resolve_workers(bad)
+
+
+class TestPolicy:
+    def test_defaults_are_serial(self):
+        policy = ParallelPolicy()
+        assert policy.serial
+        assert policy.min_shard_threads == DEFAULT_MIN_SHARD_THREADS
+
+    def test_auto_workers_resolve_at_construction(self):
+        policy = ParallelPolicy(workers=AUTO_WORKERS)
+        assert policy.workers == host_worker_count()
+
+    @pytest.mark.parametrize("bad", [0, -3, True, 1.5, "many"])
+    def test_bad_min_shard_threads_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            ParallelPolicy(workers=2, min_shard_threads=bad)
+
+    def test_ambient_default_is_serial(self):
+        assert default_policy().serial
+
+    def test_use_parallel_scopes_and_nests(self):
+        assert default_policy().workers == 1
+        with use_parallel(4):
+            assert default_policy().workers == 4
+            with use_parallel(2, min_shard_threads=16):
+                assert default_policy().workers == 2
+                assert default_policy().min_shard_threads == 16
+            assert default_policy().workers == 4
+            # inner scope did not leak its threshold
+            assert default_policy().min_shard_threads == DEFAULT_MIN_SHARD_THREADS
+        assert default_policy().serial
+
+    def test_use_parallel_accepts_a_policy(self):
+        policy = ParallelPolicy(workers=3, min_shard_threads=1)
+        with use_parallel(policy) as active:
+            assert active is policy
+            assert default_policy() is policy
+
+    def test_policy_scope_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["policy"] = default_policy()
+
+        with use_parallel(4):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        # a fresh thread starts from the serial default, not the spawning
+        # thread's scope — profile workers must not inherit shard policies
+        assert seen["policy"].serial
+
+    def test_resolve_policy_none_uses_ambient(self):
+        with use_parallel(3):
+            assert resolve_policy(None).workers == 3
+        assert resolve_policy(None).serial
+
+    def test_resolve_policy_int_keeps_ambient_threshold(self):
+        with use_parallel(2, min_shard_threads=64):
+            policy = resolve_policy(5)
+            assert policy.workers == 5
+            assert policy.min_shard_threads == 64
+
+    def test_resolve_policy_passes_policy_through(self):
+        policy = ParallelPolicy(workers=2)
+        assert resolve_policy(policy) is policy
+
+
+class TestParallelMap:
+    def test_preserves_item_order(self):
+        def slow_identity(i):
+            # later items finish first; order must still hold
+            time.sleep(0.02 * (4 - i))
+            return i * 10
+
+        assert parallel_map("test", 4, slow_identity, range(4)) == [0, 10, 20, 30]
+
+    def test_serial_bypass_with_one_worker(self):
+        before = pool_stats("test").snapshot()["batches"]
+        assert parallel_map("test", 1, lambda i: i + 1, [1, 2, 3]) == [2, 3, 4]
+        assert pool_stats("test").snapshot()["batches"] == before
+
+    def test_serial_bypass_with_one_item(self):
+        before = pool_stats("test").snapshot()["batches"]
+        assert parallel_map("test", 8, lambda i: i + 1, [41]) == [42]
+        assert pool_stats("test").snapshot()["batches"] == before
+
+    def test_first_exception_in_item_order_propagates(self):
+        def boom(i):
+            if i in (1, 3):
+                raise ValueError(f"item {i}")
+            return i
+
+        with pytest.raises(ValueError, match="item 1"):
+            parallel_map("test", 4, boom, range(4))
+
+    def test_empty_items(self):
+        assert parallel_map("test", 4, lambda i: i, []) == []
+
+    def test_stats_record_tasks_and_workers(self):
+        before = pool_stats("test").snapshot()
+        parallel_map("test", 3, lambda i: i, range(5))
+        after = pool_stats("test").snapshot()
+        assert after["tasks"] == before["tasks"] + 5
+        assert after["batches"] == before["batches"] + 1
+        assert after["max_workers"] >= 3
+
+    def test_pools_snapshot_lists_used_pools(self):
+        parallel_map("test", 2, lambda i: i, range(2))
+        snap = pools_snapshot()
+        assert "test" in snap
+        assert set(snap["test"]) == {"tasks", "batches", "max_workers"}

@@ -1,0 +1,282 @@
+"""Sharded execution: planning, bit-exactness, and transparent fallback.
+
+The differential cases mirror ``tests/codegen/test_differential.py``'s
+zoo coverage: if a kernel exercises a semantics corner for codegen, the
+same corner must survive sharding.
+"""
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro.engine import Grid, launch, use_backend
+from repro.errors import ExecutionError
+from repro.parallel import use_parallel
+from repro.parallel.check import diff_kernel_sharded
+from repro.parallel.pool import ParallelPolicy
+from repro.parallel.shard import STATS, plan_shards
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize(
+        "blocks,workers", [(1, 1), (4, 2), (7, 3), (100, 8), (3, 16), (2, 2)]
+    )
+    def test_plan_properties(self, blocks, workers):
+        plan = plan_shards(blocks, workers)
+        assert len(plan) <= workers
+        assert all(b1 > b0 for b0, b1 in plan), "every shard non-empty"
+        # contiguous cover of [0, blocks)
+        assert plan[0][0] == 0 and plan[-1][1] == blocks
+        for (_, prev_end), (start, _) in zip(plan, plan[1:]):
+            assert start == prev_end
+        sizes = [b1 - b0 for b0, b1 in plan]
+        assert max(sizes) - min(sizes) <= 1, "balanced to within one block"
+
+    def test_more_workers_than_blocks(self):
+        assert plan_shards(3, 16) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert plan_shards(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+
+def _rand(n, seed=0):
+    return np.random.default_rng(seed).random(n, dtype=np.float32)
+
+
+# Shardable zoo kernels with launch recipes (same shapes as the codegen
+# differential suite).  atomic_histogram / impure_map are covered by the
+# fallback tests below instead.
+SHARDABLE_CASES = {
+    "black_scholes": lambda n: (
+        zoo.black_scholes,
+        Grid.for_elements(n),
+        [
+            np.zeros(n, np.float32),
+            _rand(n, 1) * 100 + 1,
+            _rand(n, 2) * 100 + 1,
+            _rand(n, 3) + 0.1,
+            0.02,
+            0.3,
+            n,
+        ],
+    ),
+    "square_map": lambda n: (
+        zoo.square_map,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n), n],
+    ),
+    "clamp_map": lambda n: (
+        zoo.clamp_map,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n) * 2 - 0.5, n],
+    ),
+    "divergent_return": lambda n: (
+        zoo.divergent_return,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n), n],
+    ),
+    "tile_scale2d": lambda n: (
+        # 2-D grid; not provably disjoint -> copy + overlay assembly
+        zoo.tile_scale2d,
+        Grid.for_image(50, 30),
+        [np.zeros(1500, np.float32), _rand(1500), 50, 30, 1.7],
+    ),
+    "mean3x3": lambda n: (
+        zoo.mean3x3,
+        Grid.for_image(32, 24),
+        [np.zeros(32 * 24, np.float32), _rand(32 * 24), 32, 24],
+    ),
+    "row_stencil": lambda n: (
+        zoo.row_stencil,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n), n],
+    ),
+    "sum_chunks": lambda n: (
+        # n=1000 gives 250 output threads = one block; quadruple the data
+        # so the grid actually has blocks to shard
+        zoo.sum_chunks,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n * 4), n * 4, 4],
+    ),
+    "min_reduce": lambda n: (
+        zoo.min_reduce,
+        Grid.for_elements(1024),
+        [np.full(1024, 3.4e38, np.float32), _rand(8192, 5), 8192, 8],
+    ),
+    "scan_phase1": lambda n: (
+        # shared memory + barriers: blocks stay whole, sbid/nsb remapping
+        zoo.scan_phase1,
+        Grid(4, zoo.SCAN_BLOCK),
+        [
+            np.zeros(4 * zoo.SCAN_BLOCK, np.float32),
+            np.zeros(4, np.float32),
+            _rand(4 * zoo.SCAN_BLOCK, 6),
+        ],
+    ),
+    "gather_expensive": lambda n: (
+        zoo.gather_expensive,
+        Grid.for_elements(n),
+        [
+            np.zeros(n, np.float32),
+            _rand(n, 7) * 50 + 1,
+            np.random.default_rng(8).integers(0, n, n).astype(np.int32),
+            n,
+        ],
+    ),
+    "noop": lambda n: (
+        zoo.noop,
+        Grid.for_elements(n),
+        [np.zeros(n, np.float32), _rand(n), n],
+    ),
+}
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4])
+@pytest.mark.parametrize("name", sorted(SHARDABLE_CASES))
+def test_sharded_bit_exact(name, workers):
+    kernel, grid, args = SHARDABLE_CASES[name](1000)
+    before = STATS.sharded_launches
+    result = diff_kernel_sharded(kernel, grid, args, workers=workers)
+    assert result.ok, result.describe()
+    assert STATS.sharded_launches == before + 1, (
+        f"{name} should actually have sharded"
+    )
+
+
+class TestTransparentFallback:
+    def _policy(self):
+        return ParallelPolicy(workers=4, min_shard_threads=1)
+
+    def test_unshardable_kernel_runs_serial(self):
+        n = 1024
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 16, n).astype(np.int32)
+        hist_parallel = np.zeros(16, np.int32)
+        hist_serial = np.zeros(16, np.int32)
+        before = STATS.snapshot()
+        launch(
+            zoo.atomic_histogram,
+            Grid.for_elements(n),
+            [hist_parallel, data, n, 1],
+            backend="codegen",
+            parallel=self._policy(),
+        )
+        after = STATS.snapshot()
+        assert after["serial_unshardable"] == before["serial_unshardable"] + 1
+        assert after["sharded_launches"] == before["sharded_launches"]
+        launch(
+            zoo.atomic_histogram,
+            Grid.for_elements(n),
+            [hist_serial, data, n, 1],
+            backend="codegen",
+        )
+        np.testing.assert_array_equal(hist_parallel, hist_serial)
+
+    def test_small_grid_runs_serial(self):
+        n = 64
+        out = np.zeros(n, np.float32)
+        before = STATS.snapshot()
+        launch(
+            zoo.square_map,
+            Grid.for_elements(n),
+            [out, _rand(n), n],
+            backend="codegen",
+            parallel=ParallelPolicy(workers=4),  # default 2048-thread floor
+        )
+        after = STATS.snapshot()
+        assert after["serial_small_grid"] == before["serial_small_grid"] + 1
+        assert after["sharded_launches"] == before["sharded_launches"]
+
+    def test_single_block_grid_runs_serial(self):
+        threads = 256
+        out = np.zeros(threads, np.float32)
+        before = STATS.snapshot()
+        launch(
+            zoo.square_map,
+            Grid(1, threads),
+            [out, _rand(threads), threads],
+            backend="codegen",
+            parallel=self._policy(),
+        )
+        after = STATS.snapshot()
+        assert after["serial_small_grid"] == before["serial_small_grid"] + 1
+
+    def test_ambient_scope_shards_without_launch_arg(self):
+        n = 4096
+        out = np.zeros(n, np.float32)
+        before = STATS.sharded_launches
+        with use_parallel(4, min_shard_threads=1):
+            launch(
+                zoo.square_map,
+                Grid.for_elements(n),
+                [out, _rand(n), n],
+                backend="codegen",
+            )
+        assert STATS.sharded_launches == before + 1
+
+    def test_interp_backend_never_shards(self):
+        n = 4096
+        out = np.zeros(n, np.float32)
+        before = STATS.snapshot()
+        with use_backend("interp"), use_parallel(4, min_shard_threads=1):
+            launch(zoo.square_map, Grid.for_elements(n), [out, _rand(n), n])
+        after = STATS.snapshot()
+        assert after == before  # sharding is a codegen-path feature
+
+
+class TestAssemblyModes:
+    def test_zero_copy_counted_for_disjoint_stores(self):
+        n = 4096
+        out = np.zeros(n, np.float32)
+        before = STATS.snapshot()
+        launch(
+            zoo.square_map,
+            Grid.for_elements(n),
+            [out, _rand(n), n],
+            backend="codegen",
+            parallel=ParallelPolicy(workers=4, min_shard_threads=1),
+        )
+        after = STATS.snapshot()
+        assert after["zero_copy"] == before["zero_copy"] + 1
+        assert after["overlay"] == before["overlay"]
+
+    def test_overlay_counted_for_unproven_stores(self):
+        out = np.zeros(1500, np.float32)
+        before = STATS.snapshot()
+        launch(
+            zoo.tile_scale2d,
+            Grid.for_image(50, 30),
+            [out, _rand(1500), 50, 30, 1.7],
+            backend="codegen",
+            parallel=ParallelPolicy(workers=4, min_shard_threads=1),
+        )
+        after = STATS.snapshot()
+        assert after["overlay"] == before["overlay"] + 1
+
+    def test_shards_run_matches_plan(self):
+        n = 4096
+        out = np.zeros(n, np.float32)
+        before = STATS.shards_run
+        launch(
+            zoo.square_map,
+            Grid.for_elements(n),
+            [out, _rand(n), n],
+            backend="codegen",
+            parallel=ParallelPolicy(workers=3, min_shard_threads=1),
+        )
+        assert STATS.shards_run == before + 3
+
+
+class TestErrorPropagation:
+    def test_bounds_violation_raises_under_sharding(self):
+        n = 4096
+        out = np.zeros(n // 2, np.float32)  # too small: threads n//2..n-1 OOB
+        with pytest.raises(ExecutionError):
+            launch(
+                zoo.square_map,
+                Grid.for_elements(n),
+                [out, _rand(n), n],
+                backend="codegen",
+                bounds_check=True,
+                parallel=ParallelPolicy(workers=4, min_shard_threads=1),
+            )

@@ -136,6 +136,19 @@ class TestTuningResultRoundTrip:
         with pytest.raises(SerializationError):
             TuningResult.from_dict("{}")
 
+    def test_resumed_defaults_false_and_round_trips(self, result):
+        assert result.resumed is False
+        data = result.to_dict()
+        assert data["resumed"] is False
+        assert TuningResult.from_dict(data).resumed is False
+        data["resumed"] = True
+        assert TuningResult.from_dict(data).resumed is True
+
+    def test_resumed_absent_key_stays_false(self, result):
+        data = result.to_dict()
+        del data["resumed"]  # snapshots persisted before the field existed
+        assert TuningResult.from_dict(data).resumed is False
+
 
 class TestTunerResume:
     def test_resume_skips_reprofiling_when_valid(self):
@@ -169,6 +182,18 @@ class TestTunerResume:
         resumed = tuner05.resume(app, variants, first.to_dict())
         assert not getattr(resumed, "resumed", False)
         assert resumed.toq == 0.5
+
+    def test_resume_sets_the_dataclass_field(self):
+        from dataclasses import fields
+
+        assert any(f.name == "resumed" for f in fields(TuningResult))
+        app = GaussianFilterApp(scale=0.05)
+        variants = Paraprox(target_quality=0.9).compile(app)
+        tuner = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
+        first = tuner.profile(app, variants, app.generate_inputs(seed=app.seed))
+        resumed = tuner.resume(app, variants, first.to_dict())
+        assert resumed.resumed is True
+        assert resumed.to_dict()["resumed"] is True
 
     def test_resume_survives_garbage(self):
         app = GaussianFilterApp(scale=0.05)

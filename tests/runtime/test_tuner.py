@@ -41,6 +41,33 @@ class TestChoicePolicy:
         profiles = _profiles([("exact", 1.0, 1.0), ("a", 0.5, 10.0)])
         assert self.tuner.choose(profiles).name == "exact"
 
+    def test_speedup_tie_broken_by_quality(self):
+        profiles = _profiles(
+            [("exact", 1.0, 1.0), ("worse", 0.91, 3.0), ("better", 0.97, 3.0)]
+        )
+        assert self.tuner.choose(profiles).name == "better"
+
+    def test_full_tie_broken_by_name(self):
+        profiles = _profiles(
+            [("exact", 1.0, 1.0), ("zeta", 0.95, 3.0), ("alpha", 0.95, 3.0)]
+        )
+        assert self.tuner.choose(profiles).name == "alpha"
+
+    def test_choice_is_order_independent(self):
+        import itertools
+
+        specs = [
+            ("exact", 1.0, 1.0),
+            ("zeta", 0.95, 3.0),
+            ("alpha", 0.95, 3.0),
+            ("mid", 0.99, 2.0),
+        ]
+        names = {
+            self.tuner.choose(_profiles(list(perm))).name
+            for perm in itertools.permutations(specs)
+        }
+        assert names == {"alpha"}
+
     def test_bad_toq_rejected(self):
         with pytest.raises(TuningError):
             GreedyTuner(spec_for(DeviceKind.GPU), toq=0.0)
