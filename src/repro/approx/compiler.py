@@ -67,6 +67,10 @@ class ParaproxConfig:
     #: sessions: a positive int (1 = serial, the default) or "auto"
     #: (one per host core).
     parallel_workers: object = 1
+    #: LRU capacity of the session-owned profile-measurement cache
+    #: (:class:`~repro.parallel.ProfileCache`); the oldest-used
+    #: (variant, input-set) measurements are evicted past this bound.
+    profile_cache_entries: int = 4096
 
     def __post_init__(self) -> None:
         self.validate()
@@ -147,6 +151,13 @@ class ParaproxConfig:
             f"parallel_workers must be a positive integer or 'auto', "
             f"got {self.parallel_workers!r}",
         )
+        check(
+            isinstance(self.profile_cache_entries, int)
+            and not isinstance(self.profile_cache_entries, bool)
+            and self.profile_cache_entries >= 1,
+            f"profile_cache_entries must be a positive integer, "
+            f"got {self.profile_cache_entries!r}",
+        )
 
     # -- serialization (the disk cache persists configs alongside variants) --
 
@@ -167,7 +178,9 @@ class ParaproxConfig:
                 f"ParaproxConfig.from_dict expects a dict, got {type(data).__name__}"
             )
         known = {f_.name for f_ in fields(cls)}
-        unknown = sorted(set(data) - known)
+        # repr-keyed sort: `data` may carry non-string keys, and a mixed
+        # set would make the plain sort itself raise TypeError.
+        unknown = sorted(set(data) - known, key=repr)
         if unknown:
             raise ConfigError(
                 f"ParaproxConfig.from_dict: unknown keys {unknown}; "

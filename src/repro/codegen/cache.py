@@ -16,6 +16,7 @@ from typing import Dict, List, Tuple
 
 from ..errors import CodegenError
 from ..kernel import ir
+from ..resilience.faults import SITE_COMPILE, maybe_inject
 from .fingerprint import fingerprint_kernel
 from .lower import lower_kernel
 from .runtime import geometry
@@ -80,6 +81,11 @@ def get_compiled(
     fn: ir.Function, module: ir.Module, grid, bounds_check: bool = True
 ) -> CompiledKernel:
     """Fetch (or lower + compile) the callable for one kernel/grid class."""
+    # Fault-injection seam: an injected failure here is a CodegenError
+    # subclass, so the ``auto`` backend falls back to the interpreter
+    # exactly as for a real lowering bug.  Sits before the cache lookup
+    # so chaos runs can fault already-compiled kernels.
+    maybe_inject(SITE_COMPILE, fn.name, exc=CodegenError)
     fp = fingerprint_kernel(fn, module)
     key = (fp, "2d" if grid.is_2d else "1d", bool(bounds_check))
     hit = _CACHE.get(key)

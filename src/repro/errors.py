@@ -64,3 +64,30 @@ class SerializationError(ReproError):
 
 class ServeError(ReproError):
     """The serving runtime (sessions, caches, monitors) was misused."""
+
+
+class ResilienceError(ReproError):
+    """The resilience runtime (guards, breakers, fault plans) failed or
+    was misconfigured."""
+
+
+class InjectedFault(ResilienceError):
+    """A failure deliberately raised by the fault-injection harness.
+
+    Sites that naturally raise a specific subsystem error get a dynamic
+    subclass combining :class:`InjectedFault` with that type (e.g. an
+    injected compile failure is both an ``InjectedFault`` and a
+    :class:`CodegenError`), so production containment paths treat the
+    injection exactly like the real thing while tests can still tell
+    injected failures apart.
+    """
+
+
+class WorkerDeath(InjectedFault):
+    """An injected shard-worker death: the guard must treat the worker
+    (and its pool) as lost, replace it, and re-run the shard."""
+
+
+class ShardTimeout(ResilienceError):
+    """A guarded sharded launch overran its wall-clock deadline; the
+    guard abandons the pool and re-executes the launch serially."""

@@ -168,12 +168,13 @@ def resolve_policy(parallel) -> ParallelPolicy:
 class PoolStats:
     """Counters for one named pool (thread-safe, monotonic)."""
 
-    __slots__ = ("tasks", "batches", "workers", "_lock")
+    __slots__ = ("tasks", "batches", "workers", "restarts", "_lock")
 
     def __init__(self) -> None:
         self.tasks = 0
         self.batches = 0
         self.workers = 0
+        self.restarts = 0
         self._lock = threading.Lock()
 
     def record(self, tasks: int, workers: int) -> None:
@@ -182,12 +183,17 @@ class PoolStats:
             self.batches += 1
             self.workers = max(self.workers, workers)
 
+    def record_restart(self) -> None:
+        with self._lock:
+            self.restarts += 1
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "tasks": self.tasks,
                 "batches": self.batches,
                 "max_workers": self.workers,
+                "workers_restarted": self.restarts,
             }
 
 
@@ -197,24 +203,77 @@ _POOL_SIZES: Dict[str, int] = {}
 _POOL_STATS: Dict[str, PoolStats] = {}
 
 
+def _pool_healthy(pool: ThreadPoolExecutor) -> bool:
+    """Whether ``pool`` can still make progress.
+
+    A ``ThreadPoolExecutor`` never respawns a worker that exited (a thread
+    killed by a ``None`` sentinel slipped into its queue, or that died in
+    an interpreter-level failure, is simply gone) — with every worker dead
+    the pool accepts submissions that can never run.  An executor with no
+    threads yet is healthy: workers spawn on first submit.
+    """
+    if pool._shutdown:  # noqa: SLF001 - stdlib exposes no public probe
+        return False
+    threads = list(pool._threads)  # noqa: SLF001
+    return not threads or any(t.is_alive() for t in threads)
+
+
+def _stats_locked(kind: str) -> PoolStats:
+    """``pool_stats`` body for callers already holding ``_POOL_LOCK``."""
+    stats = _POOL_STATS.get(kind)
+    if stats is None:
+        stats = _POOL_STATS[kind] = PoolStats()
+    return stats
+
+
+def _fresh_pool_locked(kind: str, workers: int) -> ThreadPoolExecutor:
+    old = _POOLS.get(kind)
+    if old is not None:
+        old.shutdown(wait=False)
+    pool = ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix=f"repro-{kind}"
+    )
+    _POOLS[kind] = pool
+    _POOL_SIZES[kind] = workers
+    return pool
+
+
 def get_pool(kind: str, workers: int) -> ThreadPoolExecutor:
     """The shared executor for ``kind`` with at least ``workers`` threads.
 
     Pools only ever grow: asking for more workers than the current pool
-    holds replaces it (the old one drains its queue and exits).
+    holds replaces it (the old one drains its queue and exits).  A pool
+    whose workers have all died is replaced too — submitting to it would
+    deadlock forever — and the replacement counts as a worker restart.
     """
     workers = resolve_workers(workers)
     with _POOL_LOCK:
         pool = _POOLS.get(kind)
+        if pool is not None and not _pool_healthy(pool):
+            _stats_locked(kind).record_restart()
+            pool = None
         if pool is None or _POOL_SIZES[kind] < workers:
-            if pool is not None:
-                pool.shutdown(wait=False)
-            pool = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix=f"repro-{kind}"
-            )
-            _POOLS[kind] = pool
-            _POOL_SIZES[kind] = workers
+            pool = _fresh_pool_locked(kind, max(workers, _POOL_SIZES.get(kind, 0)))
         return pool
+
+
+def get_healthy_pool(kind: str, workers: int) -> ThreadPoolExecutor:
+    """Alias of :func:`get_pool` (which now health-checks), kept explicit
+    for guard-path callers that depend on the liveness guarantee."""
+    return get_pool(kind, workers)
+
+
+def replace_pool(kind: str, workers: int) -> ThreadPoolExecutor:
+    """Force-replace the ``kind`` pool with a fresh one.
+
+    Used by the guarded launch path after a worker death or deadline
+    expiry: the old executor is shut down without waiting (hung workers
+    finish against private buffers and exit) and the restart is counted.
+    """
+    workers = resolve_workers(workers)
+    with _POOL_LOCK:
+        _stats_locked(kind).record_restart()
+        return _fresh_pool_locked(kind, max(workers, _POOL_SIZES.get(kind, 0)))
 
 
 def parallel_map(kind: str, workers: int, fn: Callable, items: Sequence) -> List:
@@ -237,10 +296,7 @@ def parallel_map(kind: str, workers: int, fn: Callable, items: Sequence) -> List
 
 def pool_stats(kind: str) -> PoolStats:
     with _POOL_LOCK:
-        stats = _POOL_STATS.get(kind)
-        if stats is None:
-            stats = _POOL_STATS[kind] = PoolStats()
-        return stats
+        return _stats_locked(kind)
 
 
 def pools_snapshot() -> Dict[str, Dict[str, int]]:

@@ -19,6 +19,7 @@ one cache.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..apps.base import _input_fingerprint
@@ -59,14 +60,27 @@ def profile_key(app_name: str, device: str, variant, inputs) -> Tuple:
 
 
 class ProfileCache:
-    """Thread-safe memo of (variant, input-set) -> (quality, cycles)."""
+    """Thread-safe LRU memo of (variant, input-set) -> (quality, cycles).
+
+    Bounded at ``max_entries`` (``ParaproxConfig.profile_cache_entries``
+    for session-owned caches); on overflow the least-recently-*used* entry
+    is evicted — recalibration re-touches the live variants' measurements,
+    so churn from one-off inputs cannot push the working set out.
+    """
 
     def __init__(self, max_entries: int = 4096) -> None:
-        self._data: Dict[Tuple, Measurement] = {}
+        if max_entries < 1:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        self._data: "OrderedDict[Tuple, Measurement]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: Tuple) -> Optional[Measurement]:
         with self._lock:
@@ -75,13 +89,16 @@ class ProfileCache:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._data.move_to_end(key)
             return value
 
     def put(self, key: Tuple, value: Measurement) -> None:
         with self._lock:
             if key not in self._data and len(self._data) >= self.max_entries:
-                self._data.pop(next(iter(self._data)))
+                self._data.popitem(last=False)
+                self.evictions += 1
             self._data[key] = value
+            self._data.move_to_end(key)
 
     def __len__(self) -> int:
         with self._lock:
@@ -93,6 +110,8 @@ class ProfileCache:
                 "entries": len(self._data),
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
             }
 
     def clear(self) -> None:
@@ -100,3 +119,4 @@ class ProfileCache:
             self._data.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0

@@ -165,9 +165,23 @@ def run_sharded(
     workers: int,
     analysis: Shardability,
 ) -> None:
-    """Execute a launch as shards, unconditionally (caller checked policy)."""
+    """Execute a launch as shards, unconditionally (caller checked policy).
+
+    Inside a :func:`repro.resilience.guard.use_guard` scope the launch
+    runs through the guarded executor instead: always overlay-style (a
+    hung or abandoned worker must never hold the caller's buffers),
+    with retries, a deadline and a serial fallback.
+    """
+    from ..resilience.guard import current_policy, run_sharded_guarded
+
     plan = plan_shards(grid.total_blocks, workers)
-    if analysis.disjoint_writes:
+    policy = current_policy()
+    if policy is not None and policy.enabled:
+        STATS.overlay += 1
+        run_sharded_guarded(
+            compiled, grid, bound, plan, workers, analysis.written_arrays, policy
+        )
+    elif analysis.disjoint_writes:
         STATS.zero_copy += 1
         _run_zero_copy(compiled, grid, bound, plan, workers)
     else:

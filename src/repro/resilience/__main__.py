@@ -1,0 +1,6 @@
+"""``python -m repro.resilience`` — the chaos differential harness."""
+
+from .check import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Per-variant circuit breakers: quarantine what keeps failing.
+
+A variant that crashes, hangs or produces NaN once may be unlucky; one
+that does so K times in a row is broken, and re-attempting it on every
+launch converts one bad variant into a permanent fallback tax.  The
+breaker walks the classic three states per variant:
+
+* **closed** — serving normally; consecutive faults are counted and
+  any success resets the count.
+* **open** (quarantined) — after ``fault_threshold`` consecutive faults
+  or guardrail trips.  The variant is excluded from serving and from
+  tuner ``choose()`` until a probation window (measured in *launches*,
+  so tests and replays are deterministic) has passed.
+* **probation** — the window expired; the variant may serve probe
+  launches again.  ``probation_successes`` consecutive clean probes
+  close the breaker; a single fault re-opens it immediately.
+
+The breaker is a bookkeeping object — it never executes anything — so
+sessions own one and consult it when picking the serving rung, and feed
+its state into ``metrics_snapshot()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..errors import ResilienceError
+
+CLOSED = "closed"
+OPEN = "open"
+PROBATION = "probation"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Knobs of the variant circuit breaker.
+
+    Attributes:
+        fault_threshold: consecutive faults (crashes, hangs, guardrail
+            trips) before a variant is quarantined.
+        probation_after: launches a quarantined variant sits out before
+            probation re-admits it.
+        probation_successes: consecutive clean probes needed to close.
+    """
+
+    fault_threshold: int = 3
+    probation_after: int = 25
+    probation_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fault_threshold < 1:
+            raise ResilienceError("fault_threshold must be >= 1")
+        if self.probation_after < 1:
+            raise ResilienceError("probation_after must be >= 1")
+        if self.probation_successes < 1:
+            raise ResilienceError("probation_successes must be >= 1")
+
+
+class _VariantState:
+    __slots__ = ("state", "consecutive_faults", "probe_successes",
+                 "reopen_at", "faults_total", "quarantines")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.consecutive_faults = 0
+        self.probe_successes = 0
+        self.reopen_at: Optional[int] = None
+        self.faults_total = 0
+        self.quarantines = 0
+
+
+class VariantBreaker:
+    """One breaker per variant name, for one session.
+
+    Thread-safe (sessions may be driven from several request threads).
+    State transitions are appended to an event list the session drains
+    into its metrics/event log.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None) -> None:
+        self.config = config or BreakerConfig()
+        self._states: Dict[str, _VariantState] = {}
+        self._events: List[dict] = []
+        self._lock = threading.Lock()
+
+    def _state(self, name: str) -> _VariantState:
+        state = self._states.get(name)
+        if state is None:
+            state = self._states[name] = _VariantState()
+        return state
+
+    def _emit(self, name: str, launch: int, to_state: str, reason: str) -> None:
+        self._events.append(
+            {
+                "event": "breaker",
+                "variant": name,
+                "launch": launch,
+                "state": to_state,
+                "reason": reason,
+            }
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    def state(self, name: str) -> str:
+        with self._lock:
+            return self._states[name].state if name in self._states else CLOSED
+
+    def blocked(self, name: str, launch_index: int) -> bool:
+        """Whether ``name`` must not serve at ``launch_index``.
+
+        An OPEN variant whose probation window has passed transitions to
+        PROBATION here (and is then allowed): re-admission is driven by
+        the serving loop consulting the breaker, not by a timer thread.
+        """
+        with self._lock:
+            state = self._states.get(name)
+            if state is None or state.state != OPEN:
+                return False
+            if state.reopen_at is not None and launch_index >= state.reopen_at:
+                state.state = PROBATION
+                state.probe_successes = 0
+                self._emit(name, launch_index, PROBATION, "probation_window")
+                return False
+            return True
+
+    def quarantined(self) -> Set[str]:
+        """Names currently OPEN (excluded from serving and ``choose``)."""
+        with self._lock:
+            return {
+                name
+                for name, state in self._states.items()
+                if state.state == OPEN
+            }
+
+    # -- transitions -----------------------------------------------------------
+
+    def record_success(self, name: str, launch_index: int) -> None:
+        with self._lock:
+            state = self._state(name)
+            state.consecutive_faults = 0
+            if state.state == PROBATION:
+                state.probe_successes += 1
+                if state.probe_successes >= self.config.probation_successes:
+                    state.state = CLOSED
+                    state.reopen_at = None
+                    self._emit(name, launch_index, CLOSED, "probation_passed")
+
+    def record_fault(self, name: str, launch_index: int, reason: str) -> bool:
+        """Count one fault; returns True when this fault opened the breaker."""
+        with self._lock:
+            state = self._state(name)
+            state.faults_total += 1
+            if state.state == PROBATION:
+                # one strike on probation: straight back to quarantine,
+                # with a fresh window.
+                state.state = OPEN
+                state.quarantines += 1
+                state.consecutive_faults = 0
+                state.reopen_at = launch_index + self.config.probation_after
+                self._emit(name, launch_index, OPEN, f"probation_fault:{reason}")
+                return True
+            if state.state == OPEN:
+                return False
+            state.consecutive_faults += 1
+            if state.consecutive_faults >= self.config.fault_threshold:
+                state.state = OPEN
+                state.quarantines += 1
+                state.consecutive_faults = 0
+                state.reopen_at = launch_index + self.config.probation_after
+                self._emit(name, launch_index, OPEN, reason)
+                return True
+            return False
+
+    # -- reporting -------------------------------------------------------------
+
+    def drain_events(self) -> List[dict]:
+        """Transition events since the last drain (for the event log)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            return {
+                name: {
+                    "state": state.state,
+                    "consecutive_faults": state.consecutive_faults,
+                    "faults_total": state.faults_total,
+                    "quarantines": state.quarantines,
+                    "reopen_at": state.reopen_at,
+                }
+                for name, state in self._states.items()
+            }

@@ -1,0 +1,294 @@
+"""Chaos differential harness: faulted serving must stay bit-exact.
+
+The resilience guarantee is stronger than "no crash": a launch served
+through the guarded fallback ladder must return *the exact program's
+output, bit for bit*, no matter which fault class is being injected —
+compile failures, shard-worker crashes, hangs past the guard deadline,
+dead workers, NaN/Inf-corrupted outputs, cache-load failures, quality-
+evaluation crashes.  This harness holds the stack to that promise the
+same way :mod:`repro.parallel.check` certifies sharding and
+:mod:`repro.codegen.check` certifies the code generator:
+
+for every registered application × fault class × seed,
+
+1. compute the golden output (interpreter, serial, no faults);
+2. re-run the exact program through the guarded ladder under a
+   randomized-but-seeded :func:`~repro.resilience.faults.random_plan`
+   for that fault class;
+3. compare every output array byte-for-byte, and record any exception
+   that escaped the guard as an *uncontained* failure.
+
+Usage::
+
+    python -m repro.resilience                 # all apps, seeds 0-2
+    python -m repro.resilience --seeds 7 8     # specific seeds
+    python -m repro.resilience BlackScholes    # one app
+"""
+
+from __future__ import annotations
+
+import copy
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codegen.check import _compare_arrays
+from ..engine import use_backend
+from ..parallel import ParallelPolicy, use_parallel
+from .faults import (
+    FAULT_CLASSES,
+    SITE_CACHE_LOAD,
+    SITE_QUALITY,
+    FaultPlan,
+    FaultSpec,
+    random_plan,
+    use_faults,
+)
+from .guard import GuardPolicy, run_ladder
+
+#: Guard knobs the harness serves under: a tight deadline so injected
+#: hangs (0.4 s) reliably overrun it, and fast retries.
+CHAOS_POLICY = GuardPolicy(
+    retries=1, backoff_seconds=0.001, deadline_seconds=0.15
+)
+
+#: Injected hang length — comfortably past the chaos deadline.
+HANG_SECONDS = 0.4
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one (app, fault class, seed) chaos run."""
+
+    app: str
+    fault_class: str
+    seed: int
+    fired: int = 0  # faults the plan actually injected
+    served: str = ""  # ladder rung that served ("" for non-ladder checks)
+    depth: int = 0
+    exact: bool = False
+    error: str = ""  # uncontained exception or semantic failure
+
+    @property
+    def ok(self) -> bool:
+        return self.exact and not self.error
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        note = self.error or (
+            f"served={self.served or '-'} depth={self.depth} fired={self.fired}"
+        )
+        return f"[{status}] {self.app} / {self.fault_class} seed={self.seed}: {note}"
+
+
+def _output_arrays(output) -> List[np.ndarray]:
+    parts = output if isinstance(output, (tuple, list)) else [output]
+    return [np.asarray(p) for p in parts if isinstance(p, np.ndarray)]
+
+
+def _bit_exact(golden, out) -> Optional[str]:
+    golden_arrays = _output_arrays(golden)
+    out_arrays = _output_arrays(out)
+    if len(golden_arrays) != len(out_arrays):
+        return (
+            f"output arity changed: {len(golden_arrays)} golden arrays "
+            f"vs {len(out_arrays)} served"
+        )
+    for i, (g, o) in enumerate(zip(golden_arrays, out_arrays)):
+        note = _compare_arrays(f"output[{i}]", g, o)
+        if note is not None:
+            return note
+    return None
+
+
+def golden_output(app, inputs):
+    """The reference output: exact program, interpreter, serial, no faults."""
+    with use_backend("interp"), use_parallel(1):
+        out, _trace = app.run_exact(copy.deepcopy(inputs))
+    return out
+
+
+def run_chaos(
+    app,
+    fault_class: str,
+    seed: int,
+    workers: int = 2,
+    inputs=None,
+    golden=None,
+) -> ChaosResult:
+    """One chaos run; ``inputs``/``golden`` may be precomputed per app."""
+    result = ChaosResult(app=app.name, fault_class=fault_class, seed=seed)
+    if inputs is None:
+        inputs = app.generate_inputs(seed=app.seed)
+    if golden is None:
+        golden = golden_output(app, inputs)
+    if fault_class == "cache_load":
+        return _chaos_cache_load(app, seed, result)
+    if fault_class == "quality":
+        return _chaos_quality(app, inputs, golden, seed, result)
+    plan = random_plan(fault_class, seed, hang_seconds=HANG_SECONDS)
+    try:
+        with use_faults(plan), use_parallel(
+            ParallelPolicy(workers=workers, min_shard_threads=1)
+        ):
+            out, report = run_ladder(
+                app,
+                copy.deepcopy(inputs),
+                None,
+                backend="codegen",
+                workers=workers,
+                policy=CHAOS_POLICY,
+            )
+    except Exception as exc:  # an escape IS the failure being hunted
+        result.error = f"uncontained {type(exc).__name__}: {exc}"
+        result.fired = plan.total_fired()
+        return result
+    result.fired = plan.total_fired()
+    result.served = report.served
+    result.depth = report.depth
+    mismatch = _bit_exact(golden, out)
+    if mismatch is not None:
+        result.error = f"served output diverged: {mismatch}"
+    result.exact = mismatch is None
+    return result
+
+
+def _chaos_cache_load(app, seed: int, result: ChaosResult) -> ChaosResult:
+    """Injected disk-load failures must read as cache *misses*, and the
+    same entry must load cleanly once the fault clears."""
+    from ..serve.cache import CacheEntry, VariantCache
+
+    key = f"chaos-{app.name.replace(' ', '-')}"
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmpdir:
+        writer = VariantCache(tmpdir)
+        writer.put(CacheEntry(key=key, variants={"stub": app.name}))
+        reader = VariantCache(tmpdir)  # cold memory level: must hit disk
+        plan = FaultPlan(
+            [FaultSpec(SITE_CACHE_LOAD, mode="exception", max_fires=1)],
+            seed=seed,
+        )
+        try:
+            with use_faults(plan):
+                faulted = reader.get(key)
+            recovered = reader.get(key)
+        except Exception as exc:
+            result.error = f"uncontained {type(exc).__name__}: {exc}"
+            return result
+        result.fired = plan.total_fired()
+        if faulted is not None:
+            result.error = "injected load failure did not read as a miss"
+        elif recovered is None or recovered.variants != {"stub": app.name}:
+            result.error = "entry did not load once the fault cleared"
+        result.exact = result.error == ""
+    return result
+
+
+def _chaos_quality(app, inputs, golden, seed: int, result: ChaosResult) -> ChaosResult:
+    """A crash inside quality evaluation must be contained by the session
+    (sample skipped, fault recorded) and must not corrupt the output."""
+    from ..serve.metrics import LaunchRecord
+    from ..serve.session import ApproxSession
+
+    plan = FaultPlan(
+        [FaultSpec(SITE_QUALITY, mode="exception", max_fires=1)], seed=seed
+    )
+    session = ApproxSession(app)
+    try:
+        record = LaunchRecord(index=0, variant="exact")
+        with use_faults(plan):
+            quality = session._evaluate_quality(golden, inputs, None, record)
+        result.fired = plan.total_fired()
+        if quality is not None:
+            result.error = "faulted quality evaluation was not skipped"
+        elif not record.faults:
+            result.error = "contained quality fault was not recorded"
+        else:
+            mismatch = _bit_exact(golden, golden)
+            result.error = mismatch or ""
+        result.exact = result.error == ""
+    except Exception as exc:
+        result.error = f"uncontained {type(exc).__name__}: {exc}"
+    finally:
+        session.close()
+    return result
+
+
+def check_apps(
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    workers: int = 2,
+    fault_classes: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> List[ChaosResult]:
+    """Chaos-check every registered application (CI entry point).
+
+    Inputs and the golden output are computed once per app and reused
+    across all fault classes and seeds.
+    """
+    from ..apps.registry import APP_CLASSES, make_app
+
+    classes = list(fault_classes) if fault_classes else sorted(FAULT_CLASSES)
+    results: List[ChaosResult] = []
+    for name in names if names is not None else sorted(APP_CLASSES):
+        app = make_app(name, seed=0)
+        inputs = app.generate_inputs(seed=app.seed)
+        golden = golden_output(app, inputs)
+        for fault_class in classes:
+            for seed in seeds:
+                result = run_chaos(
+                    app,
+                    fault_class,
+                    seed,
+                    workers=workers,
+                    inputs=inputs,
+                    golden=golden,
+                )
+                results.append(result)
+                if verbose and (not result.ok or seed == seeds[-1]):
+                    print(result.describe())
+    return results
+
+
+def summarize(results: List[ChaosResult]) -> Tuple[int, int, Dict[str, int]]:
+    """(passed, total, injected-fault counts per class)."""
+    fired: Dict[str, int] = {}
+    for r in results:
+        fired[r.fault_class] = fired.get(r.fault_class, 0) + r.fired
+    passed = sum(1 for r in results if r.ok)
+    return passed, len(results), fired
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Assert every application served through the guarded "
+        "fallback ladder stays bit-exact with the unfaulted exact path "
+        "under randomized injected faults.",
+    )
+    parser.add_argument("apps", nargs="*", help="app names (default: all)")
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2],
+        help="fault-plan seeds (default: 0 1 2)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="shard workers (default 2)"
+    )
+    parser.add_argument(
+        "--classes", nargs="+", choices=sorted(FAULT_CLASSES), default=None,
+        help="fault classes to run (default: all)",
+    )
+    ns = parser.parse_args(argv)
+    results = check_apps(
+        ns.apps or None,
+        seeds=ns.seeds,
+        workers=ns.workers,
+        fault_classes=ns.classes,
+    )
+    passed, total, fired = summarize(results)
+    injected = ", ".join(f"{k}={v}" for k, v in sorted(fired.items()))
+    print(f"{passed}/{total} chaos runs bit-exact; faults injected: {injected}")
+    return 0 if passed == total else 1

@@ -1,0 +1,423 @@
+"""Guarded launches: exception containment, retries, deadlines, ladders.
+
+Two layers of protection compose here:
+
+* **Shard level** — :func:`run_sharded_guarded` executes a sharded
+  codegen launch with the paranoia a production pool needs: every shard
+  runs against *private copies* of the written arrays (so an abandoned
+  or hung worker can never scribble on the caller's buffers), failed
+  shards are retried with exponential backoff, the whole launch carries
+  a wall-clock deadline, and any unrecoverable outcome (deadline, dead
+  pool, exhausted retries) falls back to serial re-execution — which is
+  bit-exact because the caller's buffers were never touched.
+* **Launch level** — :func:`run_ladder` walks the fallback ladder
+  *approx variant → exact codegen → exact interpreter*.  Each rung's
+  exceptions are contained, its output is validated (NaN/Inf guardrail)
+  and a failure drops to the next rung; only the final rung — the plain
+  interpreter on the exact program, the system's bedrock — is allowed to
+  propagate, because an exception there is a genuine bug, not a fault to
+  absorb.
+
+The ambient :class:`GuardPolicy` is scoped per thread with
+:func:`use_guard` (sessions wrap every launch in it); plain ``launch``
+calls outside any guard scope keep their original, zero-overhead paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ResilienceError, ShardTimeout, WorkerDeath
+from .faults import SITE_OUTPUT, SITE_WORKER, active_plan, maybe_inject
+from .validate import corrupt_output, validate_output
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """How paranoid one guarded launch is.
+
+    Attributes:
+        enabled: False restores the unguarded fast path everywhere.
+        retries: re-submissions per failed shard (transient faults).
+        backoff_seconds: base of the exponential retry backoff.
+        deadline_seconds: wall-clock bound on one sharded launch; on
+            expiry the pool is abandoned and the launch re-runs serially.
+        validate_outputs: run the NaN/Inf guardrail on non-final rungs.
+        value_limit: optional |x| bound for the out-of-range guardrail.
+    """
+
+    enabled: bool = True
+    retries: int = 2
+    backoff_seconds: float = 0.002
+    deadline_seconds: float = 30.0
+    validate_outputs: bool = True
+    value_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ResilienceError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_seconds < 0:
+            raise ResilienceError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.deadline_seconds <= 0:
+            raise ResilienceError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+
+
+class _GuardStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Optional[GuardPolicy]] = [None]
+
+
+_GUARDS = _GuardStack()
+
+
+def current_policy() -> Optional[GuardPolicy]:
+    """The innermost :func:`use_guard` policy on this thread (None = off)."""
+    return _GUARDS.stack[-1]
+
+
+class use_guard:
+    """Scope a guard policy to a ``with`` block (per thread, nestable)."""
+
+    def __init__(self, policy: Optional[GuardPolicy]) -> None:
+        self.policy = policy
+
+    def __enter__(self) -> Optional[GuardPolicy]:
+        _GUARDS.stack.append(self.policy)
+        return self.policy
+
+    def __exit__(self, *_exc) -> None:
+        _GUARDS.stack.pop()
+
+
+# ------------------------------------------------------------------- stats
+
+
+@dataclass
+class GuardStats:
+    """Process-wide guard counters, surfaced by ``serve.metrics``."""
+
+    guarded_launches: int = 0  # ladder walks
+    guarded_sharded: int = 0  # sharded launches run under the guard
+    shard_retries: int = 0
+    shard_timeouts: int = 0
+    serial_reexecutions: int = 0
+    pool_replacements: int = 0
+    validation_trips: int = 0
+    containments: int = 0  # rung failures absorbed by the ladder
+    corruptions_injected: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "guarded_launches": self.guarded_launches,
+            "guarded_sharded": self.guarded_sharded,
+            "shard_retries": self.shard_retries,
+            "shard_timeouts": self.shard_timeouts,
+            "serial_reexecutions": self.serial_reexecutions,
+            "pool_replacements": self.pool_replacements,
+            "validation_trips": self.validation_trips,
+            "containments": self.containments,
+            "corruptions_injected": self.corruptions_injected,
+        }
+
+    def reset(self) -> None:
+        for key in self.snapshot():
+            setattr(self, key, 0)
+
+
+STATS = GuardStats()
+
+
+def stats_snapshot() -> Dict[str, int]:
+    return STATS.snapshot()
+
+
+# ----------------------------------------------------- guarded parallel map
+
+
+def guarded_map(
+    kind: str, workers: int, fn, items, policy: GuardPolicy
+) -> List:
+    """``parallel_map`` with containment: retries, deadline, pool revival.
+
+    Results return in item order.  A shard that raises is re-submitted up
+    to ``policy.retries`` times with exponential backoff;
+    :class:`~repro.errors.WorkerDeath` additionally replaces the pool
+    (the worker is gone, not merely unlucky).  When the wall-clock
+    deadline expires the pool is abandoned — hung workers keep running
+    against their private buffers, harmlessly — and
+    :class:`~repro.errors.ShardTimeout` is raised for the caller's serial
+    fallback.  Exhausted retries re-raise the shard's own exception.
+    """
+    from ..parallel import pool as pool_mod
+
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    deadline = time.monotonic() + policy.deadline_seconds
+    executor = pool_mod.get_healthy_pool(kind, workers)
+    pool_mod.pool_stats(kind).record(len(items), workers)
+    results: List[object] = [None] * len(items)
+    attempts = [0] * len(items)
+    pending: Dict[object, int] = {}
+
+    def submit(idx: int) -> None:
+        nonlocal executor
+        try:
+            future = executor.submit(fn, items[idx])
+        except RuntimeError:
+            # The executor was shut down under us (a dead pool); build a
+            # fresh one and resubmit there.
+            STATS.pool_replacements += 1
+            executor = pool_mod.replace_pool(kind, workers)
+            future = executor.submit(fn, items[idx])
+        pending[future] = idx
+
+    for i in range(len(items)):
+        submit(i)
+    while pending:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        done, _not_done = wait(
+            pending, timeout=remaining, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            break  # deadline will trip on the next loop check
+        for future in done:
+            idx = pending.pop(future)
+            exc = future.exception()
+            if exc is None:
+                results[idx] = future.result()
+                continue
+            if isinstance(exc, WorkerDeath):
+                STATS.pool_replacements += 1
+                executor = pool_mod.replace_pool(kind, workers)
+            if attempts[idx] >= policy.retries:
+                for other in pending:
+                    other.cancel()
+                raise exc
+            attempts[idx] += 1
+            STATS.shard_retries += 1
+            if policy.backoff_seconds:
+                time.sleep(
+                    min(
+                        policy.backoff_seconds * (2 ** (attempts[idx] - 1)),
+                        max(deadline - time.monotonic(), 0.0),
+                    )
+                )
+            submit(idx)
+    if pending:
+        # Deadline expired with shards still out.  Abandon the pool: hung
+        # workers only hold private buffers, and a fresh pool keeps later
+        # launches from queueing behind them.
+        for future in pending:
+            future.cancel()
+        STATS.shard_timeouts += 1
+        STATS.pool_replacements += 1
+        pool_mod.replace_pool(kind, workers)
+        raise ShardTimeout(
+            f"sharded launch overran its {policy.deadline_seconds:.3f}s "
+            f"deadline with {len(pending)} shard(s) outstanding"
+        )
+    return results
+
+
+# ------------------------------------------------- guarded shard execution
+
+
+def run_sharded_guarded(
+    compiled,
+    grid,
+    bound: Dict[str, object],
+    plan: List[Tuple[int, int]],
+    workers: int,
+    written: List[str],
+    policy: GuardPolicy,
+) -> None:
+    """Execute a sharded launch under full containment.
+
+    Always runs overlay-style — every shard writes private copies, so
+    the caller's buffers stay pristine until all shards succeed — which
+    is what makes the serial fallback trivially exact: on any
+    unrecoverable failure the untouched buffers are simply recomputed in
+    one serial pass.
+    """
+    from ..codegen.runtime import geometry
+
+    geo = geometry(grid)
+    block_threads = grid.block_threads
+    pristine = {name: bound[name].copy() for name in written}
+
+    def run_one(span: Tuple[int, int]) -> Dict[str, np.ndarray]:
+        b0, b1 = span
+        maybe_inject(SITE_WORKER, f"{compiled.fn_name}:{b0}-{b1}")
+        private = dict(bound)
+        for name in written:
+            private[name] = pristine[name].copy()
+        compiled.entry(
+            geo.shard(b0, b1, block_threads),
+            *[private[name] for name in compiled.param_names],
+        )
+        return {name: private[name] for name in written}
+
+    STATS.guarded_sharded += 1
+    try:
+        results = guarded_map("shard", workers, run_one, plan, policy)
+    except Exception:
+        # Deadline, dead pool, or a shard that kept failing past its
+        # retry budget: recompute serially on the untouched buffers.
+        STATS.serial_reexecutions += 1
+        compiled.run(grid, bound)
+        return
+    for shard_out in results:  # ascending shard order = serial store order
+        for name in written:
+            target = bound[name].view(np.uint8)
+            changed = shard_out[name].view(np.uint8) != pristine[name].view(
+                np.uint8
+            )
+            target[changed] = shard_out[name].view(np.uint8)[changed]
+
+
+# ---------------------------------------------------------- fallback ladder
+
+
+@dataclass
+class LadderAttempt:
+    """What one rung of a guarded launch did."""
+
+    rung: str  # "variant", "exact_codegen", "exact_interp", ...
+    ok: bool
+    error: str = ""  # exception or validation message when not ok
+    site: str = ""  # "exception" or "output.validate"
+
+
+@dataclass
+class LadderReport:
+    """Outcome of one :func:`run_ladder` walk."""
+
+    served: str  # rung label that produced the returned output
+    depth: int  # 0 = primary attempt succeeded
+    attempts: List[LadderAttempt] = field(default_factory=list)
+
+    @property
+    def primary_ok(self) -> bool:
+        return self.depth == 0
+
+    @property
+    def faults(self) -> List[LadderAttempt]:
+        return [a for a in self.attempts if not a.ok]
+
+
+def _ladder_rungs(variant, backend: str, workers: int):
+    """(label, backend, workers, runs_variant) rungs, deduplicated.
+
+    The canonical ladder is *approx variant → exact codegen → exact
+    interpreter*; serving the exact program collapses the first rung
+    into an exact launch under the session's own backend.  Rungs whose
+    execution signature repeats an earlier rung are dropped (re-running
+    an identical configuration cannot recover anything).
+    """
+    rungs = []
+    seen = set()
+
+    def add(label: str, be: str, w: int, runs_variant: bool) -> None:
+        sig = ("variant" if runs_variant else "exact", be, w)
+        if sig not in seen:
+            seen.add(sig)
+            rungs.append((label, be, w, runs_variant))
+
+    if variant is not None:
+        add("variant", backend, workers, True)
+    else:
+        add("exact", backend, workers, False)
+    add("exact_codegen", "codegen", workers, False)
+    add("exact_interp", "interp", 1, False)
+    return rungs
+
+
+def run_ladder(
+    app,
+    inputs,
+    variant,
+    backend: str = "auto",
+    workers: int = 1,
+    policy: Optional[GuardPolicy] = None,
+):
+    """Serve one invocation through the fallback ladder.
+
+    Returns ``(output, LadderReport)``.  The caller always receives an
+    exact-or-better answer: every contained rung failure steps down, and
+    the final rung (exact program, interpreter, serial) is the reference
+    semantics itself.  Only a final-rung exception propagates.
+    """
+    from ..engine import use_backend
+    from ..parallel import use_parallel
+
+    if policy is None:
+        policy = current_policy()
+    if policy is None or not policy.enabled:
+        label = "variant" if variant is not None else "exact"
+        with use_backend(backend), use_parallel(workers):
+            if variant is None:
+                out, _trace = app.run_exact(inputs)
+            else:
+                out, _trace = app.run_variant(variant, inputs)
+        return out, LadderReport(
+            served=label, depth=0, attempts=[LadderAttempt(label, True)]
+        )
+
+    STATS.guarded_launches += 1
+    rungs = _ladder_rungs(variant, backend, workers)
+    report = LadderReport(served="", depth=0)
+    for depth, (label, be, w, runs_variant) in enumerate(rungs):
+        final = depth == len(rungs) - 1
+        try:
+            with use_guard(policy), use_backend(be), use_parallel(w):
+                if runs_variant:
+                    out, _trace = app.run_variant(variant, inputs)
+                else:
+                    out, _trace = app.run_exact(inputs)
+        except Exception as exc:
+            if final:
+                raise
+            STATS.containments += 1
+            report.attempts.append(
+                LadderAttempt(
+                    label,
+                    False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    site="exception",
+                )
+            )
+            continue
+        if not final:
+            plan = active_plan()
+            if plan is not None:
+                spec = plan.poll(SITE_OUTPUT, label)
+                if spec is not None and corrupt_output(out, spec.mode):
+                    STATS.corruptions_injected += 1
+            if policy.validate_outputs:
+                violation = validate_output(out, policy.value_limit)
+                if violation is not None:
+                    STATS.validation_trips += 1
+                    report.attempts.append(
+                        LadderAttempt(
+                            label, False, error=violation, site="output.validate"
+                        )
+                    )
+                    continue
+        report.attempts.append(LadderAttempt(label, True))
+        report.served = label
+        report.depth = depth
+        return out, report
+    raise ResilienceError("ladder exhausted without serving")  # pragma: no cover

@@ -1,0 +1,75 @@
+"""Output guardrails: catch numerically-exploded results before they ship.
+
+Approximation trades *accuracy* for speed; it must never trade *sanity*.
+A variant whose output contains NaN/Inf (or values outside a configured
+magnitude bound) has left the regime the quality metric can even score —
+``NaN`` propagates through every error norm — so the guarded launcher
+checks the raw output first and treats a violation exactly like a crash:
+fall down the ladder, charge the variant's circuit breaker.
+
+Checks are vectorized single passes (``np.isfinite(...).all()``), cheap
+next to the kernel that produced the array.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+def _float_arrays(output) -> Iterable[np.ndarray]:
+    parts = output if isinstance(output, (tuple, list)) else [output]
+    for part in parts:
+        if isinstance(part, np.ndarray) and np.issubdtype(
+            part.dtype, np.floating
+        ):
+            yield part
+
+
+def validate_output(output, value_limit: Optional[float] = None) -> Optional[str]:
+    """A violation description, or None when the output is sane.
+
+    Flags any non-finite element in any floating-point output array, and
+    (when ``value_limit`` is set) any magnitude above it.  Integer arrays
+    and non-array outputs pass: they cannot hold NaN/Inf.
+    """
+    notes: List[str] = []
+    for i, arr in enumerate(_float_arrays(output)):
+        finite = np.isfinite(arr)
+        if not finite.all():
+            bad = int(arr.size - np.count_nonzero(finite))
+            first = int(np.argmin(finite))
+            notes.append(
+                f"output[{i}]: {bad} non-finite values "
+                f"(first at flat index {first}: {arr.reshape(-1)[first]!r})"
+            )
+            continue
+        if value_limit is not None:
+            over = np.abs(arr) > value_limit
+            if over.any():
+                first = int(np.argmax(over))
+                notes.append(
+                    f"output[{i}]: {int(np.count_nonzero(over))} values over "
+                    f"|x| <= {value_limit} (first at flat index {first}: "
+                    f"{arr.reshape(-1)[first]!r})"
+                )
+    return "; ".join(notes) if notes else None
+
+
+def corrupt_output(output, mode: str = "nan", fraction: float = 0.01) -> bool:
+    """Pollute ``output`` in place with NaN/Inf (fault injection only).
+
+    Writes the poison into a deterministic stripe of each float array —
+    the first ``max(1, fraction * size)`` elements — so corruption is
+    reproducible under a seeded plan.  Returns True when anything was
+    actually corrupted (an all-integer output cannot be).
+    """
+    poison = np.nan if mode == "nan" else np.inf
+    touched = False
+    for arr in _float_arrays(output):
+        flat = arr.reshape(-1)
+        n = max(1, int(flat.size * fraction))
+        flat[:n] = poison
+        touched = True
+    return touched

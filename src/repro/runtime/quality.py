@@ -25,23 +25,46 @@ def _as_f64(a, e):
     return a, e
 
 
+def _finite_or_inf(a: np.ndarray) -> bool:
+    """False when ``a`` holds any NaN/Inf.
+
+    A non-finite approximate output must score as *infinite error* (a
+    hard quality violation), never as NaN — NaN would propagate through
+    the mean, compare false against every TOQ threshold and silently
+    disable the quality monitor.
+    """
+    return bool(np.isfinite(a).all())
+
+
 def mean_relative_error(approx, exact) -> float:
-    """mean(|approx - exact| / |exact|), with an epsilon floor on |exact|."""
+    """mean(|approx - exact| / |exact|), with an epsilon floor on |exact|.
+
+    Returns ``inf`` when either side contains NaN/Inf."""
     a, e = _as_f64(approx, exact)
+    if not (_finite_or_inf(a) and _finite_or_inf(e)):
+        return float("inf")
     denom = np.maximum(np.abs(e), EPSILON)
     return float(np.mean(np.abs(a - e) / denom))
 
 
 def l1_norm_error(approx, exact) -> float:
-    """sum(|approx - exact|) / sum(|exact|) — relative L1 distance."""
+    """sum(|approx - exact|) / sum(|exact|) — relative L1 distance.
+
+    Returns ``inf`` when either side contains NaN/Inf."""
     a, e = _as_f64(approx, exact)
+    if not (_finite_or_inf(a) and _finite_or_inf(e)):
+        return float("inf")
     denom = max(float(np.sum(np.abs(e))), EPSILON)
     return float(np.sum(np.abs(a - e)) / denom)
 
 
 def l2_norm_error(approx, exact) -> float:
-    """||approx - exact||_2 / ||exact||_2 — relative L2 distance."""
+    """||approx - exact||_2 / ||exact||_2 — relative L2 distance.
+
+    Returns ``inf`` when either side contains NaN/Inf."""
     a, e = _as_f64(approx, exact)
+    if not (_finite_or_inf(a) and _finite_or_inf(e)):
+        return float("inf")
     denom = max(float(np.sqrt(np.sum(e * e))), EPSILON)
     return float(np.sqrt(np.sum((a - e) ** 2)) / denom)
 
@@ -74,8 +97,14 @@ class QualityMetric:
         return _METRICS[self.name](approx, exact)
 
     def quality(self, approx, exact) -> float:
-        """Output quality in [0, 1]: 1 - error, floored at 0."""
-        return max(0.0, 1.0 - self.error(approx, exact))
+        """Output quality in [0, 1]: 1 - error, floored at 0.
+
+        A non-finite error (NaN/Inf anywhere in the comparison) scores
+        0.0 — the hardest possible violation — instead of propagating."""
+        error = self.error(approx, exact)
+        if not np.isfinite(error):
+            return 0.0
+        return max(0.0, 1.0 - error)
 
 
 MEAN_RELATIVE = QualityMetric("mean_relative")

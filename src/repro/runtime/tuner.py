@@ -141,8 +141,19 @@ class TuningResult:
             raise SerializationError(
                 f"TuningResult.from_dict: toq must be in (0, 1], got {toq!r}"
             )
+        rows = data["profiles"]
+        if not isinstance(rows, list):
+            raise SerializationError(
+                f"TuningResult.from_dict: profiles must be a list of dicts, "
+                f"got {type(rows).__name__}"
+            )
         profiles: List[VariantProfile] = []
-        for i, row in enumerate(data["profiles"]):
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                raise SerializationError(
+                    f"TuningResult.from_dict: profile {i} must be a dict, "
+                    f"got {type(row).__name__}: {row!r}"
+                )
             bad = [
                 k for k in ("name", "quality", "cycles", "speedup")
                 if not isinstance(row.get(k), (str if k == "name" else (int, float)))
@@ -239,12 +250,17 @@ class GreedyTuner:
         self.workers = resolve_workers(workers)
         self.profile_cache = profile_cache
 
-    def profile(self, app, variants, inputs, repeats: int = 1) -> TuningResult:
+    def profile(
+        self, app, variants, inputs, repeats: int = 1, exclude=()
+    ) -> TuningResult:
         """Run the exact program and every variant on ``inputs`` and build
         the tuning result.
 
         ``repeats`` > 1 averages quality over several fresh input sets
-        (the paper trains over its first 10 executions).
+        (the paper trains over its first 10 executions).  ``exclude``
+        names variants barred from being *chosen* (e.g. quarantined by a
+        circuit breaker); they are still profiled, so their measurements
+        stay warm for re-admission.
         """
         from ..parallel.pool import parallel_map
         from ..parallel.profiler import profile_key
@@ -297,7 +313,7 @@ class GreedyTuner:
             parallel_map("profile", self.workers, measure, list(variants))
         )
 
-        chosen = self.choose(profiles)
+        chosen = self.choose(profiles, exclude=exclude)
         return TuningResult(
             app=app.name,
             device=self.spec.kind.value,
@@ -306,19 +322,28 @@ class GreedyTuner:
             profiles=profiles,
         )
 
-    def choose(self, profiles: List[VariantProfile]) -> VariantProfile:
+    def choose(
+        self, profiles: List[VariantProfile], exclude=()
+    ) -> VariantProfile:
         """Fastest variant meeting the TOQ; the exact program otherwise.
 
         Ties are broken deterministically: highest speedup, then highest
         quality, then lexicographically smallest name — so the pick never
-        depends on variant enumeration order.
+        depends on variant enumeration order.  Variants named in
+        ``exclude`` (quarantined) are never chosen; the exact program is
+        exempt — there must always be something to serve.
         """
-        eligible = [p for p in profiles if p.quality >= self.toq]
+        exclude = set(exclude)
+        eligible = [
+            p
+            for p in profiles
+            if p.quality >= self.toq and (p.is_exact or p.name not in exclude)
+        ]
         if not eligible:
             return next(p for p in profiles if p.is_exact)
         return min(eligible, key=lambda p: (-p.speedup, -p.quality, p.name))
 
-    def resume(self, app, variants, data: dict) -> TuningResult:
+    def resume(self, app, variants, data: dict, exclude=()) -> TuningResult:
         """Resume tuning from a serialized :class:`TuningResult` instead of
         re-profiling from scratch.
 
@@ -328,12 +353,17 @@ class GreedyTuner:
         result is returned as-is — the near-free restart path a serving
         session uses.  When the variant set has drifted (new names, missing
         names) or the TOQ changed, the stale profiles are discarded and the
-        variants re-profiled.
+        variants re-profiled.  A restored result whose chosen variant is in
+        ``exclude`` (quarantined since it was persisted) is re-chosen from
+        the restored profiles without re-measuring.
         """
         try:
             restored = TuningResult.from_dict(data)
         except SerializationError:
-            return self.profile(app, variants, app.generate_inputs(seed=app.seed))
+            return self.profile(
+                app, variants, app.generate_inputs(seed=app.seed),
+                exclude=exclude,
+            )
         names = {v.name for v in variants}
         persisted = {
             p.name for p in restored.profiles if p.variant_name != "exact"
@@ -343,7 +373,12 @@ class GreedyTuner:
             or restored.device != self.spec.kind.value
             or persisted != names
         ):
-            return self.profile(app, variants, app.generate_inputs(seed=app.seed))
+            return self.profile(
+                app, variants, app.generate_inputs(seed=app.seed),
+                exclude=exclude,
+            )
         restored.rebind(variants)
         restored.resumed = True
+        if exclude and restored.chosen.name in set(exclude):
+            restored.chosen = self.choose(restored.profiles, exclude=exclude)
         return restored

@@ -28,6 +28,7 @@ from typing import Dict, Optional
 from ..approx.base import VariantSet
 from ..device import DeviceSpec
 from ..kernel.printer import print_module
+from ..resilience.faults import SITE_CACHE_LOAD, maybe_inject
 
 #: Bump when the pickle layout changes; mismatched entries are misses.
 CACHE_FORMAT = 2  # 2: VariantSet gained the `backend` field
@@ -109,6 +110,9 @@ class VariantCache:
         if path is None or not path.exists():
             return None
         try:
+            # Fault-injection seam: an injected load failure exercises the
+            # same containment as a truly corrupt file — a miss, recompile.
+            maybe_inject(SITE_CACHE_LOAD, key)
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
             if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:

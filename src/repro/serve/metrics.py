@@ -28,8 +28,11 @@ class LaunchRecord:
     speedup_estimate: float = 1.0
     kernel_launches: int = 0
     backends: Dict[str, int] = field(default_factory=dict)  # backend -> launches
-    action: str = ""  # "", "recalibrate_down", "recalibrate_up"
-    reason: str = ""  # "", "toq_violation", "drift", "headroom"
+    action: str = ""  # "", "recalibrate_down", "recalibrate_up", "quarantine"
+    reason: str = ""  # "", "toq_violation", "drift", "headroom", "quarantine"
+    served: str = ""  # ladder rung that produced the output ("" = primary)
+    fallback_depth: int = 0  # 0 = primary attempt succeeded
+    faults: List[str] = field(default_factory=list)  # "rung:site" per containment
 
 
 @dataclass
@@ -78,16 +81,24 @@ class SessionMetrics:
         self.backend_launches: Dict[str, int] = {}
         self.compile_seconds = 0.0
         self.tune_seconds = 0.0
-        # Baselines of the process-wide codegen and shard counters at
-        # session start, so the snapshot attributes compiles/hits/shards
-        # to *this* session.
+        self.fault_counts: Dict[str, int] = {}
+        self.fallback_depths: Dict[int, int] = {}
+        self.fallback_launches = 0
+        self.quarantines = 0
+        self.readmissions = 0
+        # Baselines of the process-wide codegen, shard and guard counters
+        # at session start, so the snapshot attributes compiles/hits/
+        # shards/containments to *this* session.
         from ..codegen import stats_snapshot as _codegen_stats
         from ..parallel.shard import stats_snapshot as _shard_stats
+        from ..resilience.guard import stats_snapshot as _guard_stats
 
         self._codegen_stats = _codegen_stats
         self._codegen_baseline = _codegen_stats()
         self._shard_stats = _shard_stats
         self._shard_baseline = _shard_stats()
+        self._guard_stats = _guard_stats
+        self._guard_baseline = _guard_stats()
         self.records: Deque[LaunchRecord] = deque(maxlen=history)
         self.transitions: List[Transition] = []
         self.event_log = event_log
@@ -111,8 +122,24 @@ class SessionMetrics:
             self.recalibrations_down += 1
         elif record.action == "recalibrate_up":
             self.recalibrations_up += 1
+        for fault in record.faults:
+            self.fault_counts[fault] = self.fault_counts.get(fault, 0) + 1
+        self.fallback_depths[record.fallback_depth] = (
+            self.fallback_depths.get(record.fallback_depth, 0) + 1
+        )
+        if record.fallback_depth > 0:
+            self.fallback_launches += 1
         self.records.append(record)
         self._emit({"event": "launch", **asdict(record)})
+
+    def record_breaker_event(self, event: Dict[str, object]) -> None:
+        """Roll up one circuit-breaker transition (drained from the
+        session's :class:`~repro.resilience.breaker.VariantBreaker`)."""
+        if event.get("state") == "open":
+            self.quarantines += 1
+        elif event.get("state") == "closed":
+            self.readmissions += 1
+        self._emit(dict(event))
 
     def record_transition(self, transition: Transition) -> None:
         self.transitions.append(transition)
@@ -166,12 +193,28 @@ class SessionMetrics:
             },
             "pools": _pools(),
         }
+        guard_now = self._guard_stats()
+        resilience = {
+            "guard": {
+                key: guard_now[key] - self._guard_baseline[key]
+                for key in guard_now
+            },
+            "faults": dict(self.fault_counts),
+            "fallback_depths": {
+                str(depth): count
+                for depth, count in sorted(self.fallback_depths.items())
+            },
+            "fallback_launches": self.fallback_launches,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+        }
         return {
             "launches": self.launches,
             "kernel_launches": self.kernel_launches,
             "backend_launches": dict(self.backend_launches),
             "codegen": codegen,
             "parallel": parallel,
+            "resilience": resilience,
             "sampled_checks": self.sampled_checks,
             "sampling_overhead": self.sampling_overhead,
             "toq_violations": self.toq_violations,

@@ -24,9 +24,12 @@ from typing import Dict, Optional
 from ..approx.base import VariantSet
 from ..approx.compiler import Paraprox, ParaproxConfig
 from ..device import DeviceKind, spec_for
-from ..engine import launch_hook, use_backend, validate_backend
+from ..engine import launch_hook, validate_backend
 from ..errors import ServeError
-from ..parallel import ProfileCache, resolve_workers, use_parallel
+from ..parallel import ProfileCache, resolve_workers
+from ..resilience.breaker import BreakerConfig, VariantBreaker
+from ..resilience.faults import SITE_QUALITY, maybe_inject
+from ..resilience.guard import GuardPolicy, run_ladder
 from ..runtime.tuner import GreedyTuner, TuningResult
 from .cache import CacheEntry, VariantCache, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
@@ -53,6 +56,11 @@ class ApproxSession:
         parallel: worker threads for sharded launches and concurrent
             variant profiling (a positive int or "auto"); defaults to
             the config's ``parallel_workers`` knob.  1 = serial.
+        guard: guarded-launch policy (retries, deadline, output
+            validation); defaults to ``GuardPolicy()``.  Pass
+            ``GuardPolicy(enabled=False)`` for the raw unguarded path.
+        breaker: circuit-breaker knobs for variant quarantine; defaults
+            to ``BreakerConfig()``.
     """
 
     def __init__(
@@ -67,6 +75,8 @@ class ApproxSession:
         tuner_repeats: int = 1,
         backend: Optional[str] = None,
         parallel: Optional[object] = None,
+        guard: Optional[GuardPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ) -> None:
         self.app = app
         self.paraprox = Paraprox(
@@ -80,7 +90,11 @@ class ApproxSession:
             if parallel is not None
             else self.paraprox.config.parallel_workers
         )
-        self.profile_cache = ProfileCache()
+        self.guard = guard if guard is not None else GuardPolicy()
+        self.breaker = VariantBreaker(breaker)
+        self.profile_cache = ProfileCache(
+            max_entries=self.paraprox.config.profile_cache_entries
+        )
         self.device = device
         self.spec = spec_for(device)
         self.cache = VariantCache(cache_dir)
@@ -170,14 +184,16 @@ class ApproxSession:
         )
         started = time.perf_counter()
         saved = self._entry.tuning if self._entry is not None else None
+        quarantined = self.breaker.quarantined()
         if saved is not None and not force:
-            result = tuner.resume(self.app, variants, saved)
+            result = tuner.resume(self.app, variants, saved, exclude=quarantined)
         else:
             result = tuner.profile(
                 self.app,
                 variants,
                 self.app.generate_inputs(seed=self.app.seed),
                 repeats=self.tuner_repeats,
+                exclude=quarantined,
             )
         cache_state = "resume" if getattr(result, "resumed", False) else "miss"
         self.metrics.record_tune(cache_state, time.perf_counter() - started)
@@ -195,10 +211,15 @@ class ApproxSession:
     def launch(self, inputs) -> object:
         """Serve one invocation through the monitored execution loop.
 
-        Runs the current variant, samples quality on the monitor's cadence
-        against the app's golden-output evaluator, and recalibrates (one
-        ladder rung per triggered check) when the TOQ is violated, the
-        estimate drifts, or sustained headroom accrues.
+        Runs the current variant through the guarded fallback ladder
+        (*variant → exact codegen → exact interpreter*): any contained
+        failure — a crash, a hang past the guard deadline, a NaN/Inf
+        output — steps down a rung instead of propagating, so the caller
+        always gets an answer.  Faults charge the variant's circuit
+        breaker; a breaker that opens quarantines the variant (the
+        recalibrator steps off it and the tuner won't re-choose it) until
+        its probation window passes.  Quality is sampled on the monitor's
+        cadence and recalibrates exactly as before.
         """
         self._check_open()
         if self._recalibrator is None:
@@ -212,14 +233,17 @@ class ApproxSession:
             kernel_launches[0] += 1
             backend_counts[event.backend] = backend_counts.get(event.backend, 0) + 1
 
+        self._step_off_quarantined(index)
         variant = recal.current
-        with use_backend(self.backend), use_parallel(
-            self.parallel_workers
-        ), launch_hook(count):
-            if variant is None:
-                out, _trace = self.app.run_exact(inputs)
-            else:
-                out, _trace = self.app.run_variant(variant, inputs)
+        with launch_hook(count):
+            out, report = run_ladder(
+                self.app,
+                inputs,
+                variant,
+                backend=self.backend,
+                workers=self.parallel_workers,
+                policy=self.guard,
+            )
 
         record = LaunchRecord(
             index=index,
@@ -228,14 +252,88 @@ class ApproxSession:
             speedup_estimate=recal.speedup_estimate,
             kernel_launches=kernel_launches[0],
             backends=backend_counts,
+            served=report.served,
+            fallback_depth=report.depth,
+            faults=[f"{a.rung}:{a.site}" for a in report.faults],
         )
-        if self.monitor.should_sample(index):
+        if variant is not None:
+            name = recal.current_name
+            if report.primary_ok:
+                self.breaker.record_success(name, index)
+            else:
+                reason = report.faults[0].site if report.faults else "fault"
+                if self.breaker.record_fault(name, index, reason):
+                    self._quarantine(record)
+        served_primary = report.primary_ok
+        if self.monitor.should_sample(index) and served_primary:
             record.sampled = True
-            quality = 1.0 if variant is None else self.app.evaluate(out, inputs)
-            record.quality = quality
-            self._react(self.monitor.observe(quality), record)
+            quality = self._evaluate_quality(out, inputs, variant, record)
+            if quality is not None:
+                record.quality = quality
+                self._react(self.monitor.observe(quality), record)
+        for event in self.breaker.drain_events():
+            self.metrics.record_breaker_event(event)
         self.metrics.record_launch(record)
         return out
+
+    def _evaluate_quality(self, out, inputs, variant, record) -> Optional[float]:
+        """Sampled-quality evaluation with fault containment.
+
+        A crash inside the evaluator (it runs the exact program and the
+        app's metric — real code that can really fail) must not take the
+        serving path down; the sample is skipped and counted as a fault.
+        """
+        try:
+            maybe_inject(SITE_QUALITY, self.app.name)
+            return 1.0 if variant is None else self.app.evaluate(out, inputs)
+        except Exception as exc:
+            record.faults.append(f"quality:{type(exc).__name__}")
+            return None
+
+    def _step_off_quarantined(self, index: int) -> None:
+        """Move the recalibrator below any quarantined rung before serving."""
+        recal = self._recalibrator
+        if recal.current is None or not self.breaker.blocked(
+            recal.current_name, index
+        ):
+            return
+        previous = recal.current_name
+        while recal.current is not None and self.breaker.blocked(
+            recal.current_name, index
+        ):
+            if not recal.step_down():
+                break
+        self.monitor.reset()
+        self.metrics.record_transition(
+            Transition(
+                launch=index,
+                from_variant=previous,
+                to_variant=recal.current_name,
+                reason="quarantine",
+            )
+        )
+
+    def _quarantine(self, record: LaunchRecord) -> None:
+        """A breaker just opened on the serving variant: step off it now."""
+        recal = self._recalibrator
+        previous = recal.current_name
+        record.action = "quarantine"
+        record.reason = "quarantine"
+        while recal.current is not None and self.breaker.blocked(
+            recal.current_name, record.index
+        ):
+            if not recal.step_down():
+                break
+        self.monitor.reset()
+        self.metrics.record_transition(
+            Transition(
+                launch=record.index,
+                from_variant=previous,
+                to_variant=recal.current_name,
+                reason="quarantine",
+                quality=record.quality,
+            )
+        )
 
     def _react(self, verdict: str, record: LaunchRecord) -> None:
         """Apply the monitor's verdict: one greedy ladder step (§3.5)."""
@@ -258,7 +356,15 @@ class ApproxSession:
         elif verdict == HEADROOM and not recal.at_top:
             record.reason = "headroom"
             previous = recal.current_name
-            if recal.step_up():
+            previous_rung = recal.rung
+            # Step up past quarantined rungs; if everything above is
+            # quarantined, stay put rather than promote a known-bad variant.
+            moved = False
+            while recal.step_up():
+                if not self.breaker.blocked(recal.current_name, record.index):
+                    moved = True
+                    break
+            if moved:
                 record.action = "recalibrate_up"
                 self.monitor.reset()
                 self.metrics.record_transition(
@@ -270,6 +376,8 @@ class ApproxSession:
                         quality=record.quality,
                     )
                 )
+            else:
+                recal.rung = previous_rung
 
     # -- observability ---------------------------------------------------------
 
@@ -285,6 +393,12 @@ class ApproxSession:
         snapshot = self.metrics.snapshot()
         snapshot["parallel"]["workers"] = self.parallel_workers
         snapshot["parallel"]["profile_cache"] = self.profile_cache.snapshot()
+        snapshot["resilience"]["breakers"] = self.breaker.snapshot()
+        snapshot["resilience"]["guard_policy"] = {
+            "enabled": self.guard.enabled,
+            "retries": self.guard.retries,
+            "deadline_seconds": self.guard.deadline_seconds,
+        }
         snapshot["session"] = {
             "app": self.app.name,
             "device": self.spec.kind.value,

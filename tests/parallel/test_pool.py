@@ -145,4 +145,6 @@ class TestParallelMap:
         parallel_map("test", 2, lambda i: i, range(2))
         snap = pools_snapshot()
         assert "test" in snap
-        assert set(snap["test"]) == {"tasks", "batches", "max_workers"}
+        assert set(snap["test"]) == {
+            "tasks", "batches", "max_workers", "workers_restarted"
+        }

@@ -17,16 +17,38 @@ class TestProfileCache:
         assert cache.get(("k",)) is None
         cache.put(("k",), (0.9, 100.0))
         assert cache.get(("k",)) == (0.9, 100.0)
-        assert cache.snapshot() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.snapshot() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "max_entries": 4096,
+        }
 
     def test_eviction_keeps_size_bounded(self):
         cache = ProfileCache(max_entries=3)
         for i in range(5):
             cache.put((i,), (1.0, float(i)))
         assert len(cache) == 3
-        # FIFO: the oldest entries went first
+        # LRU with no intervening gets: the oldest entries went first
         assert cache.get((0,)) is None
         assert cache.get((4,)) == (1.0, 4.0)
+        assert cache.snapshot()["evictions"] == 2
+
+    def test_get_refreshes_recency(self):
+        cache = ProfileCache(max_entries=2)
+        cache.put(("a",), (1.0, 1.0))
+        cache.put(("b",), (1.0, 2.0))
+        cache.get(("a",))  # "a" is now the most recently used
+        cache.put(("c",), (1.0, 3.0))  # evicts "b", not "a"
+        assert cache.get(("a",)) == (1.0, 1.0)
+        assert cache.get(("b",)) is None
+
+    def test_max_entries_validated(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ProfileCache(max_entries=0)
 
     def test_put_existing_key_does_not_evict(self):
         cache = ProfileCache(max_entries=2)
@@ -42,7 +64,13 @@ class TestProfileCache:
         cache.put(("k",), (1.0, 1.0))
         cache.get(("k",))
         cache.clear()
-        assert cache.snapshot() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.snapshot() == {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "max_entries": 4096,
+        }
 
 
 class TestIdentityKeys:

@@ -1,0 +1,123 @@
+"""Circuit-breaker state machine: quarantine, probation, re-admission."""
+
+import pytest
+
+from repro.errors import ResilienceError
+from repro.resilience.breaker import (
+    CLOSED,
+    OPEN,
+    PROBATION,
+    BreakerConfig,
+    VariantBreaker,
+)
+
+
+def make_breaker(threshold=3, after=10, successes=2) -> VariantBreaker:
+    return VariantBreaker(
+        BreakerConfig(
+            fault_threshold=threshold,
+            probation_after=after,
+            probation_successes=successes,
+        )
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fault_threshold": 0},
+            {"probation_after": 0},
+            {"probation_successes": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            BreakerConfig(**kwargs)
+
+
+class TestOpening:
+    def test_unknown_variant_is_closed_and_unblocked(self):
+        breaker = make_breaker()
+        assert breaker.state("v") == CLOSED
+        assert not breaker.blocked("v", 0)
+        assert breaker.quarantined() == set()
+
+    def test_opens_after_threshold_consecutive_faults(self):
+        breaker = make_breaker(threshold=3)
+        assert not breaker.record_fault("v", 0, "crash")
+        assert not breaker.record_fault("v", 1, "crash")
+        assert breaker.record_fault("v", 2, "crash")  # third strike opens
+        assert breaker.state("v") == OPEN
+        assert breaker.blocked("v", 3)
+        assert breaker.quarantined() == {"v"}
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = make_breaker(threshold=2)
+        breaker.record_fault("v", 0, "crash")
+        breaker.record_success("v", 1)
+        assert not breaker.record_fault("v", 2, "crash")
+        assert breaker.state("v") == CLOSED
+
+    def test_faults_while_open_do_not_re_open(self):
+        breaker = make_breaker(threshold=1)
+        assert breaker.record_fault("v", 0, "crash")
+        assert not breaker.record_fault("v", 1, "crash")
+
+    def test_breakers_are_per_variant(self):
+        breaker = make_breaker(threshold=1)
+        breaker.record_fault("a", 0, "crash")
+        assert breaker.blocked("a", 1)
+        assert not breaker.blocked("b", 1)
+
+
+class TestProbation:
+    def test_window_is_measured_in_launches(self):
+        breaker = make_breaker(threshold=1, after=10)
+        breaker.record_fault("v", 5, "crash")  # reopen_at = 15
+        assert breaker.blocked("v", 14)
+        assert not breaker.blocked("v", 15)  # window passed -> probation
+        assert breaker.state("v") == PROBATION
+
+    def test_probation_closes_after_consecutive_successes(self):
+        breaker = make_breaker(threshold=1, after=5, successes=2)
+        breaker.record_fault("v", 0, "crash")
+        assert not breaker.blocked("v", 5)
+        breaker.record_success("v", 5)
+        assert breaker.state("v") == PROBATION
+        breaker.record_success("v", 6)
+        assert breaker.state("v") == CLOSED
+        assert breaker.quarantined() == set()
+
+    def test_one_strike_on_probation_reopens(self):
+        breaker = make_breaker(threshold=3, after=5)
+        for i in range(3):
+            breaker.record_fault("v", i, "crash")
+        assert not breaker.blocked("v", 10)  # probation
+        assert breaker.record_fault("v", 10, "crash")  # single strike
+        assert breaker.state("v") == OPEN
+        assert breaker.blocked("v", 11)
+        # and the window restarted from the probation fault
+        assert not breaker.blocked("v", 15)
+
+
+class TestReporting:
+    def test_events_record_every_transition(self):
+        breaker = make_breaker(threshold=1, after=5, successes=1)
+        breaker.record_fault("v", 0, "worker_crash")
+        breaker.blocked("v", 5)
+        breaker.record_success("v", 5)
+        events = breaker.drain_events()
+        assert [e["state"] for e in events] == [OPEN, PROBATION, CLOSED]
+        assert events[0]["reason"] == "worker_crash"
+        assert events[2]["reason"] == "probation_passed"
+        assert breaker.drain_events() == []  # drained
+
+    def test_snapshot_counts_faults_and_quarantines(self):
+        breaker = make_breaker(threshold=1)
+        breaker.record_fault("v", 0, "crash")
+        snap = breaker.snapshot()
+        assert snap["v"]["state"] == OPEN
+        assert snap["v"]["faults_total"] == 1
+        assert snap["v"]["quarantines"] == 1
+        assert snap["v"]["reopen_at"] == 10

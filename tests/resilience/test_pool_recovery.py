@@ -1,0 +1,94 @@
+"""Dead-worker recovery: pools with no live threads are replaced, not
+deadlocked on.
+
+``ThreadPoolExecutor`` never respawns a worker that exited, and its
+``_adjust_thread_count`` counts dead threads against ``max_workers`` — so
+a pool whose workers are all gone accepts submissions that can never run.
+These tests manufacture that state for real (drain the workers via the
+executor's own shutdown path, then reopen the flag so the pool *looks*
+serviceable) and assert the health check routes around it.
+"""
+
+import threading
+
+from repro.parallel.pool import (
+    get_pool,
+    parallel_map,
+    pool_stats,
+    replace_pool,
+)
+
+
+def _kill_workers(pool) -> None:
+    """Leave ``pool`` open-looking but with every worker thread dead.
+
+    ``shutdown(wait=True)`` is the executor's own worker-exit path;
+    clearing the flag afterwards reproduces the pathological state a
+    died-in-place worker set leaves behind: ``submit`` enqueues, nothing
+    will ever dequeue.
+    """
+    pool.shutdown(wait=True)
+    pool._shutdown = False
+    assert all(not t.is_alive() for t in pool._threads)
+
+
+def _run_with_timeout(fn, timeout=10.0):
+    """Run ``fn`` on a daemon thread so a regression to the old deadlock
+    fails the test instead of hanging the suite."""
+    box = {}
+
+    def target():
+        box["result"] = fn()
+
+    t = threading.Thread(target=target, daemon=True)
+    t.start()
+    t.join(timeout)
+    assert not t.is_alive(), "call deadlocked on a dead pool"
+    return box["result"]
+
+
+class TestDeadPoolRecovery:
+    def test_parallel_map_survives_an_all_dead_pool(self):
+        kind = "recovery-map"
+        pool = get_pool(kind, 2)
+        # Warm the pool so worker threads actually exist, then kill them.
+        assert parallel_map(kind, 2, lambda i: i, range(4)) == [0, 1, 2, 3]
+        _kill_workers(pool)
+        before = pool_stats(kind).snapshot()["workers_restarted"]
+        result = _run_with_timeout(
+            lambda: parallel_map(kind, 2, lambda i: i * 2, range(4))
+        )
+        assert result == [0, 2, 4, 6]
+        assert pool_stats(kind).snapshot()["workers_restarted"] == before + 1
+
+    def test_get_pool_replaces_dead_pool(self):
+        kind = "recovery-get"
+        pool = get_pool(kind, 2)
+        pool.submit(lambda: None).result()
+        _kill_workers(pool)
+        fresh = get_pool(kind, 2)
+        assert fresh is not pool
+        assert fresh.submit(lambda: 42).result(timeout=5) == 42
+
+    def test_healthy_pool_is_not_replaced(self):
+        kind = "recovery-keep"
+        pool = get_pool(kind, 2)
+        pool.submit(lambda: None).result()
+        assert get_pool(kind, 2) is pool
+
+    def test_unused_pool_counts_as_healthy(self):
+        # No submissions yet means no threads yet; that's fine — workers
+        # spawn on first submit.
+        kind = "recovery-cold"
+        pool = get_pool(kind, 2)
+        assert get_pool(kind, 2) is pool
+
+    def test_replace_pool_counts_a_restart_and_keeps_size(self):
+        kind = "recovery-force"
+        pool = get_pool(kind, 4)
+        before = pool_stats(kind).snapshot()["workers_restarted"]
+        fresh = replace_pool(kind, 2)
+        assert fresh is not pool
+        assert pool_stats(kind).snapshot()["workers_restarted"] == before + 1
+        # Pool sizes only grow: the replacement keeps the larger size.
+        assert fresh._max_workers == 4

@@ -90,3 +90,45 @@ class TestQualityMetricWrapper:
 
     def test_named_instances(self):
         assert L2_NORM.name == "l2" and MEAN_RELATIVE.name == "mean_relative"
+
+
+class TestNonFiniteInputs:
+    """Regression: a NaN/Inf output must score as a hard violation, not
+    poison the monitor with NaN comparisons (NaN < toq is always False)."""
+
+    METRICS = (mean_relative_error, l1_norm_error, l2_norm_error)
+    POISONS = (np.nan, np.inf, -np.inf)
+
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_poisoned_approx_scores_infinite_error(self, poison):
+        exact = np.array([1.0, 2.0, 3.0])
+        approx = np.array([1.0, poison, 3.0])
+        for fn in self.METRICS:
+            err = fn(approx, exact)
+            assert err == np.inf and not np.isnan(err)
+
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_poisoned_exact_scores_infinite_error(self, poison):
+        exact = np.array([1.0, poison])
+        approx = np.array([1.0, 2.0])
+        for fn in self.METRICS:
+            assert fn(approx, exact) == np.inf
+
+    @pytest.mark.parametrize("poison", POISONS)
+    def test_quality_of_poisoned_output_is_zero(self, poison):
+        exact = np.array([1.0, 2.0])
+        approx = np.array([poison, 2.0])
+        for metric in (MEAN_RELATIVE, L1_NORM, L2_NORM):
+            quality = metric.quality(approx, exact)
+            assert quality == 0.0  # never NaN: NaN < toq compares False
+
+    def test_all_nan_output_still_scores_zero(self):
+        exact = np.ones(4)
+        approx = np.full(4, np.nan)
+        assert L1_NORM.quality(approx, exact) == 0.0
+
+    @given(finite)
+    @settings(max_examples=40)
+    def test_finite_inputs_never_return_non_finite_error(self, x):
+        for fn in self.METRICS:
+            assert np.isfinite(fn(x + 0.5, x))

@@ -2,8 +2,11 @@
 resumable tuner built on top of it."""
 
 import json
+from functools import lru_cache
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro import DeviceKind, Paraprox, ParaproxConfig
 from repro.apps.gaussian import GaussianFilterApp
@@ -201,3 +204,116 @@ class TestTunerResume:
         tuner = GreedyTuner(spec_for(DeviceKind.GPU), toq=0.9)
         resumed = tuner.resume(app, variants, {"not": "a result"})
         assert resumed.chosen is not None  # fell back to profiling
+
+
+class TestFromDictHardening:
+    """Malformed persisted snapshots must fail loudly, with the offending
+    key/index named, and must never escape as anything other than the
+    serialization error types."""
+
+    def test_profiles_must_be_a_list(self):
+        data = _tuning_dict()
+        data["profiles"] = {"name": "rate2"}
+        with pytest.raises(SerializationError, match="list"):
+            TuningResult.from_dict(data)
+
+    def test_profile_rows_must_be_dicts(self):
+        data = _tuning_dict()
+        data["profiles"][1] = ["rate2", 0.95]
+        with pytest.raises(SerializationError, match="profile 1"):
+            TuningResult.from_dict(data)
+
+    def test_missing_keys_are_named(self):
+        data = _tuning_dict()
+        del data["device"]
+        del data["chosen"]
+        with pytest.raises(SerializationError, match="missing keys"):
+            TuningResult.from_dict(data)
+
+    @pytest.mark.parametrize("toq", [0.0, -1, 2.0, "0.9", None, [0.9]])
+    def test_toq_out_of_range_or_wrong_type(self, toq):
+        data = _tuning_dict()
+        data["toq"] = toq
+        with pytest.raises(SerializationError, match="toq"):
+            TuningResult.from_dict(data)
+
+    def test_config_mixed_type_keys_still_report_unknowns(self):
+        # A corrupted snapshot can hold non-string keys; the unknown-key
+        # report must not crash on an unorderable sort.
+        with pytest.raises(ConfigError, match="unknown keys"):
+            ParaproxConfig.from_dict({1: "x", "zzz": 2, ("a",): 3})
+
+
+_GARBAGE_VALUES = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-10, 10),
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.text(max_size=8),
+    ),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=4), children, max_size=3),
+    max_leaves=8,
+)
+_GARBAGE_DICTS = st.dictionaries(
+    st.one_of(st.text(max_size=8), st.integers(-5, 5)),
+    _GARBAGE_VALUES,
+    max_size=6,
+)
+
+
+@lru_cache(maxsize=1)
+def _tuning_template() -> str:
+    result = Paraprox(target_quality=0.9).optimize(
+        GaussianFilterApp(scale=0.05), DeviceKind.GPU
+    )
+    return json.dumps(result.to_dict())
+
+
+def _tuning_dict() -> dict:
+    return json.loads(_tuning_template())
+
+
+class TestFromDictFuzz:
+    @given(_GARBAGE_DICTS)
+    @settings(max_examples=150, deadline=None)
+    def test_tuning_garbage_raises_only_serialization_errors(self, data):
+        try:
+            TuningResult.from_dict(data)
+        except SerializationError:
+            pass  # the contract: this type and nothing else
+
+    @given(_GARBAGE_DICTS)
+    @settings(max_examples=150, deadline=None)
+    def test_config_garbage_raises_only_config_errors(self, data):
+        try:
+            ParaproxConfig.from_dict(data)
+        except ConfigError:
+            pass
+
+    @given(
+        st.sampled_from(["app", "device", "toq", "chosen", "profiles", "resumed"]),
+        _GARBAGE_VALUES,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_mutated_real_snapshot_loads_or_fails_cleanly(self, key, value):
+        data = _tuning_dict()
+        data[key] = value
+        try:
+            clone = TuningResult.from_dict(data)
+        except SerializationError:
+            return
+        # If it loaded, the loaded object must round-trip stably.
+        assert TuningResult.from_dict(clone.to_dict()).to_dict() == clone.to_dict()
+
+    @given(st.integers(0, 3), st.sampled_from(["name", "quality", "cycles", "speedup", "knobs"]), _GARBAGE_VALUES)
+    @settings(max_examples=100, deadline=None)
+    def test_mutated_profile_rows_load_or_fail_cleanly(self, row, key, value):
+        data = _tuning_dict()
+        rows = data["profiles"]
+        rows[row % len(rows)][key] = value
+        try:
+            TuningResult.from_dict(data)
+        except SerializationError:
+            pass
