@@ -1,0 +1,105 @@
+"""Wall-clock cost of the observability layer on a served app.
+
+Two bounds, both on a memoization-served blackscholes session:
+
+* **disabled** — with tracing off, an instrumented seam costs one module
+  attribute check returning the shared no-op span.  Two timed runs of
+  identical code cannot resolve a 1 % difference above host noise, so
+  the bound is operationalised deterministically: the measured per-seam
+  no-op cost times a generous spans-per-launch budget must stay under
+  ``REPRO_OBS_MAX_DISABLED_OVERHEAD`` (default 1.01 = 1 %) of the
+  measured launch time.
+* **enabled** — full tracing (spans + timeline into the in-memory ring)
+  must keep served launches within ``REPRO_OBS_MAX_OVERHEAD`` (default
+  1.03 = 3 %) of the untraced time, best-of-N against best-of-N.  The
+  floor is env-overridable for noisy CI hosts, mirroring
+  ``REPRO_RESILIENCE_MAX_OVERHEAD``.
+"""
+
+import os
+import time
+
+from repro.apps.registry import make_app
+from repro.obs import trace as obs_trace
+from repro.serve import ApproxSession
+
+LAUNCHES = 20
+REPEATS = 5
+#: Upper bound on instrumented seams one served launch crosses (root span,
+#: rungs, compile-cache probe, backend launch, shards, quality check ...).
+SPANS_PER_LAUNCH = 32
+
+MAX_DISABLED = float(os.environ.get("REPRO_OBS_MAX_DISABLED_OVERHEAD", "1.01"))
+MAX_ENABLED = float(os.environ.get("REPRO_OBS_MAX_OVERHEAD", "1.03"))
+
+
+def _session():
+    app = make_app("blackscholes", seed=0)
+    session = ApproxSession(app, target_quality=0.90)
+    session.tune()  # pay compile+tune outside the timed region
+    return app, session
+
+
+def _time_launches(app, session) -> float:
+    inputs = app.generate_inputs(seed=app.seed)
+    session.launch(inputs)  # warm caches and pools
+    best = float("inf")
+    for _repeat in range(REPEATS):
+        started = time.perf_counter()
+        for _ in range(LAUNCHES):
+            session.launch(inputs)
+        best = min(best, time.perf_counter() - started)
+    return best / LAUNCHES
+
+
+def test_disabled_noop_path_is_bounded():
+    was_enabled = obs_trace.enabled()
+    obs_trace.disable()
+    try:
+        app, session = _session()
+        launch_seconds = _time_launches(app, session)
+
+        n = 200_000
+        started = time.perf_counter()
+        for _ in range(n):
+            with obs_trace.span("bench.noop", kernel="k"):
+                pass
+        per_span = (time.perf_counter() - started) / n
+
+        overhead = 1.0 + (per_span * SPANS_PER_LAUNCH) / launch_seconds
+        print(
+            f"\nnoop span {per_span * 1e9:.0f}ns x {SPANS_PER_LAUNCH} seams, "
+            f"launch {launch_seconds * 1e3:.3f}ms -> {overhead:.4f}x"
+        )
+        assert overhead <= MAX_DISABLED, (
+            f"disabled-path overhead {overhead:.4f}x above the allowed "
+            f"{MAX_DISABLED:.4f}x (override with REPRO_OBS_MAX_DISABLED_OVERHEAD)"
+        )
+    finally:
+        if was_enabled:
+            obs_trace.enable()
+
+
+def test_enabled_tracing_overhead_is_bounded():
+    was_enabled = obs_trace.enabled()
+    obs_trace.disable()
+    try:
+        app, session = _session()
+        untraced = _time_launches(app, session)
+        obs_trace.enable()  # in-memory ring, no file I/O in the bound
+        traced = _time_launches(app, session)
+        obs_trace.drain_records()
+        overhead = traced / untraced
+        print(
+            f"\n{LAUNCHES} blackscholes launches: untraced {untraced * 1e3:.3f}ms, "
+            f"traced {traced * 1e3:.3f}ms, overhead {overhead:.3f}x"
+        )
+        assert overhead <= MAX_ENABLED, (
+            f"enabled-tracing overhead {overhead:.3f}x above the allowed "
+            f"{MAX_ENABLED:.3f}x (override with REPRO_OBS_MAX_OVERHEAD)"
+        )
+    finally:
+        obs_trace.disable()
+        obs_trace.drain_records()
+        if was_enabled:
+            obs_trace.enable()

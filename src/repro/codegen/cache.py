@@ -16,21 +16,53 @@ from typing import Dict, List, Tuple
 
 from ..errors import CodegenError
 from ..kernel import ir
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
 from ..resilience.faults import SITE_COMPILE, maybe_inject
 from .fingerprint import fingerprint_kernel
 from .lower import lower_kernel
 from .runtime import geometry
 
+#: Registry field -> help text; each becomes ``repro_codegen_<field>``.
+_FIELDS = {
+    "compiles": "kernels lowered and compiled to NumPy callables",
+    "cache_hits": "compiled-kernel cache hits",
+    "compile_seconds": "wall time spent lowering and compiling",
+    "source_bytes": "bytes of generated source",
+    "fallbacks": "auto-mode launches that fell back to the interpreter",
+}
 
-@dataclass
+
 class CodegenStats:
-    """Process-wide codegen counters, surfaced by ``serve.metrics``."""
+    """Process-wide codegen counters, served from the metrics registry.
 
-    compiles: int = 0
-    cache_hits: int = 0
-    compile_seconds: float = 0.0
-    source_bytes: int = 0
-    fallbacks: int = 0  # auto-mode launches that fell back to the interpreter
+    The attribute API (``STATS.compiles += 1``, ``snapshot()``,
+    ``reset()``) is unchanged; the values now live in registry counters
+    (``repro_codegen_*``) so the Prometheus exposition and every snapshot
+    read the same store.
+    """
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        object.__setattr__(
+            self,
+            "_metrics",
+            {
+                name: registry.counter(f"repro_codegen_{name}", help)
+                for name, help in _FIELDS.items()
+            },
+        )
+
+    def __getattr__(self, name: str):
+        try:
+            child = self._metrics[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        value = child.value
+        return value if name == "compile_seconds" else int(value)
+
+    def __setattr__(self, name: str, value) -> None:
+        self._metrics[name].set(value)
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -42,11 +74,8 @@ class CodegenStats:
         }
 
     def reset(self) -> None:
-        self.compiles = 0
-        self.cache_hits = 0
-        self.compile_seconds = 0.0
-        self.source_bytes = 0
-        self.fallbacks = 0
+        for name in _FIELDS:
+            self._metrics[name].set(0.0)
 
 
 STATS = CodegenStats()
@@ -91,17 +120,24 @@ def get_compiled(
     hit = _CACHE.get(key)
     if hit is not None:
         STATS.cache_hits += 1
+        with obs_trace.span(
+            "codegen.compile", kernel=fn.name, cache="hit", grid_class=key[1]
+        ):
+            pass
         return hit
     started = time.perf_counter()
-    source, exec_globals, entry_name = lower_kernel(fn, module, bounds_check)
-    filename = f"<codegen:{fn.name}:{fp[:10]}>"
-    try:
-        code = compile(source, filename, "exec")
-    except SyntaxError as exc:  # pragma: no cover - emitter bug guard
-        raise CodegenError(
-            f"generated source for {fn.name} failed to compile: {exc}"
-        ) from exc
-    exec(code, exec_globals)
+    with obs_trace.span(
+        "codegen.compile", kernel=fn.name, cache="miss", grid_class=key[1]
+    ):
+        source, exec_globals, entry_name = lower_kernel(fn, module, bounds_check)
+        filename = f"<codegen:{fn.name}:{fp[:10]}>"
+        try:
+            code = compile(source, filename, "exec")
+        except SyntaxError as exc:  # pragma: no cover - emitter bug guard
+            raise CodegenError(
+                f"generated source for {fn.name} failed to compile: {exc}"
+            ) from exc
+        exec(code, exec_globals)
     # Make generated frames readable in tracebacks and pdb.
     linecache.cache[filename] = (len(source), None, source.splitlines(True), filename)
     compiled = CompiledKernel(

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..errors import CodegenError, ExecutionError
 from ..kernel import intrinsics, ir
+from ..obs import trace as obs_trace
 from .launch import (
     Grid,
     bind_arguments,
@@ -106,15 +107,22 @@ def launch(
             _codegen_cache.STATS.fallbacks += 1
         else:
             t.count_launch(grid.threads)
-            if not _maybe_shard(fn, mod, compiled, grid, bound, parallel):
-                compiled.run(grid, bound)
+            with obs_trace.span(
+                "engine.launch", kernel=fn.name, backend="codegen",
+                threads=grid.threads,
+            ):
+                if not _maybe_shard(fn, mod, compiled, grid, bound, parallel):
+                    compiled.run(grid, bound)
             from .hooks import notify_launch
 
             notify_launch(fn.name, grid, t, backend="codegen")
             return t
     execution = _Execution(fn, mod, grid, bound, t, bounds_check)
     execution.call_observer = call_observer
-    execution.run()
+    with obs_trace.span(
+        "engine.launch", kernel=fn.name, backend="interp", threads=grid.threads
+    ):
+        execution.run()
     from .hooks import notify_launch
 
     notify_launch(fn.name, grid, t)

@@ -1,0 +1,246 @@
+"""Process-wide metrics registry: counters, gauges, histograms with labels.
+
+Every subsystem registers its counters here instead of keeping private
+dicts: the codegen cache, the shard runtime, the worker pools, the guard
+and every serving session all increment registry metrics, and
+``metrics_snapshot()`` (plus the Prometheus exposition in
+:mod:`repro.obs.export`) are *views* over this one store — two callers
+can never assemble diverging counts from parallel bookkeeping.
+
+Naming follows the Prometheus conventions the exposition format expects:
+``repro_<subsystem>_<what>[_total|_seconds]``, lowercase snake_case, with
+dimensions expressed as labels (``pool="shard"``, ``session="s0"``)
+rather than baked into names.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram buckets: wall-times from 100us to 10s.
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0
+)
+
+
+def _label_key(labelnames: Tuple[str, ...], labels: Dict[str, str]) -> Tuple[str, ...]:
+    missing = [n for n in labelnames if n not in labels]
+    extra = [n for n in labels if n not in labelnames]
+    if missing or extra:
+        raise ConfigError(
+            f"metric labels mismatch (missing={missing}, unexpected={extra}; "
+            f"declared {list(labelnames)})"
+        )
+    return tuple(str(labels[n]) for n in labelnames)
+
+
+class Child:
+    """One (metric, label-values) time series."""
+
+    __slots__ = ("_lock", "_value", "kind", "_buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, kind: str, buckets: Optional[Tuple[float, ...]] = None):
+        self._lock = threading.Lock()
+        self.kind = kind
+        self._value = 0.0
+        if kind == HISTOGRAM:
+            self._buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+            self._counts = [0] * (len(self._buckets) + 1)  # +inf bucket
+            self._sum = 0.0
+            self._count = 0
+
+    # -- counters / gauges ---------------------------------------------------
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def max(self, value: float) -> None:
+        """Ratchet: keep the largest value ever set (pool high-water marks)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    # -- histograms ----------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def histogram_snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            cumulative, running = [], 0
+            for c in self._counts:
+                running += c
+                cumulative.append(running)
+            return {
+                "buckets": list(self._buckets),
+                "counts": cumulative,  # cumulative, le-style
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class Metric:
+    """A named metric family; label values select :class:`Child` series."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: Optional[Tuple[float, ...]] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = buckets
+        self._children: Dict[Tuple[str, ...], Child] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: object) -> Child:
+        key = _label_key(self.labelnames, {k: str(v) for k, v in labels.items()})
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = Child(self.kind, self._buckets)
+            return child
+
+    # Unlabelled families proxy to their single anonymous child.
+
+    def _anonymous(self) -> Child:
+        if self.labelnames:
+            raise ConfigError(
+                f"metric {self.name} has labels {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._anonymous().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._anonymous().set(value)
+
+    def observe(self, value: float) -> None:
+        self._anonymous().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._anonymous().value
+
+    def children(self) -> Dict[Tuple[str, ...], Child]:
+        with self._lock:
+            return dict(self._children)
+
+    def series(self) -> List[Tuple[Dict[str, str], Child]]:
+        """(labels dict, child) pairs, for exporters and registry views."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in self.children().items()
+        ]
+
+
+class MetricsRegistry:
+    """The process-wide metric store.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: re-registering an
+    existing name returns the existing family (so module reload, repeated
+    session construction and tests all share one series set), but
+    re-registering under a different kind or label set is a bug and
+    raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Iterable[str],
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Metric:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labelnames:
+                    raise ConfigError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}, cannot "
+                        f"re-register as {kind}{labelnames}"
+                    )
+                return existing
+            metric = Metric(name, kind, help, labelnames, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Metric:
+        return self._register(name, COUNTER, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Metric:
+        return self._register(name, GAUGE, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=None
+    ) -> Metric:
+        return self._register(name, HISTOGRAM, help, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Every series as a flat JSON-friendly dict (debugging/tests)."""
+        out: Dict[str, object] = {}
+        for metric in self.collect():
+            for labels, child in metric.series():
+                suffix = (
+                    "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels
+                    else ""
+                )
+                if metric.kind == HISTOGRAM:
+                    out[metric.name + suffix] = child.histogram_snapshot()
+                else:
+                    out[metric.name + suffix] = child.value
+        return out
+
+
+#: The default registry every subsystem registers into.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -1,0 +1,178 @@
+"""The quality-drift timeline: every quality decision, time-ordered.
+
+Green/SAGE-style recalibration is only debuggable with a record of *what
+the monitor saw and what the runtime did about it*, in order, with ids
+that tie each entry back to the launch (and trace) that produced it.  The
+timeline records five kinds of entry:
+
+* ``quality_sample`` — one sampled quality check (quality, windowed
+  estimate, TOQ, the serving variant and its modelled speedup);
+* ``toq_violation`` / ``drift`` — the monitor verdicts that trigger
+  recalibration;
+* ``knob_change`` — a recalibrator transition (which variant to which,
+  why);
+* ``breaker`` — a circuit-breaker state transition.
+
+Every entry carries ``session``, ``launch_id`` and ``trace_id``, so a
+served request can be traced from its input to the exact variant/knob
+state that produced it.  Entries are mirrored into the JSONL trace
+stream (``type: "event"``) when tracing is enabled, which is how the
+``python -m repro.obs summarize`` CLI renders the quality-vs-speedup
+timeline next to the span tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from . import trace as obs_trace
+
+#: Entry kinds, for filtering.
+QUALITY_SAMPLE = "quality_sample"
+TOQ_VIOLATION = "toq_violation"
+DRIFT = "drift"
+KNOB_CHANGE = "knob_change"
+BREAKER = "breaker"
+
+KINDS = (QUALITY_SAMPLE, TOQ_VIOLATION, DRIFT, KNOB_CHANGE, BREAKER)
+
+
+class QualityTimeline:
+    """Bounded, thread-safe, time-ordered record of quality events."""
+
+    def __init__(self, capacity: int = 16384) -> None:
+        self._entries: Deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+
+    def record(self, kind: str, **fields) -> Optional[dict]:
+        """Append one entry (no-op while tracing is disabled, so the
+        serving fast path pays nothing when observability is off)."""
+        if not obs_trace.enabled():
+            return None
+        entry: Dict[str, object] = {
+            "type": "event",
+            "kind": kind,
+            "seq": next(self._seq),
+            "t": time.perf_counter(),
+            **fields,
+        }
+        with self._lock:
+            self._entries.append(entry)
+        obs_trace.emit_event(entry)
+        return entry
+
+    # -- typed helpers -------------------------------------------------------
+
+    def quality_sample(
+        self,
+        session: str,
+        launch_id: int,
+        trace_id: Optional[str],
+        variant: str,
+        quality: float,
+        estimate: Optional[float],
+        toq: float,
+        speedup: float,
+        verdict: str = "",
+    ) -> None:
+        self.record(
+            QUALITY_SAMPLE,
+            session=session,
+            launch_id=launch_id,
+            trace_id=trace_id,
+            variant=variant,
+            quality=quality,
+            estimate=estimate,
+            toq=toq,
+            speedup=speedup,
+            verdict=verdict,
+        )
+
+    def verdict(
+        self,
+        kind: str,
+        session: str,
+        launch_id: int,
+        trace_id: Optional[str],
+        variant: str,
+        quality: Optional[float],
+    ) -> None:
+        """A TOQ violation or drift declaration."""
+        self.record(
+            kind,
+            session=session,
+            launch_id=launch_id,
+            trace_id=trace_id,
+            variant=variant,
+            quality=quality,
+        )
+
+    def knob_change(
+        self,
+        session: str,
+        launch_id: int,
+        trace_id: Optional[str],
+        from_variant: str,
+        to_variant: str,
+        reason: str,
+        quality: Optional[float] = None,
+    ) -> None:
+        self.record(
+            KNOB_CHANGE,
+            session=session,
+            launch_id=launch_id,
+            trace_id=trace_id,
+            from_variant=from_variant,
+            to_variant=to_variant,
+            reason=reason,
+            quality=quality,
+        )
+
+    def breaker(
+        self,
+        session: str,
+        launch_id: int,
+        trace_id: Optional[str],
+        variant: str,
+        state: str,
+        reason: str,
+    ) -> None:
+        self.record(
+            BREAKER,
+            session=session,
+            launch_id=launch_id,
+            trace_id=trace_id,
+            variant=variant,
+            state=state,
+            reason=reason,
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def entries(
+        self, kind: Optional[str] = None, session: Optional[str] = None
+    ) -> List[dict]:
+        with self._lock:
+            out = list(self._entries)
+        if kind is not None:
+            out = [e for e in out if e["kind"] == kind]
+        if session is not None:
+            out = [e for e in out if e.get("session") == session]
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_TIMELINE = QualityTimeline()
+
+
+def timeline() -> QualityTimeline:
+    """The process-wide quality timeline."""
+    return _TIMELINE

@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from ..errors import ConfigError
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
 
 #: Grids smaller than this many threads run serially even when a policy
 #: asks for workers: the pool handoff and geometry slicing cost more than
@@ -166,35 +168,50 @@ def resolve_policy(parallel) -> ParallelPolicy:
 
 
 class PoolStats:
-    """Counters for one named pool (thread-safe, monotonic)."""
+    """Counters for one named pool, served from the metrics registry.
 
-    __slots__ = ("tasks", "batches", "workers", "restarts", "_lock")
+    The series are labelled ``pool=<kind>`` (``repro_pool_tasks_total``,
+    ``repro_pool_batches_total``, ``repro_pool_max_workers``,
+    ``repro_pool_workers_restarted_total``), so every pool shares four
+    metric families and the snapshot is a registry view.
+    """
 
-    def __init__(self) -> None:
-        self.tasks = 0
-        self.batches = 0
-        self.workers = 0
-        self.restarts = 0
-        self._lock = threading.Lock()
+    __slots__ = ("_tasks", "_batches", "_workers", "_restarts")
+
+    def __init__(self, kind: str = "default") -> None:
+        registry = get_registry()
+        label = {"pool": kind}
+        self._tasks = registry.counter(
+            "repro_pool_tasks_total", "tasks submitted", labelnames=("pool",)
+        ).labels(**label)
+        self._batches = registry.counter(
+            "repro_pool_batches_total", "parallel_map batches", labelnames=("pool",)
+        ).labels(**label)
+        self._workers = registry.gauge(
+            "repro_pool_max_workers", "pool size high-water mark",
+            labelnames=("pool",),
+        ).labels(**label)
+        self._restarts = registry.counter(
+            "repro_pool_workers_restarted_total",
+            "pool replacements after worker death or timeout",
+            labelnames=("pool",),
+        ).labels(**label)
 
     def record(self, tasks: int, workers: int) -> None:
-        with self._lock:
-            self.tasks += tasks
-            self.batches += 1
-            self.workers = max(self.workers, workers)
+        self._tasks.inc(tasks)
+        self._batches.inc()
+        self._workers.max(workers)
 
     def record_restart(self) -> None:
-        with self._lock:
-            self.restarts += 1
+        self._restarts.inc()
 
     def snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "tasks": self.tasks,
-                "batches": self.batches,
-                "max_workers": self.workers,
-                "workers_restarted": self.restarts,
-            }
+        return {
+            "tasks": int(self._tasks.value),
+            "batches": int(self._batches.value),
+            "max_workers": int(self._workers.value),
+            "workers_restarted": int(self._restarts.value),
+        }
 
 
 _POOL_LOCK = threading.Lock()
@@ -222,7 +239,7 @@ def _stats_locked(kind: str) -> PoolStats:
     """``pool_stats`` body for callers already holding ``_POOL_LOCK``."""
     stats = _POOL_STATS.get(kind)
     if stats is None:
-        stats = _POOL_STATS[kind] = PoolStats()
+        stats = _POOL_STATS[kind] = PoolStats(kind)
     return stats
 
 
@@ -291,7 +308,9 @@ def parallel_map(kind: str, workers: int, fn: Callable, items: Sequence) -> List
     pool = get_pool(kind, workers)
     stats = pool_stats(kind)
     stats.record(len(items), workers)
-    return list(pool.map(fn, items))
+    # Spans started inside the tasks must parent to the submitting
+    # thread's ambient span (no-op wrap while tracing is disabled).
+    return list(pool.map(obs_trace.carry(fn), items))
 
 
 def pool_stats(kind: str) -> PoolStats:

@@ -31,7 +31,6 @@ index range may cover a sub-grid rather than the whole launch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -40,40 +39,58 @@ from ..codegen.cache import CompiledKernel
 from ..codegen.runtime import geometry
 from ..engine.launch import Grid
 from ..kernel import ir
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
 from .analysis import Shardability, analyze_shardability
 from .pool import ParallelPolicy, parallel_map
 
 # ------------------------------------------------------------------ stats
 
+#: Registry field -> help text; each becomes ``repro_shard_<field>``.
+_FIELDS = {
+    "sharded_launches": "launches split across the shard pool",
+    "shards_run": "individual shards executed",
+    "zero_copy": "sharded launches assembled zero-copy",
+    "overlay": "sharded launches assembled copy+overlay",
+    "serial_unshardable": "launches kept serial by the shardability analysis",
+    "serial_small_grid": "launches kept serial below the shard threshold",
+}
 
-@dataclass
+
 class ShardStats:
-    """Process-wide sharding counters, surfaced by ``serve.metrics``."""
+    """Process-wide sharding counters, served from the metrics registry.
 
-    sharded_launches: int = 0
-    shards_run: int = 0
-    zero_copy: int = 0
-    overlay: int = 0
-    serial_unshardable: int = 0
-    serial_small_grid: int = 0
+    The attribute API is unchanged; values live in ``repro_shard_*``
+    registry counters so snapshots and the Prometheus exposition read
+    one store.
+    """
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        object.__setattr__(
+            self,
+            "_metrics",
+            {
+                name: registry.counter(f"repro_shard_{name}", help)
+                for name, help in _FIELDS.items()
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return int(self._metrics[name].value)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        self._metrics[name].set(value)
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "sharded_launches": self.sharded_launches,
-            "shards_run": self.shards_run,
-            "zero_copy": self.zero_copy,
-            "overlay": self.overlay,
-            "serial_unshardable": self.serial_unshardable,
-            "serial_small_grid": self.serial_small_grid,
-        }
+        return {name: int(self._metrics[name].value) for name in _FIELDS}
 
     def reset(self) -> None:
-        self.sharded_launches = 0
-        self.shards_run = 0
-        self.zero_copy = 0
-        self.overlay = 0
-        self.serial_unshardable = 0
-        self.serial_small_grid = 0
+        for name in _FIELDS:
+            self._metrics[name].set(0.0)
 
 
 STATS = ShardStats()
@@ -118,9 +135,12 @@ def _run_zero_copy(
     block_threads = grid.block_threads
     args = [bound[name] for name in compiled.param_names]
 
-    def run_one(span: Tuple[int, int]) -> None:
-        b0, b1 = span
-        compiled.entry(geo.shard(b0, b1, block_threads), *args)
+    def run_one(shard_span: Tuple[int, int]) -> None:
+        b0, b1 = shard_span
+        with obs_trace.span(
+            "shard.run", kernel=compiled.fn_name, blocks=f"{b0}:{b1}", mode="zero_copy"
+        ):
+            compiled.entry(geo.shard(b0, b1, block_threads), *args)
 
     parallel_map("shard", workers, run_one, plan)
 
@@ -137,16 +157,19 @@ def _run_overlay(
     block_threads = grid.block_threads
     pristine = {name: bound[name].copy() for name in written}
 
-    def run_one(span: Tuple[int, int]) -> Dict[str, np.ndarray]:
-        b0, b1 = span
-        private = dict(bound)
-        for name in written:
-            private[name] = pristine[name].copy()
-        compiled.entry(
-            geo.shard(b0, b1, block_threads),
-            *[private[name] for name in compiled.param_names],
-        )
-        return {name: private[name] for name in written}
+    def run_one(shard_span: Tuple[int, int]) -> Dict[str, np.ndarray]:
+        b0, b1 = shard_span
+        with obs_trace.span(
+            "shard.run", kernel=compiled.fn_name, blocks=f"{b0}:{b1}", mode="overlay"
+        ):
+            private = dict(bound)
+            for name in written:
+                private[name] = pristine[name].copy()
+            compiled.entry(
+                geo.shard(b0, b1, block_threads),
+                *[private[name] for name in compiled.param_names],
+            )
+            return {name: private[name] for name in written}
 
     results = parallel_map("shard", workers, run_one, plan)
     for shard_out in results:  # ascending shard order = serial store order

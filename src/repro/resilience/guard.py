@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ResilienceError, ShardTimeout, WorkerDeath
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
 from .faults import SITE_OUTPUT, SITE_WORKER, active_plan, maybe_inject
 from .validate import corrupt_output, validate_output
 
@@ -102,36 +104,54 @@ class use_guard:
 # ------------------------------------------------------------------- stats
 
 
-@dataclass
-class GuardStats:
-    """Process-wide guard counters, surfaced by ``serve.metrics``."""
+#: Registry field -> help text; each becomes ``repro_guard_<field>``.
+_FIELDS = {
+    "guarded_launches": "fallback-ladder walks",
+    "guarded_sharded": "sharded launches run under the guard",
+    "shard_retries": "failed shards re-submitted",
+    "shard_timeouts": "sharded launches that overran their deadline",
+    "serial_reexecutions": "launches recomputed serially after containment",
+    "pool_replacements": "pools replaced after worker death or timeout",
+    "validation_trips": "outputs rejected by the NaN/Inf guardrail",
+    "containments": "rung failures absorbed by the ladder",
+    "corruptions_injected": "fault-injected output corruptions",
+}
 
-    guarded_launches: int = 0  # ladder walks
-    guarded_sharded: int = 0  # sharded launches run under the guard
-    shard_retries: int = 0
-    shard_timeouts: int = 0
-    serial_reexecutions: int = 0
-    pool_replacements: int = 0
-    validation_trips: int = 0
-    containments: int = 0  # rung failures absorbed by the ladder
-    corruptions_injected: int = 0
+
+class GuardStats:
+    """Process-wide guard counters, served from the metrics registry.
+
+    The attribute API is unchanged; values live in ``repro_guard_*``
+    registry counters so snapshots and the Prometheus exposition read
+    one store.
+    """
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        object.__setattr__(
+            self,
+            "_metrics",
+            {
+                name: registry.counter(f"repro_guard_{name}", help)
+                for name, help in _FIELDS.items()
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return int(self._metrics[name].value)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        self._metrics[name].set(value)
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "guarded_launches": self.guarded_launches,
-            "guarded_sharded": self.guarded_sharded,
-            "shard_retries": self.shard_retries,
-            "shard_timeouts": self.shard_timeouts,
-            "serial_reexecutions": self.serial_reexecutions,
-            "pool_replacements": self.pool_replacements,
-            "validation_trips": self.validation_trips,
-            "containments": self.containments,
-            "corruptions_injected": self.corruptions_injected,
-        }
+        return {name: int(self._metrics[name].value) for name in _FIELDS}
 
     def reset(self) -> None:
-        for key in self.snapshot():
-            setattr(self, key, 0)
+        for name in _FIELDS:
+            self._metrics[name].set(0.0)
 
 
 STATS = GuardStats()
@@ -163,6 +183,8 @@ def guarded_map(
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    ambient = obs_trace.current_span()
+    fn = obs_trace.carry(fn)
     deadline = time.monotonic() + policy.deadline_seconds
     executor = pool_mod.get_healthy_pool(kind, workers)
     pool_mod.pool_stats(kind).record(len(items), workers)
@@ -208,6 +230,13 @@ def guarded_map(
                 raise exc
             attempts[idx] += 1
             STATS.shard_retries += 1
+            if ambient is not None:
+                ambient.event(
+                    "shard_retry",
+                    shard=idx,
+                    attempt=attempts[idx],
+                    error=type(exc).__name__,
+                )
             if policy.backoff_seconds:
                 time.sleep(
                     min(
@@ -224,6 +253,8 @@ def guarded_map(
             future.cancel()
         STATS.shard_timeouts += 1
         STATS.pool_replacements += 1
+        if ambient is not None:
+            ambient.event("shard_timeout", outstanding=len(pending))
         pool_mod.replace_pool(kind, workers)
         raise ShardTimeout(
             f"sharded launch overran its {policy.deadline_seconds:.3f}s "
@@ -258,17 +289,20 @@ def run_sharded_guarded(
     block_threads = grid.block_threads
     pristine = {name: bound[name].copy() for name in written}
 
-    def run_one(span: Tuple[int, int]) -> Dict[str, np.ndarray]:
-        b0, b1 = span
-        maybe_inject(SITE_WORKER, f"{compiled.fn_name}:{b0}-{b1}")
-        private = dict(bound)
-        for name in written:
-            private[name] = pristine[name].copy()
-        compiled.entry(
-            geo.shard(b0, b1, block_threads),
-            *[private[name] for name in compiled.param_names],
-        )
-        return {name: private[name] for name in written}
+    def run_one(shard_span: Tuple[int, int]) -> Dict[str, np.ndarray]:
+        b0, b1 = shard_span
+        with obs_trace.span(
+            "shard.run", kernel=compiled.fn_name, blocks=f"{b0}:{b1}", mode="guarded"
+        ):
+            maybe_inject(SITE_WORKER, f"{compiled.fn_name}:{b0}-{b1}")
+            private = dict(bound)
+            for name in written:
+                private[name] = pristine[name].copy()
+            compiled.entry(
+                geo.shard(b0, b1, block_threads),
+                *[private[name] for name in compiled.param_names],
+            )
+            return {name: private[name] for name in written}
 
     STATS.guarded_sharded += 1
     try:
@@ -367,7 +401,9 @@ def run_ladder(
         policy = current_policy()
     if policy is None or not policy.enabled:
         label = "variant" if variant is not None else "exact"
-        with use_backend(backend), use_parallel(workers):
+        with obs_trace.span(
+            "ladder.rung", rung=label, depth=0, guarded=False
+        ), use_backend(backend), use_parallel(workers):
             if variant is None:
                 out, _trace = app.run_exact(inputs)
             else:
@@ -381,8 +417,11 @@ def run_ladder(
     report = LadderReport(served="", depth=0)
     for depth, (label, be, w, runs_variant) in enumerate(rungs):
         final = depth == len(rungs) - 1
+        rung_span = obs_trace.span(
+            "ladder.rung", rung=label, depth=depth, backend=be, guarded=True
+        )
         try:
-            with use_guard(policy), use_backend(be), use_parallel(w):
+            with rung_span, use_guard(policy), use_backend(be), use_parallel(w):
                 if runs_variant:
                     out, _trace = app.run_variant(variant, inputs)
                 else:
@@ -410,6 +449,11 @@ def run_ladder(
                 violation = validate_output(out, policy.value_limit)
                 if violation is not None:
                     STATS.validation_trips += 1
+                    ambient = obs_trace.current_span()
+                    if ambient is not None:
+                        ambient.event(
+                            "validation_trip", rung=label, error=violation
+                        )
                     report.attempts.append(
                         LadderAttempt(
                             label, False, error=violation, site="output.validate"

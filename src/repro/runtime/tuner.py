@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..device import CostModel, DeviceSpec
 from ..errors import SerializationError, TuningError
+from ..obs import trace as obs_trace
 
 
 @dataclass
@@ -262,6 +263,14 @@ class GreedyTuner:
         circuit breaker); they are still profiled, so their measurements
         stay warm for re-admission.
         """
+        with obs_trace.span(
+            "tune.profile", app=app.name, workers=self.workers, repeats=repeats
+        ):
+            return self._profile(app, variants, inputs, repeats, exclude)
+
+    def _profile(
+        self, app, variants, inputs, repeats: int, exclude
+    ) -> TuningResult:
         from ..parallel.pool import parallel_map
         from ..parallel.profiler import profile_key
 
@@ -278,31 +287,36 @@ class GreedyTuner:
         cache = self.profile_cache
 
         def measure(variant) -> VariantProfile:
-            qualities, cycles = [], []
-            for (exact_out, _t), ins in zip(exact_runs, input_sets):
-                key = (
-                    profile_key(app.name, device, variant, ins)
-                    if cache is not None
-                    else None
-                )
-                hit = cache.get(key) if cache is not None else None
-                if hit is None:
-                    out, trace = app.run_variant(variant, ins)
-                    hit = (
-                        float(app.quality(out, exact_out)),
-                        float(self.cost_model.cycles(trace)),
+            with obs_trace.span("tune.measure", variant=variant.name) as span:
+                qualities, cycles = [], []
+                cache_hits = 0
+                for (exact_out, _t), ins in zip(exact_runs, input_sets):
+                    key = (
+                        profile_key(app.name, device, variant, ins)
+                        if cache is not None
+                        else None
                     )
-                    if cache is not None:
-                        cache.put(key, hit)
-                qualities.append(hit[0])
-                cycles.append(hit[1])
-            mean_cycles = sum(cycles) / len(cycles)
-            return VariantProfile(
-                variant=variant,
-                quality=sum(qualities) / len(qualities),
-                cycles=mean_cycles,
-                speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
-            )
+                    hit = cache.get(key) if cache is not None else None
+                    if hit is None:
+                        out, trace = app.run_variant(variant, ins)
+                        hit = (
+                            float(app.quality(out, exact_out)),
+                            float(self.cost_model.cycles(trace)),
+                        )
+                        if cache is not None:
+                            cache.put(key, hit)
+                    else:
+                        cache_hits += 1
+                    qualities.append(hit[0])
+                    cycles.append(hit[1])
+                mean_cycles = sum(cycles) / len(cycles)
+                span.set(cache_hits=cache_hits, input_sets=len(input_sets))
+                return VariantProfile(
+                    variant=variant,
+                    quality=sum(qualities) / len(qualities),
+                    cycles=mean_cycles,
+                    speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
+                )
 
         profiles = [
             VariantProfile(

@@ -12,10 +12,11 @@ from .cache import CacheEntry, VariantCache, app_fingerprint, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
 from .monitor import DRIFT, HEADROOM, OK, VIOLATION, MonitorConfig, QualityMonitor
 from .recalibrate import Recalibrator
-from .session import ApproxSession
+from .session import ApproxSession, LaunchInfo
 
 __all__ = [
     "ApproxSession",
+    "LaunchInfo",
     "VariantCache",
     "CacheEntry",
     "cache_key",

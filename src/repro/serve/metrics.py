@@ -3,17 +3,36 @@
 A session records one :class:`LaunchRecord` per launch and rolls the
 aggregate counters a deployment would scrape — launches served, sampled
 quality checks, TOQ violations, recalibrations, cache traffic — into a
-JSON-friendly snapshot.  An optional JSONL event log persists every event
-for offline analysis.
+JSON-friendly snapshot.  Since the unified observability layer
+(:mod:`repro.obs`) landed, the counters live in the process-wide metrics
+registry under a per-session ``session=<label>`` label:
+:meth:`SessionMetrics.snapshot` is a *view* over the registry, the same
+store the Prometheus exposition reads, so the snapshot and the scrape
+endpoint can never diverge.  The resilience section (guard counters,
+fault counts, fallback depths, breaker states, guard policy) is
+assembled in exactly one place — here — from sources the session binds
+at construction.
+
+An optional JSONL event log persists every event for offline analysis.
+It predates the observability layer and is **superseded** by the
+``REPRO_OBS=1`` / ``REPRO_OBS_TRACE`` trace stream (which adds spans and
+trace correlation ids); it is kept for backward compatibility.  See
+``docs/OBSERVABILITY.md`` for the migration notes.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 from collections import deque
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Deque, Dict, List, Optional
+
+from ..obs.registry import get_registry
+from ..obs.timeline import timeline as obs_timeline
+
+_SESSION_IDS = itertools.count()
 
 
 @dataclass
@@ -33,6 +52,9 @@ class LaunchRecord:
     served: str = ""  # ladder rung that produced the output ("" = primary)
     fallback_depth: int = 0  # 0 = primary attempt succeeded
     faults: List[str] = field(default_factory=list)  # "rung:site" per containment
+    launch_id: int = -1  # session-monotonic correlation id
+    trace_id: Optional[str] = None  # obs trace id (None while tracing is off)
+    duration: float = 0.0  # wall seconds of the served launch
 
 
 @dataclass
@@ -47,7 +69,12 @@ class Transition:
 
 
 class EventLog:
-    """Append-only JSONL sink; one JSON object per line."""
+    """Append-only JSONL sink; one JSON object per line.
+
+    Superseded by the :mod:`repro.obs` trace stream (``REPRO_OBS=1`` +
+    ``REPRO_OBS_TRACE``), which carries the same launch events plus spans
+    and correlation ids; kept for existing consumers.
+    """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
@@ -64,28 +91,84 @@ class EventLog:
 
 
 class SessionMetrics:
-    """Counters and recent history for one :class:`ApproxSession`."""
+    """Counters and recent history for one :class:`ApproxSession`.
 
-    def __init__(self, history: int = 256, event_log: Optional[EventLog] = None):
-        self.launches = 0
-        self.sampled_checks = 0
-        self.toq_violations = 0
-        self.drift_events = 0
-        self.recalibrations_down = 0
-        self.recalibrations_up = 0
-        self.compile_cache_hits = 0
-        self.compile_cache_misses = 0
-        self.tune_cache_hits = 0
-        self.tune_cache_misses = 0
-        self.kernel_launches = 0
-        self.backend_launches: Dict[str, int] = {}
-        self.compile_seconds = 0.0
-        self.tune_seconds = 0.0
-        self.fault_counts: Dict[str, int] = {}
-        self.fallback_depths: Dict[int, int] = {}
-        self.fallback_launches = 0
-        self.quarantines = 0
-        self.readmissions = 0
+    Scalar counters are registry series labelled with this session's
+    ``label``; dict-shaped views (per-backend launches, fault counts,
+    fallback depths) are registry families with an extra label dimension.
+    History (recent launch records, transitions) stays in-process — it is
+    bounded narrative, not a metric.
+    """
+
+    def __init__(
+        self,
+        history: int = 256,
+        event_log: Optional[EventLog] = None,
+        label: Optional[str] = None,
+    ):
+        self.label = label if label is not None else f"s{next(_SESSION_IDS)}"
+        registry = get_registry()
+
+        def counter(name: str, help: str):
+            return registry.counter(
+                f"repro_session_{name}", help, labelnames=("session",)
+            ).labels(session=self.label)
+
+        self._launches = counter("launches_total", "launches served")
+        self._sampled = counter("sampled_checks_total", "sampled quality checks")
+        self._toq_violations = counter("toq_violations_total", "TOQ violations")
+        self._drift_events = counter("drift_events_total", "drift declarations")
+        self._recal_down = counter(
+            "recalibrations_down_total", "ladder steps toward exact"
+        )
+        self._recal_up = counter(
+            "recalibrations_up_total", "ladder steps toward aggressive"
+        )
+        self._compile_hits = counter(
+            "compile_cache_hits_total", "variant-cache hits"
+        )
+        self._compile_misses = counter(
+            "compile_cache_misses_total", "variant-cache misses"
+        )
+        self._tune_hits = counter("tune_cache_hits_total", "tuning resumes")
+        self._tune_misses = counter("tune_cache_misses_total", "tuning re-profiles")
+        self._kernel_launches = counter(
+            "kernel_launches_total", "kernel launches observed"
+        )
+        self._compile_seconds = counter(
+            "compile_seconds", "wall time in session compiles"
+        )
+        self._tune_seconds = counter("tune_seconds", "wall time in session tunes")
+        self._fallback_launches = counter(
+            "fallback_launches_total", "launches served below the primary rung"
+        )
+        self._quarantines = counter(
+            "quarantines_total", "breaker transitions to open"
+        )
+        self._readmissions = counter(
+            "readmissions_total", "breaker transitions back to closed"
+        )
+        self._backend_family = registry.counter(
+            "repro_session_backend_launches_total",
+            "kernel launches per backend",
+            labelnames=("session", "backend"),
+        )
+        self._fault_family = registry.counter(
+            "repro_session_faults_total",
+            "contained faults per site",
+            labelnames=("session", "fault"),
+        )
+        self._depth_family = registry.counter(
+            "repro_session_fallback_depth_total",
+            "launches per fallback depth",
+            labelnames=("session", "depth"),
+        )
+        self._launch_seconds = registry.histogram(
+            "repro_session_launch_seconds",
+            "wall time of served launches",
+            labelnames=("session",),
+        ).labels(session=self.label)
+
         # Baselines of the process-wide codegen, shard and guard counters
         # at session start, so the snapshot attributes compiles/hits/
         # shards/containments to *this* session.
@@ -102,33 +185,65 @@ class SessionMetrics:
         self.records: Deque[LaunchRecord] = deque(maxlen=history)
         self.transitions: List[Transition] = []
         self.event_log = event_log
+        # Bound by the session so the parallel/resilience sections are
+        # assembled in exactly one place (see bind_session_sources).
+        self._breaker = None
+        self._guard_policy = None
+        self._profile_cache = None
+        self._workers: Optional[int] = None
+        # Correlation ids of the launch currently in flight.
+        self._current_launch_id = -1
+        self._current_trace_id: Optional[str] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind_session_sources(
+        self, breaker=None, guard_policy=None, profile_cache=None, workers=None
+    ) -> None:
+        """Attach the session-owned objects the snapshot reports on.
+
+        Keeping the assembly here (rather than splitting it between this
+        module and ``session.py``) means breaker states, guard policy and
+        fault counters come from one code path and cannot diverge.
+        """
+        self._breaker = breaker
+        self._guard_policy = guard_policy
+        self._profile_cache = profile_cache
+        self._workers = workers
+
+    def begin_launch(self, launch_id: int, trace_id: Optional[str]) -> None:
+        """Record the correlation ids of the launch now being served."""
+        self._current_launch_id = launch_id
+        self._current_trace_id = trace_id
 
     # -- recording -----------------------------------------------------------
 
     def record_launch(self, record: LaunchRecord) -> None:
-        self.launches += 1
-        self.kernel_launches += record.kernel_launches
+        self._launches.inc()
+        self._kernel_launches.inc(record.kernel_launches)
         for backend, count in record.backends.items():
-            self.backend_launches[backend] = (
-                self.backend_launches.get(backend, 0) + count
-            )
+            self._backend_family.labels(
+                session=self.label, backend=backend
+            ).inc(count)
         if record.sampled:
-            self.sampled_checks += 1
+            self._sampled.inc()
         if record.reason == "toq_violation":
-            self.toq_violations += 1
+            self._toq_violations.inc()
         if record.reason == "drift":
-            self.drift_events += 1
+            self._drift_events.inc()
         if record.action == "recalibrate_down":
-            self.recalibrations_down += 1
+            self._recal_down.inc()
         elif record.action == "recalibrate_up":
-            self.recalibrations_up += 1
+            self._recal_up.inc()
         for fault in record.faults:
-            self.fault_counts[fault] = self.fault_counts.get(fault, 0) + 1
-        self.fallback_depths[record.fallback_depth] = (
-            self.fallback_depths.get(record.fallback_depth, 0) + 1
-        )
+            self._fault_family.labels(session=self.label, fault=fault).inc()
+        self._depth_family.labels(
+            session=self.label, depth=record.fallback_depth
+        ).inc()
         if record.fallback_depth > 0:
-            self.fallback_launches += 1
+            self._fallback_launches.inc()
+        if record.duration:
+            self._launch_seconds.observe(record.duration)
         self.records.append(record)
         self._emit({"event": "launch", **asdict(record)})
 
@@ -136,45 +251,158 @@ class SessionMetrics:
         """Roll up one circuit-breaker transition (drained from the
         session's :class:`~repro.resilience.breaker.VariantBreaker`)."""
         if event.get("state") == "open":
-            self.quarantines += 1
+            self._quarantines.inc()
         elif event.get("state") == "closed":
-            self.readmissions += 1
+            self._readmissions.inc()
+        obs_timeline().breaker(
+            session=self.label,
+            launch_id=self._current_launch_id,
+            trace_id=self._current_trace_id,
+            variant=str(event.get("variant", "")),
+            state=str(event.get("state", "")),
+            reason=str(event.get("reason", "")),
+        )
         self._emit(dict(event))
 
     def record_transition(self, transition: Transition) -> None:
         self.transitions.append(transition)
+        obs_timeline().knob_change(
+            session=self.label,
+            launch_id=self._current_launch_id,
+            trace_id=self._current_trace_id,
+            from_variant=transition.from_variant,
+            to_variant=transition.to_variant,
+            reason=transition.reason,
+            quality=transition.quality,
+        )
         self._emit({"event": "transition", **asdict(transition)})
 
     def record_compile(self, cache: str, seconds: float) -> None:
         """``cache`` is "memory", "disk" or "miss"."""
         if cache == "miss":
-            self.compile_cache_misses += 1
+            self._compile_misses.inc()
         else:
-            self.compile_cache_hits += 1
-        self.compile_seconds += seconds
+            self._compile_hits.inc()
+        self._compile_seconds.inc(seconds)
         self._emit({"event": "compile", "cache": cache, "seconds": seconds})
 
     def record_tune(self, cache: str, seconds: float) -> None:
         if cache == "miss":
-            self.tune_cache_misses += 1
+            self._tune_misses.inc()
         else:
-            self.tune_cache_hits += 1
-        self.tune_seconds += seconds
+            self._tune_hits.inc()
+        self._tune_seconds.inc(seconds)
         self._emit({"event": "tune", "cache": cache, "seconds": seconds})
 
     def _emit(self, event: Dict[str, object]) -> None:
         if self.event_log is not None:
             self.event_log.emit(event)
 
+    # -- registry views (legacy attribute API) --------------------------------
+
+    @property
+    def launches(self) -> int:
+        return int(self._launches.value)
+
+    @property
+    def sampled_checks(self) -> int:
+        return int(self._sampled.value)
+
+    @property
+    def toq_violations(self) -> int:
+        return int(self._toq_violations.value)
+
+    @property
+    def drift_events(self) -> int:
+        return int(self._drift_events.value)
+
+    @property
+    def recalibrations_down(self) -> int:
+        return int(self._recal_down.value)
+
+    @property
+    def recalibrations_up(self) -> int:
+        return int(self._recal_up.value)
+
+    @property
+    def compile_cache_hits(self) -> int:
+        return int(self._compile_hits.value)
+
+    @property
+    def compile_cache_misses(self) -> int:
+        return int(self._compile_misses.value)
+
+    @property
+    def tune_cache_hits(self) -> int:
+        return int(self._tune_hits.value)
+
+    @property
+    def tune_cache_misses(self) -> int:
+        return int(self._tune_misses.value)
+
+    @property
+    def kernel_launches(self) -> int:
+        return int(self._kernel_launches.value)
+
+    @property
+    def compile_seconds(self) -> float:
+        return self._compile_seconds.value
+
+    @property
+    def tune_seconds(self) -> float:
+        return self._tune_seconds.value
+
+    @property
+    def fallback_launches(self) -> int:
+        return int(self._fallback_launches.value)
+
+    @property
+    def quarantines(self) -> int:
+        return int(self._quarantines.value)
+
+    @property
+    def readmissions(self) -> int:
+        return int(self._readmissions.value)
+
+    def _labelled_view(self, family, key: str) -> Dict[str, int]:
+        return {
+            labels[key]: int(child.value)
+            for labels, child in family.series()
+            if labels.get("session") == self.label and child.value
+        }
+
+    @property
+    def backend_launches(self) -> Dict[str, int]:
+        return self._labelled_view(self._backend_family, "backend")
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        return self._labelled_view(self._fault_family, "fault")
+
+    @property
+    def fallback_depths(self) -> Dict[int, int]:
+        return {
+            int(depth): count
+            for depth, count in self._labelled_view(
+                self._depth_family, "depth"
+            ).items()
+        }
+
     # -- reporting -----------------------------------------------------------
 
     @property
     def sampling_overhead(self) -> float:
         """Fraction of launches that also paid an exact execution."""
-        return self.sampled_checks / self.launches if self.launches else 0.0
+        launches = self.launches
+        return self.sampled_checks / launches if launches else 0.0
 
     def snapshot(self) -> dict:
-        """The JSON-serialisable state a metrics endpoint would return."""
+        """The JSON-serialisable state a metrics endpoint would return.
+
+        Every count is read from the metrics registry; the breaker and
+        guard-policy sections come from the session-bound sources, so
+        this method is the *single* assembly point for the whole view.
+        """
         recent = list(self.records)[-16:]
         current = self._codegen_stats()
         codegen = {
@@ -193,6 +421,10 @@ class SessionMetrics:
             },
             "pools": _pools(),
         }
+        if self._workers is not None:
+            parallel["workers"] = self._workers
+        if self._profile_cache is not None:
+            parallel["profile_cache"] = self._profile_cache.snapshot()
         guard_now = self._guard_stats()
         resilience = {
             "guard": {
@@ -208,6 +440,14 @@ class SessionMetrics:
             "quarantines": self.quarantines,
             "readmissions": self.readmissions,
         }
+        if self._breaker is not None:
+            resilience["breakers"] = self._breaker.snapshot()
+        if self._guard_policy is not None:
+            resilience["guard_policy"] = {
+                "enabled": self._guard_policy.enabled,
+                "retries": self._guard_policy.retries,
+                "deadline_seconds": self._guard_policy.deadline_seconds,
+            }
         return {
             "launches": self.launches,
             "kernel_launches": self.kernel_launches,

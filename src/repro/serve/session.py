@@ -18,7 +18,9 @@ the structured counters and the transition history.
 
 from __future__ import annotations
 
+import itertools
 import time
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..approx.base import VariantSet
@@ -26,6 +28,8 @@ from ..approx.compiler import Paraprox, ParaproxConfig
 from ..device import DeviceKind, spec_for
 from ..engine import launch_hook, validate_backend
 from ..errors import ServeError
+from ..obs import trace as obs_trace
+from ..obs.timeline import timeline as obs_timeline
 from ..parallel import ProfileCache, resolve_workers
 from ..resilience.breaker import BreakerConfig, VariantBreaker
 from ..resilience.faults import SITE_QUALITY, maybe_inject
@@ -35,6 +39,27 @@ from .cache import CacheEntry, VariantCache, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
 from .monitor import DRIFT, HEADROOM, VIOLATION, MonitorConfig, QualityMonitor
 from .recalibrate import Recalibrator
+
+
+@dataclass(frozen=True)
+class LaunchInfo:
+    """Correlation record of the most recent :meth:`ApproxSession.launch`.
+
+    ``launch_id`` increases monotonically per session and is stamped on
+    the launch's root span, its quality-timeline entries, and the
+    :class:`~repro.serve.metrics.LaunchRecord`, so one served request can
+    be followed across every observability surface.  ``trace_id`` is None
+    while tracing is disabled.
+    """
+
+    launch_id: int
+    trace_id: Optional[str]
+    index: int
+    variant: str
+    served: str
+    fallback_depth: int
+    sampled: bool
+    quality: Optional[float]
 
 
 class ApproxSession:
@@ -102,7 +127,15 @@ class ApproxSession:
         self.metrics = SessionMetrics(
             event_log=EventLog(event_log) if event_log is not None else None
         )
+        self.metrics.bind_session_sources(
+            breaker=self.breaker,
+            guard_policy=self.guard,
+            profile_cache=self.profile_cache,
+            workers=self.parallel_workers,
+        )
         self.tuner_repeats = tuner_repeats
+        self._launch_ids = itertools.count()
+        self._last_launch: Optional[LaunchInfo] = None
         self._entry: Optional[CacheEntry] = None
         self._variants: Optional[VariantSet] = None
         self._tuning: Optional[TuningResult] = None
@@ -141,27 +174,31 @@ class ApproxSession:
         self._check_open()
         key = self.key
         started = time.perf_counter()
-        tier = "miss" if force else self.cache.tier(key)
-        entry = None if force else self.cache.get(key)
-        if entry is None:
-            tier = "miss"
-            variants = self.paraprox.compile(self.app, self.device)
-            entry = CacheEntry(
-                key=key,
-                variants=variants,
-                meta={
-                    "app": self.app.name,
-                    "device": self.spec.kind.value,
-                    "toq": self.toq,
-                },
-            )
-            self.cache.put(entry)
-        elif (
-            isinstance(entry.variants, VariantSet)
-            and entry.variants.exact is None
-        ):
-            # The disk level drops the exact KernelFn; reattach the app's.
-            entry.variants.exact = getattr(self.app, "kernel", None)
+        with obs_trace.span(
+            "serve.compile", app=self.app.name, session=self.metrics.label
+        ) as compile_span:
+            tier = "miss" if force else self.cache.tier(key)
+            entry = None if force else self.cache.get(key)
+            if entry is None:
+                tier = "miss"
+                variants = self.paraprox.compile(self.app, self.device)
+                entry = CacheEntry(
+                    key=key,
+                    variants=variants,
+                    meta={
+                        "app": self.app.name,
+                        "device": self.spec.kind.value,
+                        "toq": self.toq,
+                    },
+                )
+                self.cache.put(entry)
+            elif (
+                isinstance(entry.variants, VariantSet)
+                and entry.variants.exact is None
+            ):
+                # The disk level drops the exact KernelFn; reattach the app's.
+                entry.variants.exact = getattr(self.app, "kernel", None)
+            compile_span.set(cache=tier)
         self.metrics.record_compile(tier, time.perf_counter() - started)
         self._entry = entry
         self._variants = entry.variants
@@ -185,17 +222,23 @@ class ApproxSession:
         started = time.perf_counter()
         saved = self._entry.tuning if self._entry is not None else None
         quarantined = self.breaker.quarantined()
-        if saved is not None and not force:
-            result = tuner.resume(self.app, variants, saved, exclude=quarantined)
-        else:
-            result = tuner.profile(
-                self.app,
-                variants,
-                self.app.generate_inputs(seed=self.app.seed),
-                repeats=self.tuner_repeats,
-                exclude=quarantined,
-            )
-        cache_state = "resume" if getattr(result, "resumed", False) else "miss"
+        with obs_trace.span(
+            "serve.tune", app=self.app.name, session=self.metrics.label
+        ) as tune_span:
+            if saved is not None and not force:
+                result = tuner.resume(
+                    self.app, variants, saved, exclude=quarantined
+                )
+            else:
+                result = tuner.profile(
+                    self.app,
+                    variants,
+                    self.app.generate_inputs(seed=self.app.seed),
+                    repeats=self.tuner_repeats,
+                    exclude=quarantined,
+                )
+            cache_state = "resume" if getattr(result, "resumed", False) else "miss"
+            tune_span.set(cache=cache_state, chosen=result.chosen.name)
         self.metrics.record_tune(cache_state, time.perf_counter() - started)
         self._tuning = result
         if self._entry is not None:
@@ -226,6 +269,7 @@ class ApproxSession:
             self.tune()
         recal = self._recalibrator
         index = self.metrics.launches
+        launch_id = next(self._launch_ids)
         kernel_launches = [0]
         backend_counts: Dict[str, int] = {}
 
@@ -233,47 +277,96 @@ class ApproxSession:
             kernel_launches[0] += 1
             backend_counts[event.backend] = backend_counts.get(event.backend, 0) + 1
 
-        self._step_off_quarantined(index)
-        variant = recal.current
-        with launch_hook(count):
-            out, report = run_ladder(
-                self.app,
-                inputs,
-                variant,
-                backend=self.backend,
-                workers=self.parallel_workers,
-                policy=self.guard,
-            )
+        started = time.perf_counter()
+        with obs_trace.span(
+            "serve.launch",
+            app=self.app.name,
+            session=self.metrics.label,
+            launch_id=launch_id,
+        ) as root:
+            self.metrics.begin_launch(launch_id, root.trace_id)
+            self._step_off_quarantined(index)
+            variant = recal.current
+            root.set(variant=recal.current_name)
+            with launch_hook(count):
+                out, report = run_ladder(
+                    self.app,
+                    inputs,
+                    variant,
+                    backend=self.backend,
+                    workers=self.parallel_workers,
+                    policy=self.guard,
+                )
 
-        record = LaunchRecord(
+            record = LaunchRecord(
+                index=index,
+                variant=recal.current_name,
+                knobs=dict(getattr(variant, "knobs", {}) or {}),
+                speedup_estimate=recal.speedup_estimate,
+                kernel_launches=kernel_launches[0],
+                backends=backend_counts,
+                served=report.served,
+                fallback_depth=report.depth,
+                faults=[f"{a.rung}:{a.site}" for a in report.faults],
+                launch_id=launch_id,
+                trace_id=root.trace_id,
+            )
+            if variant is not None:
+                name = recal.current_name
+                if report.primary_ok:
+                    self.breaker.record_success(name, index)
+                else:
+                    reason = report.faults[0].site if report.faults else "fault"
+                    if self.breaker.record_fault(name, index, reason):
+                        self._quarantine(record)
+            served_primary = report.primary_ok
+            if self.monitor.should_sample(index) and served_primary:
+                record.sampled = True
+                quality = self._evaluate_quality(out, inputs, variant, record)
+                if quality is not None:
+                    record.quality = quality
+                    verdict = self.monitor.observe(quality)
+                    obs_timeline().quality_sample(
+                        session=self.metrics.label,
+                        launch_id=launch_id,
+                        trace_id=root.trace_id,
+                        variant=recal.current_name,
+                        quality=quality,
+                        estimate=self.monitor.estimate,
+                        toq=self.toq,
+                        speedup=recal.speedup_estimate,
+                        verdict=verdict,
+                    )
+                    if verdict in (VIOLATION, DRIFT):
+                        obs_timeline().verdict(
+                            verdict,
+                            session=self.metrics.label,
+                            launch_id=launch_id,
+                            trace_id=root.trace_id,
+                            variant=recal.current_name,
+                            quality=quality,
+                        )
+                    self._react(verdict, record)
+            for event in self.breaker.drain_events():
+                self.metrics.record_breaker_event(event)
+            record.duration = time.perf_counter() - started
+            self.metrics.record_launch(record)
+            root.set(
+                served=report.served or "primary",
+                fallback_depth=report.depth,
+                sampled=record.sampled,
+                quality=record.quality,
+            )
+        self._last_launch = LaunchInfo(
+            launch_id=launch_id,
+            trace_id=root.trace_id,
             index=index,
-            variant=recal.current_name,
-            knobs=dict(getattr(variant, "knobs", {}) or {}),
-            speedup_estimate=recal.speedup_estimate,
-            kernel_launches=kernel_launches[0],
-            backends=backend_counts,
-            served=report.served,
-            fallback_depth=report.depth,
-            faults=[f"{a.rung}:{a.site}" for a in report.faults],
+            variant=record.variant,
+            served=record.served,
+            fallback_depth=record.fallback_depth,
+            sampled=record.sampled,
+            quality=record.quality,
         )
-        if variant is not None:
-            name = recal.current_name
-            if report.primary_ok:
-                self.breaker.record_success(name, index)
-            else:
-                reason = report.faults[0].site if report.faults else "fault"
-                if self.breaker.record_fault(name, index, reason):
-                    self._quarantine(record)
-        served_primary = report.primary_ok
-        if self.monitor.should_sample(index) and served_primary:
-            record.sampled = True
-            quality = self._evaluate_quality(out, inputs, variant, record)
-            if quality is not None:
-                record.quality = quality
-                self._react(self.monitor.observe(quality), record)
-        for event in self.breaker.drain_events():
-            self.metrics.record_breaker_event(event)
-        self.metrics.record_launch(record)
         return out
 
     def _evaluate_quality(self, out, inputs, variant, record) -> Optional[float]:
@@ -283,12 +376,20 @@ class ApproxSession:
         app's metric — real code that can really fail) must not take the
         serving path down; the sample is skipped and counted as a fault.
         """
-        try:
-            maybe_inject(SITE_QUALITY, self.app.name)
-            return 1.0 if variant is None else self.app.evaluate(out, inputs)
-        except Exception as exc:
-            record.faults.append(f"quality:{type(exc).__name__}")
-            return None
+        with obs_trace.span(
+            "serve.quality_check", app=self.app.name, variant=record.variant
+        ) as check_span:
+            try:
+                maybe_inject(SITE_QUALITY, self.app.name)
+                quality = (
+                    1.0 if variant is None else self.app.evaluate(out, inputs)
+                )
+                check_span.set(quality=quality)
+                return quality
+            except Exception as exc:
+                record.faults.append(f"quality:{type(exc).__name__}")
+                check_span.set(fault=type(exc).__name__)
+                return None
 
     def _step_off_quarantined(self, index: int) -> None:
         """Move the recalibrator below any quarantined rung before serving."""
@@ -388,17 +489,21 @@ class ApproxSession:
             return "untuned"
         return self._recalibrator.current_name
 
+    @property
+    def last_launch(self) -> Optional[LaunchInfo]:
+        """Correlation ids and outcome of the most recent launch
+        (None before the first one)."""
+        return self._last_launch
+
     def metrics_snapshot(self) -> dict:
-        """Counters, cache statistics, transition history and current state."""
+        """Counters, cache statistics, transition history and current state.
+
+        The parallel and resilience sections (including breaker states and
+        the guard policy) are assembled by :meth:`SessionMetrics.snapshot`
+        from the sources bound at construction; this method only adds the
+        session-identity block.
+        """
         snapshot = self.metrics.snapshot()
-        snapshot["parallel"]["workers"] = self.parallel_workers
-        snapshot["parallel"]["profile_cache"] = self.profile_cache.snapshot()
-        snapshot["resilience"]["breakers"] = self.breaker.snapshot()
-        snapshot["resilience"]["guard_policy"] = {
-            "enabled": self.guard.enabled,
-            "retries": self.guard.retries,
-            "deadline_seconds": self.guard.deadline_seconds,
-        }
         snapshot["session"] = {
             "app": self.app.name,
             "device": self.spec.kind.value,
@@ -418,6 +523,7 @@ class ApproxSession:
     def close(self) -> None:
         if self.metrics.event_log is not None:
             self.metrics.event_log.close()
+        obs_trace.flush()
         self._closed = True
 
     def _check_open(self) -> None:

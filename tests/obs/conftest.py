@@ -1,0 +1,57 @@
+"""Fixtures for the observability tests.
+
+Tracing is process-global state, so every fixture snapshots whether it
+was enabled on entry (the CI observability job runs the whole suite with
+``REPRO_OBS=1``) and restores that state on exit, draining the in-memory
+record ring and the quality timeline both ways so tests never see each
+other's spans.
+"""
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.timeline import timeline
+
+
+def _reset_buffers():
+    obs_trace.drain_records()
+    timeline().clear()
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """Tracing enabled with a JSONL file; yields the trace path."""
+    was_enabled = obs_trace.enabled()
+    _reset_buffers()
+    path = tmp_path / "trace.jsonl"
+    obs_trace.enable(path)
+    yield path
+    obs_trace.disable()
+    _reset_buffers()
+    if was_enabled:
+        obs_trace.enable()
+
+
+@pytest.fixture
+def traced_memory():
+    """Tracing enabled without a file (in-memory ring only)."""
+    was_enabled = obs_trace.enabled()
+    _reset_buffers()
+    obs_trace.enable()
+    yield
+    obs_trace.disable()
+    _reset_buffers()
+    if was_enabled:
+        obs_trace.enable()
+
+
+@pytest.fixture
+def untraced():
+    """Tracing explicitly disabled (for no-op fast-path assertions)."""
+    was_enabled = obs_trace.enabled()
+    obs_trace.disable()
+    _reset_buffers()
+    yield
+    _reset_buffers()
+    if was_enabled:
+        obs_trace.enable()

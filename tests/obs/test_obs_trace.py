@@ -1,0 +1,95 @@
+"""Structured tracing: spans, context, the disabled fast path, JSONL."""
+
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop(self, untraced):
+        first = obs_trace.span("a", x=1)
+        second = obs_trace.span("b")
+        assert first is NOOP_SPAN and second is NOOP_SPAN
+
+    def test_noop_span_supports_full_api(self, untraced):
+        with obs_trace.span("a") as span:
+            span.set(x=1).event("e", y=2)
+        assert span.trace_id is None
+
+    def test_carry_returns_fn_unchanged(self, untraced):
+        fn = lambda: 1  # noqa: E731
+        assert obs_trace.carry(fn) is fn
+
+    def test_emit_event_drops_records(self, untraced):
+        obs_trace.emit_event({"type": "event", "kind": "x"})
+        assert obs_trace.records() == []
+
+
+class TestSpans:
+    def test_nested_spans_share_trace_and_parent(self, traced_memory):
+        with obs_trace.span("outer") as outer:
+            with obs_trace.span("inner") as inner:
+                assert obs_trace.current_span() is inner
+            assert obs_trace.current_span() is outer
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_roots_get_distinct_traces(self, traced_memory):
+        with obs_trace.span("one") as one:
+            pass
+        with obs_trace.span("two") as two:
+            pass
+        assert one.trace_id != two.trace_id
+
+    def test_attrs_and_events_land_in_the_record(self, traced_memory):
+        with obs_trace.span("op", kernel="k") as span:
+            span.set(workers=4)
+            span.event("retry", shard=2)
+        record = obs_trace.drain_records()[-1]
+        assert record["type"] == "span"
+        assert record["attrs"] == {"kernel": "k", "workers": 4}
+        assert record["events"][0]["name"] == "retry"
+        assert record["events"][0]["shard"] == 2
+        assert record["duration"] >= 0.0
+
+    def test_exception_marks_error_status(self, traced_memory):
+        try:
+            with obs_trace.span("boom"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        record = obs_trace.drain_records()[-1]
+        assert record["status"] == "error"
+        assert "ValueError" in record["error"]
+
+    def test_exceptions_still_propagate(self, traced_memory):
+        import pytest
+
+        with pytest.raises(ValueError):
+            with obs_trace.span("boom"):
+                raise ValueError("nope")
+
+
+class TestSink:
+    def test_records_written_as_jsonl(self, traced):
+        with obs_trace.span("persisted", n=1):
+            pass
+        obs_trace.flush()
+        lines = [
+            json.loads(line)
+            for line in traced.read_text().splitlines()
+            if line.strip()
+        ]
+        spans = [r for r in lines if r["type"] == "span"]
+        assert any(r["name"] == "persisted" for r in spans)
+
+    def test_drain_clears_the_ring(self, traced_memory):
+        with obs_trace.span("x"):
+            pass
+        assert obs_trace.drain_records()
+        assert obs_trace.records() == []
+
+    def test_trace_path_reports_the_file(self, traced):
+        assert obs_trace.trace_path() == str(traced)

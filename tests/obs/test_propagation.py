@@ -1,0 +1,64 @@
+"""Cross-thread span propagation through the worker pools.
+
+The satellite requirement: spans started inside pool tasks must parent to
+the launching span — on the shard pool, on the profile pool, and still
+after a dead worker set forced a pool replacement (the context rides with
+the task, not the thread, so replacement is invisible to the trace tree).
+"""
+
+from repro.obs import trace as obs_trace
+from repro.parallel.pool import get_pool, parallel_map, pool_stats
+
+
+def _task(item):
+    with obs_trace.span("task.run", item=item) as span:
+        return span.trace_id, span.parent_id
+
+
+def _kill_workers(pool) -> None:
+    # The executor's own worker-exit path, then reopen the flag: the
+    # state a died-in-place worker set leaves behind (see
+    # tests/resilience/test_pool_recovery.py).
+    pool.shutdown(wait=True)
+    pool._shutdown = False
+    assert all(not t.is_alive() for t in pool._threads)
+
+
+class TestPoolPropagation:
+    def test_shard_pool_tasks_parent_to_launching_span(self, traced_memory):
+        get_pool("shard", 2)
+        with obs_trace.span("launch.root") as root:
+            results = parallel_map("shard", 2, _task, range(6))
+        assert results == [(root.trace_id, root.span_id)] * 6
+
+    def test_profile_pool_tasks_parent_to_launching_span(self, traced_memory):
+        get_pool("profile", 2)
+        with obs_trace.span("tune.root") as root:
+            results = parallel_map("profile", 2, _task, range(4))
+        assert results == [(root.trace_id, root.span_id)] * 4
+
+    def test_parenting_survives_dead_worker_replacement(self, traced_memory):
+        kind = "obs-replacement"
+        pool = get_pool(kind, 2)
+        parallel_map(kind, 2, lambda i: i, range(4))  # warm: spawn workers
+        _kill_workers(pool)
+        before = pool_stats(kind).snapshot()["workers_restarted"]
+        with obs_trace.span("launch.root") as root:
+            results = parallel_map(kind, 2, _task, range(6))
+        assert pool_stats(kind).snapshot()["workers_restarted"] == before + 1
+        assert results == [(root.trace_id, root.span_id)] * 6
+
+    def test_worker_spans_record_worker_threads(self, traced_memory):
+        with obs_trace.span("launch.root"):
+            parallel_map("shard", 2, _task, range(6))
+        records = obs_trace.drain_records()
+        workers = {
+            r["thread"] for r in records if r.get("name") == "task.run"
+        }
+        assert any(name.startswith("repro-shard") for name in workers)
+
+    def test_without_ambient_span_tasks_become_roots(self, traced_memory):
+        results = parallel_map("shard", 2, _task, range(4))
+        for trace_id, parent_id in results:
+            assert parent_id is None
+            assert trace_id is not None

@@ -1,0 +1,175 @@
+"""Metrics registry: families, labels, idempotent registration, views."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import render_prometheus
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+
+
+class TestRegistration:
+    def test_counter_inc_and_value(self):
+        registry = MetricsRegistry()
+        launches = registry.counter("launches_total", "launches")
+        launches.inc()
+        launches.inc(2)
+        assert launches.value == 3
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "x", labelnames=("pool",))
+        again = registry.counter("x_total", "other help", labelnames=("pool",))
+        assert again is first
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ConfigError):
+            registry.gauge("x_total")
+
+    def test_labelset_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("pool",))
+        with pytest.raises(ConfigError):
+            registry.counter("x_total", labelnames=("session",))
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is REGISTRY
+
+
+class TestLabels:
+    def test_labels_select_independent_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        family.labels(pool="shard").inc(5)
+        family.labels(pool="profile").inc(1)
+        assert family.labels(pool="shard").value == 5
+        assert family.labels(pool="profile").value == 1
+
+    def test_same_labels_return_same_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        assert family.labels(pool="shard") is family.labels(pool="shard")
+
+    def test_missing_or_extra_labels_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        with pytest.raises(ConfigError):
+            family.labels()
+        with pytest.raises(ConfigError):
+            family.labels(pool="shard", extra="nope")
+
+    def test_labelled_family_rejects_anonymous_use(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        with pytest.raises(ConfigError):
+            family.inc()
+
+    def test_series_lists_labels_and_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        family.labels(pool="shard").inc(2)
+        series = family.series()
+        assert series == [({"pool": "shard"}, family.labels(pool="shard"))]
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_max_ratchet(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers")
+        gauge.set(4)
+        anon = gauge.labels()
+        anon.max(2)  # lower value: ratchet holds
+        assert gauge.value == 4
+        anon.max(8)
+        assert gauge.value == 8
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.labels().histogram_snapshot()
+        assert snap["buckets"] == [0.01, 0.1, 1.0]
+        assert snap["counts"] == [1, 2, 3, 4]  # le-style cumulative
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+
+    def test_default_buckets_cover_wall_times(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 1.0
+
+
+class TestViews:
+    def test_snapshot_flattens_label_sets(self):
+        registry = MetricsRegistry()
+        family = registry.counter("tasks_total", labelnames=("pool",))
+        family.labels(pool="shard").inc(3)
+        snap = registry.snapshot()
+        assert snap["tasks_total{pool=shard}"] == 3
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_tasks_total", "tasks", labelnames=("pool",)).labels(
+            pool="shard"
+        ).inc(3)
+        registry.gauge("repro_workers", "size").set(4)
+        text = render_prometheus(registry)
+        assert "# HELP repro_tasks_total tasks" in text
+        assert "# TYPE repro_tasks_total counter" in text
+        assert 'repro_tasks_total{pool="shard"} 3' in text
+        assert "# TYPE repro_workers gauge" in text
+        assert "repro_workers 4" in text
+
+    def test_prometheus_histogram_expansion(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_seconds", "wall", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = render_prometheus(registry)
+        assert 'repro_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_seconds_bucket{le="1"} 2' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_seconds_sum 0.55" in text
+        assert "repro_seconds_count 2" in text
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", labelnames=("k",)).labels(
+            k='say "hi"'
+        ).inc()
+        assert 'k="say \\"hi\\""' in render_prometheus(registry)
+
+
+class TestSubsystemFamilies:
+    """The rewired subsystems register into the global registry."""
+
+    def test_core_families_exist(self):
+        # Importing the subsystems is what registers their families.
+        import repro.codegen.cache  # noqa: F401
+        import repro.parallel.shard  # noqa: F401
+        import repro.resilience.guard  # noqa: F401
+
+        registry = get_registry()
+        for name in (
+            "repro_codegen_compiles",
+            "repro_shard_sharded_launches",
+            "repro_guard_guarded_launches",
+        ):
+            assert registry.get(name) is not None, name
+
+    def test_stats_shims_read_registry(self):
+        from repro.parallel.shard import STATS
+
+        before = STATS.shards_run
+        STATS.shards_run += 2
+        try:
+            metric = get_registry().get("repro_shard_shards_run")
+            assert int(metric.value) == before + 2
+        finally:
+            STATS.shards_run = before
