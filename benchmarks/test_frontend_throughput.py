@@ -1,0 +1,144 @@
+"""Wall-clock checks for the serving front-end and the process executor.
+
+Two claims from the serving tier are asserted here:
+
+* **Process beats threads on GIL-bound kernels** — a compiled kernel
+  dominated by a long Python-level uniform loop over small vectors holds
+  the GIL, so the thread lane serializes; 4 worker processes must lift
+  front-end launch throughput by ``REPRO_FRONTEND_MIN_SPEEDUP`` (default
+  2x).  Needs real cores; single-core containers skip.
+* **Fault-free front-end overhead** — queue + future + dispatcher hand-off
+  must cost at most ``REPRO_FRONTEND_MAX_OVERHEAD`` (default 5%) over
+  calling :func:`repro.launch` directly.  Runs everywhere.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro import LaunchOptions
+from repro.engine import Grid, launch
+from repro.parallel import host_worker_count, shutdown_process_pool
+from repro.serve import ServeFrontend
+
+WORKERS = 4
+MIN_SPEEDUP = float(os.environ.get("REPRO_FRONTEND_MIN_SPEEDUP", "2.0"))
+MAX_OVERHEAD = float(os.environ.get("REPRO_FRONTEND_MAX_OVERHEAD", "0.05"))
+
+needs_cores = pytest.mark.skipif(
+    host_worker_count() < WORKERS,
+    reason=f"needs >= {WORKERS} cores, have {host_worker_count()}",
+)
+
+# GIL-bound shape: 4096 threads each folding a 64-element chunk through
+# sum_chunks' fixed 4096-iteration uniform loop.  Every iteration is a
+# handful of NumPy ops over ~4K-element vectors — far below the size
+# where NumPy drops the GIL for long stretches — so compiled threads
+# contend and processes do not.
+T = 1 << 12
+CHUNK = 64
+N = T * CHUNK
+LAUNCHES = 8
+
+
+def _chunk_args(seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.zeros(T, np.float32),
+        rng.random(N, dtype=np.float32),
+        np.int32(N),
+        np.int32(CHUNK),
+    ]
+
+
+def _frontend_throughput(executor: str) -> float:
+    """Wall seconds for LAUNCHES pipelined sum_chunks launches."""
+    options = LaunchOptions(
+        backend="codegen",
+        parallel=WORKERS,
+        executor=executor,
+        min_shard_threads=1,
+    )
+    grid = Grid.for_elements(T)
+    with ServeFrontend(options=options, batch_window_s=0.0) as frontend:
+        frontend.launch(zoo.sum_chunks, grid, _chunk_args())  # warm
+        best = float("inf")
+        for _repeat in range(3):
+            argsets = [_chunk_args(seed) for seed in range(LAUNCHES)]
+            started = time.perf_counter()
+            futures = [
+                frontend.submit(zoo.sum_chunks, grid, args)
+                for args in argsets
+            ]
+            for future in futures:
+                future.result(timeout=300)
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+@needs_cores
+def test_process_frontend_beats_thread_frontend():
+    shutdown_process_pool()
+    try:
+        threaded = _frontend_throughput("thread")
+        processed = _frontend_throughput("process")
+    finally:
+        shutdown_process_pool()
+    speedup = threaded / processed
+    print(
+        f"\n{LAUNCHES} sum_chunks launches ({T} threads x {CHUNK}-chunks, "
+        f"{WORKERS} workers): threads {threaded:.3f}s, "
+        f"processes {processed:.3f}s, {speedup:.2f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"process-executor speedup {speedup:.2f}x below the required "
+        f"{MIN_SPEEDUP:.2f}x (override with REPRO_FRONTEND_MIN_SPEEDUP)"
+    )
+
+
+def test_fault_free_frontend_overhead_is_bounded():
+    """Per-launch cost through the front-end vs direct repro.launch."""
+    serial = LaunchOptions(backend="codegen")
+    grid = Grid.for_elements(T)
+
+    def direct() -> float:
+        best = float("inf")
+        for _repeat in range(3):
+            argsets = [_chunk_args(seed) for seed in range(LAUNCHES)]
+            started = time.perf_counter()
+            for args in argsets:
+                launch(zoo.sum_chunks, grid, args, options=serial)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def fronted() -> float:
+        with ServeFrontend(options=serial, batch_window_s=0.0) as frontend:
+            frontend.launch(zoo.sum_chunks, grid, _chunk_args())  # warm
+            best = float("inf")
+            for _repeat in range(3):
+                argsets = [_chunk_args(seed) for seed in range(LAUNCHES)]
+                started = time.perf_counter()
+                futures = [
+                    frontend.submit(zoo.sum_chunks, grid, args)
+                    for args in argsets
+                ]
+                for future in futures:
+                    future.result(timeout=300)
+                best = min(best, time.perf_counter() - started)
+        return best
+
+    launch(zoo.sum_chunks, grid, _chunk_args(), options=serial)  # warm
+    base = direct()
+    served = fronted()
+    overhead = served / base - 1.0
+    print(
+        f"\n{LAUNCHES} serial sum_chunks launches: direct {base:.3f}s, "
+        f"front-end {served:.3f}s, overhead {overhead * 100:.1f}%"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"front-end overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% (override with REPRO_FRONTEND_MAX_OVERHEAD)"
+    )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import ApproxSession, DeviceKind, MonitorConfig
 from repro.apps.kde import KernelDensityApp
+from repro.obs import trace as obs_trace
 
 TOQ = 0.80
 CACHE_DIR = Path(tempfile.gettempdir()) / "paraprox-cache"
@@ -50,6 +51,13 @@ class DriftingKDE(KernelDensityApp):
 
 def main() -> None:
     app = DriftingKDE()
+    # JSONL audit trail: spans + quality timeline in one stream (the old
+    # ``event_log=`` session argument is a deprecated shim for this).
+    # REPRO_OBS/REPRO_OBS_TRACE take precedence when set in the environment.
+    event_log = CACHE_DIR / "events.jsonl"
+    if not obs_trace.enabled():
+        CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        obs_trace.enable(trace_path=event_log)
     with ApproxSession(
         app,
         target_quality=TOQ,
@@ -60,7 +68,6 @@ def main() -> None:
         monitor=MonitorConfig(
             sample_every=3, window=3, min_samples=2, drift_drop=0.25
         ),
-        event_log=CACHE_DIR / "events.jsonl",
     ) as session:
         variants = session.compile()
         print(variants.describe())
@@ -99,7 +106,7 @@ def main() -> None:
                 f"  launch {t['launch']}: {t['from_variant']} -> "
                 f"{t['to_variant']} ({t['reason']})"
             )
-        print(f"\nevent log      : {CACHE_DIR / 'events.jsonl'}")
+        print(f"\nevent log      : {event_log}")
         print("full snapshot  :")
         print(json.dumps(snapshot["session"], indent=2, default=str))
 

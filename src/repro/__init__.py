@@ -18,6 +18,7 @@ Quick start::
 
 __version__ = "1.1.0"
 
+from ._options import LaunchOptions, current_options, options
 from .approx.base import VariantSet
 from .approx.compiler import Paraprox, ParaproxConfig
 from .device import CORE_I7, GTX560, CostModel, DeviceKind, DeviceSpec
@@ -25,13 +26,17 @@ from .engine import Grid, launch
 from .kernel import device, kernel
 from .patterns import Pattern, PatternDetector
 from .runtime import GreedyTuner, QualityMetric
-from .serve import ApproxSession, MonitorConfig
+from .serve import ApproxSession, MonitorConfig, ServeFrontend  # noqa: E501
 
 __all__ = [
     "Paraprox",
     "ParaproxConfig",
     "VariantSet",
+    "LaunchOptions",
+    "options",
+    "current_options",
     "ApproxSession",
+    "ServeFrontend",
     "MonitorConfig",
     "DeviceKind",
     "DeviceSpec",

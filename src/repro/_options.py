@@ -1,0 +1,263 @@
+"""The unified launch-options surface: one scope, one precedence chain.
+
+Before this module existed, three unrelated mechanisms controlled how a
+kernel launch executed: a thread-local backend stack
+(``use_backend``), a thread-local parallel-policy stack
+(``use_parallel``), and a thread-local guard stack (``use_guard``) —
+plus ``launch(backend=..., parallel=...)`` keyword arguments that
+bypassed all of them.  Every subsystem re-invented scoping and every
+caller had to know which of the five knobs lived where.
+
+Now there is exactly one ambient stack, holding :class:`LaunchOptions`
+records, and one way to scope it::
+
+    import repro
+
+    with repro.options(backend="codegen", parallel=4):
+        launch(kernel, grid, args)            # sharded codegen launch
+
+    launch(kernel, grid, args,
+           options=repro.LaunchOptions(backend="interp"))  # per call
+
+Precedence, strongest first:
+
+1. **explicit per-call options** — ``launch(..., options=...)`` or the
+   per-call arguments of session methods;
+2. **the active scope** — the innermost :func:`options` block on this
+   thread (fields merge across nesting; inner set fields win);
+3. **session defaults** — what an :class:`~repro.serve.ApproxSession`
+   was constructed with;
+4. **ParaproxConfig** — the compile-time config knobs
+   (``backend``, ``parallel_workers``, ``executor``).
+
+Unset fields are ``None`` (or :data:`UNSET` for ``guard``, where
+``None`` is a meaningful value: "explicitly unguarded"), so every layer
+only overrides what it actually sets.
+
+The stack is **per thread** and worker threads start from the empty
+defaults rather than inheriting the spawning thread's scope — the same
+rule the old backend/policy/guard stacks enforced, for the same reason:
+pool workers must not observe whatever scope happened to be active at
+submission time.
+
+The legacy surface (``use_backend``/``use_parallel``/``use_guard`` and
+the ``backend=``/``parallel=`` launch keywords) remains as thin shims
+that emit :class:`DeprecationWarning` and forward here; see
+``docs/API.md`` for the migration table.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import List, Optional
+
+from .errors import ConfigError
+
+#: Valid values for the ``backend`` launch option.
+#:
+#: ``"interp"``   — walk the IR tree (supports traces and call observers).
+#: ``"codegen"``  — run the kernel compiled by :mod:`repro.codegen`.
+#: ``"auto"``     — codegen when no trace/observer is requested, else interp.
+BACKENDS = ("interp", "codegen", "auto")
+
+#: Valid values for the ``executor`` launch option.
+#:
+#: ``"thread"``  — shards run on the in-process thread pool (NumPy-bound
+#:                 kernels; ufuncs release the GIL).
+#: ``"process"`` — shards run on the :mod:`repro.parallel.procpool`
+#:                 worker processes with shared-memory array handoff
+#:                 (GIL-bound kernels; true multicore).
+EXECUTORS = ("thread", "process")
+
+
+class _Unset:
+    """Sentinel distinguishing "not set" from an explicit ``None``."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it is a known backend, else raise ConfigError."""
+    if name not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {name!r}; valid choices are "
+            + ", ".join(repr(b) for b in BACKENDS)
+        )
+    return name
+
+
+def validate_executor(name: str) -> str:
+    """Return ``name`` if it is a known shard executor, else raise."""
+    if name not in EXECUTORS:
+        raise ConfigError(
+            f"unknown executor {name!r}; valid choices are "
+            + ", ".join(repr(e) for e in EXECUTORS)
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class LaunchOptions:
+    """Everything one launch is allowed to decide about its execution.
+
+    Every field defaults to "unset"; unset fields inherit from the next
+    layer of the precedence chain (active scope, then session defaults,
+    then config).  Instances are immutable and reusable.
+
+    Attributes:
+        backend: ``"interp"``, ``"codegen"`` or ``"auto"``.
+        parallel: shard workers — a positive int, ``"auto"`` (usable
+            host cores) or a :class:`~repro.parallel.ParallelPolicy`
+            carrying its own threshold/executor.
+        min_shard_threads: grids smaller than this never shard.
+        executor: ``"thread"`` or ``"process"`` — which pool runs shards.
+        guard: a :class:`~repro.resilience.GuardPolicy`, or ``None`` for
+            an explicitly unguarded launch.  Left :data:`UNSET`, the
+            ambient/inherited guard applies.
+    """
+
+    backend: Optional[str] = None
+    parallel: Optional[object] = None
+    min_shard_threads: Optional[int] = None
+    executor: Optional[str] = None
+    guard: object = UNSET
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            validate_backend(self.backend)
+        if self.executor is not None:
+            validate_executor(self.executor)
+        if self.min_shard_threads is not None and (
+            isinstance(self.min_shard_threads, bool)
+            or not isinstance(self.min_shard_threads, int)
+            or self.min_shard_threads < 1
+        ):
+            raise ConfigError(
+                f"min_shard_threads must be a positive integer, "
+                f"got {self.min_shard_threads!r}"
+            )
+        if self.parallel is not None:
+            # Defer to the parallel runtime's validator without importing
+            # it at module load (repro.parallel imports this module).
+            from .parallel.pool import ParallelPolicy, resolve_workers
+
+            if not isinstance(self.parallel, ParallelPolicy):
+                resolve_workers(self.parallel)
+
+    def merged_over(self, base: "LaunchOptions") -> "LaunchOptions":
+        """A new record where this record's set fields override ``base``."""
+        updates = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "guard":
+                if value is not UNSET:
+                    updates[f.name] = value
+            elif value is not None:
+                updates[f.name] = value
+        return replace(base, **updates) if updates else base
+
+    def describe(self) -> dict:
+        """JSON-friendly view of the *set* fields (for logs and metrics)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "guard":
+                if value is not UNSET:
+                    out[f.name] = "off" if value is None else "on"
+            elif value is not None:
+                out[f.name] = value if isinstance(value, (str, int)) else repr(value)
+        return out
+
+
+#: The empty record every thread's stack starts from.
+DEFAULT_OPTIONS = LaunchOptions()
+
+
+class _OptionsStack(threading.local):
+    """Per-thread stack of *merged* LaunchOptions records.
+
+    Each entry is the full merge of every scope enclosing it, so reading
+    the effective options is one list index, not a walk.
+    """
+
+    def __init__(self) -> None:
+        self.stack: List[LaunchOptions] = [DEFAULT_OPTIONS]
+
+
+_STACK = _OptionsStack()
+
+
+def current_options() -> LaunchOptions:
+    """The merged options of every :func:`options` scope on this thread.
+
+    Fields no scope has set are ``None`` (``guard``: :data:`UNSET`);
+    callers apply their own next-layer defaults.
+    """
+    return _STACK.stack[-1]
+
+
+class options:
+    """Scope launch options to a ``with`` block (per thread, nestable).
+
+    Accepts either a ready :class:`LaunchOptions` or the same fields as
+    keywords::
+
+        with repro.options(backend="codegen", parallel=4, executor="process"):
+            ...
+
+    Inner scopes override only the fields they set.  The scope is
+    thread-local: tasks submitted to worker pools run under the
+    *defaults*, not the submitting thread's scope.
+    """
+
+    def __init__(self, opts: Optional[LaunchOptions] = None, **kwargs) -> None:
+        if opts is not None and kwargs:
+            raise ConfigError(
+                "options() takes a LaunchOptions or field keywords, not both"
+            )
+        if opts is None:
+            opts = LaunchOptions(**kwargs)
+        elif not isinstance(opts, LaunchOptions):
+            raise ConfigError(
+                f"options() expects a LaunchOptions, got {type(opts).__name__}"
+            )
+        self.opts = opts
+
+    def __enter__(self) -> LaunchOptions:
+        merged = self.opts.merged_over(_STACK.stack[-1])
+        _STACK.stack.append(merged)
+        return merged
+
+    def __exit__(self, *_exc) -> None:
+        _STACK.stack.pop()
+
+
+def deprecated(old: str, new: str) -> None:
+    """Emit the one-line deprecation message every legacy shim uses.
+
+    ``stacklevel=3`` points the warning at the caller of the shim (the
+    shims themselves add one frame), which is also what lets CI's
+    ``-W error::DeprecationWarning:repro`` filter catch *internal*
+    callers while user code merely warns.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

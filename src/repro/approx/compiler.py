@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from ..device import DeviceKind, spec_for
+from .._options import EXECUTORS
 from ..engine.launch import BACKENDS, validate_backend
 from ..errors import ConfigError, TransformError
 from ..patterns import (
@@ -67,6 +68,11 @@ class ParaproxConfig:
     #: sessions: a positive int (1 = serial, the default) or "auto"
     #: (one per host core).
     parallel_workers: object = 1
+    #: shard executor for sessions' parallel launches: "thread" (the
+    #: in-process pool; NumPy-bound kernels release the GIL) or
+    #: "process" (:mod:`repro.parallel.procpool` worker processes with
+    #: shared-memory handoff; true multicore for GIL-bound kernels).
+    executor: str = "thread"
     #: LRU capacity of the session-owned profile-measurement cache
     #: (:class:`~repro.parallel.ProfileCache`); the oldest-used
     #: (variant, input-set) measurements are evicted past this bound.
@@ -150,6 +156,10 @@ class ParaproxConfig:
             ),
             f"parallel_workers must be a positive integer or 'auto', "
             f"got {self.parallel_workers!r}",
+        )
+        check(
+            self.executor in EXECUTORS,
+            f"executor must be one of {EXECUTORS!r}, got {self.executor!r}",
         )
         check(
             isinstance(self.profile_cache_entries, int)

@@ -24,7 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..engine.launch import Grid, use_backend
+from .._options import options
+from ..engine.launch import Grid
 
 
 @dataclass
@@ -106,7 +107,7 @@ def diff_kernel(
 def diff_app(app, inputs=None) -> DiffResult:
     """Run one application's exact pipeline under both backends.
 
-    Uses :func:`~repro.engine.launch.use_backend` so multi-kernel
+    Uses a :func:`repro.options` backend scope so multi-kernel
     ``Program`` apps (scan, sort-based pipelines) are covered without the
     app knowing about backends.  Compares the full output array(s).
     """
@@ -114,7 +115,7 @@ def diff_app(app, inputs=None) -> DiffResult:
         inputs = app.generate_inputs()
     outputs: Dict[str, List[np.ndarray]] = {}
     for backend in ("interp", "codegen"):
-        with use_backend(backend):
+        with options(backend=backend):
             out = app.run_exact(copy.deepcopy(inputs))
         # run_exact returns (output, trace); keep only the data arrays —
         # traces legitimately differ (codegen records the launch, not ops).

@@ -1,5 +1,6 @@
 """Execution engine: launch geometry, vectorized interpreter, traces."""
 
+from .._options import LaunchOptions, current_options, options
 from .hooks import LaunchEvent, add_launch_hook, launch_hook, remove_launch_hook
 from .interpreter import call_device_function, launch
 from .launch import (
@@ -26,7 +27,10 @@ __all__ = [
     "remove_launch_hook",
     "launch_hook",
     "BACKENDS",
+    "LaunchOptions",
+    "current_options",
     "default_backend",
+    "options",
     "use_backend",
     "validate_backend",
 ]

@@ -27,13 +27,13 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .._options import LaunchOptions, current_options, deprecated
 from ..errors import CodegenError, ExecutionError
 from ..kernel import intrinsics, ir
 from ..obs import trace as obs_trace
 from .launch import (
     Grid,
     bind_arguments,
-    default_backend,
     resolve_kernel,
     resolve_module,
     validate_backend,
@@ -53,6 +53,7 @@ def launch(
     call_observer=None,
     backend: Optional[str] = None,
     parallel=None,
+    options: Optional[LaunchOptions] = None,
 ) -> Trace:
     """Execute ``kernel`` over ``grid`` with ``args`` (sequence or mapping).
 
@@ -64,25 +65,34 @@ def launch(
     call; the memoization profiler uses it to harvest the value streams that
     feed bit tuning (paper §3.1.3, "applying training data to the function").
 
-    ``backend`` picks the execution engine (see ``repro.engine.BACKENDS``);
-    when omitted, the ambient :func:`~repro.engine.launch.use_backend`
-    default applies.  ``"auto"`` compiles the kernel via ``repro.codegen``
-    whenever neither ``trace`` nor ``call_observer`` is requested — those
-    need the interpreter, which records per-op events codegen elides —
-    and falls back to the interpreter if lowering fails.
+    ``options`` is a :class:`repro.LaunchOptions` deciding backend,
+    sharding and executor for this call; its set fields take precedence
+    over the ambient :func:`repro.options` scope.  Backend ``"auto"``
+    compiles the kernel via ``repro.codegen`` whenever neither ``trace``
+    nor ``call_observer`` is requested — those need the interpreter,
+    which records per-op events codegen elides — and falls back to the
+    interpreter if lowering fails.  Kernels the shardability analysis
+    rejects (and interpreter launches) transparently run serial.
 
-    ``parallel`` controls grid sharding on the codegen path: ``None``
-    defers to the ambient :func:`~repro.parallel.use_parallel` scope, an
-    int or ``"auto"`` overrides the worker count, and a
-    :class:`~repro.parallel.ParallelPolicy` is used as-is.  Kernels the
-    shardability analysis rejects (and interpreter launches) transparently
-    run serial.
+    ``backend``/``parallel`` are the deprecated keyword spellings of the
+    same knobs; they forward into ``options`` and warn.
     """
     fn = resolve_kernel(kernel)
     mod = resolve_module(kernel, module)
     if fn.kind != "kernel":
         raise ExecutionError(f"{fn.name} is a device function, not a kernel")
-    chosen = validate_backend(backend if backend is not None else default_backend())
+    if backend is not None or parallel is not None:
+        deprecated(
+            "launch(backend=..., parallel=...) keywords",
+            "launch(options=LaunchOptions(...)) or a repro.options(...) scope",
+        )
+        legacy = LaunchOptions(backend=backend, parallel=parallel)
+        options = legacy if options is None else legacy.merged_over(options)
+    ambient = current_options()
+    effective = ambient if options is None else options.merged_over(ambient)
+    chosen = validate_backend(
+        effective.backend if effective.backend is not None else "interp"
+    )
     wants_interp = trace is not None or call_observer is not None
     if chosen == "codegen" and call_observer is not None:
         raise ExecutionError(
@@ -111,7 +121,7 @@ def launch(
                 "engine.launch", kernel=fn.name, backend="codegen",
                 threads=grid.threads,
             ):
-                if not _maybe_shard(fn, mod, compiled, grid, bound, parallel):
+                if not _maybe_shard(fn, mod, compiled, grid, bound, effective):
                     compiled.run(grid, bound)
             from .hooks import notify_launch
 
@@ -129,15 +139,17 @@ def launch(
     return t
 
 
-def _maybe_shard(fn, mod, compiled, grid, bound, parallel) -> bool:
-    """Shard a codegen launch when a parallel policy is in effect.
+def _maybe_shard(fn, mod, compiled, grid, bound, effective) -> bool:
+    """Shard a codegen launch when the effective options ask for workers.
 
     Kept import-lazy so serial launches (the default everywhere) never
     pay for the :mod:`repro.parallel` machinery.
     """
-    from ..parallel.pool import resolve_policy
+    if effective.parallel is None and effective.executor is None:
+        return False
+    from ..parallel.pool import policy_from_options
 
-    policy = resolve_policy(parallel)
+    policy = policy_from_options(effective)
     if policy.serial:
         return False
     from ..parallel.shard import maybe_run_sharded

@@ -2,71 +2,51 @@
 
 from __future__ import annotations
 
-import contextlib
-import threading
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConfigError, ExecutionError
+from .._options import (  # noqa: F401  (re-exported for compatibility)
+    BACKENDS,
+    deprecated,
+    options as _options_scope,
+    validate_backend,
+)
+from .._options import current_options
+from ..errors import ExecutionError
 from ..kernel import ir
 from ..kernel.frontend import KernelFn
 
-#: Valid values for the ``backend=`` launch/config knob.
-#:
-#: ``"interp"``   — walk the IR tree (supports traces and call observers).
-#: ``"codegen"``  — run the kernel compiled by :mod:`repro.codegen`.
-#: ``"auto"``     — codegen when no trace/observer is requested, else interp.
-BACKENDS = ("interp", "codegen", "auto")
-
-
-class _BackendStack(threading.local):
-    """Per-thread backend scope stack.
-
-    The default stays "interp" on every thread: the tuner's cost model
-    depends on instruction/memory traces that only the interpreter
-    records, and concurrent profiling workers must each start from that
-    default rather than inherit whatever the spawning thread had scoped.
-    Serving sessions opt into codegen with :func:`use_backend`.
-    """
-
-    def __init__(self) -> None:
-        self.stack: List[str] = ["interp"]
-
-
-_BACKEND_STACK = _BackendStack()
-
-
-def validate_backend(name: str) -> str:
-    """Return ``name`` if it is a known backend, else raise ConfigError."""
-    if name not in BACKENDS:
-        raise ConfigError(
-            f"unknown backend {name!r}; valid choices are "
-            + ", ".join(repr(b) for b in BACKENDS)
-        )
-    return name
-
 
 def default_backend() -> str:
-    """The backend used when ``launch`` is not given one explicitly."""
-    return _BACKEND_STACK.stack[-1]
+    """The backend used when ``launch`` is not given one explicitly.
 
-
-@contextlib.contextmanager
-def use_backend(name: str):
-    """Scope the default launch backend to a ``with`` block.
-
-    Nestable; the innermost context wins.  This is how ``ApproxSession``
-    routes its hot path through codegen without threading a ``backend=``
-    argument through every app's ``run_exact``/``run_variant``.
+    Reads the unified :func:`repro.options` scope; the process default
+    stays ``"interp"`` on every thread — the tuner's cost model depends
+    on instruction/memory traces that only the interpreter records, and
+    pool workers must start from that default rather than inherit
+    whatever the spawning thread had scoped.
     """
-    validate_backend(name)
-    _BACKEND_STACK.stack.append(name)
-    try:
-        yield
-    finally:
-        _BACKEND_STACK.stack.pop()
+    backend = current_options().backend
+    return backend if backend is not None else "interp"
+
+
+class use_backend(_options_scope):
+    """Deprecated: scope the launch backend to a ``with`` block.
+
+    Superseded by the unified :func:`repro.options` scope::
+
+        with repro.options(backend="codegen"):
+            ...
+    """
+
+    def __init__(self, name: str) -> None:
+        deprecated("use_backend(...)", "repro.options(backend=...)")
+        super().__init__(backend=validate_backend(name))
+
+    def __enter__(self) -> str:
+        return super().__enter__().backend
 
 
 @dataclass(frozen=True)

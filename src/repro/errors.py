@@ -66,6 +66,16 @@ class ServeError(ReproError):
     """The serving runtime (sessions, caches, monitors) was misused."""
 
 
+class AdmissionError(ServeError):
+    """The serving front-end refused a request at admission time: the
+    tenant is unknown, or the request violates the tenant's TOQ floor."""
+
+
+class BackpressureError(ServeError):
+    """The serving front-end's queue (global or per-tenant) is full; the
+    caller should retry after draining outstanding futures."""
+
+
 class ResilienceError(ReproError):
     """The resilience runtime (guards, breakers, fault plans) failed or
     was misconfigured."""

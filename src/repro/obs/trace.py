@@ -92,6 +92,7 @@ class _Sink:
                 self._fh.flush()
                 self._fh.close()
                 self._fh = None
+            self._path = None
 
     def drain(self) -> List[dict]:
         with self._lock:
@@ -252,6 +253,44 @@ def carry(fn: Callable) -> Callable:
                     pass
 
     return carried
+
+
+def emit_span(
+    name: str,
+    start: float,
+    end: float,
+    status: str = "ok",
+    error: str = "",
+    **attrs,
+) -> None:
+    """Record a span whose timing happened elsewhere (a worker process).
+
+    Shard workers run in separate processes and cannot reach this sink;
+    they report ``perf_counter`` timestamps back with their results
+    (``CLOCK_MONOTONIC`` is shared across processes on Linux) and the
+    parent emits the span here.  It parents to the caller's ambient span
+    like a locally-timed one.  No-op while tracing is disabled.
+    """
+    if not _ENABLED:
+        return
+    parent = current_span()
+    _SINK.emit(
+        {
+            "type": "span",
+            "name": name,
+            "trace_id": parent.trace_id if parent else f"t{next(_TRACE_IDS)}",
+            "span_id": f"s{next(_IDS)}",
+            "parent_id": parent.span_id if parent else None,
+            "start": start,
+            "duration": end - start,
+            "thread": threading.current_thread().name,
+            "seq": next(_SEQ),
+            "status": status,
+            "error": error,
+            "attrs": attrs,
+            "events": [],
+        }
+    )
 
 
 def emit_event(record: dict) -> None:

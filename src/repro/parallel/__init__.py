@@ -5,9 +5,11 @@ Two pipelines share this package's worker pools:
 * **Sharded launches** — when the static shardability analysis
   (:mod:`repro.parallel.analysis`) proves a kernel's blocks independent,
   the codegen backend splits the block grid into per-worker sub-grids and
-  runs them on a thread pool (:mod:`repro.parallel.shard`), bit-exact
-  with serial execution.  Scope it with :func:`use_parallel` or per
-  launch via ``launch(..., parallel=...)``.
+  runs them on a thread pool (:mod:`repro.parallel.shard`) or — with
+  ``executor="process"`` — on the :mod:`repro.parallel.procpool` worker
+  processes with shared-memory handoff, bit-exact with serial execution
+  either way.  Scope it with ``repro.options(parallel=..., executor=...)``
+  or per launch via ``launch(..., options=...)``.
 * **Concurrent profiling** — ``GreedyTuner`` evaluates variants
   concurrently and memoizes per-(variant, input-set) measurements in a
   :class:`ProfileCache` (:mod:`repro.parallel.profiler`), so serving
@@ -32,11 +34,17 @@ from .pool import (
     shutdown_pools,
     use_parallel,
 )
+from .procpool import ProcessShardPool, get_process_pool, shutdown_process_pool
+from .procpool import stats_snapshot as procpool_stats_snapshot
 from .profiler import ProfileCache, profile_key, variant_identity
 from .shard import STATS, ShardStats, maybe_run_sharded, plan_shards, run_sharded
 from .shard import stats_snapshot as shard_stats_snapshot
 
 __all__ = [
+    "ProcessShardPool",
+    "get_process_pool",
+    "procpool_stats_snapshot",
+    "shutdown_process_pool",
     "AUTO_WORKERS",
     "DEFAULT_MIN_SHARD_THREADS",
     "ParallelPolicy",

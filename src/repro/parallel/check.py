@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..codegen.check import DiffResult, _compare_arrays
-from ..engine.launch import Grid, use_backend
-from .pool import ParallelPolicy, use_parallel
+from .._options import options
+from ..engine.launch import Grid
+from .pool import ParallelPolicy
 from .shard import STATS
 
 
@@ -57,15 +58,11 @@ def diff_kernel_sharded(
     runs: Dict[str, List[np.ndarray]] = {}
     for mode in ("serial", "sharded"):
         local = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
-        launch(
-            kernel,
-            grid,
-            local,
-            module=module,
-            bounds_check=bounds_check,
+        with options(
             backend="codegen",
             parallel=_sharding_policy(workers) if mode == "sharded" else 1,
-        )
+        ):
+            launch(kernel, grid, local, module=module, bounds_check=bounds_check)
         runs[mode] = [a for a in local if isinstance(a, np.ndarray)]
 
     mismatches = []
@@ -79,7 +76,7 @@ def diff_kernel_sharded(
 def diff_app_sharded(app, inputs=None, workers: int = 4) -> DiffResult:
     """Run one application's exact pipeline serial and sharded.
 
-    Uses :func:`use_parallel` scoping so multi-kernel ``Program`` apps
+    Uses :func:`repro.options` scoping so multi-kernel ``Program`` apps
     are covered without the app knowing about sharding.  The result name
     records how many launches actually sharded (non-shardable kernels
     legitimately contribute zero).
@@ -90,9 +87,9 @@ def diff_app_sharded(app, inputs=None, workers: int = 4) -> DiffResult:
     sharded_launches = 0
     for mode in ("serial", "sharded"):
         before = STATS.sharded_launches
-        with use_backend("codegen"):
+        with options(backend="codegen"):
             if mode == "sharded":
-                with use_parallel(_sharding_policy(4 if workers < 2 else workers)):
+                with options(parallel=_sharding_policy(4 if workers < 2 else workers)):
                     out = app.run_exact(copy.deepcopy(inputs))
             else:
                 out = app.run_exact(copy.deepcopy(inputs))

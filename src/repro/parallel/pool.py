@@ -31,8 +31,14 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
+from .._options import (
+    LaunchOptions,
+    current_options,
+    deprecated,
+    validate_executor,
+)
 from ..errors import ConfigError
 from ..obs import trace as obs_trace
 from ..obs.registry import get_registry
@@ -43,21 +49,65 @@ from ..obs.registry import get_registry
 #: ``ParallelPolicy(min_shard_threads=...)``.
 DEFAULT_MIN_SHARD_THREADS = 2048
 
-#: Accepted by every ``workers=`` knob: resolve to ``os.cpu_count()``.
+#: Accepted by every ``workers=`` knob: resolve to the usable host cores.
 AUTO_WORKERS = "auto"
+
+
+def _cgroup_cpu_quota() -> Optional[int]:
+    """CPU limit imposed by the container's cgroup, in whole cores.
+
+    Containers usually cap CPU with a bandwidth quota rather than by
+    shrinking the affinity mask, so ``sched_getaffinity`` alone
+    oversubscribes (e.g. a "2 CPU" Kubernetes pod on a 64-core node
+    reports 64).  Reads cgroup v2 (``cpu.max``: ``"<quota> <period>"``
+    or ``"max <period>"``) and falls back to cgroup v1
+    (``cpu.cfs_quota_us`` / ``cpu.cfs_period_us``).  Returns None when
+    no quota applies or the files are unreadable.
+    """
+    try:
+        with open("/sys/fs/cgroup/cpu.max", encoding="ascii") as fh:
+            quota_s, _, period_s = fh.read().strip().partition(" ")
+        if quota_s != "max":
+            quota, period = int(quota_s), int(period_s or "100000")
+            if quota > 0 and period > 0:
+                return max(1, quota // period)
+        return None
+    except (OSError, ValueError):
+        pass
+    try:
+        with open(
+            "/sys/fs/cgroup/cpu/cpu.cfs_quota_us", encoding="ascii"
+        ) as fh:
+            quota = int(fh.read().strip())
+        with open(
+            "/sys/fs/cgroup/cpu/cpu.cfs_period_us", encoding="ascii"
+        ) as fh:
+            period = int(fh.read().strip())
+        if quota > 0 and period > 0:
+            return max(1, quota // period)
+    except (OSError, ValueError):
+        pass
+    return None
 
 
 def host_worker_count() -> int:
     """Usable host cores — the resolution of ``workers="auto"``.
 
-    Prefers the scheduling affinity mask (containers and CI runners often
-    restrict it below the physical core count) and falls back to
-    ``os.cpu_count()``.
+    The minimum of the scheduling-affinity mask and the cgroup CPU quota
+    (containers and CI runners restrict either or both below the
+    physical core count), falling back to ``os.cpu_count()`` where
+    neither is available.  Sizing pools from this instead of the raw
+    core count keeps thread *and* process pools from oversubscribing
+    CPU-limited containers.
     """
     try:
-        return max(1, len(os.sched_getaffinity(0)))
+        usable = max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux hosts
-        return max(1, os.cpu_count() or 1)
+        usable = max(1, os.cpu_count() or 1)
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        usable = min(usable, quota)
+    return usable
 
 
 def resolve_workers(workers) -> int:
@@ -85,10 +135,15 @@ class ParallelPolicy:
     Attributes:
         workers: sub-grids / concurrent evaluations to aim for; 1 = serial.
         min_shard_threads: grids with fewer threads than this never shard.
+        executor: ``"thread"`` (in-process pool; NumPy-bound kernels
+            release the GIL) or ``"process"`` (the
+            :mod:`repro.parallel.procpool` workers with shared-memory
+            handoff; true multicore for GIL-bound kernels).
     """
 
     workers: int = 1
     min_shard_threads: int = DEFAULT_MIN_SHARD_THREADS
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workers", resolve_workers(self.workers))
@@ -101,6 +156,7 @@ class ParallelPolicy:
                 f"min_shard_threads must be a positive integer, "
                 f"got {self.min_shard_threads!r}"
             )
+        validate_executor(self.executor)
 
     @property
     def serial(self) -> bool:
@@ -110,58 +166,101 @@ class ParallelPolicy:
 SERIAL_POLICY = ParallelPolicy(workers=1)
 
 
-class _PolicyStack(threading.local):
-    def __init__(self) -> None:
-        self.stack: List[ParallelPolicy] = [SERIAL_POLICY]
+def policy_from_options(opts: LaunchOptions) -> ParallelPolicy:
+    """The :class:`ParallelPolicy` a merged options record resolves to.
 
-
-_POLICIES = _PolicyStack()
+    A full :class:`ParallelPolicy` in ``opts.parallel`` supplies the
+    base; the record's own ``min_shard_threads``/``executor`` fields
+    (when set) override it.  Otherwise the policy is assembled from the
+    record's fields over the serial defaults.
+    """
+    if isinstance(opts.parallel, ParallelPolicy):
+        base = opts.parallel
+        min_shard = (
+            opts.min_shard_threads
+            if opts.min_shard_threads is not None
+            else base.min_shard_threads
+        )
+        executor = opts.executor if opts.executor is not None else base.executor
+        if min_shard == base.min_shard_threads and executor == base.executor:
+            return base
+        return ParallelPolicy(
+            workers=base.workers,
+            min_shard_threads=min_shard,
+            executor=executor,
+        )
+    return ParallelPolicy(
+        workers=opts.parallel if opts.parallel is not None else 1,
+        min_shard_threads=(
+            opts.min_shard_threads
+            if opts.min_shard_threads is not None
+            else DEFAULT_MIN_SHARD_THREADS
+        ),
+        executor=opts.executor if opts.executor is not None else "thread",
+    )
 
 
 def default_policy() -> ParallelPolicy:
-    """The innermost :func:`use_parallel` policy on this thread."""
-    return _POLICIES.stack[-1]
+    """The policy of the ambient :func:`repro.options` scope on this
+    thread (serial when no scope sets parallelism)."""
+    return policy_from_options(current_options())
 
 
 class use_parallel:
-    """Scope the default launch parallelism to a ``with`` block.
+    """Deprecated: scope launch parallelism to a ``with`` block.
 
-    ``use_parallel(4)`` makes every ``launch`` inside the block try to
-    split its grid across 4 workers (subject to the shardability
-    analysis); ``use_parallel(1)`` forces serial execution.  Nestable;
-    the innermost scope wins, per thread.
+    Superseded by the unified :func:`repro.options` scope::
+
+        with repro.options(parallel=4):
+            ...
     """
 
     def __init__(self, workers, min_shard_threads: int = None) -> None:
-        if min_shard_threads is None:
-            min_shard_threads = default_policy().min_shard_threads
-        self.policy = (
+        deprecated("use_parallel(...)", "repro.options(parallel=...)")
+        policy = (
             workers
             if isinstance(workers, ParallelPolicy)
-            else ParallelPolicy(workers, min_shard_threads)
+            else ParallelPolicy(
+                workers,
+                min_shard_threads
+                if min_shard_threads is not None
+                else default_policy().min_shard_threads,
+            )
         )
+        # Pushing every policy field pins the old all-or-nothing scope
+        # semantics: an inner use_parallel fully replaces the outer one.
+        from .._options import options as options_scope
+
+        self._scope = options_scope(
+            parallel=policy,
+            min_shard_threads=policy.min_shard_threads,
+            executor=policy.executor,
+        )
+        self.policy = policy
 
     def __enter__(self) -> ParallelPolicy:
-        _POLICIES.stack.append(self.policy)
+        self._scope.__enter__()
         return self.policy
 
-    def __exit__(self, *_exc) -> None:
-        _POLICIES.stack.pop()
+    def __exit__(self, *exc) -> None:
+        self._scope.__exit__(*exc)
 
 
 def resolve_policy(parallel) -> ParallelPolicy:
-    """Normalize a ``launch(parallel=...)`` argument.
+    """Normalize a raw ``parallel`` value against the ambient scope.
 
-    ``None`` defers to the ambient :func:`use_parallel` scope; an int or
+    ``None`` defers to the ambient :func:`repro.options` scope; an int or
     ``"auto"`` overrides the worker count but keeps the ambient shard
-    threshold; a :class:`ParallelPolicy` is used as-is.
+    threshold and executor; a :class:`ParallelPolicy` is used as-is.
     """
     if parallel is None:
         return default_policy()
     if isinstance(parallel, ParallelPolicy):
         return parallel
     ambient = default_policy()
-    return ParallelPolicy(parallel, ambient.min_shard_threads)
+    return ParallelPolicy(
+        parallel, ambient.min_shard_threads, ambient.executor
+    )
 
 
 # ----------------------------------------------------------------- pools

@@ -1,0 +1,641 @@
+"""Process-based shard execution with shared-memory array handoff.
+
+The thread pool in :mod:`repro.parallel.pool` scales only while shards
+spend their time inside GIL-releasing NumPy ufuncs.  Kernels dominated
+by Python-level work — the interpreter backend, tight scalar loops in
+generated code, observer callbacks — serialize on the GIL no matter how
+many threads run.  This module provides the ``executor="process"`` lane:
+a long-lived pool of ``multiprocessing`` workers that each *recompile*
+the kernel from its (small, picklable) IR and execute sub-grids against
+arrays staged in :mod:`multiprocessing.shared_memory` segments, so the
+payload crossing the process boundary per launch is a few kilobytes of
+IR plus shard geometry — never the arrays.
+
+Execution protocol, per sharded launch:
+
+1. The parent stages every array argument into a shared-memory segment
+   (one copy in) and splits the block range with
+   :func:`repro.parallel.shard.plan_shards`.
+2. Shards are assigned statically — shard ``i`` goes to worker
+   ``i % W`` — and each worker receives *one* task message carrying the
+   kernel IR, the grid, its shard list and the segment names.  Workers
+   cache compiled kernels per-process (:func:`repro.codegen.get_compiled`
+   keys on the IR fingerprint), so recompilation happens once per
+   worker, not once per launch.
+3. Assembly follows the same two flavours as the thread lane:
+
+   * ``direct`` (``Shardability.disjoint_writes``) — workers write the
+     shared output segments in place; the parent copies each written
+     segment back to the caller's buffer once (no per-shard pickling at
+     all).
+   * ``diff`` — workers run against private copies and return, per
+     shard, the byte indices and values that changed relative to the
+     pristine segment; the parent overlays diffs in ascending shard
+     order, byte-exactly reproducing the serial store order.
+
+Containment mirrors the guarded thread lane and is *always on* here,
+because a worker process can genuinely die: the caller's buffers are
+never touched before every shard has succeeded, a worker that exits
+without reporting is respawned and its task re-submitted (a bounded
+number of times), and a wall-clock deadline terminates hung workers.
+Every unrecoverable outcome falls back to bit-exact serial re-execution
+in the parent.  Kernel-raised exceptions (e.g. bounds checks) are not
+faults to absorb: the error from the lowest failing shard propagates,
+matching the serial order of discovery.
+
+Fault injection for tests rides in the ``REPRO_PROC_INJECT`` environment
+variable (it must cross the process boundary, which the in-process fault
+plans of :mod:`repro.resilience.faults` cannot):
+``die@<b0>:<once-path>`` makes the worker running the shard that starts
+at block ``b0`` exit hard (once; the path records that the fault fired),
+and ``hang@<b0>:<seconds>`` makes it sleep through the deadline.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+import multiprocessing
+from multiprocessing import get_context
+from multiprocessing import shared_memory as shm_mod
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError, ResilienceError, ShardTimeout
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
+
+#: Wall-clock bound on one process-sharded launch outside any guard
+#: scope; a :class:`~repro.resilience.GuardPolicy` overrides it.
+DEFAULT_DEADLINE_SECONDS = 120.0
+
+#: Times one task is re-submitted after its worker died mid-run before
+#: the launch gives up on the pool and re-executes serially.
+MAX_RESPAWNS_PER_TASK = 2
+
+#: Environment variable holding a worker-side fault directive.
+INJECT_ENV = "REPRO_PROC_INJECT"
+
+#: ``fork`` keeps worker start cheap and inherits the imported modules;
+#: platforms without it (Windows, macOS defaults notwithstanding) get
+#: ``spawn``, which works because the worker entry point is module-level.
+_START_METHOD = (
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+class WorkerLost(ResilienceError):
+    """A worker process died mid-task more times than the respawn budget.
+
+    An infrastructure failure, not a kernel error: the launch falls back
+    to bit-exact serial re-execution in the parent.
+    """
+
+
+# ------------------------------------------------------------------ stats
+
+
+#: Registry field -> help text; each becomes ``repro_procpool_<field>``.
+_FIELDS = {
+    "launches": "sharded launches executed on the process pool",
+    "tasks": "worker tasks submitted (one per worker per launch)",
+    "shards_run": "individual shards executed by worker processes",
+    "direct": "launches assembled by direct shared-memory writes",
+    "diff": "launches assembled by diff overlay",
+    "workers_spawned": "worker processes started",
+    "workers_replaced": "workers respawned after dying mid-task",
+    "deadline_timeouts": "launches that overran their deadline",
+    "serial_reexecutions": "launches recomputed serially after containment",
+    "shm_bytes": "bytes staged into shared-memory segments",
+}
+
+
+class ProcPoolStats:
+    """Process-pool counters, served from the metrics registry.
+
+    Same shim pattern as :class:`repro.parallel.shard.ShardStats`: the
+    attribute API reads/writes ``repro_procpool_*`` registry counters so
+    snapshots and the Prometheus exposition share one store.
+    """
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        object.__setattr__(
+            self,
+            "_metrics",
+            {
+                name: registry.counter(f"repro_procpool_{name}", help)
+                for name, help in _FIELDS.items()
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            return int(self._metrics[name].value)
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value) -> None:
+        self._metrics[name].set(value)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: int(self._metrics[name].value) for name in _FIELDS}
+
+    def reset(self) -> None:
+        for name in _FIELDS:
+            self._metrics[name].set(0.0)
+
+
+STATS = ProcPoolStats()
+
+
+def stats_snapshot() -> Dict[str, int]:
+    return STATS.snapshot()
+
+
+# ----------------------------------------------------------- worker side
+
+
+def _maybe_fault(b0: int) -> None:
+    """Honour a ``REPRO_PROC_INJECT`` directive for the shard at ``b0``."""
+    spec = os.environ.get(INJECT_ENV, "")
+    if not spec:
+        return
+    kind, _, rest = spec.partition("@")
+    target, _, arg = rest.partition(":")
+    if target != str(b0):
+        return
+    if kind == "die":
+        if arg:
+            # The once-file makes the fault single-shot: the respawned
+            # worker (or a retried task) sees it and runs normally.
+            try:
+                fd = os.open(arg, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                return
+            os.close(fd)
+        os._exit(17)
+    elif kind == "hang":
+        time.sleep(float(arg) if arg else 3600.0)
+
+
+def _attach_arrays(
+    arrays: Dict[str, Tuple[str, int, str]]
+) -> Tuple[Dict[str, np.ndarray], List[shm_mod.SharedMemory]]:
+    """Map the parent's segments into this worker as 1-D NumPy views."""
+    views: Dict[str, np.ndarray] = {}
+    segments: List[shm_mod.SharedMemory] = []
+    for name, (seg_name, length, dtype_str) in arrays.items():
+        seg = shm_mod.SharedMemory(name=seg_name)
+        # CPython registers *attached* segments with the resource tracker
+        # too (gh-82300); left registered, this worker's exit would
+        # unlink segments the parent still owns.  The parent created
+        # them and the parent unlinks them.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        segments.append(seg)
+        views[name] = np.ndarray(length, dtype=np.dtype(dtype_str), buffer=seg.buf)
+    return views, segments
+
+
+def _run_task(payload: dict) -> Tuple[List[tuple], Optional[List[tuple]]]:
+    """Execute one worker task: all this worker's shards of one launch.
+
+    Returns ``(timings, diffs)`` where ``timings`` is a list of
+    ``(b0, b1, start, end)`` perf-counter stamps and ``diffs`` is None in
+    direct mode or a list of ``(b0, {name: (byte_idx, byte_val)})``
+    entries in diff mode.
+    """
+    from ..codegen.cache import get_compiled
+    from ..codegen.runtime import geometry
+
+    fn = payload["fn"]
+    module = payload["module"]
+    grid = payload["grid"]
+    compiled = get_compiled(fn, module, grid, payload["bounds_check"])
+    geo = geometry(grid)
+    block_threads = grid.block_threads
+    written = payload["written"]
+    mode = payload["mode"]
+
+    views, segments = _attach_arrays(payload["arrays"])
+    try:
+        values = dict(payload["scalars"])
+        values.update(views)
+        timings: List[tuple] = []
+        diffs: Optional[List[tuple]] = None if mode == "direct" else []
+        for b0, b1 in payload["shards"]:
+            _maybe_fault(b0)
+            start = time.perf_counter()
+            if mode == "direct":
+                compiled.entry(
+                    geo.shard(b0, b1, block_threads),
+                    *[values[name] for name in compiled.param_names],
+                )
+            else:
+                private = dict(values)
+                for name in written:
+                    private[name] = views[name].copy()
+                compiled.entry(
+                    geo.shard(b0, b1, block_threads),
+                    *[private[name] for name in compiled.param_names],
+                )
+                shard_diff = {}
+                for name in written:
+                    priv = private[name].view(np.uint8)
+                    pristine = views[name].view(np.uint8)
+                    idx = np.nonzero(priv != pristine)[0]
+                    shard_diff[name] = (idx, priv[idx].copy())
+                diffs.append((b0, shard_diff))
+            timings.append((b0, b1, start, time.perf_counter()))
+        return timings, diffs
+    finally:
+        # Views must be dropped before the segments close: an exported
+        # buffer keeps SharedMemory.close() from releasing the mapping.
+        del views, values
+        try:
+            del private  # noqa: F821 - only bound in diff mode
+        except NameError:
+            pass
+        for seg in segments:
+            seg.close()
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: take one task message, run it, report, repeat."""
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        epoch, task_id, payload = item
+        try:
+            timings, diffs = _run_task(payload)
+            result_q.put(("ok", epoch, task_id, timings, diffs))
+        except BaseException as exc:  # noqa: BLE001 - must report, not die
+            b0 = payload["shards"][0][0] if payload["shards"] else -1
+            failing = getattr(exc, "_proc_b0", b0)
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = ExecutionError(f"{type(exc).__name__}: {exc}")
+            result_q.put(("err", epoch, task_id, failing, exc))
+
+
+# ----------------------------------------------------------- parent side
+
+
+class _Worker:
+    """One pool slot: a process plus its private task queue.
+
+    A respawn replaces both — a worker killed mid-``get`` can leave its
+    queue's feeder state inconsistent, so the replacement starts clean.
+    """
+
+    def __init__(self, ctx, worker_id: int, result_q) -> None:
+        self.ctx = ctx
+        self.worker_id = worker_id
+        self.result_q = result_q
+        self.task_q = None
+        self.process = None
+        self.spawn()
+
+    def spawn(self) -> None:
+        self.task_q = self.ctx.Queue()
+        self.process = self.ctx.Process(
+            target=_worker_main,
+            args=(self.worker_id, self.task_q, self.result_q),
+            name=f"repro-proc-{self.worker_id}",
+            daemon=True,
+        )
+        self.process.start()
+        STATS.workers_spawned += 1
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def respawn(self) -> None:
+        self.terminate()
+        self.spawn()
+        STATS.workers_replaced += 1
+
+    def submit(self, epoch: int, task_id: int, payload: dict) -> None:
+        self.task_q.put((epoch, task_id, payload))
+
+    def terminate(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():  # pragma: no cover - stuck in D state
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        if self.task_q is not None:
+            self.task_q.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then terminate."""
+        if self.process is not None and self.process.is_alive():
+            try:
+                self.task_q.put(None)
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+            self.process.join(timeout=1.0)
+        self.terminate()
+
+
+class ProcessShardPool:
+    """A fixed set of worker processes executing shard tasks.
+
+    The pool is long-lived and shared across launches (module-level
+    singleton via :func:`get_process_pool`); launches are serialized by
+    an internal lock, which matches how the serving front-end uses it —
+    one fused submission at a time, each already sharded across every
+    worker.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.ctx = get_context(_START_METHOD)
+        self.result_q = self.ctx.Queue()
+        self.workers = [
+            _Worker(self.ctx, i, self.result_q) for i in range(workers)
+        ]
+        self.lock = threading.Lock()
+        self._epoch = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.workers)
+
+    def grow(self, workers: int) -> None:
+        with self.lock:
+            while len(self.workers) < workers:
+                self.workers.append(
+                    _Worker(self.ctx, len(self.workers), self.result_q)
+                )
+
+    def shutdown(self) -> None:
+        with self.lock:
+            for worker in self.workers:
+                worker.stop()
+            self.workers = []
+
+    # -- one launch ---------------------------------------------------------
+
+    def run_tasks(
+        self,
+        payloads: Dict[int, dict],
+        deadline_seconds: float,
+    ) -> Dict[int, Tuple[List[tuple], Optional[List[tuple]]]]:
+        """Run one task per worker index; gather every result.
+
+        Returns ``{task_id: (timings, diffs)}`` on full success.  Raises
+        the lowest-shard kernel exception on worker-reported errors,
+        :class:`~repro.errors.ShardTimeout` on deadline expiry, and
+        :class:`~repro.errors.ExecutionError` when a task's worker died
+        past its respawn budget.  In every raising path the workers that
+        hold abandoned tasks have been terminated and respawned, so the
+        next launch starts from a clean pool.
+        """
+        with self.lock:
+            self._epoch += 1
+            epoch = self._epoch
+            deadline = time.monotonic() + deadline_seconds
+            outstanding: Dict[int, int] = {}  # task_id -> worker index
+            respawns: Dict[int, int] = {}
+            results: Dict[int, tuple] = {}
+            errors: List[Tuple[int, BaseException]] = []  # (failing b0, exc)
+
+            for task_id, payload in payloads.items():
+                worker = self.workers[task_id % len(self.workers)]
+                if not worker.alive():
+                    worker.respawn()
+                worker.submit(epoch, task_id, payload)
+                outstanding[task_id] = task_id % len(self.workers)
+                STATS.tasks += 1
+
+            def abandon() -> None:
+                for task_id, widx in outstanding.items():
+                    self.workers[widx].respawn()
+
+            while outstanding:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    abandon()
+                    STATS.deadline_timeouts += 1
+                    raise ShardTimeout(
+                        f"process-sharded launch overran its "
+                        f"{deadline_seconds:.3f}s deadline with "
+                        f"{len(outstanding)} task(s) outstanding"
+                    )
+                try:
+                    msg = self.result_q.get(timeout=min(0.05, remaining))
+                except queue_mod.Empty:
+                    # No result yet: check for workers that died mid-task.
+                    for task_id, widx in list(outstanding.items()):
+                        worker = self.workers[widx]
+                        if worker.alive():
+                            continue
+                        respawns[task_id] = respawns.get(task_id, 0) + 1
+                        worker.respawn()
+                        if respawns[task_id] > MAX_RESPAWNS_PER_TASK:
+                            abandon()
+                            raise WorkerLost(
+                                f"process shard task {task_id} lost its "
+                                f"worker {respawns[task_id]} times"
+                            )
+                        worker.submit(epoch, task_id, payloads[task_id])
+                    continue
+                kind, msg_epoch, task_id = msg[0], msg[1], msg[2]
+                if msg_epoch != epoch or task_id not in outstanding:
+                    continue  # stale result from an abandoned launch
+                outstanding.pop(task_id)
+                if kind == "ok":
+                    results[task_id] = (msg[3], msg[4])
+                else:
+                    errors.append((msg[3], msg[4]))
+            if errors:
+                # Lowest failing shard wins, matching serial discovery
+                # order; workers that errored are alive and reusable.
+                errors.sort(key=lambda pair: pair[0])
+                raise errors[0][1]
+            return results
+
+
+_POOL_LOCK = threading.Lock()
+_POOL: Optional[ProcessShardPool] = None
+
+
+def get_process_pool(workers: int) -> ProcessShardPool:
+    """The shared worker-process pool, grown to at least ``workers``."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ProcessShardPool(workers)
+        elif _POOL.size < workers:
+            _POOL.grow(workers)
+        return _POOL
+
+
+def shutdown_process_pool() -> None:
+    """Tear down the worker processes (tests and interpreter exit)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
+
+
+atexit.register(shutdown_process_pool)
+
+
+# ------------------------------------------------------------- staging
+
+
+def _stage_arrays(
+    bound: Dict[str, object], param_names: List[str]
+) -> Tuple[
+    Dict[str, Tuple[str, int, str]],
+    Dict[str, object],
+    Dict[str, np.ndarray],
+    List[shm_mod.SharedMemory],
+]:
+    """Copy array arguments into fresh shared-memory segments.
+
+    Returns ``(array_specs, scalars, staged_views, segments)``; the
+    views alias the segments and must be dropped before the segments are
+    closed and unlinked.
+    """
+    specs: Dict[str, Tuple[str, int, str]] = {}
+    scalars: Dict[str, object] = {}
+    views: Dict[str, np.ndarray] = {}
+    segments: List[shm_mod.SharedMemory] = []
+    for name in param_names:
+        value = bound[name]
+        if not isinstance(value, np.ndarray):
+            scalars[name] = value
+            continue
+        seg = shm_mod.SharedMemory(create=True, size=max(1, value.nbytes))
+        segments.append(seg)
+        view = np.ndarray(value.size, dtype=value.dtype, buffer=seg.buf)
+        view[...] = value
+        views[name] = view
+        specs[name] = (seg.name, value.size, value.dtype.str)
+        STATS.shm_bytes += value.nbytes
+    return specs, scalars, views, segments
+
+
+def _release(views: Dict[str, np.ndarray], segments) -> None:
+    views.clear()
+    for seg in segments:
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+# ------------------------------------------------------------- execution
+
+
+def run_process_sharded(
+    fn,
+    module,
+    compiled,
+    grid,
+    bound: Dict[str, object],
+    plan: List[Tuple[int, int]],
+    workers: int,
+    analysis,
+    guard=None,
+) -> str:
+    """Execute one sharded launch on the worker processes.
+
+    Containment is unconditional (see the module docstring); ``guard``
+    (a :class:`~repro.resilience.GuardPolicy`, when a guard scope is
+    active) only tightens the deadline.  Returns the assembly mode used
+    (``"direct"``/``"diff"``) for the caller's stats, or ``"serial"``
+    when containment fell back to in-parent re-execution.
+    """
+    deadline = (
+        guard.deadline_seconds
+        if guard is not None and guard.enabled
+        else DEFAULT_DEADLINE_SECONDS
+    )
+    mode = "direct" if analysis.disjoint_writes else "diff"
+    written = list(analysis.written_arrays)
+    pool = get_process_pool(workers)
+    count = min(workers, pool.size, len(plan))
+
+    specs, scalars, views, segments = _stage_arrays(bound, compiled.param_names)
+    try:
+        payloads: Dict[int, dict] = {}
+        for widx in range(count):
+            shards = [plan[i] for i in range(widx, len(plan), count)]
+            payloads[widx] = {
+                "fn": fn,
+                "module": module,
+                "grid": grid,
+                "bounds_check": compiled.bounds_check,
+                "shards": shards,
+                "mode": mode,
+                "arrays": specs,
+                "scalars": scalars,
+                "written": written,
+            }
+        with obs_trace.span(
+            "proc.launch",
+            kernel=compiled.fn_name,
+            mode=mode,
+            workers=count,
+            shards=len(plan),
+        ):
+            try:
+                results = pool.run_tasks(payloads, deadline)
+            except (ShardTimeout, WorkerLost):
+                # Deadline or repeated worker death: the caller's buffers
+                # were never touched, so serial re-execution is exact.
+                # Kernel-raised errors are NOT caught here — they
+                # propagate like the serial path's would.
+                STATS.serial_reexecutions += 1
+                compiled.run(grid, bound)
+                return "serial"
+            for task_id in sorted(results):
+                for b0, b1, start, end in results[task_id][0]:
+                    obs_trace.emit_span(
+                        "proc.shard",
+                        start,
+                        end,
+                        kernel=compiled.fn_name,
+                        blocks=f"{b0}:{b1}",
+                        mode=mode,
+                        worker=task_id,
+                    )
+                    STATS.shards_run += 1
+            if mode == "direct":
+                for name in written:
+                    bound[name][...] = views[name]
+            else:
+                shard_diffs: List[tuple] = []
+                for _timings, diffs in results.values():
+                    shard_diffs.extend(diffs)
+                shard_diffs.sort(key=lambda pair: pair[0])
+                for _b0, diff in shard_diffs:
+                    for name, (idx, vals) in diff.items():
+                        if idx.size:
+                            bound[name].view(np.uint8)[idx] = vals
+        STATS.launches += 1
+        if mode == "direct":
+            STATS.direct += 1
+        else:
+            STATS.diff += 1
+        return mode
+    finally:
+        _release(views, segments)

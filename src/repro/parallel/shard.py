@@ -187,11 +187,17 @@ def run_sharded(
     bound: Dict[str, object],
     workers: int,
     analysis: Shardability,
+    executor: str = "thread",
+    fn: ir.Function = None,
+    module: ir.Module = None,
 ) -> None:
     """Execute a launch as shards, unconditionally (caller checked policy).
 
-    Inside a :func:`repro.resilience.guard.use_guard` scope the launch
-    runs through the guarded executor instead: always overlay-style (a
+    ``executor="process"`` routes the shards to the
+    :mod:`repro.parallel.procpool` worker processes (``fn``/``module``
+    must be supplied — workers recompile from the IR); containment is
+    built into that lane.  On the thread lane, an ambient guard scope
+    routes through the guarded executor instead: always overlay-style (a
     hung or abandoned worker must never hold the caller's buffers),
     with retries, a deadline and a serial fallback.
     """
@@ -199,7 +205,18 @@ def run_sharded(
 
     plan = plan_shards(grid.total_blocks, workers)
     policy = current_policy()
-    if policy is not None and policy.enabled:
+    if executor == "process" and fn is not None:
+        from . import procpool
+
+        mode = procpool.run_process_sharded(
+            fn, module, compiled, grid, bound, plan, workers, analysis,
+            guard=policy,
+        )
+        if mode == "direct":
+            STATS.zero_copy += 1
+        elif mode == "diff":
+            STATS.overlay += 1
+    elif policy is not None and policy.enabled:
         STATS.overlay += 1
         run_sharded_guarded(
             compiled, grid, bound, plan, workers, analysis.written_arrays, policy
@@ -237,5 +254,8 @@ def maybe_run_sharded(
     if not analysis.shardable:
         STATS.serial_unshardable += 1
         return False
-    run_sharded(compiled, grid, bound, policy.workers, analysis)
+    run_sharded(
+        compiled, grid, bound, policy.workers, analysis,
+        executor=policy.executor, fn=fn, module=module,
+    )
     return True

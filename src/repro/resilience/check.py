@@ -35,8 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..codegen.check import _compare_arrays
-from ..engine import use_backend
-from ..parallel import ParallelPolicy, use_parallel
+from .._options import options
+from ..parallel import ParallelPolicy
 from .faults import (
     FAULT_CLASSES,
     SITE_CACHE_LOAD,
@@ -105,7 +105,7 @@ def _bit_exact(golden, out) -> Optional[str]:
 
 def golden_output(app, inputs):
     """The reference output: exact program, interpreter, serial, no faults."""
-    with use_backend("interp"), use_parallel(1):
+    with options(backend="interp", parallel=1):
         out, _trace = app.run_exact(copy.deepcopy(inputs))
     return out
 
@@ -130,8 +130,8 @@ def run_chaos(
         return _chaos_quality(app, inputs, golden, seed, result)
     plan = random_plan(fault_class, seed, hang_seconds=HANG_SECONDS)
     try:
-        with use_faults(plan), use_parallel(
-            ParallelPolicy(workers=workers, min_shard_threads=1)
+        with use_faults(plan), options(
+            parallel=ParallelPolicy(workers=workers, min_shard_threads=1)
         ):
             out, report = run_ladder(
                 app,

@@ -25,7 +25,6 @@ calls outside any guard scope keep their original, zero-overhead paths.
 
 from __future__ import annotations
 
-import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
@@ -33,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .._options import UNSET, current_options, deprecated
+from .._options import options as options_scope
 from ..errors import ResilienceError, ShardTimeout, WorkerDeath
 from ..obs import trace as obs_trace
 from ..obs.registry import get_registry
@@ -74,31 +75,30 @@ class GuardPolicy:
             )
 
 
-class _GuardStack(threading.local):
-    def __init__(self) -> None:
-        self.stack: List[Optional[GuardPolicy]] = [None]
-
-
-_GUARDS = _GuardStack()
-
-
 def current_policy() -> Optional[GuardPolicy]:
-    """The innermost :func:`use_guard` policy on this thread (None = off)."""
-    return _GUARDS.stack[-1]
+    """The guard of the ambient :func:`repro.options` scope on this
+    thread (None = unguarded)."""
+    guard = current_options().guard
+    return None if guard is UNSET else guard
 
 
-class use_guard:
-    """Scope a guard policy to a ``with`` block (per thread, nestable)."""
+class use_guard(options_scope):
+    """Deprecated: scope a guard policy to a ``with`` block.
+
+    Superseded by the unified :func:`repro.options` scope::
+
+        with repro.options(guard=GuardPolicy(retries=1)):
+            ...
+    """
 
     def __init__(self, policy: Optional[GuardPolicy]) -> None:
+        deprecated("use_guard(...)", "repro.options(guard=...)")
+        super().__init__(guard=policy)
         self.policy = policy
 
     def __enter__(self) -> Optional[GuardPolicy]:
-        _GUARDS.stack.append(self.policy)
+        super().__enter__()
         return self.policy
-
-    def __exit__(self, *_exc) -> None:
-        _GUARDS.stack.pop()
 
 
 # ------------------------------------------------------------------- stats
@@ -394,16 +394,13 @@ def run_ladder(
     the final rung (exact program, interpreter, serial) is the reference
     semantics itself.  Only a final-rung exception propagates.
     """
-    from ..engine import use_backend
-    from ..parallel import use_parallel
-
     if policy is None:
         policy = current_policy()
     if policy is None or not policy.enabled:
         label = "variant" if variant is not None else "exact"
         with obs_trace.span(
             "ladder.rung", rung=label, depth=0, guarded=False
-        ), use_backend(backend), use_parallel(workers):
+        ), options_scope(backend=backend, parallel=workers):
             if variant is None:
                 out, _trace = app.run_exact(inputs)
             else:
@@ -421,7 +418,7 @@ def run_ladder(
             "ladder.rung", rung=label, depth=depth, backend=be, guarded=True
         )
         try:
-            with rung_span, use_guard(policy), use_backend(be), use_parallel(w):
+            with rung_span, options_scope(guard=policy, backend=be, parallel=w):
                 if runs_variant:
                     out, _trace = app.run_variant(variant, inputs)
                 else:

@@ -12,10 +12,13 @@ from .cache import CacheEntry, VariantCache, app_fingerprint, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
 from .monitor import DRIFT, HEADROOM, OK, VIOLATION, MonitorConfig, QualityMonitor
 from .recalibrate import Recalibrator
+from .frontend import ServeFrontend, Tenant
 from .session import ApproxSession, LaunchInfo
 
 __all__ = [
     "ApproxSession",
+    "ServeFrontend",
+    "Tenant",
     "LaunchInfo",
     "VariantCache",
     "CacheEntry",

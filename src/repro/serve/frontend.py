@@ -1,0 +1,516 @@
+"""Multi-tenant serving front-end: one queue, batched fused dispatch.
+
+:class:`ServeFrontend` sits in front of the launch machinery (and of
+:class:`~repro.serve.ApproxSession` instances) and turns many concurrent
+callers into one disciplined execution stream:
+
+* **Admission** — every request names a *tenant*.  Tenants are
+  registered with a queue-depth budget (how many of their requests may
+  be outstanding at once) and an optional *TOQ floor* (sessions serving
+  below that target quality are refused — a tenant paying for 0.95
+  quality must not be routed through a 0.80 session).  Violations raise
+  :class:`~repro.errors.BackpressureError` /
+  :class:`~repro.errors.AdmissionError` at ``submit`` time, in the
+  caller's thread, so backpressure propagates to the producer instead
+  of growing an unbounded queue.
+* **Batching** — a dispatcher thread drains the queue and fuses
+  *compatible* requests into one batch: kernel launches sharing a
+  ``(kernel fingerprint, grid class, bounds_check)`` key — which is
+  exactly the compiled-kernel cache key, so one compilation serves the
+  whole batch — and session launches sharing the session.  A batch is
+  collected within a bounded window (``batch_window_s``) up to
+  ``max_batch`` requests and executed under one ``serve.batch`` span.
+* **Execution** — requests run in arrival order inside the batch (the
+  selection is deterministic: FIFO by global sequence number, never
+  reordered within a tenant), under the front-end's default
+  :class:`~repro.LaunchOptions` — typically ``executor="process"`` so
+  shards land on the :mod:`repro.parallel.procpool` workers and the
+  front-end thread stays responsive.  Results land in
+  :class:`concurrent.futures.Future` objects returned by ``submit``.
+
+Run ``python -m repro.serve.frontend`` for the differential harness: it
+pushes every benchmark app's kernel workload through a process-executor
+front-end and byte-compares against serial execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .._options import LaunchOptions, options as options_scope
+from ..errors import AdmissionError, BackpressureError, ServeError
+from ..obs import trace as obs_trace
+from ..obs.registry import get_registry
+
+#: Default per-tenant outstanding-request budget.
+DEFAULT_TENANT_DEPTH = 64
+
+#: Default global queue bound.
+DEFAULT_QUEUE_DEPTH = 256
+
+#: How long the dispatcher holds a batch open for compatible requests.
+DEFAULT_BATCH_WINDOW_S = 0.002
+
+#: Requests fused into one batch at most.
+DEFAULT_MAX_BATCH = 8
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One registered traffic source and its admission budgets.
+
+    Attributes:
+        name: tenant id, stamped on spans and metrics labels.
+        max_queue_depth: outstanding requests this tenant may hold.
+        toq_floor: minimum session target quality this tenant accepts;
+            0.0 admits everything (plain kernel launches are exact and
+            always admitted).
+    """
+
+    name: str
+    max_queue_depth: int = DEFAULT_TENANT_DEPTH
+    toq_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ServeError(
+                f"tenant {self.name!r}: max_queue_depth must be >= 1, "
+                f"got {self.max_queue_depth}"
+            )
+        if not 0.0 <= self.toq_floor <= 1.0:
+            raise ServeError(
+                f"tenant {self.name!r}: toq_floor must be in [0, 1], "
+                f"got {self.toq_floor}"
+            )
+
+
+@dataclass
+class _Request:
+    """One queued launch and everything needed to run and resolve it."""
+
+    seq: int
+    tenant: str
+    key: tuple
+    run: object  # zero-arg callable producing the result
+    future: Future = field(default_factory=Future)
+    enqueued: float = 0.0
+
+
+class _FrontendMetrics:
+    """Registry-backed counters for one front-end instance.
+
+    Families are shared across instances (the registry deduplicates by
+    name); per-tenant series are labelled.
+    """
+
+    def __init__(self) -> None:
+        registry = get_registry()
+        self._requests = registry.counter(
+            "repro_frontend_requests_total",
+            "requests admitted to the front-end queue",
+            labelnames=("tenant",),
+        )
+        self._rejects = registry.counter(
+            "repro_frontend_rejects_total",
+            "requests refused at admission",
+            labelnames=("reason",),
+        )
+        self.batches = registry.counter(
+            "repro_frontend_batches_total", "fused batches dispatched"
+        )
+        self.batched = registry.counter(
+            "repro_frontend_batched_requests_total",
+            "requests executed through fused batches",
+        )
+        self.queue_depth = registry.gauge(
+            "repro_frontend_queue_depth", "requests waiting in the queue"
+        )
+        self.wait_seconds = registry.histogram(
+            "repro_frontend_wait_seconds",
+            "queue wait from admission to execution start",
+        )
+        self.batch_size = registry.histogram(
+            "repro_frontend_batch_size",
+            "requests per fused batch",
+            buckets=(1, 2, 4, 8, 16, 32),
+        )
+
+    def admitted(self, tenant: str) -> None:
+        self._requests.labels(tenant=tenant).inc()
+
+    def rejected(self, reason: str) -> None:
+        self._rejects.labels(reason=reason).inc()
+
+
+class ServeFrontend:
+    """The multi-tenant batched front-end over the launch machinery.
+
+    Args:
+        options: default :class:`~repro.LaunchOptions` every request
+            executes under (its own per-request options merge on top).
+            The typical serving configuration is
+            ``LaunchOptions(backend="codegen", parallel=W,
+            executor="process")``.
+        batch_window_s: how long the dispatcher keeps a batch open for
+            compatible requests after the first one arrives.
+        max_batch: requests fused into one batch at most.
+        max_queue_depth: global bound on queued requests.
+    """
+
+    def __init__(
+        self,
+        options: Optional[LaunchOptions] = None,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if max_queue_depth < 1:
+            raise ServeError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.options = options if options is not None else LaunchOptions()
+        self.batch_window_s = batch_window_s
+        self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self.metrics = _FrontendMetrics()
+        self._tenants: Dict[str, Tenant] = {}
+        self._outstanding: Dict[str, int] = {}
+        self._queue: Deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-frontend", daemon=True
+        )
+        self._dispatcher.start()
+        self.register_tenant("default")
+
+    # -- tenants ---------------------------------------------------------------
+
+    def register_tenant(
+        self,
+        name: str,
+        max_queue_depth: int = DEFAULT_TENANT_DEPTH,
+        toq_floor: float = 0.0,
+    ) -> Tenant:
+        """Register (or re-register with new budgets) a tenant."""
+        tenant = Tenant(name, max_queue_depth, toq_floor)
+        with self._lock:
+            self._tenants[name] = tenant
+            self._outstanding.setdefault(name, 0)
+        return tenant
+
+    def tenants(self) -> List[Tenant]:
+        with self._lock:
+            return list(self._tenants.values())
+
+    # -- admission -------------------------------------------------------------
+
+    def _admit(self, tenant_name: str, toq: Optional[float]) -> Tenant:
+        """Check every admission rule; returns the tenant record.
+
+        Called under ``self._lock``.
+        """
+        tenant = self._tenants.get(tenant_name)
+        if tenant is None:
+            self.metrics.rejected("unknown_tenant")
+            raise AdmissionError(
+                f"unknown tenant {tenant_name!r}; register_tenant() first"
+            )
+        if toq is not None and toq < tenant.toq_floor:
+            self.metrics.rejected("toq_floor")
+            raise AdmissionError(
+                f"tenant {tenant_name!r} requires target quality >= "
+                f"{tenant.toq_floor}, session serves {toq}"
+            )
+        if len(self._queue) >= self.max_queue_depth:
+            self.metrics.rejected("queue_full")
+            raise BackpressureError(
+                f"front-end queue is full ({self.max_queue_depth} requests)"
+            )
+        if self._outstanding[tenant_name] >= tenant.max_queue_depth:
+            self.metrics.rejected("tenant_full")
+            raise BackpressureError(
+                f"tenant {tenant_name!r} has {self._outstanding[tenant_name]} "
+                f"requests outstanding (budget {tenant.max_queue_depth})"
+            )
+        return tenant
+
+    def _enqueue(self, tenant: str, key: tuple, run, toq=None) -> Future:
+        with self._lock:
+            if self._closed:
+                raise ServeError("front-end is closed")
+            self._admit(tenant, toq)
+            request = _Request(
+                seq=next(self._seq),
+                tenant=tenant,
+                key=key,
+                run=run,
+                enqueued=time.perf_counter(),
+            )
+            self._queue.append(request)
+            self._outstanding[tenant] += 1
+            self.metrics.admitted(tenant)
+            self.metrics.queue_depth.set(len(self._queue))
+            self._wake.notify()
+        return request.future
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        kernel,
+        grid,
+        args,
+        tenant: str = "default",
+        options: Optional[LaunchOptions] = None,
+        bounds_check: bool = True,
+    ) -> Future:
+        """Queue one kernel launch; returns a Future resolving to its Trace.
+
+        Launches sharing a compiled-kernel cache key — same kernel IR
+        fingerprint, same grid class (1-D/2-D), same bounds mode — are
+        fused into one batch.  Array arguments are written in place,
+        exactly as by :func:`repro.launch`; the Future resolves after
+        those writes are visible.
+        """
+        from ..codegen.fingerprint import fingerprint_kernel
+        from ..engine.interpreter import launch as _launch
+        from ..engine.launch import resolve_kernel, resolve_module
+
+        fn = resolve_kernel(kernel)
+        module = resolve_module(kernel)
+        key = (
+            fingerprint_kernel(fn, module),
+            "2d" if grid.is_2d else "1d",
+            bool(bounds_check),
+        )
+        opts = (
+            options.merged_over(self.options)
+            if options is not None
+            else self.options
+        )
+
+        def run():
+            return _launch(
+                kernel, grid, args, bounds_check=bounds_check, options=opts
+            )
+
+        return self._enqueue(tenant, key, run)
+
+    def submit_app(self, session, inputs, tenant: str = "default") -> Future:
+        """Queue one :meth:`ApproxSession.launch`; Future resolves to its
+        output.
+
+        Requests for the same session fuse into one batch and run in
+        arrival order on the dispatcher thread (sessions are not
+        thread-safe; the front-end is their serialization point).  The
+        tenant's TOQ floor is checked against the session's target.
+        """
+        key = ("app", session.key)
+
+        def run():
+            with options_scope(self.options):
+                return session.launch(inputs)
+
+        return self._enqueue(tenant, key, run, toq=session.toq)
+
+    def launch(self, kernel, grid, args, **kwargs):
+        """Synchronous :meth:`submit`: block until the launch ran."""
+        return self.submit(kernel, grid, args, **kwargs).result()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _take_batch(self) -> List[_Request]:
+        """Collect the next batch (called on the dispatcher thread).
+
+        Deterministic selection: the head of the queue anchors the
+        batch; every queued request with the same key joins, in global
+        sequence order, up to ``max_batch``.  The batch window only
+        *waits* for stragglers — arrival order within the batch is
+        never changed by timing.
+        """
+        with self._wake:
+            while not self._queue and not self._closed:
+                self._wake.wait(timeout=0.1)
+            if not self._queue:
+                return []
+            anchor = self._queue[0]
+            deadline = time.monotonic() + self.batch_window_s
+            while len(self._queue) < self.max_batch:
+                matching = sum(1 for r in self._queue if r.key == anchor.key)
+                if matching >= self.max_batch:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._wake.wait(timeout=remaining)
+            batch: List[_Request] = []
+            rest: Deque[_Request] = deque()
+            for request in self._queue:
+                if request.key == anchor.key and len(batch) < self.max_batch:
+                    batch.append(request)
+                else:
+                    rest.append(request)
+            self._queue = rest
+            self.metrics.queue_depth.set(len(self._queue))
+            return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                if self._closed:
+                    return
+                continue
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        started = time.perf_counter()
+        self.metrics.batches.inc()
+        self.metrics.batched.inc(len(batch))
+        self.metrics.batch_size.observe(len(batch))
+        key = batch[0].key
+        with obs_trace.span(
+            "serve.batch",
+            key="/".join(str(part) for part in key[:2]),
+            size=len(batch),
+            tenants=",".join(sorted({r.tenant for r in batch})),
+        ):
+            for request in batch:
+                self.metrics.wait_seconds.observe(started - request.enqueued)
+                if not request.future.set_running_or_notify_cancel():
+                    self._done(request)
+                    continue
+                try:
+                    result = request.run()
+                except BaseException as exc:  # noqa: BLE001 - future carries it
+                    request.future.set_exception(exc)
+                else:
+                    request.future.set_result(result)
+                self._done(request)
+
+    def _done(self, request: _Request) -> None:
+        with self._lock:
+            self._outstanding[request.tenant] -= 1
+
+    # -- introspection / teardown ----------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def outstanding(self, tenant: str = "default") -> int:
+        with self._lock:
+            return self._outstanding.get(tenant, 0)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop admitting, drain the queue, stop the dispatcher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._dispatcher.join(timeout=timeout)
+        with self._lock:
+            while self._queue:  # dispatcher gone; fail leftovers loudly
+                request = self._queue.popleft()
+                request.future.set_exception(
+                    ServeError("front-end closed before dispatch")
+                )
+                self._outstanding[request.tenant] -= 1
+            self.metrics.queue_depth.set(0)
+
+    def __enter__(self) -> "ServeFrontend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------- harness
+
+
+def _differential_harness(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.serve.frontend``: process-vs-serial bit-exactness.
+
+    For every benchmark app, runs the exact program serially, then
+    replays the same inputs through a front-end configured with the
+    process executor, and byte-compares the outputs.  Exits non-zero on
+    the first mismatch.
+    """
+    import argparse
+    import copy
+
+    import numpy as np
+
+    from ..apps.registry import APP_CLASSES, make_app
+    from ..codegen.check import _compare_arrays
+    from ..parallel.procpool import stats_snapshot
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.frontend",
+        description="Differential harness: batched process-executor "
+        "front-end vs serial execution, byte-exact, all benchmark apps.",
+    )
+    parser.add_argument("apps", nargs="*", help="app names (default: all)")
+    parser.add_argument(
+        "--workers", type=int, default=2, help="process workers (default 2)"
+    )
+    args = parser.parse_args(argv)
+
+    def arrays(out) -> List:
+        parts = out if isinstance(out, (tuple, list)) else [out]
+        return [np.asarray(p) for p in parts if isinstance(p, np.ndarray)]
+
+    failures = []
+    frontend = ServeFrontend(
+        options=LaunchOptions(
+            backend="codegen",
+            parallel=args.workers,
+            executor="process",
+            min_shard_threads=1,
+        )
+    )
+    with frontend:
+        for name in args.apps or sorted(APP_CLASSES):
+            app = make_app(name, seed=0)
+            inputs = app.generate_inputs()
+            with options_scope(backend="codegen"):
+                serial = app.run_exact(copy.deepcopy(inputs))
+
+            def run(app=app, inputs=inputs):
+                with options_scope(frontend.options):
+                    return app.run_exact(copy.deepcopy(inputs))
+
+            batched = frontend._enqueue("default", ("app", name), run).result()
+            mismatches = []
+            for i, (a, b) in enumerate(zip(arrays(serial), arrays(batched))):
+                note = _compare_arrays(f"output[{i}]", a, b)
+                if note is not None:
+                    mismatches.append(note)
+            status = "ok " if not mismatches else "FAIL"
+            print(f"[{status}] {name}" + ("" if not mismatches else f": {mismatches}"))
+            if mismatches:
+                failures.append(name)
+    stats = stats_snapshot()
+    print(
+        f"{len(args.apps or APP_CLASSES) - len(failures)}/"
+        f"{len(args.apps or APP_CLASSES)} apps bit-exact (process front-end "
+        f"vs serial); procpool ran {stats['shards_run']} shards in "
+        f"{stats['launches']} launches"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI job
+    raise SystemExit(_differential_harness())

@@ -23,6 +23,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .._options import (
+    LaunchOptions,
+    current_options,
+    deprecated,
+    options as options_scope,
+)
 from ..approx.base import VariantSet
 from ..approx.compiler import Paraprox, ParaproxConfig
 from ..device import DeviceKind, spec_for
@@ -36,7 +42,7 @@ from ..resilience.faults import SITE_QUALITY, maybe_inject
 from ..resilience.guard import GuardPolicy, run_ladder
 from ..runtime.tuner import GreedyTuner, TuningResult
 from .cache import CacheEntry, VariantCache, cache_key
-from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
+from .metrics import LaunchRecord, SessionMetrics, Transition
 from .monitor import DRIFT, HEADROOM, VIOLATION, MonitorConfig, QualityMonitor
 from .recalibrate import Recalibrator
 
@@ -73,14 +79,18 @@ class ApproxSession:
         cache_dir: directory for the on-disk variant cache; None keeps the
             cache purely in-process.
         monitor: quality-monitor knobs (sampling cadence, window, drift).
-        event_log: path of an optional JSONL event log.
+        event_log: deprecated — forwards to the unified trace stream
+            (:func:`repro.obs.trace.enable`) with a DeprecationWarning.
         tuner_repeats: training input sets the tuner averages over.
-        backend: launch backend for served launches ("interp", "codegen"
-            or "auto"); defaults to the config's ``backend`` knob.  Tuning
-            always interprets — its cost model needs instruction traces.
-        parallel: worker threads for sharded launches and concurrent
-            variant profiling (a positive int or "auto"); defaults to
-            the config's ``parallel_workers`` knob.  1 = serial.
+        options: session-default :class:`~repro.LaunchOptions` — the
+            third layer of the precedence chain.  At launch time an
+            active :func:`repro.options` scope overrides these, and
+            these override the config knobs (``backend``,
+            ``parallel_workers``, ``executor``).  Tuning always
+            interprets — its cost model needs instruction traces.
+        backend / parallel: per-field spellings of the same defaults,
+            kept for convenience; where both are given, these explicit
+            fields override the corresponding ``options`` fields.
         guard: guarded-launch policy (retries, deadline, output
             validation); defaults to ``GuardPolicy()``.  Pass
             ``GuardPolicy(enabled=False)`` for the raw unguarded path.
@@ -102,18 +112,30 @@ class ApproxSession:
         parallel: Optional[object] = None,
         guard: Optional[GuardPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        options: Optional[LaunchOptions] = None,
     ) -> None:
+        from ..parallel.pool import policy_from_options
+
         self.app = app
         self.paraprox = Paraprox(
             target_quality=target_quality, device=device, config=config
         )
-        self.backend = validate_backend(
-            backend if backend is not None else self.paraprox.config.backend
+        # Session defaults: config knobs < options= < explicit fields.
+        config_defaults = LaunchOptions(
+            backend=self.paraprox.config.backend,
+            parallel=self.paraprox.config.parallel_workers,
+            executor=self.paraprox.config.executor,
         )
+        merged = (
+            options.merged_over(config_defaults)
+            if options is not None
+            else config_defaults
+        )
+        explicit = LaunchOptions(backend=backend, parallel=parallel)
+        self.options = explicit.merged_over(merged)
+        self.backend = validate_backend(self.options.backend)
         self.parallel_workers = resolve_workers(
-            parallel
-            if parallel is not None
-            else self.paraprox.config.parallel_workers
+            policy_from_options(self.options).workers
         )
         self.guard = guard if guard is not None else GuardPolicy()
         self.breaker = VariantBreaker(breaker)
@@ -124,9 +146,17 @@ class ApproxSession:
         self.spec = spec_for(device)
         self.cache = VariantCache(cache_dir)
         self.monitor = QualityMonitor(self.toq, monitor)
-        self.metrics = SessionMetrics(
-            event_log=EventLog(event_log) if event_log is not None else None
-        )
+        if event_log is not None:
+            # Shim: the session-private JSONL log is superseded by the
+            # unified trace stream, which carries the same launch/quality
+            # story (plus spans) in one file for the whole process.
+            deprecated(
+                "ApproxSession(event_log=...)",
+                "repro.obs.trace.enable(trace_path=...)",
+            )
+            if obs_trace.trace_path() is None:
+                obs_trace.enable(trace_path=event_log)
+        self.metrics = SessionMetrics(event_log=None)
         self.metrics.bind_session_sources(
             breaker=self.breaker,
             guard_policy=self.guard,
@@ -277,6 +307,20 @@ class ApproxSession:
             kernel_launches[0] += 1
             backend_counts[event.backend] = backend_counts.get(event.backend, 0) + 1
 
+        # Precedence: an active repro.options scope overrides the session
+        # defaults, which already fold in the config knobs.  The ladder
+        # sets backend/parallel per rung, so only the remaining fields
+        # (executor, shard threshold) ride in as an ambient scope.
+        from ..parallel.pool import policy_from_options
+
+        effective = current_options().merged_over(self.options)
+        backend = validate_backend(effective.backend)
+        workers = policy_from_options(effective).workers
+        ambient = LaunchOptions(
+            executor=effective.executor,
+            min_shard_threads=effective.min_shard_threads,
+        )
+
         started = time.perf_counter()
         with obs_trace.span(
             "serve.launch",
@@ -288,13 +332,13 @@ class ApproxSession:
             self._step_off_quarantined(index)
             variant = recal.current
             root.set(variant=recal.current_name)
-            with launch_hook(count):
+            with launch_hook(count), options_scope(ambient):
                 out, report = run_ladder(
                     self.app,
                     inputs,
                     variant,
-                    backend=self.backend,
-                    workers=self.parallel_workers,
+                    backend=backend,
+                    workers=workers,
                     policy=self.guard,
                 )
 

@@ -64,3 +64,10 @@ def test_online_calibration():
     assert "drifts" in out
     assert "back_off" in out  # the drift must trigger at least one back-off
     assert "final variant" in out
+
+
+def test_serving_frontend():
+    out = _run("serving_frontend.py", timeout=400)
+    assert "probe refused" in out  # TOQ-floor admission control
+    assert "shed by backpressure" in out
+    assert "requests through" in out  # batching actually fused requests

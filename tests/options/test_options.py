@@ -1,0 +1,255 @@
+"""The unified launch-options surface: precedence, merging, shims.
+
+One ambient stack (:func:`repro.options`) replaced the backend, parallel
+and guard stacks plus the ``launch(backend=..., parallel=...)`` keywords;
+these tests pin the precedence chain and prove every legacy spelling
+still works while warning.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+import repro
+from repro import LaunchOptions
+from repro._options import UNSET, current_options
+from repro.engine import Grid, default_backend, launch, use_backend
+from repro.engine.trace import Trace
+from repro.errors import ConfigError
+from repro.parallel import ParallelPolicy, default_policy, use_parallel
+from repro.resilience import GuardPolicy, use_guard
+from repro.resilience.guard import current_policy
+
+
+def _square_args(n=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        np.zeros(n, dtype=np.float32),
+        rng.random(n, dtype=np.float32),
+        np.int32(n),
+    ]
+
+
+class TestLaunchOptions:
+    def test_defaults_are_all_unset(self):
+        opts = LaunchOptions()
+        assert opts.backend is None
+        assert opts.parallel is None
+        assert opts.min_shard_threads is None
+        assert opts.executor is None
+        assert opts.guard is UNSET
+
+    def test_validates_backend_and_executor(self):
+        with pytest.raises(ConfigError):
+            LaunchOptions(backend="bogus")
+        with pytest.raises(ConfigError):
+            LaunchOptions(executor="bogus")
+        with pytest.raises(ConfigError):
+            LaunchOptions(min_shard_threads=0)
+        with pytest.raises(ConfigError):
+            LaunchOptions(parallel="many")
+
+    def test_merged_over_overrides_only_set_fields(self):
+        base = LaunchOptions(backend="codegen", parallel=4)
+        over = LaunchOptions(parallel=2, executor="process")
+        merged = over.merged_over(base)
+        assert merged.backend == "codegen"  # inherited
+        assert merged.parallel == 2  # overridden
+        assert merged.executor == "process"  # added
+
+    def test_guard_none_is_an_explicit_value(self):
+        """guard=None means 'explicitly unguarded', distinct from UNSET."""
+        base = LaunchOptions(guard=GuardPolicy())
+        cleared = LaunchOptions(guard=None).merged_over(base)
+        assert cleared.guard is None
+        untouched = LaunchOptions().merged_over(base)
+        assert untouched.guard is not None and untouched.guard is not UNSET
+
+    def test_describe_reports_set_fields_only(self):
+        desc = LaunchOptions(backend="interp", guard=None).describe()
+        assert desc == {"backend": "interp", "guard": "off"}
+
+
+class TestScope:
+    def test_scope_sets_and_restores(self):
+        assert current_options().backend is None
+        with repro.options(backend="codegen"):
+            assert current_options().backend == "codegen"
+        assert current_options().backend is None
+
+    def test_nested_scopes_merge_field_by_field(self):
+        with repro.options(backend="codegen", parallel=4):
+            with repro.options(parallel=2):
+                opts = current_options()
+                assert opts.backend == "codegen"
+                assert opts.parallel == 2
+            assert current_options().parallel == 4
+
+    def test_scope_accepts_a_ready_record(self):
+        record = LaunchOptions(backend="interp")
+        with repro.options(record) as merged:
+            assert merged.backend == "interp"
+
+    def test_record_and_kwargs_together_rejected(self):
+        with pytest.raises(ConfigError):
+            repro.options(LaunchOptions(), backend="interp")
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["backend"] = current_options().backend
+
+        with repro.options(backend="codegen"):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["backend"] is None, "worker threads start from defaults"
+
+    def test_per_call_options_beat_the_scope(self):
+        args = _square_args()
+        with repro.options(backend="codegen"):
+            trace = launch(
+                zoo.square_map,
+                Grid.for_elements(64),
+                args,
+                options=LaunchOptions(backend="interp"),
+            )
+        # Only the interpreter records per-op events.
+        assert isinstance(trace, Trace) and trace.op_counts
+
+
+class TestPrecedenceChain:
+    def test_scope_beats_session_default_which_beats_config(self):
+        from repro import ParaproxConfig
+        from repro.apps.gaussian import GaussianFilterApp
+        from repro.serve import ApproxSession
+
+        app = GaussianFilterApp(scale=0.05)
+        config = ParaproxConfig(backend="interp", parallel_workers=1)
+        session = ApproxSession(
+            app,
+            target_quality=0.9,
+            config=config,
+            options=LaunchOptions(backend="codegen"),
+        )
+        # session default overrides the config knob
+        assert session.options.backend == "codegen"
+        assert session.backend == "codegen"
+        # explicit ctor field overrides the options record
+        session2 = ApproxSession(
+            app,
+            target_quality=0.9,
+            config=config,
+            backend="auto",
+            options=LaunchOptions(backend="codegen", parallel=2),
+        )
+        assert session2.options.backend == "auto"
+        assert session2.parallel_workers == 2
+
+    def test_config_executor_knob_flows_into_session_defaults(self):
+        from repro import ParaproxConfig
+        from repro.apps.gaussian import GaussianFilterApp
+        from repro.serve import ApproxSession
+
+        config = ParaproxConfig(executor="process")
+        session = ApproxSession(
+            GaussianFilterApp(scale=0.05), target_quality=0.9, config=config
+        )
+        assert session.options.executor == "process"
+        with pytest.raises(ConfigError):
+            ParaproxConfig(executor="bogus")
+
+    def test_config_executor_round_trips(self):
+        from repro import ParaproxConfig
+
+        config = ParaproxConfig(executor="process")
+        assert ParaproxConfig.from_dict(config.to_dict()).executor == "process"
+
+
+class TestDeprecatedShims:
+    def test_use_backend_warns_and_still_scopes(self):
+        with pytest.warns(DeprecationWarning, match="use_backend"):
+            with use_backend("codegen") as name:
+                assert name == "codegen"
+                assert default_backend() == "codegen"
+        assert default_backend() == "interp"
+
+    def test_use_parallel_warns_and_still_scopes(self):
+        with pytest.warns(DeprecationWarning, match="use_parallel"):
+            with use_parallel(3) as policy:
+                assert policy.workers == 3
+                assert default_policy().workers == 3
+        assert default_policy().serial
+
+    def test_use_parallel_replaces_wholesale(self):
+        """The old stack replaced the whole policy, not field-by-field."""
+        inner = ParallelPolicy(workers=2)
+        with pytest.warns(DeprecationWarning):
+            with repro.options(min_shard_threads=7), use_parallel(inner):
+                assert default_policy().min_shard_threads == inner.min_shard_threads
+
+    def test_use_guard_warns_and_still_scopes(self):
+        policy = GuardPolicy(retries=1)
+        with pytest.warns(DeprecationWarning, match="use_guard"):
+            with use_guard(policy):
+                assert current_policy() is policy
+        assert current_policy() is None
+
+    def test_launch_keywords_warn_and_forward(self):
+        args = _square_args()
+        with pytest.warns(DeprecationWarning, match="backend"):
+            trace = launch(
+                zoo.square_map, Grid.for_elements(64), args, backend="interp"
+            )
+        assert trace.op_counts
+
+    def test_launch_keywords_stay_most_explicit(self):
+        """The deprecated keywords keep their old top precedence — they
+        override even an options= record, so migrating call sites one
+        argument at a time never changes behaviour."""
+        args = _square_args()
+        with pytest.warns(DeprecationWarning):
+            trace = launch(
+                zoo.square_map,
+                Grid.for_elements(64),
+                args,
+                backend="interp",
+                options=LaunchOptions(backend="codegen"),
+            )
+        assert trace.op_counts  # interpreter (the keyword) ran, not codegen
+
+    def test_strict_filter_surfaces_misuse(self, recwarn):
+        """-W error::DeprecationWarning style checks can catch old API."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(DeprecationWarning):
+                use_backend("interp")
+
+
+class TestLaunchEquivalence:
+    def test_all_spellings_produce_identical_output(self):
+        grid = Grid.for_elements(256)
+        outs = []
+        for style in ("kwargs", "scope", "options"):
+            args = _square_args(n=256, seed=3)
+            if style == "kwargs":
+                with pytest.warns(DeprecationWarning):
+                    launch(zoo.square_map, grid, args, backend="codegen")
+            elif style == "scope":
+                with repro.options(backend="codegen"):
+                    launch(zoo.square_map, grid, args)
+            else:
+                launch(
+                    zoo.square_map,
+                    grid,
+                    args,
+                    options=LaunchOptions(backend="codegen"),
+                )
+            outs.append(args[1].copy())
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[0], outs[2])

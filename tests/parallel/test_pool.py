@@ -148,3 +148,83 @@ class TestParallelMap:
         assert set(snap["test"]) == {
             "tasks", "batches", "max_workers", "workers_restarted"
         }
+
+
+class TestHostWorkerCount:
+    """Container CPU limits must cap ``workers="auto"`` resolution."""
+
+    def _fake_files(self, monkeypatch, files):
+        import builtins
+        import io
+
+        real_open = builtins.open
+
+        def fake_open(path, *args, **kwargs):
+            spath = str(path)
+            if spath in files:
+                content = files[spath]
+                if content is None:
+                    raise OSError(f"unreadable {spath}")
+                return io.StringIO(content)
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", fake_open)
+
+    def _fake_affinity(self, monkeypatch, cores):
+        import os
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda _pid: set(range(cores)),
+            raising=False,
+        )
+
+    def test_cgroup_v2_quota_caps_affinity(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 64)
+        self._fake_files(
+            monkeypatch, {"/sys/fs/cgroup/cpu.max": "200000 100000\n"}
+        )
+        assert host_worker_count() == 2
+
+    def test_cgroup_v2_unlimited_defers_to_affinity(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 6)
+        self._fake_files(
+            monkeypatch, {"/sys/fs/cgroup/cpu.max": "max 100000\n"}
+        )
+        assert host_worker_count() == 6
+
+    def test_cgroup_v1_fallback(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 64)
+        self._fake_files(
+            monkeypatch,
+            {
+                "/sys/fs/cgroup/cpu.max": None,  # no cgroup v2
+                "/sys/fs/cgroup/cpu/cpu.cfs_quota_us": "400000\n",
+                "/sys/fs/cgroup/cpu/cpu.cfs_period_us": "100000\n",
+            },
+        )
+        assert host_worker_count() == 4
+
+    def test_sub_core_quota_still_yields_one_worker(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 8)
+        self._fake_files(
+            monkeypatch, {"/sys/fs/cgroup/cpu.max": "50000 100000\n"}
+        )
+        assert host_worker_count() == 1
+
+    def test_no_cgroup_files_defers_to_affinity(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 3)
+        self._fake_files(
+            monkeypatch,
+            {
+                "/sys/fs/cgroup/cpu.max": None,
+                "/sys/fs/cgroup/cpu/cpu.cfs_quota_us": None,
+            },
+        )
+        assert host_worker_count() == 3
+
+    def test_garbled_quota_is_ignored(self, monkeypatch):
+        self._fake_affinity(monkeypatch, 5)
+        self._fake_files(
+            monkeypatch, {"/sys/fs/cgroup/cpu.max": "banana\n"}
+        )
+        assert host_worker_count() == 5

@@ -1,0 +1,211 @@
+"""Process shard executor: bit-exactness, containment, fault injection.
+
+The process lane must be indistinguishable from serial codegen execution
+— same bytes in the caller's buffers, same exceptions — while surviving
+worker death and hung shards.  Faults are injected through the
+``REPRO_PROC_INJECT`` environment hook: workers inherit the environment
+at spawn (fork), so every test that sets it shuts the pool down first.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+import repro
+from repro import LaunchOptions
+from repro.codegen.cache import get_compiled
+from repro.engine import Grid, bind_arguments, launch
+from repro.engine.launch import resolve_kernel, resolve_module
+from repro.errors import ExecutionError
+from repro.parallel import procpool, shutdown_process_pool
+from repro.parallel.analysis import analyze_shardability
+from repro.parallel.shard import plan_shards
+from repro.resilience import GuardPolicy
+
+#: Two workers is enough to prove the lane on a single-core container.
+PROC = LaunchOptions(
+    backend="codegen", parallel=2, executor="process", min_shard_threads=1
+)
+N = 1 << 12
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool(monkeypatch):
+    """Isolate every test's worker set (and its inherited environment)."""
+    monkeypatch.delenv(procpool.INJECT_ENV, raising=False)
+    shutdown_process_pool()
+    yield
+    shutdown_process_pool()
+
+
+def _square_args(n=N, seed=0):
+    rng = np.random.default_rng(seed)
+    return [np.zeros(n, np.float32), rng.random(n, dtype=np.float32), n]
+
+
+def _run_serial(kernel, grid, args):
+    ref = [a.copy() if isinstance(a, np.ndarray) else a for a in args]
+    launch(kernel, grid, ref, options=LaunchOptions(backend="codegen"))
+    return ref
+
+
+class TestBitExactness:
+    def test_direct_mode_matches_serial(self):
+        grid = Grid.for_elements(N)
+        args = _square_args()
+        serial = _run_serial(zoo.square_map, grid, args)
+        before = procpool.stats_snapshot()
+        launch(zoo.square_map, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert np.array_equal(args[0], serial[0])
+        assert after["launches"] == before["launches"] + 1
+        assert after["direct"] == before["direct"] + 1
+        assert after["shm_bytes"] > before["shm_bytes"]
+        assert after["shards_run"] > before["shards_run"]
+
+    def test_diff_mode_matches_serial_on_2d_grid(self):
+        # tile_scale2d's writes are not provably disjoint, so the lane
+        # must assemble via per-shard byte diffs against the pristine
+        # staging copy.
+        grid = Grid.for_image(50, 30)
+        args = [np.zeros(1500, np.float32),
+                np.random.default_rng(4).random(1500, dtype=np.float32),
+                50, 30, 1.7]
+        serial = _run_serial(zoo.tile_scale2d, grid, args)
+        before = procpool.stats_snapshot()
+        launch(zoo.tile_scale2d, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert np.array_equal(args[0], serial[0])
+        assert after["diff"] == before["diff"] + 1
+
+    def test_forced_diff_mode_on_disjoint_kernel(self):
+        """Diff assembly is correct even where direct would have been
+        legal — the overlay must reconstruct the exact same bytes."""
+        fn = resolve_kernel(zoo.square_map)
+        mod = resolve_module(zoo.square_map)
+        grid = Grid.for_elements(N)
+        compiled = get_compiled(fn, mod, grid, True)
+        args = _square_args(seed=9)
+        serial = _run_serial(zoo.square_map, grid, args)
+        bound = bind_arguments(fn, args)
+        analysis = analyze_shardability(fn, mod, fingerprint=compiled.fingerprint)
+        forced = dataclasses.replace(analysis, disjoint_writes=False)
+        plan = plan_shards(grid.total_blocks, 2)
+        mode = procpool.run_process_sharded(
+            fn, mod, compiled, grid, bound, plan, 2, forced
+        )
+        assert mode == "diff"
+        assert np.array_equal(args[0], serial[0])
+
+    def test_shards_stride_across_workers(self):
+        """Every shard of the plan runs exactly once (the striding
+        assignment covers the plan with no overlap)."""
+        grid = Grid.for_elements(N)
+        plan = plan_shards(grid.total_blocks, 2)
+        args = _square_args(seed=2)
+        before = procpool.stats_snapshot()
+        launch(zoo.square_map, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert after["shards_run"] - before["shards_run"] == len(plan)
+
+
+class TestContainment:
+    def test_dead_worker_is_replaced_and_task_retried(self, tmp_path, monkeypatch):
+        once = tmp_path / "die-once"
+        # Shard 0's worker hard-exits the first time it sees the shard;
+        # the once-file makes the respawned worker run it normally.
+        monkeypatch.setenv(procpool.INJECT_ENV, f"die@0:{once}")
+        grid = Grid.for_elements(N)
+        args = _square_args(seed=5)
+        serial = _run_serial(zoo.square_map, grid, args)
+        before = procpool.stats_snapshot()
+        launch(zoo.square_map, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert once.exists(), "the injected fault actually fired"
+        assert np.array_equal(args[0], serial[0])
+        assert after["workers_replaced"] >= before["workers_replaced"] + 1
+
+    def test_persistent_death_falls_back_to_serial(self, monkeypatch):
+        # No once-file: the shard kills every worker that picks it up.
+        # After the respawn budget the launch must still produce exact
+        # results via in-parent re-execution.
+        monkeypatch.setenv(procpool.INJECT_ENV, "die@0:")
+        grid = Grid.for_elements(N)
+        args = _square_args(seed=6)
+        serial = _run_serial(zoo.square_map, grid, args)
+        before = procpool.stats_snapshot()
+        launch(zoo.square_map, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert np.array_equal(args[0], serial[0])
+        assert after["serial_reexecutions"] == before["serial_reexecutions"] + 1
+
+    def test_hung_shard_hits_guard_deadline(self, monkeypatch):
+        monkeypatch.setenv(procpool.INJECT_ENV, "hang@0:30")
+        grid = Grid.for_elements(N)
+        args = _square_args(seed=7)
+        serial = _run_serial(zoo.square_map, grid, args)
+        before = procpool.stats_snapshot()
+        with repro.options(guard=GuardPolicy(deadline_seconds=0.5)):
+            launch(zoo.square_map, grid, args, options=PROC)
+        after = procpool.stats_snapshot()
+        assert np.array_equal(args[0], serial[0])
+        assert after["deadline_timeouts"] == before["deadline_timeouts"] + 1
+        assert after["serial_reexecutions"] == before["serial_reexecutions"] + 1
+
+    def test_kernel_exception_propagates_and_buffers_stay_clean(self):
+        rng = np.random.default_rng(8)
+        idx = rng.integers(0, N, N).astype(np.int32)
+        idx[-1] = N + 7  # out of range, in the last block's territory
+        out = np.zeros(N, np.float32)
+        args = [out, rng.random(N, dtype=np.float32) * 50 + 1, idx, N]
+        with pytest.raises(ExecutionError, match="out of range"):
+            launch(zoo.gather_expensive, Grid.for_elements(N), args, options=PROC)
+        # Direct mode runs on staged copies; a failed launch must leave
+        # the caller's buffers untouched.
+        assert not out.any()
+
+
+class TestPoolLifecycle:
+    def test_pool_grows_and_never_shrinks(self):
+        pool = procpool.get_process_pool(2)
+        assert pool.size >= 2
+        bigger = procpool.get_process_pool(3)
+        assert bigger is pool and pool.size >= 3
+        assert procpool.get_process_pool(1).size >= 3
+
+    def test_shutdown_then_relaunch(self):
+        grid = Grid.for_elements(N)
+        args = _square_args(seed=11)
+        serial = _run_serial(zoo.square_map, grid, args)
+        launch(zoo.square_map, grid, args, options=PROC)
+        shutdown_process_pool()
+        args2 = _square_args(seed=11)
+        launch(zoo.square_map, grid, args2, options=PROC)
+        assert np.array_equal(args2[0], serial[0])
+
+
+class TestObservability:
+    def test_proc_spans_reach_the_trace_stream(self):
+        from repro.obs import trace as obs_trace
+
+        was_enabled = obs_trace.enabled()
+        obs_trace.enable()
+        try:
+            obs_trace.drain_records()
+            grid = Grid.for_elements(N)
+            launch(zoo.square_map, grid, _square_args(seed=12), options=PROC)
+            records = obs_trace.drain_records()
+        finally:
+            if not was_enabled:
+                obs_trace.disable()
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert "proc.launch" in names
+        shard_spans = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "proc.shard"
+        ]
+        assert shard_spans, "worker-reported shard spans are emitted"
+        parent = next(r for r in records if r["name"] == "proc.launch")
+        assert all(s["trace_id"] == parent["trace_id"] for s in shard_spans)

@@ -1,0 +1,265 @@
+"""Multi-tenant front-end: batching determinism, admission, backpressure.
+
+The dispatcher is a real thread, so the deterministic tests park it on a
+gated request first — everything enqueued behind the gate is then
+batched and ordered with no timing dependence (``_take_batch`` selects
+by key and global sequence number, never by arrival jitter).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import kernel_zoo as zoo
+from repro import LaunchOptions
+from repro.engine import Grid
+from repro.errors import AdmissionError, BackpressureError, ServeError
+from repro.parallel import shutdown_process_pool
+from repro.serve import ServeFrontend, Tenant
+
+N = 1 << 12
+
+
+def _square_args(n=N, seed=0):
+    rng = np.random.default_rng(seed)
+    return [np.zeros(n, np.float32), rng.random(n, dtype=np.float32), n]
+
+
+def _gated_frontend(**kwargs):
+    """A frontend whose dispatcher is parked on a blocker request.
+
+    Returns after the blocker's batch has been *counted*, so batch-count
+    deltas measured by the caller cover only the caller's requests.
+    """
+    frontend = ServeFrontend(**kwargs)
+    gate = threading.Event()
+    counted = frontend.metrics.batches.value + 1
+    blocker = frontend._enqueue("default", ("gate",), lambda: gate.wait(10))
+    deadline = time.monotonic() + 5
+    while (
+        frontend.metrics.batches.value < counted
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.001)  # dispatcher picks the blocker up
+    assert frontend.metrics.batches.value >= counted, (
+        "dispatcher never took the blocker"
+    )
+    return frontend, gate, blocker
+
+
+class TestBatching:
+    def test_compatible_requests_fuse_into_one_batch(self):
+        frontend, gate, blocker = _gated_frontend(
+            batch_window_s=0.001, max_batch=8
+        )
+        try:
+            order = []
+            batches_before = frontend.metrics.batches.value
+            futures = [
+                frontend._enqueue("default", ("k",), lambda i=i: order.append(i) or i)
+                for i in range(4)
+            ]
+            gate.set()
+            assert [f.result(timeout=10) for f in futures] == [0, 1, 2, 3]
+            assert order == [0, 1, 2, 3], "batch preserves sequence order"
+            # ONE fused batch for all four same-key requests.
+            assert frontend.metrics.batches.value - batches_before == 1
+        finally:
+            gate.set()
+            frontend.close()
+
+    def test_interleaved_tenants_keep_fifo_order(self):
+        frontend, gate, blocker = _gated_frontend(batch_window_s=0.001)
+        try:
+            frontend.register_tenant("alpha")
+            frontend.register_tenant("beta")
+            order = []
+            futures = []
+            for i, tenant in enumerate(["alpha", "beta"] * 3):
+                tag = f"{tenant}:{i}"
+                futures.append(
+                    frontend._enqueue(
+                        tenant, ("k",), lambda t=tag: order.append(t) or t
+                    )
+                )
+            gate.set()
+            for future in futures:
+                future.result(timeout=10)
+            assert order == [f"{t}:{i}" for i, t in
+                             enumerate(["alpha", "beta"] * 3)]
+        finally:
+            gate.set()
+            frontend.close()
+
+    def test_mismatched_keys_stay_in_separate_batches(self):
+        frontend, gate, blocker = _gated_frontend(batch_window_s=0.001)
+        try:
+            batches_before = frontend.metrics.batches.value
+            futures = [
+                frontend._enqueue("default", ("a",), lambda: "a1"),
+                frontend._enqueue("default", ("b",), lambda: "b1"),
+                frontend._enqueue("default", ("a",), lambda: "a2"),
+            ]
+            gate.set()
+            assert [f.result(timeout=10) for f in futures] == ["a1", "b1", "a2"]
+            # a-batch (anchored by head; a2 joins across the interleaved
+            # b) + b-batch
+            assert frontend.metrics.batches.value - batches_before == 2
+        finally:
+            gate.set()
+            frontend.close()
+
+    def test_max_batch_caps_fusion(self):
+        frontend, gate, blocker = _gated_frontend(
+            batch_window_s=0.001, max_batch=2
+        )
+        try:
+            batched_before = frontend.metrics.batches.value
+            futures = [
+                frontend._enqueue("default", ("k",), lambda i=i: i)
+                for i in range(4)
+            ]
+            gate.set()
+            for future in futures:
+                future.result(timeout=10)
+            # four same-key requests under max_batch=2 -> two batches
+            assert frontend.metrics.batches.value - batched_before == 2
+        finally:
+            gate.set()
+            frontend.close()
+
+
+class TestAdmission:
+    def test_unknown_tenant_rejected(self):
+        with ServeFrontend() as frontend:
+            with pytest.raises(AdmissionError, match="unknown tenant"):
+                frontend.submit(
+                    zoo.square_map,
+                    Grid.for_elements(64),
+                    _square_args(64),
+                    tenant="ghost",
+                )
+
+    def test_toq_floor_rejects_weak_session(self):
+        class _Stub:
+            key = "stub-session"
+            toq = 0.85
+
+        with ServeFrontend() as frontend:
+            frontend.register_tenant("strict", toq_floor=0.95)
+            with pytest.raises(AdmissionError, match="target quality"):
+                frontend.submit_app(_Stub(), inputs=None, tenant="strict")
+
+    def test_tenant_budget_backpressure(self):
+        frontend, gate, blocker = _gated_frontend()
+        try:
+            frontend.register_tenant("small", max_queue_depth=1)
+            frontend._enqueue("small", ("k",), lambda: 1)
+            with pytest.raises(BackpressureError, match="small"):
+                frontend._enqueue("small", ("k",), lambda: 2)
+            # other tenants are unaffected by 'small' being at budget
+            frontend._enqueue("default", ("k",), lambda: 3)
+        finally:
+            gate.set()
+            frontend.close()
+
+    def test_global_queue_backpressure(self):
+        frontend, gate, blocker = _gated_frontend(max_queue_depth=2)
+        try:
+            frontend._enqueue("default", ("k",), lambda: 1)
+            frontend._enqueue("default", ("k",), lambda: 2)
+            with pytest.raises(BackpressureError, match="queue is full"):
+                frontend._enqueue("default", ("k",), lambda: 3)
+        finally:
+            gate.set()
+            frontend.close()
+
+    def test_rejects_are_counted_by_reason(self):
+        with ServeFrontend() as frontend:
+            rejects = frontend.metrics._rejects.labels(reason="unknown_tenant")
+            before = rejects.value
+            with pytest.raises(AdmissionError):
+                frontend.submit(
+                    zoo.square_map,
+                    Grid.for_elements(64),
+                    _square_args(64),
+                    tenant="ghost",
+                )
+            assert rejects.value == before + 1
+
+    def test_tenant_validation(self):
+        with pytest.raises(ServeError):
+            Tenant("t", max_queue_depth=0)
+        with pytest.raises(ServeError):
+            Tenant("t", toq_floor=1.5)
+
+
+class TestLifecycle:
+    def test_closed_frontend_rejects_submissions(self):
+        frontend = ServeFrontend()
+        frontend.close()
+        with pytest.raises(ServeError, match="closed"):
+            frontend._enqueue("default", ("k",), lambda: 1)
+
+    def test_close_drains_inflight_work(self):
+        frontend = ServeFrontend()
+        futures = [
+            frontend._enqueue("default", ("k",), lambda i=i: i)
+            for i in range(3)
+        ]
+        frontend.close()
+        assert [f.result(timeout=1) for f in futures] == [0, 1, 2]
+        assert frontend.outstanding() == 0
+
+    def test_request_exception_lands_in_future(self):
+        def boom():
+            raise ValueError("kernel went sideways")
+
+        with ServeFrontend() as frontend:
+            future = frontend._enqueue("default", ("k",), boom)
+            with pytest.raises(ValueError, match="sideways"):
+                future.result(timeout=10)
+            assert frontend.outstanding() == 0
+
+
+class TestEndToEnd:
+    def test_kernel_launch_is_bit_exact_under_process_executor(self):
+        shutdown_process_pool()
+        serial = _square_args(seed=3)
+        from repro.engine import launch
+
+        launch(
+            zoo.square_map,
+            Grid.for_elements(N),
+            serial,
+            options=LaunchOptions(backend="codegen"),
+        )
+        options = LaunchOptions(
+            backend="codegen", parallel=2, executor="process",
+            min_shard_threads=1,
+        )
+        try:
+            with ServeFrontend(options=options) as frontend:
+                args = _square_args(seed=3)
+                trace = frontend.launch(
+                    zoo.square_map, Grid.for_elements(N), args
+                )
+                assert trace is not None
+                assert np.array_equal(args[0], serial[0])
+        finally:
+            shutdown_process_pool()
+
+    def test_session_launches_fuse_and_serialize(self):
+        from repro import ApproxSession
+        from repro.apps.gaussian import GaussianFilterApp
+
+        app = GaussianFilterApp(scale=0.05)
+        session = ApproxSession(app, target_quality=0.9)
+        with session, ServeFrontend() as frontend:
+            first = frontend.submit_app(session, app.generate_inputs(seed=3))
+            second = frontend.submit_app(session, app.generate_inputs(seed=4))
+            assert first.result(timeout=60) is not None
+            assert second.result(timeout=60) is not None
+            assert session.metrics_snapshot()["launches"] == 2
