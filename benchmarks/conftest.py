@@ -7,7 +7,9 @@ use ``pedantic`` single-shot mode because a full pipeline run is the thing
 being measured.
 """
 
+import json
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -15,10 +17,38 @@ import pytest
 # The codegen walltime bench launches kernels from the test-local zoo.
 sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
 
+#: Repo root — machine-readable benchmark summaries land here.
+ROOT = Path(__file__).parent.parent
+
 
 def once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_summary(name: str, **fields) -> Path:
+    """Write ``BENCH_<name>.json`` at the repo root.
+
+    Each walltime/overhead suite calls this with its headline numbers
+    (speedup, overhead, walltime seconds ...), so CI and scripts can read
+    benchmark outcomes without scraping pytest stdout.  Repeated calls
+    for one name merge fields — a suite with several tests accumulates
+    one summary file.
+    """
+    path = ROOT / f"BENCH_{name}.json"
+    summary = {}
+    if path.exists():
+        try:
+            summary = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            summary = {}
+    summary.update(fields)
+    summary["name"] = name
+    summary["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -50,12 +50,22 @@ def _time_launches(backend: str) -> float:
 
 
 def test_codegen_beats_interpretation_on_repeated_launches():
+    from conftest import write_bench_summary
+
     interp = _time_launches("interp")
     codegen = _time_launches("codegen")
     speedup = interp / codegen
     print(
         f"\n{LAUNCHES} blackscholes launches (n={N}): "
         f"interp {interp:.3f}s, codegen {codegen:.3f}s, {speedup:.2f}x"
+    )
+    write_bench_summary(
+        "codegen_walltime",
+        speedup=speedup,
+        interp_walltime_s=interp,
+        codegen_walltime_s=codegen,
+        launches=LAUNCHES,
+        floor=MIN_SPEEDUP,
     )
     assert speedup >= MIN_SPEEDUP, (
         f"codegen speedup {speedup:.2f}x below the required "

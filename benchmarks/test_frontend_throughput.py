@@ -93,6 +93,16 @@ def test_process_frontend_beats_thread_frontend():
         f"{WORKERS} workers): threads {threaded:.3f}s, "
         f"processes {processed:.3f}s, {speedup:.2f}x"
     )
+    from conftest import write_bench_summary
+
+    write_bench_summary(
+        "frontend_throughput",
+        process_speedup=speedup,
+        thread_walltime_s=threaded,
+        process_walltime_s=processed,
+        workers=WORKERS,
+        floor=MIN_SPEEDUP,
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"process-executor speedup {speedup:.2f}x below the required "
         f"{MIN_SPEEDUP:.2f}x (override with REPRO_FRONTEND_MIN_SPEEDUP)"
@@ -137,6 +147,15 @@ def test_fault_free_frontend_overhead_is_bounded():
     print(
         f"\n{LAUNCHES} serial sum_chunks launches: direct {base:.3f}s, "
         f"front-end {served:.3f}s, overhead {overhead * 100:.1f}%"
+    )
+    from conftest import write_bench_summary
+
+    write_bench_summary(
+        "frontend_throughput",
+        frontend_overhead=overhead,
+        direct_walltime_s=base,
+        fronted_walltime_s=served,
+        overhead_ceiling=MAX_OVERHEAD,
     )
     assert overhead <= MAX_OVERHEAD, (
         f"front-end overhead {overhead * 100:.1f}% exceeds "

@@ -71,6 +71,15 @@ def test_disabled_noop_path_is_bounded():
             f"\nnoop span {per_span * 1e9:.0f}ns x {SPANS_PER_LAUNCH} seams, "
             f"launch {launch_seconds * 1e3:.3f}ms -> {overhead:.4f}x"
         )
+        from conftest import write_bench_summary
+
+        write_bench_summary(
+            "obs_overhead",
+            disabled_overhead=overhead,
+            noop_span_ns=per_span * 1e9,
+            launch_walltime_s=launch_seconds,
+            disabled_ceiling=MAX_DISABLED,
+        )
         assert overhead <= MAX_DISABLED, (
             f"disabled-path overhead {overhead:.4f}x above the allowed "
             f"{MAX_DISABLED:.4f}x (override with REPRO_OBS_MAX_DISABLED_OVERHEAD)"
@@ -93,6 +102,15 @@ def test_enabled_tracing_overhead_is_bounded():
         print(
             f"\n{LAUNCHES} blackscholes launches: untraced {untraced * 1e3:.3f}ms, "
             f"traced {traced * 1e3:.3f}ms, overhead {overhead:.3f}x"
+        )
+        from conftest import write_bench_summary
+
+        write_bench_summary(
+            "obs_overhead",
+            enabled_overhead=overhead,
+            untraced_walltime_s=untraced,
+            traced_walltime_s=traced,
+            enabled_ceiling=MAX_ENABLED,
         )
         assert overhead <= MAX_ENABLED, (
             f"enabled-tracing overhead {overhead:.3f}x above the allowed "

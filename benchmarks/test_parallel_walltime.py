@@ -71,6 +71,16 @@ def test_sharded_map_beats_serial_codegen():
         f"\n{LAUNCHES} blackscholes launches (n={N}, {WORKERS} workers): "
         f"serial {serial:.3f}s, sharded {sharded:.3f}s, {speedup:.2f}x"
     )
+    from conftest import write_bench_summary
+
+    write_bench_summary(
+        "parallel_walltime",
+        map_speedup=speedup,
+        map_serial_walltime_s=serial,
+        map_sharded_walltime_s=sharded,
+        workers=WORKERS,
+        floor=MIN_SPEEDUP,
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"sharded speedup {speedup:.2f}x below the required "
         f"{MIN_SPEEDUP:.2f}x (override with REPRO_PARALLEL_MIN_SPEEDUP)"
@@ -99,6 +109,14 @@ def test_sharded_stencil_beats_serial_codegen():
     print(
         f"\n{LAUNCHES} mean3x3 launches ({w}x{h}, {WORKERS} workers): "
         f"serial {serial:.3f}s, sharded {sharded:.3f}s, {speedup:.2f}x"
+    )
+    from conftest import write_bench_summary
+
+    write_bench_summary(
+        "parallel_walltime",
+        stencil_speedup=speedup,
+        stencil_serial_walltime_s=serial,
+        stencil_sharded_walltime_s=sharded,
     )
     assert speedup >= MIN_SPEEDUP, (
         f"sharded stencil speedup {speedup:.2f}x below the required "

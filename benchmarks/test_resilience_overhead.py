@@ -42,6 +42,15 @@ def test_fault_free_guarded_overhead_is_bounded():
         f"\n{LAUNCHES} blackscholes launches: unguarded {unguarded:.3f}s, "
         f"guarded {guarded:.3f}s, overhead {overhead:.3f}x"
     )
+    from conftest import write_bench_summary
+
+    write_bench_summary(
+        "resilience_overhead",
+        overhead=overhead,
+        unguarded_walltime_s=unguarded,
+        guarded_walltime_s=guarded,
+        ceiling=MAX_OVERHEAD,
+    )
     assert overhead <= MAX_OVERHEAD, (
         f"fault-free guard overhead {overhead:.3f}x above the allowed "
         f"{MAX_OVERHEAD:.3f}x (override with REPRO_RESILIENCE_MAX_OVERHEAD)"

@@ -1,0 +1,84 @@
+"""Cross-session warm starts from the variant registry.
+
+Tuning knowledge used to die with the process: every restart swept the
+full variant ladder again.  This script shows the registry making it
+durable:
+
+* **session 1** tunes cold into an on-disk registry — every variant is
+  measured, every (quality, speedup) point is written back,
+* **session 2** (think: the process restarted, or another tenant on the
+  same host) resolves the same (kernel, device, input-sketch) key,
+  seeds from the stored Pareto front's knee, and reaches the same
+  choice measuring a fraction of the ladder,
+* a simulated drift then triggers ``warm_restart()`` — the
+  drift-recovery path that re-tunes from registry knowledge instead of
+  sweeping cold,
+* finally the store itself is inspected, the way
+  ``python -m repro.registry <dir>`` would.
+
+    python examples/registry_warmstart.py
+
+Run it twice: the first session of the second run is *already* warm,
+because the registry directory survives.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ApproxSession
+from repro.apps.gaussian import GaussianFilterApp
+from repro.registry import VariantRegistry
+
+REGISTRY_DIR = Path(tempfile.gettempdir()) / "paraprox-registry"
+TOQ = 0.90
+
+
+def tune_once(label: str, registry: VariantRegistry) -> str:
+    with ApproxSession(
+        GaussianFilterApp(scale=0.05), target_quality=TOQ, registry=registry
+    ) as session:
+        result = session.tune()
+        snap = session.metrics_snapshot()["registry"]
+        print(
+            f"[{label}] seed_mode={result.seed_mode:5s} "
+            f"chosen={result.chosen.name} "
+            f"quality={result.chosen.quality:.4f} "
+            f"speedup={result.chosen.speedup:.2f}x"
+        )
+        print(
+            f"          registry: {snap['keys']} key(s), "
+            f"{snap['points']} stored points"
+        )
+        if label == "session 2":
+            # Pretend the monitor just diagnosed drift: recover through
+            # the registry rather than a cold sweep.
+            restarted = session.warm_restart()
+            print(
+                f"          warm_restart -> seed_mode={restarted.seed_mode}, "
+                f"chosen={restarted.chosen.name}"
+            )
+        return result.chosen.name
+
+
+def main() -> None:
+    registry = VariantRegistry(REGISTRY_DIR)
+    print(f"registry at {REGISTRY_DIR}\n")
+
+    first = tune_once("session 1", registry)
+    second = tune_once("session 2", VariantRegistry(REGISTRY_DIR))
+    assert first == second, "warm start must agree with the cold sweep"
+
+    print("\nstored fronts (what `python -m repro.registry` inspects):")
+    for key in registry.keys():
+        registry.refresh()
+        front = registry.lookup(key)
+        print(f"  {key}")
+        for point in front:
+            print(
+                f"    {point.variant:44s} quality={point.quality:.4f} "
+                f"speedup={point.speedup:.2f}x samples={point.samples}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ from .device import CORE_I7, GTX560, CostModel, DeviceKind, DeviceSpec
 from .engine import Grid, launch
 from .kernel import device, kernel
 from .patterns import Pattern, PatternDetector
+from .registry import VariantRegistry
 from .runtime import GreedyTuner, QualityMetric
 from .serve import ApproxSession, MonitorConfig, ServeFrontend  # noqa: E501
 
@@ -51,5 +52,6 @@ __all__ = [
     "PatternDetector",
     "GreedyTuner",
     "QualityMetric",
+    "VariantRegistry",
     "__version__",
 ]

@@ -79,9 +79,13 @@ class QualityTimeline:
         toq: float,
         speedup: float,
         verdict: str = "",
+        registry_key: Optional[str] = None,
     ) -> None:
-        self.record(
-            QUALITY_SAMPLE,
+        """One sampled quality check.  Sessions tuning under a variant
+        registry stamp ``registry_key`` so exported timelines can be fed
+        back as surrogate training data
+        (:meth:`repro.registry.VariantRegistry.ingest_timeline`)."""
+        fields: Dict[str, object] = dict(
             session=session,
             launch_id=launch_id,
             trace_id=trace_id,
@@ -92,6 +96,9 @@ class QualityTimeline:
             speedup=speedup,
             verdict=verdict,
         )
+        if registry_key is not None:
+            fields["registry_key"] = registry_key
+        self.record(QUALITY_SAMPLE, **fields)
 
     def verdict(
         self,

@@ -1,0 +1,140 @@
+"""Lightweight quality/speedup surrogates over the knob space.
+
+autoAx-style design-space exploration needs a cheap predictor: given a
+variant's knob values, estimate where it lands on the quality/speedup
+plane without running it.  With the handful of points a registry key
+holds (one per variant the Pareto pruning kept, plus timeline
+observations folded in), anything heavier than distance-weighted
+regression would overfit — so that is exactly what this is: a Gaussian-
+kernel k-NN over a normalized knob-feature space, refit in microseconds
+under a ``registry.fit`` span.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..obs import trace as obs_trace
+from .pareto import ParetoPoint
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+class Surrogate:
+    """Distance-weighted regressor from knob dicts to (quality, speedup).
+
+    Features are the union of knob names over the training points.
+    Numeric knobs contribute a range-normalized absolute difference to
+    the distance; categorical knobs contribute 0 (equal) or 1 (not).
+    Prediction is the similarity-weighted mean over training points with
+    bandwidth ``h`` in normalized-distance units.
+    """
+
+    def __init__(self, bandwidth: float = 0.35) -> None:
+        self.bandwidth = bandwidth
+        self._points: List[ParetoPoint] = []
+        self._spans: Dict[str, Tuple[float, float]] = {}
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, points: Iterable[ParetoPoint]) -> "Surrogate":
+        self._points = [p for p in points if p.knobs]
+        spans: Dict[str, Tuple[float, float]] = {}
+        for point in self._points:
+            for name, value in point.knobs.items():
+                v = _numeric(value)
+                if v is None:
+                    continue
+                lo, hi = spans.get(name, (v, v))
+                spans[name] = (min(lo, v), max(hi, v))
+        self._spans = spans
+        return self
+
+    @property
+    def trained(self) -> bool:
+        return bool(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # -- prediction ----------------------------------------------------------
+
+    def _distance(self, a: Dict[str, object], b: Dict[str, object]) -> float:
+        names = set(a) | set(b)
+        if not names:
+            return 0.0
+        total = 0.0
+        for name in names:
+            va, vb = a.get(name), b.get(name)
+            na, nb = _numeric(va), _numeric(vb)
+            if na is not None and nb is not None:
+                lo, hi = self._spans.get(name, (min(na, nb), max(na, nb)))
+                scale = (hi - lo) or 1.0
+                total += ((na - nb) / scale) ** 2
+            else:
+                total += 0.0 if va == vb else 1.0
+        return math.sqrt(total / len(names))
+
+    def predict(self, knobs: Dict[str, object]) -> Tuple[float, float]:
+        """Estimated (quality, speedup) for a variant with these knobs.
+
+        Raises ValueError when the surrogate has no training points; the
+        registry guards this by falling back to front lookups.
+        """
+        if not self._points:
+            raise ValueError("surrogate has no training points")
+        weights, qualities, speedups = [], [], []
+        for point in self._points:
+            d = self._distance(knobs, dict(point.knobs))
+            w = math.exp(-((d / self.bandwidth) ** 2)) * point.samples
+            weights.append(w)
+            qualities.append(point.quality)
+            speedups.append(point.speedup)
+        total = sum(weights)
+        if total <= 0.0:
+            # Everything is infinitely far: fall back to the plain mean.
+            n = len(self._points)
+            return sum(qualities) / n, sum(speedups) / n
+        quality = sum(w * q for w, q in zip(weights, qualities)) / total
+        speedup = sum(w * s for w, s in zip(weights, speedups)) / total
+        return quality, speedup
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def loo_error(self) -> Tuple[float, float]:
+        """Mean absolute leave-one-out error on (quality, speedup).
+
+        The CLI prints this next to each key so an operator can see
+        whether the model is trustworthy before leaning on it; (0, 0)
+        when there are too few points to hold one out.
+        """
+        if len(self._points) < 2:
+            return 0.0, 0.0
+        held = list(self._points)
+        q_err = s_err = 0.0
+        for i, point in enumerate(held):
+            self._points = held[:i] + held[i + 1 :]
+            q, s = self.predict(dict(point.knobs))
+            q_err += abs(q - point.quality)
+            s_err += abs(s - point.speedup)
+        self._points = held
+        n = len(held)
+        return q_err / n, s_err / n
+
+
+def fit_surrogate(
+    points: Sequence[ParetoPoint], bandwidth: float = 0.35
+) -> Surrogate:
+    """Fit a surrogate under a ``registry.fit`` span (the observable unit
+    the obs layer tracks)."""
+    with obs_trace.span("registry.fit", points=len(points)) as span:
+        model = Surrogate(bandwidth=bandwidth).fit(points)
+        span.set(trained=model.trained)
+    return model

@@ -10,7 +10,7 @@ come from the device cost model, quality from the application's metric.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..device import CostModel, DeviceSpec
 from ..errors import SerializationError, TuningError
@@ -24,6 +24,10 @@ class VariantProfile:
     ``variant_name`` preserves the identity of a profile that was
     deserialized from :meth:`TuningResult.from_dict` before its variant
     object has been rebound (see :meth:`GreedyTuner.resume`).
+
+    ``predicted`` marks profiles a registry warm start filled in from
+    the surrogate/front instead of measuring; they populate the
+    recalibration ladder but are never *chosen* directly.
     """
 
     variant: object  # ApproxKernel | ScanVariant | None for exact
@@ -31,6 +35,7 @@ class VariantProfile:
     cycles: float
     speedup: float
     variant_name: Optional[str] = None
+    predicted: bool = False
 
     @property
     def name(self) -> str:
@@ -58,6 +63,9 @@ class TuningResult:
     chosen: VariantProfile
     profiles: List[VariantProfile] = field(default_factory=list)
     resumed: bool = False
+    #: how the profiling run was seeded: "cold" (full sweep) or "warm"
+    #: (registry knee + local refinement).
+    seed_mode: str = "cold"
 
     @property
     def speedup(self) -> float:
@@ -107,6 +115,7 @@ class TuningResult:
                 "quality": float(p.quality),
                 "cycles": float(p.cycles),
                 "speedup": float(p.speedup),
+                "predicted": bool(p.predicted),
             }
 
         return {
@@ -116,6 +125,7 @@ class TuningResult:
             "chosen": self.chosen.name,
             "profiles": [row(p) for p in self.profiles],
             "resumed": bool(self.resumed),
+            "seed_mode": str(self.seed_mode),
         }
 
     @classmethod
@@ -171,6 +181,7 @@ class TuningResult:
                     cycles=float(row["cycles"]),
                     speedup=float(row["speedup"]),
                     variant_name=str(row["name"]),
+                    predicted=bool(row.get("predicted", False)),
                 )
             )
         chosen_name = data["chosen"]
@@ -187,6 +198,7 @@ class TuningResult:
             chosen=chosen,
             profiles=profiles,
             resumed=bool(data.get("resumed", False)),
+            seed_mode=str(data.get("seed_mode", "cold")),
         )
 
     def rebind(self, variants) -> "TuningResult":
@@ -232,6 +244,15 @@ class GreedyTuner:
     :class:`~repro.parallel.ProfileCache`) memoizes per-(variant,
     input-set) measurements across ``profile`` calls, so a session
     recalibration only re-measures variants whose IR or inputs changed.
+
+    ``registry`` (a :class:`~repro.registry.VariantRegistry`) switches
+    profiling into the *seeded* mode: when the registry holds a usable
+    Pareto front for this (kernel, device, input-sketch) key, tuning
+    starts from the front's TOQ-feasible knee and refines locally —
+    measuring a fraction of the ladder — and every measurement (seeded
+    or cold) is written back so the next session starts warmer.  After a
+    ``profile`` call, ``last_measured``, ``last_seed_mode`` and
+    ``last_registry_key`` describe what happened.
     """
 
     def __init__(
@@ -240,6 +261,7 @@ class GreedyTuner:
         toq: float = 0.90,
         workers: int = 1,
         profile_cache=None,
+        registry=None,
     ) -> None:
         if not 0.0 < toq <= 1.0:
             raise TuningError(f"TOQ must be in (0, 1], got {toq}")
@@ -250,6 +272,13 @@ class GreedyTuner:
 
         self.workers = resolve_workers(workers)
         self.profile_cache = profile_cache
+        self.registry = registry
+        #: variants actually measured by the most recent ``profile`` call.
+        self.last_measured = 0
+        #: "cold", "warm" or "off" after the most recent ``profile`` call.
+        self.last_seed_mode = "off"
+        #: the registry key the most recent ``profile`` call tuned under.
+        self.last_registry_key: Optional[str] = None
 
     def profile(
         self, app, variants, inputs, repeats: int = 1, exclude=()
@@ -318,23 +347,193 @@ class GreedyTuner:
                     speedup=exact_cycles / mean_cycles if mean_cycles > 0 else 0.0,
                 )
 
-        profiles = [
-            VariantProfile(
-                variant=None, quality=1.0, cycles=exact_cycles, speedup=1.0
-            )
-        ]
-        profiles.extend(
-            parallel_map("profile", self.workers, measure, list(variants))
-        )
+        variants = list(variants)
+        registry = self.registry
+        registry_key = None
+        front = []
+        if registry is not None:
+            registry_key = registry.resolve_key(app, self.spec, input_sets[0])
+            front = registry.lookup(registry_key)
+        self.last_registry_key = registry_key
 
-        chosen = self.choose(profiles, exclude=exclude)
+        exact_profile = VariantProfile(
+            variant=None, quality=1.0, cycles=exact_cycles, speedup=1.0
+        )
+        warm = (
+            self._warm_profiles(
+                variants, front, measure, exact_cycles, exclude, registry_key
+            )
+            if registry is not None and front
+            else None
+        )
+        if warm is not None:
+            profiles = [exact_profile] + warm
+            seed_mode = "warm"
+        else:
+            profiles = [exact_profile] + parallel_map(
+                "profile", self.workers, measure, variants
+            )
+            self.last_measured = len(variants)
+            seed_mode = "cold" if registry is not None else "off"
+        self.last_seed_mode = seed_mode
+
+        if registry is not None:
+            self._write_back(registry, registry_key, profiles)
+            from ..registry.store import _Metrics
+
+            _Metrics.get().warmstarts.labels(mode=seed_mode).inc()
+
+        # Predicted profiles populate the recalibration ladder but are
+        # never chosen sight-unseen: only measured evidence picks the
+        # serving variant.
+        chosen = self.choose(
+            [p for p in profiles if not p.predicted], exclude=exclude
+        )
         return TuningResult(
             app=app.name,
             device=self.spec.kind.value,
             toq=self.toq,
             chosen=chosen,
             profiles=profiles,
+            seed_mode=seed_mode if seed_mode != "off" else "cold",
         )
+
+    # -- registry seeding ------------------------------------------------------
+
+    def _warm_profiles(
+        self, variants, front, measure, exact_cycles, exclude, registry_key
+    ) -> Optional[List[VariantProfile]]:
+        """Knee-seeded local refinement over the registry front.
+
+        Returns the non-exact profiles (measured plus surrogate-predicted)
+        or None when the front is not trustworthy for this variant set —
+        too few points, no TOQ-feasible knee, or a knee naming a variant
+        that no longer exists — in which case the caller falls back to
+        the cold sweep.
+
+        The measurement budget is capped at half the ladder, which is
+        what makes warm recalibration cheap by construction: starting at
+        the knee (the variant greedy tuning would have converged to), a
+        miss steps down toward safer rungs until something clears the
+        TOQ or the budget runs out.
+        """
+        from ..registry.pareto import knee
+
+        registry = self.registry
+        by_name = {v.name: v for v in variants}
+        known = [p for p in front if p.variant in by_name]
+        if not known:
+            return None
+        # Evidence gate: total stored points, not front survivors — a
+        # front can legitimately collapse to one dominating variant.
+        evidence = [
+            p for p in registry.points(registry_key) if p.variant in by_name
+        ]
+        if len(evidence) < registry.min_points:
+            return None
+        knee_point = knee(known, self.toq, registry.margin)
+        if knee_point is None:
+            return None
+
+        predict = self._predictor(registry, registry_key, front)
+
+        def predicted_speedup(variant) -> float:
+            _q, s = predict(variant)
+            return s
+
+        # Slow-but-safe to fast-but-risky, exactly the recalibrator's
+        # ladder orientation; refinement walks it downward from the knee.
+        order = sorted(variants, key=lambda v: (predicted_speedup(v), v.name))
+        start = next(
+            i for i, v in enumerate(order) if v.name == knee_point.variant
+        )
+        budget = max(1, len(variants) // 2)
+        excluded = set(exclude)
+
+        measured: Dict[str, VariantProfile] = {}
+        found = False
+        index = start
+        while index >= 0 and len(measured) < budget:
+            candidate = order[index]
+            index -= 1
+            if candidate.name in excluded:
+                continue
+            profile = measure(candidate)
+            measured[candidate.name] = profile
+            if profile.quality >= self.toq:
+                found = True
+                break
+        if not found and len(measured) < budget:
+            # Nothing at or below the knee qualified; probe one rung
+            # above in case the whole front shifted upward.
+            for candidate in order[start + 1 :]:
+                if len(measured) >= budget:
+                    break
+                if candidate.name in excluded or candidate.name in measured:
+                    continue
+                profile = measure(candidate)
+                measured[candidate.name] = profile
+                if profile.quality >= self.toq:
+                    break
+
+        self.last_measured = len(measured)
+        profiles: List[VariantProfile] = []
+        for variant in variants:
+            hit = measured.get(variant.name)
+            if hit is not None:
+                profiles.append(hit)
+                continue
+            quality, speedup = predict(variant)
+            cycles = exact_cycles / speedup if speedup > 0 else exact_cycles
+            profiles.append(
+                VariantProfile(
+                    variant=variant,
+                    quality=quality,
+                    cycles=cycles,
+                    speedup=speedup,
+                    predicted=True,
+                )
+            )
+        return profiles
+
+    @staticmethod
+    def _predictor(registry, registry_key, front):
+        """(quality, speedup) estimator: exact front evidence by name,
+        surrogate for variants the registry has never seen."""
+        by_variant = {p.variant: p for p in front}
+        surrogate = registry.fit(registry_key)
+
+        def predict(variant):
+            point = by_variant.get(variant.name)
+            if point is not None:
+                return point.quality, point.speedup
+            knobs = dict(getattr(variant, "knobs", {}) or {})
+            if surrogate.trained and knobs:
+                return surrogate.predict(knobs)
+            # Unknown and unmodelable: predict infeasible so it can
+            # neither be chosen nor put on the ladder unmeasured.
+            return 0.0, 1.0
+
+        return predict
+
+    def _write_back(self, registry, registry_key, profiles) -> None:
+        """Persist every *measured* profile as registry evidence."""
+        from ..parallel.profiler import variant_identity
+        from ..registry.pareto import ParetoPoint
+
+        points = [
+            ParetoPoint(
+                variant=p.name,
+                quality=float(p.quality),
+                speedup=float(p.speedup),
+                cycles=float(p.cycles),
+                knobs=_plain(getattr(p.variant, "knobs", {}) or {}),
+                identity=variant_identity(p.variant),
+            )
+            for p in profiles
+            if not p.is_exact and not p.predicted
+        ]
+        registry.record_many(registry_key, points)
 
     def choose(
         self, profiles: List[VariantProfile], exclude=()
@@ -393,6 +592,8 @@ class GreedyTuner:
             )
         restored.rebind(variants)
         restored.resumed = True
+        self.last_measured = 0
+        self.last_seed_mode = "resume"
         if exclude and restored.chosen.name in set(exclude):
             restored.chosen = self.choose(restored.profiles, exclude=exclude)
         return restored

@@ -161,6 +161,11 @@ class ServeFrontend:
             compatible requests after the first one arrives.
         max_batch: requests fused into one batch at most.
         max_queue_depth: global bound on queued requests.
+        registry: cross-session variant registry shared by every session
+            served through this front-end (a
+            :class:`~repro.registry.VariantRegistry`, a path, ``"auto"``
+            or None).  Sessions submitted without their own registry
+            adopt it at :meth:`submit_app` time, before first tune.
     """
 
     def __init__(
@@ -169,7 +174,9 @@ class ServeFrontend:
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        registry: Optional[object] = None,
     ) -> None:
+        from ..registry import resolve_registry
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue_depth < 1:
@@ -177,6 +184,7 @@ class ServeFrontend:
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
             )
         self.options = options if options is not None else LaunchOptions()
+        self.registry = resolve_registry(registry)
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
         self.max_queue_depth = max_queue_depth
@@ -315,7 +323,12 @@ class ServeFrontend:
         arrival order on the dispatcher thread (sessions are not
         thread-safe; the front-end is their serialization point).  The
         tenant's TOQ floor is checked against the session's target.
+
+        Sessions without a registry of their own adopt the front-end's,
+        so a whole fleet of tenants shares one store of tuning knowledge.
         """
+        if self.registry is not None and hasattr(session, "attach_registry"):
+            session.attach_registry(self.registry)
         key = ("app", session.key)
 
         def run():

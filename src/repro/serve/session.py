@@ -96,6 +96,13 @@ class ApproxSession:
             ``GuardPolicy(enabled=False)`` for the raw unguarded path.
         breaker: circuit-breaker knobs for variant quarantine; defaults
             to ``BreakerConfig()``.
+        registry: cross-session variant registry — a
+            :class:`~repro.registry.VariantRegistry`, a directory path,
+            ``"auto"`` (open ``REPRO_REGISTRY_DIR`` when set), or None
+            (disabled).  With a registry, cold-start tuning seeds from
+            the stored Pareto front's TOQ-feasible knee and every
+            measurement is written back; :meth:`warm_restart` re-tunes
+            the same way after drift.
     """
 
     def __init__(
@@ -113,8 +120,10 @@ class ApproxSession:
         guard: Optional[GuardPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
         options: Optional[LaunchOptions] = None,
+        registry: Optional[object] = None,
     ) -> None:
         from ..parallel.pool import policy_from_options
+        from ..registry import resolve_registry
 
         self.app = app
         self.paraprox = Paraprox(
@@ -163,6 +172,9 @@ class ApproxSession:
             profile_cache=self.profile_cache,
             workers=self.parallel_workers,
         )
+        self.registry = resolve_registry(registry)
+        self._registry_key: Optional[str] = None
+        self._tuner_seed_mode = "off"
         self.tuner_repeats = tuner_repeats
         self._launch_ids = itertools.count()
         self._last_launch: Optional[LaunchInfo] = None
@@ -248,6 +260,7 @@ class ApproxSession:
             toq=self.toq,
             workers=self.parallel_workers,
             profile_cache=self.profile_cache,
+            registry=self.registry,
         )
         started = time.perf_counter()
         saved = self._entry.tuning if self._entry is not None else None
@@ -268,7 +281,15 @@ class ApproxSession:
                     exclude=quarantined,
                 )
             cache_state = "resume" if getattr(result, "resumed", False) else "miss"
-            tune_span.set(cache=cache_state, chosen=result.chosen.name)
+            tune_span.set(
+                cache=cache_state,
+                chosen=result.chosen.name,
+                seed_mode=tuner.last_seed_mode,
+                measured=tuner.last_measured,
+            )
+        self._tuner_seed_mode = tuner.last_seed_mode
+        if tuner.last_registry_key is not None:
+            self._registry_key = tuner.last_registry_key
         self.metrics.record_tune(cache_state, time.perf_counter() - started)
         self._tuning = result
         if self._entry is not None:
@@ -278,6 +299,35 @@ class ApproxSession:
         self.monitor.reset()
         self.monitor.set_baseline(result.chosen.quality)
         return result
+
+    def warm_restart(self) -> TuningResult:
+        """Re-tune from registry knowledge instead of a full cold sweep.
+
+        The drift-recovery counterpart of :meth:`tune`: the persisted
+        tuning result and the in-memory ladder are discarded (they
+        describe the drifted-away world), and tuning runs again seeded
+        from the registry front — a lookup plus short local refinement
+        when the registry knows this key, a cold sweep otherwise.
+        """
+        self._check_open()
+        with obs_trace.span(
+            "serve.warm_restart", app=self.app.name, session=self.metrics.label
+        ):
+            self._tuning = None
+            if self._entry is not None:
+                self._entry.tuning = None
+            return self.tune(force=True)
+
+    def attach_registry(self, registry) -> None:
+        """Late-bind a registry (e.g. by a frontend adopting the session).
+
+        Only takes effect before first tune unless :meth:`warm_restart`
+        is called; a session that already has a registry keeps it.
+        """
+        from ..registry import resolve_registry
+
+        if self.registry is None:
+            self.registry = resolve_registry(registry)
 
     # -- lifecycle: monitored launches ----------------------------------------
 
@@ -380,6 +430,7 @@ class ApproxSession:
                         toq=self.toq,
                         speedup=recal.speedup_estimate,
                         verdict=verdict,
+                        registry_key=self._registry_key,
                     )
                     if verdict in (VIOLATION, DRIFT):
                         obs_timeline().verdict(
@@ -485,6 +536,18 @@ class ApproxSession:
         recal = self._recalibrator
         if verdict in (VIOLATION, DRIFT):
             record.reason = verdict
+            # Served quality diverged from what tuning measured: that is
+            # exactly the evidence the registry should hold, so fold the
+            # observation into the variant's stored point before stepping.
+            if (
+                self.registry is not None
+                and self._registry_key is not None
+                and record.quality is not None
+                and recal.current is not None
+            ):
+                self.registry.record_observation(
+                    self._registry_key, recal.current_name, record.quality
+                )
             previous = recal.current_name
             if recal.step_down():
                 record.action = "recalibrate_down"
@@ -560,6 +623,15 @@ class ApproxSession:
             if self._recalibrator is not None
             else [],
         }
+        snapshot["registry"] = (
+            {
+                **self.registry.stats(),
+                "key": self._registry_key,
+                "seed_mode": self._tuner_seed_mode,
+            }
+            if self.registry is not None
+            else {"enabled": False}
+        )
         return snapshot
 
     # -- teardown --------------------------------------------------------------

@@ -73,6 +73,108 @@ class TestProfileCache:
         }
 
 
+class TestProfileCacheConcurrentEviction:
+    """LRU eviction under concurrent profiling workers (workers=4)."""
+
+    WORKERS = 4
+
+    def _hammer(self, worker_fn):
+        import threading
+
+        barrier = threading.Barrier(self.WORKERS)
+        errors = []
+
+        def run(worker):
+            try:
+                barrier.wait(timeout=30)
+                worker_fn(worker)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(w,)) for w in range(self.WORKERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+
+    def test_capacity_invariant_holds_during_concurrent_churn(self):
+        cache = ProfileCache(max_entries=8)
+        observed_over_capacity = []
+
+        def worker(w):
+            for i in range(500):
+                cache.put((w, i), (1.0, float(i)))
+                if len(cache) > cache.max_entries:
+                    observed_over_capacity.append((w, i))
+
+        self._hammer(worker)
+        assert not observed_over_capacity
+        assert len(cache) == 8
+
+    def test_eviction_counter_has_no_lost_updates(self):
+        # Disjoint key ranges, each key put exactly once: every insert
+        # past capacity must evict, so entries + evictions == total puts.
+        # A racy unlocked counter would drop increments under contention.
+        cache = ProfileCache(max_entries=16)
+        per_worker = 400
+
+        def worker(w):
+            for i in range(per_worker):
+                cache.put((w, i), (1.0, float(i)))
+
+        self._hammer(worker)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 16
+        assert (
+            snapshot["entries"] + snapshot["evictions"]
+            == self.WORKERS * per_worker
+        )
+
+    def test_hit_miss_counters_consistent_under_mixed_load(self):
+        # Read-through pattern over a shared hot set larger than capacity:
+        # every get is exactly one hit or one miss, never both or neither.
+        cache = ProfileCache(max_entries=8)
+        gets_per_worker = 300
+
+        def worker(w):
+            for i in range(gets_per_worker):
+                key = (i % 24,)
+                if cache.get(key) is None:
+                    cache.put(key, (1.0, float(i)))
+
+        self._hammer(worker)
+        snapshot = cache.snapshot()
+        assert (
+            snapshot["hits"] + snapshot["misses"]
+            == self.WORKERS * gets_per_worker
+        )
+        assert snapshot["entries"] <= 8
+
+    def test_tuner_correct_with_evicting_cache_and_four_workers(self):
+        # A cache too small for the variant set forces evictions *during*
+        # concurrent profiling; the tuning outcome must match serial
+        # tuning with no cache at all.
+        app = MeanFilterApp(scale=0.05)
+        variants = Paraprox(target_quality=0.9).compile(app)
+        inputs = app.generate_inputs(seed=app.seed)
+        spec = spec_for(DeviceKind.GPU)
+
+        serial = GreedyTuner(spec, toq=0.9).profile(app, variants, inputs)
+        cache = ProfileCache(max_entries=2)
+        concurrent = GreedyTuner(
+            spec, toq=0.9, workers=4, profile_cache=cache
+        ).profile(app, variants, inputs)
+
+        assert concurrent.chosen.name == serial.chosen.name
+        assert [p.name for p in concurrent.profiles] == [
+            p.name for p in serial.profiles
+        ]
+        assert len(cache) <= 2
+
+
 class TestIdentityKeys:
     @pytest.fixture()
     def variants(self):

@@ -1,0 +1,108 @@
+"""The ``python -m repro.registry`` maintenance CLI."""
+
+import json
+
+import pytest
+
+from repro.registry.__main__ import main
+from repro.registry.pareto import ParetoPoint
+from repro.registry.store import VariantRegistry
+
+
+def P(variant, quality=0.9, speedup=2.0, **kw):
+    kw.setdefault("knobs", {"rate": 2})
+    return ParetoPoint(variant=variant, quality=quality, speedup=speedup, **kw)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    root = tmp_path / "reg"
+    registry = VariantRegistry(root)
+    registry.record_many(
+        "app:k/gpu/s1",
+        [P("fast", 0.92, 4.0), P("safe", 0.99, 1.5), P("dom", 0.5, 1.0)],
+    )
+    return root
+
+
+class TestInspect:
+    def test_inspect_prints_keys_and_fronts(self, store, capsys):
+        assert main(["inspect", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "app:k/gpu/s1" in out
+        assert "fast" in out and "safe" in out
+        assert "3 points" in out
+
+    def test_bare_directory_means_inspect(self, store, capsys):
+        assert main([str(store)]) == 0
+        assert "app:k/gpu/s1" in capsys.readouterr().out
+
+    def test_inspect_json_is_machine_readable(self, store, capsys):
+        assert main(["inspect", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        detail = payload["keys_detail"]["app:k/gpu/s1"]
+        assert detail["points"] == 3
+        assert {p["variant"] for p in detail["front"]} == {"fast", "safe"}
+        assert detail["surrogate"]["trained"] is True
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "inspect" in capsys.readouterr().out
+
+
+class TestMergeAndGc:
+    def test_merge_absorbs_sources(self, tmp_path, capsys):
+        a, b, dest = tmp_path / "a", tmp_path / "b", tmp_path / "dest"
+        VariantRegistry(a).record("k1", P("x"))
+        VariantRegistry(b).record("k2", P("y"))
+        assert main(["merge", str(dest), str(a), str(b)]) == 0
+        assert set(VariantRegistry(dest).keys()) == {"k1", "k2"}
+        assert "merged 2 points" in capsys.readouterr().out
+
+    def test_gc_prunes_dominated_points(self, store, capsys):
+        assert main(["gc", str(store)]) == 0
+        survivors = {
+            p.variant for p in VariantRegistry(store).points("app:k/gpu/s1")
+        }
+        assert survivors == {"fast", "safe"}
+        assert "3 -> 2 points" in capsys.readouterr().out
+
+    def test_gc_keep_all_compacts_without_pruning(self, store):
+        assert main(["gc", str(store), "--keep-all"]) == 0
+        assert len(VariantRegistry(store).points("app:k/gpu/s1")) == 3
+
+
+class TestIngest:
+    def test_ingest_folds_stamped_samples(self, store, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        lines = [
+            json.dumps(
+                {"kind": "quality_sample", "registry_key": "app:k/gpu/s1",
+                 "variant": "fast", "quality": 0.70}
+            ),
+            "not json at all",
+            json.dumps({"kind": "quality_sample", "variant": "fast",
+                        "quality": 0.1}),
+        ]
+        trace.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["ingest", str(store), str(trace)]) == 0
+        assert "ingested 1 quality" in capsys.readouterr().out
+        fast = next(
+            p for p in VariantRegistry(store).points("app:k/gpu/s1")
+            if p.variant == "fast"
+        )
+        assert fast.samples == 2
+        assert fast.quality == pytest.approx((0.92 + 0.70) / 2)
+
+
+class TestSmoke:
+    def test_smoke_two_processes_share_one_store(self, tmp_path, capsys):
+        root = tmp_path / "smoke"
+        assert main(
+            ["--smoke", "--procs", "2", "--rounds", "2", "--dir", str(root)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "smoke OK" in out
+        registry = VariantRegistry(root)
+        assert registry.recovered_lines == 0
+        assert all(len(registry.points(k)) == 8 for k in registry.keys())

@@ -1,0 +1,118 @@
+"""Pareto-front machinery: dominance, knee selection, point merging."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.registry.pareto import (
+    ParetoPoint,
+    dominates,
+    feasible,
+    knee,
+    merge_points,
+    pareto_front,
+)
+
+
+def P(variant, quality, speedup, **kw):
+    return ParetoPoint(variant=variant, quality=quality, speedup=speedup, **kw)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates(P("a", 0.95, 3.0), P("b", 0.90, 2.0))
+
+    def test_better_on_one_axis_equal_on_other_dominates(self):
+        assert dominates(P("a", 0.95, 2.0), P("b", 0.90, 2.0))
+        assert dominates(P("a", 0.90, 3.0), P("b", 0.90, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(P("a", 0.9, 2.0), P("b", 0.9, 2.0))
+
+    def test_tradeoff_points_do_not_dominate_each_other(self):
+        a, b = P("a", 0.95, 2.0), P("b", 0.90, 3.0)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestFront:
+    def test_front_drops_dominated_points(self):
+        points = [
+            P("slow_good", 0.99, 1.5),
+            P("mid", 0.95, 2.0),
+            P("dominated", 0.94, 1.8),
+            P("fast_bad", 0.80, 6.0),
+        ]
+        front = pareto_front(points)
+        assert [p.variant for p in front] == ["slow_good", "mid", "fast_bad"]
+
+    def test_front_of_empty_is_empty(self):
+        assert pareto_front([]) == []
+
+    def test_front_is_sorted_quality_descending(self):
+        front = pareto_front([P("a", 0.8, 5.0), P("b", 0.99, 1.1)])
+        assert [p.variant for p in front] == ["b", "a"]
+
+    def test_single_dominating_point_collapses_front(self):
+        front = pareto_front(
+            [P("t8", 0.92, 2.0), P("t16", 0.95, 4.0), P("t32", 0.98, 6.0)]
+        )
+        assert [p.variant for p in front] == ["t32"]
+
+
+class TestKnee:
+    FRONT = [P("safe", 0.99, 1.5), P("mid", 0.95, 3.0), P("risky", 0.85, 6.0)]
+
+    def test_knee_is_fastest_toq_feasible(self):
+        assert knee(self.FRONT, toq=0.90, margin=0.0).variant == "mid"
+
+    def test_margin_tightens_feasibility(self):
+        # mid (0.95) fails toq 0.945 + margin 0.01; only safe clears it.
+        assert knee(self.FRONT, toq=0.945, margin=0.01).variant == "safe"
+
+    def test_no_feasible_point_gives_none(self):
+        assert knee(self.FRONT, toq=0.999, margin=0.0) is None
+
+    def test_feasible_filters_by_margin(self):
+        names = [p.variant for p in feasible(self.FRONT, 0.90, 0.0)]
+        assert names == ["safe", "mid"]
+
+
+class TestMergeAndSerialization:
+    def test_merge_same_identity_averages_by_samples(self):
+        held = {}
+        merge_points(held, [P("v", 0.90, 2.0, identity="i1", samples=3)])
+        merge_points(held, [P("v", 0.96, 2.6, identity="i1", samples=1)])
+        merged = held["v"]
+        assert merged.samples == 4
+        assert merged.quality == pytest.approx((0.90 * 3 + 0.96) / 4)
+        assert merged.speedup == pytest.approx((2.0 * 3 + 2.6) / 4)
+
+    def test_merge_identity_change_replaces(self):
+        held = {}
+        merge_points(held, [P("v", 0.90, 2.0, identity="old", samples=9)])
+        merge_points(held, [P("v", 0.50, 1.1, identity="new", samples=1)])
+        assert held["v"].quality == 0.50 and held["v"].samples == 1
+
+    def test_unknown_cycles_never_dilute(self):
+        held = {}
+        merge_points(held, [P("v", 0.9, 2.0, identity="i", cycles=100.0)])
+        merge_points(held, [P("v", 0.9, 2.0, identity="i", cycles=0.0)])
+        assert held["v"].cycles == pytest.approx(100.0)
+
+    def test_round_trip(self):
+        point = P("v", 0.9, 2.0, cycles=10.0, knobs={"rate": 4}, identity="i")
+        clone = ParetoPoint.from_dict(point.to_dict())
+        assert clone == point
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"variant": "v"},
+            {"variant": "v", "quality": "high", "speedup": 2.0},
+            {"variant": "v", "quality": 0.9, "speedup": 2.0, "knobs": 7},
+            [1, 2, 3],
+        ],
+    )
+    def test_bad_data_raises_serialization_error(self, bad):
+        with pytest.raises(SerializationError):
+            ParetoPoint.from_dict(bad)

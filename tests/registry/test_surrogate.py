@@ -1,0 +1,107 @@
+"""Knob-space surrogate: fitting, prediction, diagnostics."""
+
+import pytest
+
+from repro.registry.pareto import ParetoPoint
+from repro.registry.surrogate import Surrogate, fit_surrogate
+
+
+def P(variant, quality, speedup, knobs, samples=1):
+    return ParetoPoint(
+        variant=variant,
+        quality=quality,
+        speedup=speedup,
+        knobs=knobs,
+        samples=samples,
+    )
+
+
+RATE_LADDER = [
+    P("r1", 0.99, 1.0, {"rate": 1}),
+    P("r2", 0.95, 2.0, {"rate": 2}),
+    P("r4", 0.90, 4.0, {"rate": 4}),
+    P("r8", 0.80, 8.0, {"rate": 8}),
+]
+
+
+class TestFitting:
+    def test_untrained_predict_raises(self):
+        with pytest.raises(ValueError):
+            Surrogate().predict({"rate": 2})
+
+    def test_trained_flag_and_len(self):
+        model = Surrogate().fit(RATE_LADDER)
+        assert model.trained and len(model) == 4
+        assert not Surrogate().trained
+
+    def test_points_without_knobs_are_ignored(self):
+        model = Surrogate().fit([P("bare", 0.9, 2.0, {})])
+        assert not model.trained
+
+    def test_fit_surrogate_helper_fits(self):
+        model = fit_surrogate(RATE_LADDER)
+        assert model.trained and len(model) == 4
+
+
+class TestPrediction:
+    def test_exact_training_point_is_recovered_closely(self):
+        model = Surrogate().fit(RATE_LADDER)
+        quality, speedup = model.predict({"rate": 8})
+        assert quality == pytest.approx(0.80, abs=0.05)
+        assert speedup == pytest.approx(8.0, abs=1.0)
+
+    def test_interpolation_lands_between_neighbours(self):
+        model = Surrogate().fit(RATE_LADDER)
+        quality, speedup = model.predict({"rate": 3})
+        assert 0.90 < quality < 0.99
+        assert 1.0 < speedup < 8.0
+
+    def test_prediction_is_monotone_along_a_monotone_ladder(self):
+        model = Surrogate().fit(RATE_LADDER)
+        qualities = [model.predict({"rate": r})[0] for r in (1, 2, 4, 8)]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_samples_weight_the_estimate(self):
+        noisy = Surrogate().fit(
+            [
+                P("a", 0.90, 2.0, {"rate": 2}, samples=9),
+                P("b", 0.50, 2.0, {"rate": 2}, samples=1),
+            ]
+        )
+        quality, _ = noisy.predict({"rate": 2})
+        assert quality == pytest.approx((0.90 * 9 + 0.50) / 10, abs=0.01)
+
+    def test_categorical_knobs_split_the_space(self):
+        model = Surrogate().fit(
+            [
+                P("mean", 0.95, 2.0, {"mode": "mean", "rate": 2}),
+                P("skip", 0.70, 5.0, {"mode": "skip", "rate": 2}),
+            ]
+        )
+        q_mean, _ = model.predict({"mode": "mean", "rate": 2})
+        q_skip, _ = model.predict({"mode": "skip", "rate": 2})
+        assert q_mean > q_skip
+
+    def test_empty_knob_query_falls_back_to_mean(self):
+        model = Surrogate().fit(RATE_LADDER)
+        quality, speedup = model.predict({})
+        assert 0.80 <= quality <= 0.99
+        assert 1.0 <= speedup <= 8.0
+
+
+class TestDiagnostics:
+    def test_loo_error_zero_with_fewer_than_two_points(self):
+        model = Surrogate().fit([P("only", 0.9, 2.0, {"rate": 2})])
+        assert model.loo_error() == (0.0, 0.0)
+
+    def test_loo_error_small_on_smooth_ladder(self):
+        model = Surrogate().fit(RATE_LADDER)
+        q_err, s_err = model.loo_error()
+        assert 0.0 <= q_err < 0.2
+        assert 0.0 <= s_err < 5.0
+
+    def test_loo_error_leaves_model_intact(self):
+        model = Surrogate().fit(RATE_LADDER)
+        model.loo_error()
+        assert len(model) == 4
+        assert model.predict({"rate": 2})  # still trained

@@ -65,6 +65,46 @@ class TestConfigRoundTrip:
             ParaproxConfig(skipping_rates=(0,))
 
 
+class TestExecutorKnobRoundTrip:
+    """The PR-6 shard-executor knob must survive the disk cache."""
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_executor_round_trips(self, executor):
+        config = ParaproxConfig(executor=executor)
+        data = config.to_dict()
+        assert data["executor"] == executor
+        clone = ParaproxConfig.from_dict(data)
+        assert clone.executor == executor
+        assert clone == config
+
+    @pytest.mark.parametrize(
+        "bad", ["fork", "THREAD", "", None, 1, True, ["thread"]]
+    )
+    def test_unknown_executor_rejected_at_construction(self, bad):
+        with pytest.raises(ConfigError, match="executor"):
+            ParaproxConfig(executor=bad)
+
+    @pytest.mark.parametrize("bad", ["fork", "Process", "", 0])
+    def test_unknown_executor_rejected_via_from_dict(self, bad):
+        data = ParaproxConfig().to_dict()
+        data["executor"] = bad
+        with pytest.raises(ConfigError, match="executor"):
+            ParaproxConfig.from_dict(data)
+
+    @given(_garbage=st.deferred(lambda: _GARBAGE_VALUES))
+    @settings(max_examples=100, deadline=None)
+    def test_fuzzed_executor_loads_valid_or_raises_config_error(self, _garbage):
+        data = ParaproxConfig().to_dict()
+        data["executor"] = _garbage
+        try:
+            clone = ParaproxConfig.from_dict(data)
+        except ConfigError:
+            return
+        assert clone.executor in ("thread", "process")
+        # A loadable value must round-trip stably.
+        assert ParaproxConfig.from_dict(clone.to_dict()) == clone
+
+
 class TestToqValidation:
     def test_percentage_mistake_gets_a_hint(self):
         with pytest.raises(ValueError, match="0.9"):
