@@ -10,12 +10,69 @@ output quality satisfies the TOQ (paper Fig 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..kernel import ir
 from ..patterns.base import Pattern
+
+
+@dataclass(frozen=True)
+class ApproxMeta:
+    """Compile-time description of the approximation baked into a kernel.
+
+    Every transform attaches one of these to the rewritten
+    :class:`~repro.kernel.ir.Function` (as the ``approx`` attribute) so
+    downstream layers can specialize on it without re-deriving anything
+    from the IR:
+
+    * :mod:`repro.codegen` keys its cache and fingerprint on the
+      ``(transform, knobs)`` tuple and switches the v2 lowering on for
+      tagged kernels (constant folding over the baked-in knob literals,
+      ``np.take`` gathers over lookup tables whose extent is proven by
+      ``tables``);
+    * :meth:`VariantSet.describe` and the serving metrics surface the
+      per-variant lowering outcome.
+
+    The record is a frozen, picklable value: it survives the on-disk
+    variant cache round trip alongside the module it annotates.
+
+    Attributes:
+        transform: ``"memo"``, ``"stencil"``, ``"reduction"`` or
+            ``"scan"`` — which §3 transform produced the kernel.
+        knobs: the knob values baked into the IR, as a sorted
+            ``(name, value)`` tuple (hashable, fingerprint-friendly).
+        tables: ``(table param name, entry count)`` per lookup table the
+            kernel gained; the v2 lowering uses the entry count to prove
+            gather indices in-range.
+    """
+
+    transform: str
+    knobs: Tuple[Tuple[str, object], ...] = ()
+    tables: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def knob_tuple(knobs: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+        """Normalize a knob dict into the hashable sorted-tuple form."""
+        return tuple(sorted((k, _freeze(v)) for k, v in knobs.items()))
+
+
+def _freeze(value):
+    """Make one knob value hashable (lists -> tuples, arrays -> shapes)."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, np.ndarray):  # pragma: no cover - defensive
+        return (value.dtype.str, value.shape)
+    return value
+
+
+def tag_approx(fn: ir.Function, meta: ApproxMeta) -> ir.Function:
+    """Attach ``meta`` to ``fn`` (call *after* the final rewrite pass —
+    :class:`~repro.kernel.visitors.Transformer` rebuilds functions without
+    extra attributes)."""
+    fn.approx = meta
+    return fn
 
 
 @dataclass
@@ -152,9 +209,12 @@ class VariantSet:
                 seen.append(p)
         return seen
 
-    def describe(self) -> str:
+    def describe(self, lowering: bool = True) -> str:
         """A human-readable table of the set: one line per variant with its
-        pattern and knob values (what ``repro.tools inspect`` prints)."""
+        pattern, knob values, and — unless ``lowering=False`` — the codegen
+        lowering outcome (``codegen-v2`` / ``codegen-v1`` / ``interpreter``
+        with the fallback reason), so silent ``backend="auto"`` fallbacks
+        are visible from ``repro.tools inspect``."""
         header = f"VariantSet for kernel {self.kernel or '<pipeline>'!r}: " \
                  f"{len(self.variants)} variant(s)"
         lines = [header]
@@ -164,10 +224,57 @@ class VariantSet:
             knobs = ", ".join(
                 f"{k}={val}" for k, val in getattr(v, "knobs", {}).items()
             )
-            lines.append(f"  {v.name:<58s} [{pname}] {knobs}")
+            line = f"  {v.name:<58s} [{pname}] {knobs}"
+            if lowering:
+                mode, detail = variant_lowering(v)
+                line += f"  -> {mode}" + (f" ({detail})" if detail else "")
+            lines.append(line)
         for note in self.skipped:
             lines.append(f"  [skipped] {note}")
         return "\n".join(lines)
+
+    def lowering_outcomes(self) -> Dict[str, Dict[str, str]]:
+        """``{variant name: {"mode": ..., "detail": ...}}`` for every
+        variant — the machine-readable face of :meth:`describe`'s lowering
+        column (what ``metrics_snapshot()["codegen"]["variants"]`` serves)."""
+        return {
+            v.name: dict(zip(("mode", "detail"), variant_lowering(v)))
+            for v in self.variants
+        }
+
+
+def variant_lowering(variant) -> Tuple[str, str]:
+    """Classify how one variant's kernel(s) will execute under the codegen
+    backend: ``("codegen-v2" | "codegen-v1" | "interpreter", detail)``.
+
+    Works for plain :class:`ApproxKernel` variants and for paired/pipeline
+    variants that expose inner ``ApproxKernel`` attributes (e.g. the
+    separable-convolution ``row``/``col`` pair); variants with no
+    recognizable kernel handle classify as ``("n/a", ...)``.
+    """
+    from ..codegen.cache import classify_lowering  # lazy: avoid import cycle
+
+    inner = [
+        getattr(variant, attr)
+        for attr in ("row", "col")
+        if isinstance(getattr(variant, attr, None), ApproxKernel)
+    ]
+    if not inner and getattr(variant, "module", None) is not None:
+        inner = [variant]
+    if not inner:
+        return "n/a", f"{type(variant).__name__} has no kernel handle"
+    modes, details = [], []
+    for ak in inner:
+        try:
+            fn = ak.module[ak.kernel]
+        except Exception as exc:  # pragma: no cover - defensive
+            return "n/a", f"kernel {ak.kernel!r} unresolvable: {exc}"
+        mode, detail = classify_lowering(fn, ak.module)
+        modes.append(mode)
+        details.append(detail)
+    if len(set(modes)) == 1:
+        return modes[0], details[0]
+    return "mixed", "; ".join(f"{m}: {d}" for m, d in zip(modes, details))
 
 
 def fresh_name(base: str, suffix: str) -> str:

@@ -35,7 +35,7 @@ from ..kernel import ir
 from ..kernel.types import F32, I32, ArrayType
 from ..kernel.visitors import Transformer, clone_module
 from ..patterns.base import MapMatch
-from .base import ApproxKernel, fresh_name
+from .base import ApproxKernel, ApproxMeta, fresh_name, tag_approx
 from .bit_tuning import (
     BitConfig,
     BitTuner,
@@ -304,6 +304,11 @@ def rewrite_kernel_with_table(
         raise TransformError(
             f"{kernel_name} contains no calls to {memo.func}; nothing to memoize"
         )
+    # Chained rewrites (the composed multi-function variant) accumulate
+    # approx metadata: clone_module rebuilds functions without extra
+    # attributes, so the incoming kernel's tag is captured here and merged
+    # into the one attached below.
+    prior = getattr(module[kernel_name], "approx", None)
     new_module = clone_module(module)
     original = new_module[kernel_name]
     table_param = f"__memo_{memo.func}"
@@ -319,6 +324,23 @@ def rewrite_kernel_with_table(
     new_name = fresh_name(kernel_name, variant_suffix or f"memo{memo.total_bits}")
     rewritten.name = new_name
     rewritten.params.append(ir.Param(table_param, rewriter.table_type))
+    knobs = {
+        f"{memo.func}.bits": tuple(memo.bits),
+        f"{memo.func}.mode": mode,
+        f"{memo.func}.space": space,
+    }
+    tables = {table_param: memo.entries}
+    if prior is not None and prior.transform == "memo":
+        knobs.update(dict(prior.knobs))
+        tables.update(dict(prior.tables))
+    tag_approx(
+        rewritten,
+        ApproxMeta(
+            transform="memo",
+            knobs=ApproxMeta.knob_tuple(knobs),
+            tables=tuple(sorted(tables.items())),
+        ),
+    )
     del new_module.functions[kernel_name]
     new_module.add(rewritten)
     return new_module, new_name

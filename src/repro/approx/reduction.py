@@ -23,7 +23,7 @@ from ..errors import TransformError
 from ..kernel import ir
 from ..kernel.visitors import Transformer, clone_module
 from ..patterns.base import ReductionMatch
-from .base import ApproxKernel, fresh_name
+from .base import ApproxKernel, ApproxMeta, fresh_name, tag_approx
 
 DEFAULT_SKIPPING_RATES = (2, 4, 8)
 
@@ -174,6 +174,13 @@ def perforate_all_loops(module: ir.Module, kernel_name: str, rate: int):
         return None
     new_name = fresh_name(kernel_name, f"naive_skip{rate}")
     fn.name = new_name
+    tag_approx(
+        fn,
+        ApproxMeta(
+            transform="reduction",
+            knobs=ApproxMeta.knob_tuple({"skipping_rate": rate, "naive": True}),
+        ),
+    )
     del new_module.functions[kernel_name]
     new_module.add(fn)
     return new_module, new_name
@@ -223,6 +230,15 @@ class ReductionTransform:
                 )
                 new_name = fresh_name(kernel_name, suffix)
                 fn.name = new_name
+                tag_approx(
+                    fn,
+                    ApproxMeta(
+                        transform="reduction",
+                        knobs=ApproxMeta.knob_tuple(
+                            {"skipping_rate": rate, "loop": loop_index}
+                        ),
+                    ),
+                )
                 del new_module.functions[kernel_name]
                 new_module.add(fn)
                 variants.append(

@@ -120,5 +120,11 @@ def guard_divisions(
     new_module = clone_module(module)
     pass_ = _GuardDivisions()
     for name, fn in list(new_module.functions.items()):
-        new_module.functions[name] = pass_.transform_function(fn)
+        rebuilt = pass_.transform_function(fn)
+        # Guarding preserves the approximation semantics, so the approx
+        # tag survives this pass (transform_function drops it).
+        meta = getattr(fn, "approx", None)
+        if meta is not None:
+            rebuilt.approx = meta
+        new_module.functions[name] = rebuilt
     return new_module, pass_.guarded

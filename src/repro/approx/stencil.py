@@ -30,7 +30,7 @@ from ..kernel import ir
 from ..kernel.types import I32
 from ..kernel.visitors import Transformer, clone_module, walk
 from ..patterns.base import StencilMatch
-from .base import ApproxKernel, fresh_name
+from .base import ApproxKernel, ApproxMeta, fresh_name, tag_approx
 from .cse import eliminate_duplicate_loads
 from .unroll import loop_trip_values, unroll_where
 
@@ -272,6 +272,19 @@ class StencilTransform:
         suffix = f"stencil_{plan.scheme}_rd{plan.reaching_distance}"
         new_name = fresh_name(kernel_name, suffix)
         fn.name = new_name
+        tag_approx(
+            fn,
+            ApproxMeta(
+                transform="stencil",
+                knobs=ApproxMeta.knob_tuple(
+                    {
+                        "scheme": plan.scheme,
+                        "reaching_distance": plan.reaching_distance,
+                        "array": tile.array,
+                    }
+                ),
+            ),
+        )
         del new_module.functions[kernel_name]
         new_module.add(fn)
         return new_module, new_name

@@ -26,13 +26,15 @@ from ..errors import CodegenError
 from .cache import (
     CompiledKernel,
     cache_size,
+    classify_lowering,
     clear_cache,
     get_compiled,
     stats_snapshot,
+    v2_enabled,
 )
-from .check import DiffResult, check_apps, diff_app, diff_kernel
+from .check import DiffResult, check_apps, check_approx_apps, diff_app, diff_kernel
 from .fingerprint import fingerprint_kernel
-from .lower import lower_kernel
+from .lower import lower_kernel, lower_kernel_ex
 
 __all__ = [
     "CodegenError",
@@ -40,11 +42,15 @@ __all__ = [
     "get_compiled",
     "clear_cache",
     "cache_size",
+    "classify_lowering",
     "stats_snapshot",
+    "v2_enabled",
     "fingerprint_kernel",
     "lower_kernel",
+    "lower_kernel_ex",
     "DiffResult",
     "diff_kernel",
     "diff_app",
     "check_apps",
+    "check_approx_apps",
 ]

@@ -10,6 +10,7 @@ itself cached) geometry differs per launch.
 from __future__ import annotations
 
 import linecache
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -20,7 +21,7 @@ from ..obs import trace as obs_trace
 from ..obs.registry import get_registry
 from ..resilience.faults import SITE_COMPILE, maybe_inject
 from .fingerprint import fingerprint_kernel
-from .lower import lower_kernel
+from .lower import lower_kernel_ex
 from .runtime import geometry
 
 #: Registry field -> help text; each becomes ``repro_codegen_<field>``.
@@ -30,7 +31,26 @@ _FIELDS = {
     "compile_seconds": "wall time spent lowering and compiling",
     "source_bytes": "bytes of generated source",
     "fallbacks": "auto-mode launches that fell back to the interpreter",
+    "v2_compiles": "approx-specialized (v2) lowerings compiled",
+    "v2_folds": "constant subexpressions folded by v2 lowerings",
+    "v2_table_gathers": "lookup-table loads lowered as proven-in-range gathers",
+    "v2_cast_elisions": "identity result casts elided by v2 lowerings",
 }
+
+
+def v2_enabled() -> bool:
+    """Whether the approx-specialized lowering is on (``REPRO_CODEGEN_V2``,
+    default on; set to ``0`` to force every kernel through v1)."""
+    return os.environ.get("REPRO_CODEGEN_V2", "1") != "0"
+
+
+def _lowering_mode(fn: ir.Function) -> str:
+    return "v2" if getattr(fn, "approx", None) is not None and v2_enabled() else "v1"
+
+
+def _detail_string(info: Dict[str, int]) -> str:
+    parts = [f"{key}={value}" for key, value in sorted(info.items()) if value]
+    return " ".join(parts) if parts else "no specializations applied"
 
 
 class CodegenStats:
@@ -65,13 +85,11 @@ class CodegenStats:
         self._metrics[name].set(value)
 
     def snapshot(self) -> Dict[str, object]:
-        return {
-            "compiles": self.compiles,
-            "cache_hits": self.cache_hits,
-            "compile_seconds": round(self.compile_seconds, 6),
-            "source_bytes": self.source_bytes,
-            "fallbacks": self.fallbacks,
-        }
+        out: Dict[str, object] = {}
+        for name in _FIELDS:
+            value = getattr(self, name)
+            out[name] = round(value, 6) if name == "compile_seconds" else value
+        return out
 
     def reset(self) -> None:
         for name in _FIELDS:
@@ -96,6 +114,10 @@ class CompiledKernel:
     fingerprint: str
     grid_class: str
     bounds_check: bool
+    #: ``"codegen-v1"`` or ``"codegen-v2"`` — which lowering produced this.
+    lowering: str = "codegen-v1"
+    #: what the v2 lowering accomplished ("" for v1).
+    detail: str = ""
 
     def run(self, grid, bound_args: Dict[str, object]) -> None:
         """Execute over ``grid`` with ``bind_arguments`` output."""
@@ -103,7 +125,7 @@ class CompiledKernel:
         self.entry(geo, *[bound_args[name] for name in self.param_names])
 
 
-_CACHE: Dict[Tuple[str, str, bool], CompiledKernel] = {}
+_CACHE: Dict[Tuple[str, str, bool, str], CompiledKernel] = {}
 
 
 def get_compiled(
@@ -116,7 +138,8 @@ def get_compiled(
     # so chaos runs can fault already-compiled kernels.
     maybe_inject(SITE_COMPILE, fn.name, exc=CodegenError)
     fp = fingerprint_kernel(fn, module)
-    key = (fp, "2d" if grid.is_2d else "1d", bool(bounds_check))
+    mode = _lowering_mode(fn)
+    key = (fp, "2d" if grid.is_2d else "1d", bool(bounds_check), mode)
     hit = _CACHE.get(key)
     if hit is not None:
         STATS.cache_hits += 1
@@ -127,9 +150,11 @@ def get_compiled(
         return hit
     started = time.perf_counter()
     with obs_trace.span(
-        "codegen.compile", kernel=fn.name, cache="miss", grid_class=key[1]
+        "codegen.compile", kernel=fn.name, cache="miss", grid_class=key[1], mode=mode
     ):
-        source, exec_globals, entry_name = lower_kernel(fn, module, bounds_check)
+        source, exec_globals, entry_name, info = lower_kernel_ex(
+            fn, module, bounds_check, mode
+        )
         filename = f"<codegen:{fn.name}:{fp[:10]}>"
         try:
             code = compile(source, filename, "exec")
@@ -148,12 +173,57 @@ def get_compiled(
         fingerprint=fp,
         grid_class=key[1],
         bounds_check=key[2],
+        lowering="codegen-v2" if mode == "v2" else "codegen-v1",
+        detail=_detail_string(info) if mode == "v2" else "",
     )
     STATS.compiles += 1
     STATS.compile_seconds += time.perf_counter() - started
     STATS.source_bytes += len(source)
+    if mode == "v2":
+        STATS.v2_compiles += 1
+        STATS.v2_folds += info["folded"] + info["reassociated"]
+        STATS.v2_table_gathers += info["table_gathers"]
+        STATS.v2_cast_elisions += info["cast_elisions"]
     _CACHE[key] = compiled
     return compiled
+
+
+# Identity-keyed memo for classification results (same pinning rationale
+# as the fingerprint memo: IR trees are immutable after construction).
+_CLASSIFY_MEMO: Dict[Tuple[int, int, str], Tuple[object, object, Tuple[str, str]]] = {}
+_CLASSIFY_MEMO_MAX = 512
+
+
+def classify_lowering(fn: ir.Function, module: ir.Module) -> Tuple[str, str]:
+    """How this kernel will execute under the codegen backend:
+    ``("codegen-v2" | "codegen-v1" | "interpreter", detail)``.
+
+    Runs the actual lowering (without exec) so the answer can't drift
+    from what a launch would do; results are memoized per (fn, module).
+    """
+    mode = _lowering_mode(fn)
+    key = (id(fn), id(module), mode)
+    hit = _CLASSIFY_MEMO.get(key)
+    if hit is not None and hit[0] is fn and hit[1] is module:
+        return hit[2]
+    meta = getattr(fn, "approx", None)
+    try:
+        _src, _globals, _entry, info = lower_kernel_ex(
+            fn, module, bounds_check=True, mode=mode
+        )
+    except CodegenError as exc:
+        result = ("interpreter", f"codegen fallback: {exc}")
+    else:
+        if mode == "v2":
+            result = ("codegen-v2", _detail_string(info))
+        elif meta is not None:
+            result = ("codegen-v1", "v2 disabled via REPRO_CODEGEN_V2=0")
+        else:
+            result = ("codegen-v1", "exact lowering (no approx metadata)")
+    if len(_CLASSIFY_MEMO) >= _CLASSIFY_MEMO_MAX:
+        _CLASSIFY_MEMO.pop(next(iter(_CLASSIFY_MEMO)))
+    _CLASSIFY_MEMO[key] = (fn, module, result)
+    return result
 
 
 def clear_cache() -> None:

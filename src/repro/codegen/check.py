@@ -147,6 +147,79 @@ def check_apps(names: Optional[Sequence[str]] = None, verbose: bool = True) -> L
     return results
 
 
+def diff_variant(app, variant, inputs=None) -> DiffResult:
+    """Run one approximate variant under both backends, bit-exactly.
+
+    Approximation changes *what* the program computes; the lowering must
+    not change it further — for a fixed knob setting the compiled variant
+    (including every v2 specialization) and the interpreter running the
+    same transformed IR must agree to the byte.
+    """
+    if inputs is None:
+        inputs = app.generate_inputs()
+    outputs: Dict[str, List[np.ndarray]] = {}
+    for backend in ("interp", "codegen"):
+        with options(backend=backend):
+            out = app.run_variant(variant, copy.deepcopy(inputs))
+        parts = out if isinstance(out, (tuple, list)) else [out]
+        outputs[backend] = [
+            np.asarray(p) for p in parts if isinstance(p, np.ndarray)
+        ]
+    name = f"{type(app).__name__}:{getattr(variant, 'name', variant)}"
+    mismatches = []
+    for i, (a, b) in enumerate(zip(outputs["interp"], outputs["codegen"])):
+        note = _compare_arrays(f"output[{i}]", a, b)
+        if note is not None:
+            mismatches.append(note)
+    return DiffResult(name=name, ok=not mismatches, mismatches=mismatches)
+
+
+def check_approx_apps(
+    names: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+    per_transform: Optional[int] = None,
+) -> Dict[str, List[DiffResult]]:
+    """Differential-check the *approximate* variants of every app.
+
+    For each app the full variant set is generated (every transform at
+    every knob setting the compiler emits) and each variant runs under
+    both backends on the same seeded inputs; tagged variants take the v2
+    lowering, so this is the harness that proves the approx-specialized
+    code paths bit-exact.  ``per_transform`` caps how many knob settings
+    per (pattern, transform) group are checked (None = all).
+    """
+    from ..approx.base import variant_lowering
+    from ..approx.compiler import Paraprox
+    from ..apps.registry import APP_CLASSES, make_app
+
+    all_results: Dict[str, List[DiffResult]] = {}
+    for name in names if names is not None else sorted(APP_CLASSES):
+        app = make_app(name, seed=0)
+        variant_set = Paraprox(target_quality=0.9).compile(app)
+        selected = list(variant_set)
+        if per_transform is not None:
+            by_group: Dict[str, List[object]] = {}
+            for v in variant_set:
+                pattern = getattr(v, "pattern", None)
+                by_group.setdefault(getattr(pattern, "value", "?"), []).append(v)
+            selected = [
+                v for group in by_group.values() for v in group[:per_transform]
+            ]
+        inputs = app.generate_inputs()
+        results: List[DiffResult] = []
+        for variant in selected:
+            result = diff_variant(app, variant, inputs)
+            results.append(result)
+            if verbose:
+                status = "ok " if result.ok else "FAIL"
+                mode, _detail = variant_lowering(variant)
+                print(f"[{status}] {result.name} [{mode}]: {result.describe()}")
+        if verbose and not selected:
+            print(f"[ok ] {name}: no approximate variants generated")
+        all_results[name] = results
+    return all_results
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     import argparse
 
@@ -156,7 +229,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "on every registered application.",
     )
     parser.add_argument("apps", nargs="*", help="app names (default: all)")
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        help="diff every app's approximate variants (v2 lowering) instead of "
+        "the exact pipelines",
+    )
+    parser.add_argument(
+        "--per-transform",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --approx: check at most N knob settings per transform",
+    )
     ns = parser.parse_args(argv)
+    if ns.approx:
+        per_app = check_approx_apps(ns.apps or None, per_transform=ns.per_transform)
+        ok_apps = sum(1 for rs in per_app.values() if all(r.ok for r in rs))
+        total_variants = sum(len(rs) for rs in per_app.values())
+        failed_variants = sum(1 for rs in per_app.values() for r in rs if not r.ok)
+        print(
+            f"{ok_apps}/{len(per_app)} apps bit-exact across "
+            f"{total_variants} approximate variant(s) "
+            f"({failed_variants} failing)"
+        )
+        return 1 if failed_variants else 0
     results = check_apps(ns.apps or None)
     failed = [r for r in results if not r.ok]
     print(f"{len(results) - len(failed)}/{len(results)} apps bit-exact")

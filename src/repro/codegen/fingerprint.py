@@ -72,6 +72,12 @@ def ir_walk(body):
 
 def _serialize_function(fn: ir.Function, out: List[str]) -> None:
     out.append(f"fn:{fn.name}:{fn.kind}")
+    meta = getattr(fn, "approx", None)
+    if meta is not None:
+        # The approx tag drives the v2 lowering (table extents, knob
+        # constants), so two IR-identical kernels with different tags must
+        # not share compiled code.
+        out.append(f"approx:{meta.transform}:{meta.knobs!r}:{meta.tables!r}")
     if fn.return_type is not None:
         out.append(f"ret:{fn.return_type.dtype.name}")
     for p in fn.params:

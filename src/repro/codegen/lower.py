@@ -42,6 +42,7 @@ from ..kernel import intrinsics, ir
 from ..kernel.visitors import walk_statements
 from . import runtime as _runtime
 from .fingerprint import reachable_device_functions
+from .fold import compute_intervals, fold_function, interval_of
 
 #: Ceiling on generated source size; dual-path emission of deeply nested
 #: uniform conditionals could otherwise blow up exponentially.
@@ -122,19 +123,34 @@ class _Ctx:
 
 
 class _Emitter:
-    def __init__(self, module: ir.Module, bounds_check: bool) -> None:
+    def __init__(self, module: ir.Module, bounds_check: bool, mode: str = "v1") -> None:
+        if mode not in ("v1", "v2"):
+            raise CodegenError(f"unknown lowering mode {mode!r}")
         self.module = module
         self.bounds_check = bool(bounds_check)
+        self.mode = mode
         self.lines: List[str] = []
         self.globals: Dict[str, object] = {"np": np, "rt": _runtime}
         self._consts: Dict[Tuple[str, str], str] = {}
         self._counter = 0
+        # v2 (approx-specialized) lowering accomplishments, for the
+        # lowering-outcome detail string and the codegen stats.
+        self.v2_info: Dict[str, int] = {
+            "folded": 0,
+            "reassociated": 0,
+            "table_gathers": 0,
+            "cast_elisions": 0,
+        }
         # per-function state
         self.fname = ""
         self.param_names: Set[str] = set()
         self.shared: Dict[str, int] = {}  # name -> in-block size (shape[0])
         self.varying: Set[str] = set()
         self._varying_devices: Set[str] = set()
+        self.tables: Dict[str, int] = {}  # table param -> proven entry count
+        self.intervals: Dict[str, Tuple[float, float]] = {}
+        self._static: Dict[str, str] = {}  # var -> proven runtime np dtype name
+        self._elide = False
 
     # ------------------------------------------------------------- plumbing
 
@@ -245,9 +261,99 @@ class _Emitter:
                     changed = True
         return self.varying
 
+    # ------------------------------------------------- static dtypes (v2)
+
+    def _static_dtype(self, expr: ir.Expr) -> Optional[str]:
+        """The NumPy dtype name this expression provably has at runtime
+        under *this emitter's* emission strategy, or ``None``.
+
+        Sound because the strategy itself enforces it: every BinOp,
+        builtin call, Cast and Select is emitted either wrapped in a
+        coercion to ``expr.dtype`` or (elision) only when its operands
+        already prove that dtype; loads yield the buffer's element type
+        (validated by ``bind_arguments``); thread intrinsics read the
+        int32 :class:`~repro.codegen.runtime.Geometry` arrays."""
+        if isinstance(expr, ir.Const):
+            return expr.dtype.np_dtype
+        if isinstance(expr, ir.Var):
+            return self._static.get(expr.name)
+        if isinstance(expr, ir.BinOp):
+            if expr.op in _CMP_FUNCS:
+                return "bool"
+            return expr.dtype.np_dtype
+        if isinstance(expr, ir.UnOp):
+            if expr.op == "lnot":
+                return "bool"
+            return self._static_dtype(expr.operand)  # neg/bnot preserve dtype
+        if isinstance(expr, ir.Cast):
+            return expr.dtype.np_dtype
+        if isinstance(expr, ir.Select):
+            return expr.dtype.np_dtype  # rt.select coerces both arms
+        if isinstance(expr, ir.Load):
+            return expr.array.type.dtype.np_dtype
+        if isinstance(expr, ir.Call):
+            if expr.func in _INTRINSIC_ATTR:
+                return "int32"
+            if intrinsics.is_builtin(expr.func):
+                return expr.dtype.np_dtype  # cast_result-wrapped
+            return None  # device calls: result dtype not guaranteed
+        return None
+
+    def _compute_static_dtypes(self, fn: ir.Function) -> Dict[str, str]:
+        """Fixpoint over assignments: a local has a proven dtype iff every
+        assignment's RHS proves the same dtype (params seed with their
+        declared dtype — ``bind_arguments`` casts scalars and validates
+        arrays; loop vars are bound as ``np.int32``)."""
+        seeds: Dict[str, str] = {}
+        for p in fn.params:
+            if not p.is_array:
+                seeds[p.name] = p.type.dtype.np_dtype
+        for stmt in walk_statements(fn.body):
+            if isinstance(stmt, ir.For):
+                seeds[stmt.var] = "int32"
+        known = dict(seeds)
+        poison: Set[str] = set()
+        self._static = known
+        for _ in range(2 * len(known) + 2 + sum(
+            1 for s in walk_statements(fn.body) if isinstance(s, ir.Assign)
+        )):
+            changed = False
+            for stmt in walk_statements(fn.body):
+                if not isinstance(stmt, ir.Assign) or stmt.target in poison:
+                    continue
+                d = self._static_dtype(stmt.value)
+                cur = known.get(stmt.target)
+                if d is None or (cur is not None and cur != d):
+                    poison.add(stmt.target)
+                    known.pop(stmt.target, None)
+                    changed = True
+                elif cur is None:
+                    known[stmt.target] = d
+                    changed = True
+            if not changed:
+                break
+        return known
+
     # ------------------------------------------------------------- functions
 
     def emit_function(self, fn: ir.Function) -> str:
+        if self.mode == "v2":
+            # Exact-semantics constant folding: knob values baked into the
+            # IR by the approximation transforms become foldable literals.
+            fn, fstats = fold_function(fn)
+            self.v2_info["folded"] += fstats.folded
+            self.v2_info["reassociated"] += fstats.reassociated
+        meta = getattr(fn, "approx", None)
+        if self.mode == "v2" and fn.kind == "kernel":
+            self.tables = dict(meta.tables) if meta is not None else {}
+            self.intervals = compute_intervals(fn)
+            self._static = self._compute_static_dtypes(fn)
+            self._elide = True
+        else:
+            self.tables = {}
+            self.intervals = {}
+            self._static = {}
+            self._elide = False
         self.fname = fn.name
         self.param_names = {p.name for p in fn.params}
         self.shared = {}
@@ -509,6 +615,11 @@ class _Emitter:
             return f"(~({operand}))"
         if isinstance(expr, ir.Cast):
             operand = self.emit_expr(expr.operand, ctx)
+            if self._elide and self._static_dtype(expr.operand) == expr.dtype.np_dtype:
+                # Identity cast: the operand provably already has the
+                # target dtype, so cast_value would only copy.
+                self.v2_info["cast_elisions"] += 1
+                return operand
             return f"rt.cast_value({operand}, {self.np_dtype(expr.dtype)})"
         if isinstance(expr, ir.Select):
             cond = self.emit_expr(expr.cond, ctx)
@@ -523,6 +634,14 @@ class _Emitter:
             if shared:
                 size = self.shared[expr.array.name]
                 return f"rt.load_shared({buf}, {size}, {idx}, _G.sbid, {tail}"
+            entries = self.tables.get(expr.array.name)
+            if entries is not None:
+                lo, hi = interval_of(expr.index, self.intervals)
+                if lo >= 0 and hi <= entries - 1:
+                    # Lookup-table gather with a compile-time in-range
+                    # proof: no clamp, no live-lane bounds scan.
+                    self.v2_info["table_gathers"] += 1
+                    return f"rt.load_table({buf}, {idx}, {entries}, {tail}"
             return f"rt.load_global({buf}, {idx}, {tail}"
         if isinstance(expr, ir.Call):
             return self._emit_call(expr, ctx)
@@ -534,20 +653,34 @@ class _Emitter:
         op = expr.op
         if op in _CMP_FUNCS:
             return f"{_CMP_FUNCS[op]}({a}, {b})"
+        dtype_preserving = True
         if op == "div":
             inner = (
                 f"np.divide({a}, {b})"
                 if expr.dtype.is_float
                 else f"rt.c_divide_int({a}, {b})"
             )
+            dtype_preserving = expr.dtype.is_float  # int path goes via int64
         elif op == "mod":
             inner = (
                 f"np.fmod({a}, {b})"
                 if expr.dtype.is_float
                 else f"rt.c_mod_int({a}, {b})"
             )
+            dtype_preserving = expr.dtype.is_float
         else:
             inner = f"{_ARITH_FUNCS[op]}({a}, {b})"
+        if (
+            dtype_preserving
+            and self._elide
+            and self._static_dtype(expr.left) == expr.dtype.np_dtype
+            and self._static_dtype(expr.right) == expr.dtype.np_dtype
+        ):
+            # Both operands provably carry the result dtype already, so
+            # the ufunc's natural output dtype is expr.dtype and the
+            # cast_result wrapper is the identity.
+            self.v2_info["cast_elisions"] += 1
+            return f"({inner})"
         return f"rt.cast_result({inner}, {self.np_dtype(expr.dtype)})"
 
     def _emit_call(self, expr: ir.Call, ctx: _Ctx) -> str:
@@ -588,19 +721,32 @@ def _walk_exprs(stmt: ir.Stmt):
 
 
 def lower_kernel(
-    fn: ir.Function, module: ir.Module, bounds_check: bool = True
+    fn: ir.Function, module: ir.Module, bounds_check: bool = True, mode: str = "v1"
 ) -> Tuple[str, Dict[str, object], str]:
     """Lower ``fn`` (and its reachable device functions) to source.
 
     Returns ``(source, exec_globals, entry_name)``; the caller compiles
     the source with these globals and fetches ``entry_name`` from the
-    namespace.
+    namespace.  ``mode="v2"`` enables the approx-specialized lowering
+    (constant folding over baked-in knob literals, proven-in-range
+    lookup-table gathers, identity-cast elision) — still bit-exact per
+    knob setting; see :func:`lower_kernel_ex` for what it accomplished.
     """
+    source, exec_globals, entry, _info = lower_kernel_ex(fn, module, bounds_check, mode)
+    return source, exec_globals, entry
+
+
+def lower_kernel_ex(
+    fn: ir.Function, module: ir.Module, bounds_check: bool = True, mode: str = "v1"
+) -> Tuple[str, Dict[str, object], str, Dict[str, int]]:
+    """:func:`lower_kernel` plus the v2 accomplishment counters
+    (``folded``/``reassociated``/``table_gathers``/``cast_elisions``;
+    all zero in v1 mode)."""
     if fn.kind != "kernel":
         raise CodegenError(f"{fn.name} is a device function, not a kernel")
-    emitter = _Emitter(module, bounds_check)
+    emitter = _Emitter(module, bounds_check, mode)
     for dev in reachable_device_functions(fn, module):
         emitter.emit_function(dev)
     entry = emitter.emit_function(fn)
     source = "\n".join(emitter.lines) + "\n"
-    return source, emitter.globals, entry
+    return source, emitter.globals, entry, dict(emitter.v2_info)

@@ -160,6 +160,20 @@ def load_global(buf, idx, live, bc: bool, fname: str, aname: str):
     return buf[np.clip(idx_arr, 0, max(buf.size - 1, 0))]
 
 
+def load_table(buf, idx, entries, live, bc: bool, fname: str, aname: str):
+    """Gather from a lookup table whose index the v2 lowering *proved* to
+    lie in ``[0, entries - 1]`` (interval analysis over the memoization
+    rewrite's clamp/pack idioms).  The clamp and the live-lane bounds scan
+    of :func:`load_global` are skipped — ``take`` is a straight gather.
+
+    The proof is about the IR; the buffer is a runtime argument, so a
+    caller binding a table smaller than the proof assumed falls back to
+    the exact interpreter path (clamp + optional bounds check)."""
+    if buf.size < entries:
+        return load_global(buf, idx, live, bc, fname, aname)
+    return buf.take(idx)
+
+
 def load_shared(buf, size, idx, bids, live, bc: bool, fname: str, aname: str):
     """``shared[index]``: per-block flattening ``b*size + i``."""
     idx_arr = np.asarray(idx)

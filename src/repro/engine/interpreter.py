@@ -104,6 +104,11 @@ def launch(
         fallback = True
     else:
         fallback = False
+    # Any launch that cannot participate in fusion is a window boundary:
+    # a producer deferred by repro.engine.fusion must run before it.
+    will_offer = chosen == "codegen" and bool(effective.fuse)
+    if not will_offer:
+        _flush_fusion()
     bound = bind_arguments(fn, args)
     t = trace if trace is not None else Trace()
     if chosen == "codegen":
@@ -115,7 +120,23 @@ def launch(
             if not fallback:
                 raise
             _codegen_cache.STATS.fallbacks += 1
+            if will_offer:
+                _flush_fusion()  # falling back to interp: boundary after all
         else:
+            if will_offer:
+                from . import fusion
+
+                if fusion.offer(
+                    fn, mod, compiled, grid, bound, effective, bounds_check
+                ):
+                    # Deferred as a producer or executed as the consumer
+                    # half of a fused pair; either way the launch is
+                    # accounted here and the kernel body is fusion's.
+                    t.count_launch(grid.threads)
+                    from .hooks import notify_launch
+
+                    notify_launch(fn.name, grid, t, backend="codegen")
+                    return t
             t.count_launch(grid.threads)
             with obs_trace.span(
                 "engine.launch", kernel=fn.name, backend="codegen",
@@ -137,6 +158,20 @@ def launch(
 
     notify_launch(fn.name, grid, t)
     return t
+
+
+def _flush_fusion() -> None:
+    """Run any launch the fusion window deferred on this thread.
+
+    Reached through ``sys.modules`` so sessions that never enable
+    ``fuse`` pay nothing — the fusion module is only imported (and its
+    window only populated) by launches that opted in.
+    """
+    import sys
+
+    fusion = sys.modules.get("repro.engine.fusion")
+    if fusion is not None:
+        fusion.flush()
 
 
 def _maybe_shard(fn, mod, compiled, grid, bound, effective) -> bool:

@@ -196,10 +196,20 @@ class Transformer:
 
 
 def clone(node):
-    """Deep-copy a function, statement or expression tree."""
+    """Deep-copy a function, statement or expression tree.
+
+    Cloning is identity-preserving for out-of-band annotations: a
+    function's ``approx`` tag (see :class:`repro.approx.base.ApproxMeta`)
+    rides along, unlike :meth:`Transformer.transform_function`, which
+    deliberately drops it — a *rewrite* changes what the function
+    computes, so the rewriting transform must re-tag."""
     t = Transformer()
     if isinstance(node, ir.Function):
-        return t.transform_function(node)
+        out = t.transform_function(node)
+        meta = getattr(node, "approx", None)
+        if meta is not None:
+            out.approx = meta
+        return out
     if isinstance(node, ir.Stmt):
         return t.transform_stmt(node)
     if isinstance(node, ir.Expr):

@@ -379,6 +379,18 @@ def _ladder_rungs(variant, backend: str, workers: int):
     return rungs
 
 
+def _flush_fusion() -> None:
+    """Rung boundary for cross-launch fusion: a producer the fusion
+    window deferred inside a rung must execute before that rung's output
+    is validated (or its failure attributed).  ``sys.modules`` gate so
+    apps that never enable ``fuse`` pay nothing."""
+    import sys
+
+    fusion = sys.modules.get("repro.engine.fusion")
+    if fusion is not None:
+        fusion.flush()
+
+
 def run_ladder(
     app,
     inputs,
@@ -405,6 +417,7 @@ def run_ladder(
                 out, _trace = app.run_exact(inputs)
             else:
                 out, _trace = app.run_variant(variant, inputs)
+            _flush_fusion()
         return out, LadderReport(
             served=label, depth=0, attempts=[LadderAttempt(label, True)]
         )
@@ -423,7 +436,12 @@ def run_ladder(
                     out, _trace = app.run_variant(variant, inputs)
                 else:
                     out, _trace = app.run_exact(inputs)
+                _flush_fusion()
         except Exception as exc:
+            try:
+                _flush_fusion()
+            except Exception:
+                pass  # rung already failed; its deferral dies contained too
             if final:
                 raise
             STATS.containments += 1

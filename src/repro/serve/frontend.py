@@ -61,6 +61,16 @@ DEFAULT_BATCH_WINDOW_S = 0.002
 DEFAULT_MAX_BATCH = 8
 
 
+def _flush_fusion() -> None:
+    """Run any launch the cross-launch fusion window deferred on this
+    thread (``sys.modules`` gate: free unless ``fuse`` was enabled)."""
+    import sys
+
+    fusion = sys.modules.get("repro.engine.fusion")
+    if fusion is not None:
+        fusion.flush()
+
+
 @dataclass(frozen=True)
 class Tenant:
     """One registered traffic source and its admission budgets.
@@ -406,6 +416,10 @@ class ServeFrontend:
                     continue
                 try:
                     result = request.run()
+                    # A resolved Future promises every array write has
+                    # landed, so a fuse-enabled request may not leave a
+                    # deferred producer behind on the dispatcher thread.
+                    _flush_fusion()
                 except BaseException as exc:  # noqa: BLE001 - future carries it
                     request.future.set_exception(exc)
                 else:

@@ -369,6 +369,7 @@ class ApproxSession:
         ambient = LaunchOptions(
             executor=effective.executor,
             min_shard_threads=effective.min_shard_threads,
+            fuse=effective.fuse,
         )
 
         started = time.perf_counter()
@@ -391,6 +392,14 @@ class ApproxSession:
                     workers=workers,
                     policy=self.guard,
                 )
+                # The ladder flushes per rung, but a fuse-enabled app
+                # that ends on a deferred producer must run it before
+                # this launch's output is treated as final.
+                import sys as _sys
+
+                _fusion = _sys.modules.get("repro.engine.fusion")
+                if _fusion is not None:
+                    _fusion.flush()
 
             record = LaunchRecord(
                 index=index,
@@ -611,6 +620,12 @@ class ApproxSession:
         session-identity block.
         """
         snapshot = self.metrics.snapshot()
+        if self._variants is not None:
+            # Per-variant lowering outcome: codegen-v2 / codegen-v1 /
+            # interpreter, with the reason (specialization summary or
+            # fallback cause) — the serving-side answer to "which code
+            # actually runs for each variant?".
+            snapshot["codegen"]["variants"] = self._variants.lowering_outcomes()
         snapshot["session"] = {
             "app": self.app.name,
             "device": self.spec.kind.value,
