@@ -185,7 +185,8 @@ def summarize(path, trees: int = 1) -> str:
     changes = [
         e
         for e in events
-        if e.get("kind") in ("knob_change", "toq_violation", "drift", "breaker")
+        if e.get("kind")
+        in ("knob_change", "toq_violation", "drift", "breaker", "brownout")
     ]
     if quality or changes:
         out.append("")
@@ -211,6 +212,19 @@ def summarize(path, trees: int = 1) -> str:
                 out.append(
                     f"launch {launch:>5}  BREAKER {entry.get('variant')} -> "
                     f"{entry.get('state')} ({entry.get('reason')})"
+                )
+            elif entry.get("kind") == "brownout":
+                pressure = entry.get("pressure")
+                pressure_s = (
+                    f"{pressure:.3f}"
+                    if isinstance(pressure, (int, float))
+                    else "-"
+                )
+                out.append(
+                    f"{entry.get('frontend', '?'):>12}  BROWNOUT level "
+                    f"{entry.get('from_level')} -> {entry.get('to_level')} "
+                    f"[{entry.get('state')}] ({entry.get('reason')}) "
+                    f"pressure={pressure_s}"
                 )
             else:
                 out.append(

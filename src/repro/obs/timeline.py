@@ -3,7 +3,7 @@
 Green/SAGE-style recalibration is only debuggable with a record of *what
 the monitor saw and what the runtime did about it*, in order, with ids
 that tie each entry back to the launch (and trace) that produced it.  The
-timeline records five kinds of entry:
+timeline records six kinds of entry:
 
 * ``quality_sample`` — one sampled quality check (quality, windowed
   estimate, TOQ, the serving variant and its modelled speedup);
@@ -11,7 +11,10 @@ timeline records five kinds of entry:
   recalibration;
 * ``knob_change`` — a recalibrator transition (which variant to which,
   why);
-* ``breaker`` — a circuit-breaker state transition.
+* ``breaker`` — a circuit-breaker state transition;
+* ``brownout`` — an overload-controller level change (which front-end,
+  which level to which, the pressure reading that drove it) — together
+  with the interleaved quality samples this is the quality-vs-load plot.
 
 Every entry carries ``session``, ``launch_id`` and ``trace_id``, so a
 served request can be traced from its input to the exact variant/knob
@@ -37,8 +40,9 @@ TOQ_VIOLATION = "toq_violation"
 DRIFT = "drift"
 KNOB_CHANGE = "knob_change"
 BREAKER = "breaker"
+BROWNOUT = "brownout"
 
-KINDS = (QUALITY_SAMPLE, TOQ_VIOLATION, DRIFT, KNOB_CHANGE, BREAKER)
+KINDS = (QUALITY_SAMPLE, TOQ_VIOLATION, DRIFT, KNOB_CHANGE, BREAKER, BROWNOUT)
 
 
 class QualityTimeline:
@@ -138,6 +142,27 @@ class QualityTimeline:
             to_variant=to_variant,
             reason=reason,
             quality=quality,
+        )
+
+    def brownout(
+        self,
+        frontend: str,
+        from_level: int,
+        to_level: int,
+        state: str,
+        reason: str,
+        pressure: float,
+    ) -> None:
+        """One overload-controller level transition (keyed by front-end,
+        not session: one controller degrades every session it serves)."""
+        self.record(
+            BROWNOUT,
+            frontend=frontend,
+            from_level=from_level,
+            to_level=to_level,
+            state=state,
+            reason=reason,
+            pressure=pressure,
         )
 
     def breaker(

@@ -57,7 +57,21 @@ SITE_CACHE_LOAD = "cache.load"
 #: ``"inf"``.
 SITE_OUTPUT = "output.corrupt"
 
-SITES = (SITE_COMPILE, SITE_WORKER, SITE_QUALITY, SITE_CACHE_LOAD, SITE_OUTPUT)
+#: Synthetic queue-delay injection for overload drills: the serving
+#: front-end's pressure sampler polls this site directly and *adds*
+#: ``hang_seconds`` to the measured queue delay — no real sleep — so a
+#: drill can push a brownout controller through its whole state machine
+#: deterministically (``python -m repro.serve.overload --drill``).
+SITE_OVERLOAD = "serve.overload"
+
+SITES = (
+    SITE_COMPILE,
+    SITE_WORKER,
+    SITE_QUALITY,
+    SITE_CACHE_LOAD,
+    SITE_OUTPUT,
+    SITE_OVERLOAD,
+)
 
 #: Failure modes, per site (exception is valid everywhere).
 MODES = ("exception", "hang", "dead", "nan", "inf")
@@ -114,6 +128,10 @@ class FaultPlan:
         self.specs: List[FaultSpec] = list(specs)
         self.seed = seed
         self._rng = random.Random(seed)
+        # Dedicated RNG for retry-backoff jitter (resilience.guard): kept
+        # separate from the firing RNG so adding jitter draws does not
+        # perturb which visits fire under a given seed.
+        self.backoff_rng = random.Random(("backoff", seed).__repr__())
         self._left: List[Optional[int]] = [s.max_fires for s in self.specs]
         self.fired: Dict[str, int] = {}
         self._lock = threading.Lock()

@@ -25,6 +25,7 @@ calls outside any guard scope keep their original, zero-overhead paths.
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
@@ -99,6 +100,29 @@ class use_guard(options_scope):
     def __enter__(self) -> Optional[GuardPolicy]:
         super().__enter__()
         return self.policy
+
+
+#: Jitter source outside any fault plan; unseeded on purpose — real
+#: deployments *want* decorrelated retries across processes.
+_JITTER_RNG = random.Random()
+
+
+def _backoff_delay(cap: float) -> float:
+    """Full-jitter retry backoff: uniform in ``[0, cap]``.
+
+    A deterministic exponential schedule makes every shard that failed in
+    the same round retry at the same instant — a synchronized thundering
+    herd against the pool.  Full jitter (AWS-style) spreads the retries
+    over the whole window while keeping the exponential cap.  Under an
+    active :class:`~repro.resilience.faults.FaultPlan` the draw comes from
+    the plan's dedicated ``backoff_rng``, so chaos-harness runs replay the
+    exact same sleep sequence for a given seed.
+    """
+    if cap <= 0.0:
+        return 0.0
+    plan = active_plan()
+    rng = plan.backoff_rng if plan is not None else _JITTER_RNG
+    return rng.uniform(0.0, cap)
 
 
 # ------------------------------------------------------------------- stats
@@ -239,9 +263,11 @@ def guarded_map(
                 )
             if policy.backoff_seconds:
                 time.sleep(
-                    min(
-                        policy.backoff_seconds * (2 ** (attempts[idx] - 1)),
-                        max(deadline - time.monotonic(), 0.0),
+                    _backoff_delay(
+                        min(
+                            policy.backoff_seconds * (2 ** (attempts[idx] - 1)),
+                            max(deadline - time.monotonic(), 0.0),
+                        )
                     )
                 )
             submit(idx)

@@ -11,14 +11,34 @@ structured metrics snapshot and optional JSONL event log.
 from .cache import CacheEntry, VariantCache, app_fingerprint, cache_key
 from .metrics import EventLog, LaunchRecord, SessionMetrics, Transition
 from .monitor import DRIFT, HEADROOM, OK, VIOLATION, MonitorConfig, QualityMonitor
+from .overload import (
+    LevelTransition,
+    OverloadConfig,
+    OverloadController,
+    PressureSample,
+    degraded_variant,
+)
 from .recalibrate import Recalibrator
 from .frontend import ServeFrontend, Tenant
 from .session import ApproxSession, LaunchInfo
+from .signals import (
+    drain,
+    install_signal_handlers,
+    uninstall_signal_handlers,
+)
 
 __all__ = [
     "ApproxSession",
     "ServeFrontend",
     "Tenant",
+    "OverloadConfig",
+    "OverloadController",
+    "PressureSample",
+    "LevelTransition",
+    "degraded_variant",
+    "drain",
+    "install_signal_handlers",
+    "uninstall_signal_handlers",
     "LaunchInfo",
     "VariantCache",
     "CacheEntry",

@@ -47,6 +47,12 @@ from .._options import LaunchOptions, options as options_scope
 from ..errors import AdmissionError, BackpressureError, ServeError
 from ..obs import trace as obs_trace
 from ..obs.registry import get_registry
+from .overload import (
+    OverloadConfig,
+    OverloadController,
+    PressureSample,
+    degraded_variant,
+)
 
 #: Default per-tenant outstanding-request budget.
 DEFAULT_TENANT_DEPTH = 64
@@ -80,12 +86,21 @@ class Tenant:
         max_queue_depth: outstanding requests this tenant may hold.
         toq_floor: minimum session target quality this tenant accepts;
             0.0 admits everything (plain kernel launches are exact and
-            always admitted).
+            always admitted).  Under brownout it is also the quality
+            floor degradation must respect for this tenant.
+        priority: shed ordering under overload — when the front-end's
+            overload controller reaches SHED, only tenants at the lowest
+            registered priority are rejected.
+        degradable: whether brownout may serve this tenant's session
+            launches from a lower (faster) rung of the approximation
+            ladder; False pins the tenant to each session's own choice.
     """
 
     name: str
     max_queue_depth: int = DEFAULT_TENANT_DEPTH
     toq_floor: float = 0.0
+    priority: int = 0
+    degradable: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -107,9 +122,12 @@ class _Request:
     seq: int
     tenant: str
     key: tuple
-    run: object  # zero-arg callable producing the result
+    run: object  # callable producing the result; session runs accept
+    # a ``variant=`` override from the brownout controller
     future: Future = field(default_factory=Future)
     enqueued: float = 0.0
+    session: object = None  # the ApproxSession for submit_app requests
+    deadline_s: Optional[float] = None  # queue-wait budget (miss signal)
 
 
 class _FrontendMetrics:
@@ -150,12 +168,20 @@ class _FrontendMetrics:
             "requests per fused batch",
             buckets=(1, 2, 4, 8, 16, 32),
         )
+        self._deadline_misses = registry.counter(
+            "repro_frontend_deadline_misses_total",
+            "requests whose queue wait exceeded their deadline",
+            labelnames=("frontend",),
+        )
 
     def admitted(self, tenant: str) -> None:
         self._requests.labels(tenant=tenant).inc()
 
     def rejected(self, reason: str) -> None:
         self._rejects.labels(reason=reason).inc()
+
+    def deadline_missed(self, frontend: str) -> None:
+        self._deadline_misses.labels(frontend=frontend).inc()
 
 
 class ServeFrontend:
@@ -176,7 +202,15 @@ class ServeFrontend:
             :class:`~repro.registry.VariantRegistry`, a path, ``"auto"``
             or None).  Sessions submitted without their own registry
             adopt it at :meth:`submit_app` time, before first tune.
+        overload: brownout overload control — an
+            :class:`~repro.serve.overload.OverloadConfig` (a controller
+            is built from it), a ready
+            :class:`~repro.serve.overload.OverloadController`, or None
+            (the default: overload stays a binary admit/reject and the
+            dispatch fast path is untouched).
     """
+
+    _ids = itertools.count()
 
     def __init__(
         self,
@@ -185,8 +219,10 @@ class ServeFrontend:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
         registry: Optional[object] = None,
+        overload: Optional[object] = None,
     ) -> None:
         from ..registry import resolve_registry
+        from .signals import track_frontend
         if max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue_depth < 1:
@@ -199,6 +235,20 @@ class ServeFrontend:
         self.max_batch = max_batch
         self.max_queue_depth = max_queue_depth
         self.metrics = _FrontendMetrics()
+        self.label = f"f{next(self._ids)}"
+        if overload is None:
+            self.overload: Optional[OverloadController] = None
+        elif isinstance(overload, OverloadController):
+            self.overload = overload
+        else:
+            self.overload = OverloadController(
+                OverloadConfig() if overload is True else overload,
+                label=self.label,
+            )
+        self._miss_window: Deque[float] = deque(
+            maxlen=self.overload.config.window if self.overload else 1
+        )
+        self._deadline_miss_count = 0
         self._tenants: Dict[str, Tenant] = {}
         self._outstanding: Dict[str, int] = {}
         self._queue: Deque[_Request] = deque()
@@ -211,6 +261,7 @@ class ServeFrontend:
         )
         self._dispatcher.start()
         self.register_tenant("default")
+        track_frontend(self)
 
     # -- tenants ---------------------------------------------------------------
 
@@ -219,9 +270,11 @@ class ServeFrontend:
         name: str,
         max_queue_depth: int = DEFAULT_TENANT_DEPTH,
         toq_floor: float = 0.0,
+        priority: int = 0,
+        degradable: bool = True,
     ) -> Tenant:
         """Register (or re-register with new budgets) a tenant."""
-        tenant = Tenant(name, max_queue_depth, toq_floor)
+        tenant = Tenant(name, max_queue_depth, toq_floor, priority, degradable)
         with self._lock:
             self._tenants[name] = tenant
             self._outstanding.setdefault(name, 0)
@@ -250,6 +303,19 @@ class ServeFrontend:
                 f"tenant {tenant_name!r} requires target quality >= "
                 f"{tenant.toq_floor}, session serves {toq}"
             )
+        controller = self.overload
+        if controller is not None and controller.is_shedding:
+            # SHED is the ladder's last rung: degradation is exhausted,
+            # so reject — but only the lowest-priority tenants, and only
+            # while the controller stays in SHED.
+            lowest = min(t.priority for t in self._tenants.values())
+            if tenant.priority <= lowest:
+                self.metrics.rejected("shed")
+                controller.record_shed(tenant_name)
+                raise BackpressureError(
+                    f"tenant {tenant_name!r} shed: front-end is in "
+                    f"{controller.state_name()} (priority {tenant.priority})"
+                )
         if len(self._queue) >= self.max_queue_depth:
             self.metrics.rejected("queue_full")
             raise BackpressureError(
@@ -263,7 +329,10 @@ class ServeFrontend:
             )
         return tenant
 
-    def _enqueue(self, tenant: str, key: tuple, run, toq=None) -> Future:
+    def _enqueue(
+        self, tenant: str, key: tuple, run, toq=None, session=None,
+        deadline_s=None,
+    ) -> Future:
         with self._lock:
             if self._closed:
                 raise ServeError("front-end is closed")
@@ -274,6 +343,8 @@ class ServeFrontend:
                 key=key,
                 run=run,
                 enqueued=time.perf_counter(),
+                session=session,
+                deadline_s=deadline_s,
             )
             self._queue.append(request)
             self._outstanding[tenant] += 1
@@ -292,6 +363,7 @@ class ServeFrontend:
         tenant: str = "default",
         options: Optional[LaunchOptions] = None,
         bounds_check: bool = True,
+        deadline_s: Optional[float] = None,
     ) -> Future:
         """Queue one kernel launch; returns a Future resolving to its Trace.
 
@@ -323,9 +395,15 @@ class ServeFrontend:
                 kernel, grid, args, bounds_check=bounds_check, options=opts
             )
 
-        return self._enqueue(tenant, key, run)
+        return self._enqueue(tenant, key, run, deadline_s=deadline_s)
 
-    def submit_app(self, session, inputs, tenant: str = "default") -> Future:
+    def submit_app(
+        self,
+        session,
+        inputs,
+        tenant: str = "default",
+        deadline_s: Optional[float] = None,
+    ) -> Future:
         """Queue one :meth:`ApproxSession.launch`; Future resolves to its
         output.
 
@@ -336,16 +414,27 @@ class ServeFrontend:
 
         Sessions without a registry of their own adopt the front-end's,
         so a whole fleet of tenants shares one store of tuning knowledge.
+
+        Under an overload controller in brownout, a degradable tenant's
+        launch may be served from a lower rung of the session's tuned
+        ladder — never one calibrated below the tenant's ``toq_floor``.
+        ``deadline_s`` is this request's queue-wait budget for the
+        controller's deadline-miss signal (not an execution timeout).
         """
         if self.registry is not None and hasattr(session, "attach_registry"):
             session.attach_registry(self.registry)
         key = ("app", session.key)
 
-        def run():
+        def run(variant=None):
             with options_scope(self.options):
-                return session.launch(inputs)
+                if variant is None:
+                    return session.launch(inputs)
+                return session.launch(inputs, variant=variant)
 
-        return self._enqueue(tenant, key, run, toq=session.toq)
+        return self._enqueue(
+            tenant, key, run, toq=session.toq, session=session,
+            deadline_s=deadline_s,
+        )
 
     def launch(self, kernel, grid, args, **kwargs):
         """Synchronous :meth:`submit`: block until the launch ran."""
@@ -365,6 +454,11 @@ class ServeFrontend:
         with self._wake:
             while not self._queue and not self._closed:
                 self._wake.wait(timeout=0.1)
+                if self.overload is not None:
+                    # Surface each idle tick to the dispatch loop so the
+                    # controller keeps observing (and recovering) while
+                    # no traffic arrives.
+                    break
             if not self._queue:
                 return []
             anchor = self._queue[0]
@@ -392,16 +486,76 @@ class ServeFrontend:
         while True:
             batch = self._take_batch()
             if not batch:
-                if self._closed:
+                if self._closed and not self._queue:
                     return
+                if self.overload is not None:
+                    self._observe_pressure([], time.perf_counter())
                 continue
             self._run_batch(batch)
+
+    def _observe_pressure(self, batch: List[_Request], now: float) -> int:
+        """Feed one batch window's pressure sample to the controller.
+
+        The queue-delay component is the worst wait in the batch plus any
+        synthetic delay the ``serve.overload`` fault seam injects (the
+        chaos drill's load ramp — a signal, never a real sleep).
+        """
+        from ..resilience.faults import SITE_OVERLOAD, active_plan
+
+        controller = self.overload
+        delay = max((now - r.enqueued) for r in batch) if batch else 0.0
+        plan = active_plan()
+        if plan is not None:
+            spec = plan.poll(SITE_OVERLOAD, self.label)
+            if spec is not None:
+                delay += spec.hang_seconds
+        for request in batch:
+            deadline = (
+                request.deadline_s
+                if request.deadline_s is not None
+                else controller.config.deadline_s
+            )
+            missed = (now - request.enqueued) > deadline
+            self._miss_window.append(1.0 if missed else 0.0)
+            if missed:
+                self._deadline_miss_count += 1
+                self.metrics.deadline_missed(self.label)
+        miss_rate = (
+            sum(self._miss_window) / len(self._miss_window)
+            if self._miss_window
+            else 0.0
+        )
+        with self._lock:
+            depth = len(self._queue)
+        return controller.observe(
+            PressureSample(
+                queue_delay_s=delay,
+                miss_rate=miss_rate,
+                saturation=depth / float(self.max_queue_depth),
+            )
+        )
+
+    def _degradation_for(self, request: _Request, level: int) -> Optional[str]:
+        """The brownout variant override for one session request."""
+        with self._lock:
+            tenant = self._tenants.get(request.tenant)
+        if tenant is None or not tenant.degradable:
+            return None
+        return degraded_variant(
+            request.session, level, self.overload.config.levels,
+            tenant.toq_floor,
+        )
 
     def _run_batch(self, batch: List[_Request]) -> None:
         started = time.perf_counter()
         self.metrics.batches.inc()
         self.metrics.batched.inc(len(batch))
         self.metrics.batch_size.observe(len(batch))
+        level = (
+            self._observe_pressure(batch, started)
+            if self.overload is not None
+            else 0
+        )
         key = batch[0].key
         with obs_trace.span(
             "serve.batch",
@@ -414,8 +568,17 @@ class ServeFrontend:
                 if not request.future.set_running_or_notify_cancel():
                     self._done(request)
                     continue
+                override = (
+                    self._degradation_for(request, level)
+                    if level > 0 and request.session is not None
+                    else None
+                )
                 try:
-                    result = request.run()
+                    result = (
+                        request.run(variant=override)
+                        if override is not None
+                        else request.run()
+                    )
                     # A resolved Future promises every array write has
                     # landed, so a fuse-enabled request may not leave a
                     # deferred producer behind on the dispatcher thread.
@@ -440,20 +603,40 @@ class ServeFrontend:
         with self._lock:
             return self._outstanding.get(tenant, 0)
 
+    def deadline_misses(self) -> int:
+        """Requests whose queue wait exceeded their deadline (0 without
+        an overload controller — the signal is only sampled then)."""
+        return self._deadline_miss_count
+
     def close(self, timeout: float = 10.0) -> None:
-        """Stop admitting, drain the queue, stop the dispatcher."""
+        """Stop admitting, drain the queue *through dispatch*, stop the
+        dispatcher.
+
+        Every already-admitted request gets the chance to execute: the
+        dispatcher keeps taking batches until the queue is empty, and
+        ``close`` waits up to ``timeout`` for that drain.  Only requests
+        still undispatched after the timeout (or after a dispatcher
+        death) are failed with :class:`~repro.errors.ServeError` — never
+        a request the dispatcher already picked up, whose Future the
+        dispatcher itself resolves.  Safe to call from a Future callback
+        on the dispatcher thread: admission stops immediately and the
+        dispatch loop itself finishes draining the queue before exiting.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._wake.notify_all()
+        if threading.current_thread() is self._dispatcher:
+            return
         self._dispatcher.join(timeout=timeout)
         with self._lock:
-            while self._queue:  # dispatcher gone; fail leftovers loudly
+            while self._queue:  # drain timed out; fail leftovers loudly
                 request = self._queue.popleft()
-                request.future.set_exception(
-                    ServeError("front-end closed before dispatch")
-                )
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServeError("front-end closed before dispatch")
+                    )
                 self._outstanding[request.tenant] -= 1
             self.metrics.queue_depth.set(0)
 

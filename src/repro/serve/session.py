@@ -331,7 +331,7 @@ class ApproxSession:
 
     # -- lifecycle: monitored launches ----------------------------------------
 
-    def launch(self, inputs) -> object:
+    def launch(self, inputs, variant: Optional[str] = None) -> object:
         """Serve one invocation through the monitored execution loop.
 
         Runs the current variant through the guarded fallback ladder
@@ -343,11 +343,23 @@ class ApproxSession:
         recalibrator steps off it and the tuner won't re-choose it) until
         its probation window passes.  Quality is sampled on the monitor's
         cadence and recalibrates exactly as before.
+
+        ``variant`` requests one launch at a specific ladder rung — a
+        variant name from the tuned ladder, or ``"exact"`` — *without*
+        disturbing the tuner's chosen configuration: the brownout
+        controller serves degraded launches this way.  An overridden
+        launch skips the monitor (its quality is intentionally below the
+        session's own target; feeding it to the drift detector would
+        trigger spurious recalibration) but still charges the breaker,
+        and its sampled quality lands on the timeline with verdict
+        ``"brownout"``.  An unresolvable name falls back to the normal
+        monitored path.
         """
         self._check_open()
         if self._recalibrator is None:
             self.tune()
         recal = self._recalibrator
+        override = self._resolve_override(variant) if variant is not None else None
         index = self.metrics.launches
         launch_id = next(self._launch_ids)
         kernel_launches = [0]
@@ -380,14 +392,20 @@ class ApproxSession:
             launch_id=launch_id,
         ) as root:
             self.metrics.begin_launch(launch_id, root.trace_id)
-            self._step_off_quarantined(index)
-            variant = recal.current
-            root.set(variant=recal.current_name)
+            if override is not None:
+                serving_variant, serving_name, serving_speedup = override
+                root.set(brownout=True)
+            else:
+                self._step_off_quarantined(index)
+                serving_variant = recal.current
+                serving_name = recal.current_name
+                serving_speedup = recal.speedup_estimate
+            root.set(variant=serving_name)
             with launch_hook(count), options_scope(ambient):
                 out, report = run_ladder(
                     self.app,
                     inputs,
-                    variant,
+                    serving_variant,
                     backend=backend,
                     workers=workers,
                     policy=self.guard,
@@ -403,9 +421,9 @@ class ApproxSession:
 
             record = LaunchRecord(
                 index=index,
-                variant=recal.current_name,
-                knobs=dict(getattr(variant, "knobs", {}) or {}),
-                speedup_estimate=recal.speedup_estimate,
+                variant=serving_name,
+                knobs=dict(getattr(serving_variant, "knobs", {}) or {}),
+                speedup_estimate=serving_speedup,
                 kernel_launches=kernel_launches[0],
                 backends=backend_counts,
                 served=report.served,
@@ -414,30 +432,47 @@ class ApproxSession:
                 launch_id=launch_id,
                 trace_id=root.trace_id,
             )
-            if variant is not None:
-                name = recal.current_name
+            if serving_variant is not None:
                 if report.primary_ok:
-                    self.breaker.record_success(name, index)
+                    self.breaker.record_success(serving_name, index)
                 else:
                     reason = report.faults[0].site if report.faults else "fault"
-                    if self.breaker.record_fault(name, index, reason):
-                        self._quarantine(record)
+                    if self.breaker.record_fault(serving_name, index, reason):
+                        # An overridden launch is off-ladder: the breaker
+                        # opened (so degradation skips this variant from
+                        # now on) but the recalibrator's rung — the
+                        # tuner's choice — must not move.
+                        if override is None:
+                            self._quarantine(record)
+                        else:
+                            record.action = "quarantine"
+                            record.reason = "quarantine"
             served_primary = report.primary_ok
             if self.monitor.should_sample(index) and served_primary:
                 record.sampled = True
-                quality = self._evaluate_quality(out, inputs, variant, record)
+                quality = self._evaluate_quality(
+                    out, inputs, serving_variant, record
+                )
                 if quality is not None:
                     record.quality = quality
-                    verdict = self.monitor.observe(quality)
+                    # Overridden (browned-out) launches are *expected*
+                    # to serve below the session TOQ; their samples stay
+                    # out of the drift window so the monitor keeps
+                    # describing the tuner's own configuration.
+                    verdict = (
+                        "brownout"
+                        if override is not None
+                        else self.monitor.observe(quality)
+                    )
                     obs_timeline().quality_sample(
                         session=self.metrics.label,
                         launch_id=launch_id,
                         trace_id=root.trace_id,
-                        variant=recal.current_name,
+                        variant=serving_name,
                         quality=quality,
                         estimate=self.monitor.estimate,
                         toq=self.toq,
-                        speedup=recal.speedup_estimate,
+                        speedup=serving_speedup,
                         verdict=verdict,
                         registry_key=self._registry_key,
                     )
@@ -447,10 +482,11 @@ class ApproxSession:
                             session=self.metrics.label,
                             launch_id=launch_id,
                             trace_id=root.trace_id,
-                            variant=recal.current_name,
+                            variant=serving_name,
                             quality=quality,
                         )
-                    self._react(verdict, record)
+                    if override is None:
+                        self._react(verdict, record)
             for event in self.breaker.drain_events():
                 self.metrics.record_breaker_event(event)
             record.duration = time.perf_counter() - started
@@ -472,6 +508,27 @@ class ApproxSession:
             quality=record.quality,
         )
         return out
+
+    def _resolve_override(self, name: str) -> Optional[tuple]:
+        """Resolve a requested ladder rung to ``(variant, name, speedup)``.
+
+        ``"exact"`` is always resolvable; other names resolve through the
+        tuning profiles (carrying the calibrated speedup estimate) or,
+        failing that, the compiled variant set.  None means the request
+        cannot be honored and the launch proceeds on the normal path.
+        """
+        if name == "exact":
+            return (None, "exact", 1.0)
+        if self._tuning is not None:
+            for profile in self._tuning.profiles:
+                if profile.variant is not None and profile.name == name:
+                    return (profile.variant, name, profile.speedup)
+        if self._variants is not None:
+            try:
+                return (self._variants.by_name(name), name, 1.0)
+            except KeyError:
+                pass
+        return None
 
     def _evaluate_quality(self, out, inputs, variant, record) -> Optional[float]:
         """Sampled-quality evaluation with fault containment.
@@ -604,6 +661,18 @@ class ApproxSession:
         if self._recalibrator is None:
             return "untuned"
         return self._recalibrator.current_name
+
+    @property
+    def tuning(self) -> Optional[TuningResult]:
+        """The armed tuning result (None before first tune) — the
+        calibrated ladder brownout degradation selects from."""
+        return self._tuning
+
+    @property
+    def registry_key(self) -> Optional[str]:
+        """The variant-registry key tuning resolved for this session
+        (None without a registry or before first tune)."""
+        return self._registry_key
 
     @property
     def last_launch(self) -> Optional[LaunchInfo]:

@@ -1,0 +1,89 @@
+"""Graceful drain on termination signals.
+
+A serving process killed mid-flight loses every queued request: the
+dispatcher dies with the process and callers' Futures never resolve.
+:func:`install_signal_handlers` turns SIGTERM (the orchestrator's
+stop-please signal) into a drain: every live
+:class:`~repro.serve.ServeFrontend` is closed — which stops admission and
+lets already-admitted requests run to completion — and the shared process
+pool shuts down, before the default signal disposition terminates the
+process with the conventional exit status.
+
+Front-ends register themselves here at construction through a weak set,
+so tracking never keeps a discarded front-end alive and nothing changes
+for processes that never install the handlers.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import weakref
+from typing import Dict, Iterable, List
+
+#: Every live front-end, weakly held; closed front-ends are harmless to
+#: re-close so no unregistration is needed.
+_FRONTENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+#: signum -> the handler that was installed before ours.
+_PREVIOUS: Dict[int, object] = {}
+
+_LOCK = threading.Lock()
+
+
+def track_frontend(frontend) -> None:
+    """Called by :class:`~repro.serve.ServeFrontend` at construction."""
+    _FRONTENDS.add(frontend)
+
+
+def live_frontends() -> List[object]:
+    return list(_FRONTENDS)
+
+
+def drain(timeout: float = 10.0) -> None:
+    """Close every live front-end (draining their queues through
+    dispatch) and shut the shared process pool down."""
+    from ..parallel import shutdown_process_pool
+
+    for frontend in live_frontends():
+        try:
+            frontend.close(timeout=timeout)
+        except Exception:  # noqa: BLE001 - draining is best-effort
+            pass
+    shutdown_process_pool()
+
+
+def install_signal_handlers(
+    signals: Iterable[int] = (signal.SIGTERM,), timeout: float = 10.0
+) -> None:
+    """Install drain-then-die handlers (idempotent, main thread only —
+    a CPython restriction on ``signal.signal``).
+
+    On delivery the handler drains (:func:`drain`), restores the
+    previous disposition, and re-raises the signal so the process still
+    terminates with the status its supervisor expects.
+    """
+
+    def handler(signum, _frame) -> None:
+        drain(timeout=timeout)
+        with _LOCK:
+            previous = _PREVIOUS.pop(signum, None)
+        signal.signal(
+            signum, previous if previous is not None else signal.SIG_DFL
+        )
+        signal.raise_signal(signum)
+
+    with _LOCK:
+        for signum in signals:
+            if signum not in _PREVIOUS:
+                _PREVIOUS[signum] = signal.signal(signum, handler)
+
+
+def uninstall_signal_handlers() -> None:
+    """Restore every disposition :func:`install_signal_handlers` replaced."""
+    with _LOCK:
+        for signum, previous in _PREVIOUS.items():
+            signal.signal(
+                signum, previous if previous is not None else signal.SIG_DFL
+            )
+        _PREVIOUS.clear()

@@ -264,3 +264,51 @@ class TestRunLadder:
             run_ladder(Broken(), inputs, None, backend="interp", policy=FAST)
         # Non-final rungs were contained before the final one propagated.
         assert STATS.containments >= 1
+
+
+class TestBackoffJitter:
+    """Full-jitter retry backoff: bounded, decorrelated, reproducible."""
+
+    def test_delay_stays_within_the_cap(self):
+        from repro.resilience.guard import _backoff_delay
+
+        draws = [_backoff_delay(0.2) for _ in range(256)]
+        assert all(0.0 <= d <= 0.2 for d in draws)
+        # Full jitter, not a fixed fraction of the cap.
+        assert len({round(d, 9) for d in draws}) > 1
+
+    def test_non_positive_cap_means_no_sleep(self):
+        from repro.resilience.guard import _backoff_delay
+
+        assert _backoff_delay(0.0) == 0.0
+        assert _backoff_delay(-1.0) == 0.0
+
+    def test_seeded_plan_makes_jitter_deterministic(self):
+        from repro.resilience.guard import _backoff_delay
+
+        runs = []
+        for _ in range(2):
+            with use_faults(FaultPlan([], seed=7)):
+                runs.append([_backoff_delay(1.0) for _ in range(16)])
+        assert runs[0] == runs[1]
+        with use_faults(FaultPlan([], seed=8)):
+            other = [_backoff_delay(1.0) for _ in range(16)]
+        assert other != runs[0]
+
+    def test_backoff_rng_is_independent_of_fault_firing(self):
+        # Drawing jitter must not perturb the deterministic fault
+        # firing sequence of a seeded plan (and vice versa).
+        fired = []
+        for warm in (0, 16):
+            plan = FaultPlan(
+                [FaultSpec(SITE_WORKER, probability=0.5)], seed=123
+            )
+            with use_faults(plan):
+                from repro.resilience.guard import _backoff_delay
+
+                for _ in range(warm):
+                    _backoff_delay(1.0)
+                fired.append(
+                    [plan.poll(SITE_WORKER) is not None for _ in range(32)]
+                )
+        assert fired[0] == fired[1]

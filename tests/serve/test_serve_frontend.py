@@ -263,3 +263,168 @@ class TestEndToEnd:
             assert first.result(timeout=60) is not None
             assert second.result(timeout=60) is not None
             assert session.metrics_snapshot()["launches"] == 2
+
+
+class TestCloseDrain:
+    def test_close_waits_for_a_slow_batch_then_drains_the_queue(self):
+        """Regression: a queued request behind a slow in-flight batch must
+        be dispatched during close(), not failed, while the timeout has
+        not expired."""
+        frontend = ServeFrontend(batch_window_s=0.001)
+        release = threading.Event()
+
+        def slow():
+            release.wait(5)
+            return "slow"
+
+        slow_future = frontend._enqueue("default", ("slow",), slow)
+        time.sleep(0.05)  # dispatcher picks the slow batch up
+        queued = frontend._enqueue("default", ("queued",), lambda: "queued")
+        closer = threading.Thread(target=frontend.close, kwargs={"timeout": 10})
+        closer.start()
+        time.sleep(0.05)
+        release.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        assert slow_future.result(timeout=1) == "slow"
+        assert queued.result(timeout=1) == "queued", (
+            "close() must drain through dispatch, not fail pending futures"
+        )
+        assert frontend.outstanding() == 0
+
+    def test_close_timeout_fails_only_undispatched_leftovers(self):
+        frontend = ServeFrontend(batch_window_s=0.001)
+        release = threading.Event()
+
+        def hung():
+            release.wait(30)
+            return "eventually"
+
+        hung_future = frontend._enqueue("default", ("hung",), hung)
+        time.sleep(0.05)  # dispatcher is now stuck inside the batch
+        leftover = frontend._enqueue("default", ("leftover",), lambda: 1)
+        frontend.close(timeout=0.2)
+        with pytest.raises(ServeError, match="closed before dispatch"):
+            leftover.result(timeout=1)
+        # Unblock the hung batch: its future must still resolve cleanly
+        # (close never touches dispatched requests).
+        release.set()
+        assert hung_future.result(timeout=10) == "eventually"
+
+    def test_close_from_dispatcher_thread_does_not_deadlock(self):
+        frontend = ServeFrontend(batch_window_s=0.001)
+        seen = []
+
+        def closing_request():
+            frontend.close(timeout=1)
+            seen.append("ran")
+            return "done"
+
+        first = frontend._enqueue("default", ("k",), closing_request)
+        second = frontend._enqueue("default", ("k2",), lambda: "after")
+        assert first.result(timeout=10) == "done"
+        # The dispatch loop itself drains what was already admitted.
+        assert second.result(timeout=10) == "after"
+        frontend.close()
+        assert seen == ["ran"]
+
+
+class TestConcurrency:
+    TENANTS = 8
+
+    def test_concurrent_submits_racing_close_all_resolve(self):
+        """8 submitter threads race close(): every accepted Future must
+        resolve (result or ServeError), nothing hangs, bookkeeping
+        returns to zero."""
+        frontend = ServeFrontend(batch_window_s=0.001, max_queue_depth=512)
+        start = threading.Barrier(self.TENANTS + 1)
+        futures = []
+        futures_lock = threading.Lock()
+        rejected = []
+
+        def submitter(worker):
+            start.wait(5)
+            for i in range(40):
+                try:
+                    future = frontend._enqueue(
+                        "default", ("k", worker), lambda i=i: i
+                    )
+                except ServeError:
+                    rejected.append(worker)  # closed under us: fine
+                    return
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [
+            threading.Thread(target=submitter, args=(w,))
+            for w in range(self.TENANTS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait(5)
+        time.sleep(0.01)  # let submissions interleave with dispatch
+        frontend.close(timeout=10)
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        resolved = 0
+        for future in futures:
+            try:
+                future.result(timeout=10)
+                resolved += 1
+            except ServeError:
+                pass  # failed leftover: still resolved, never hung
+        assert resolved > 0, "some requests must have been served"
+        assert frontend.queue_depth() == 0
+        assert frontend.outstanding() == 0
+
+    def test_backpressure_and_admission_errors_under_contention(self):
+        """8 threads hammer a tiny queue: every rejection is a typed
+        error, every accepted request resolves, and the queue empties."""
+        frontend, gate, blocker = _gated_frontend(
+            batch_window_s=0.001, max_queue_depth=4
+        )
+        frontend.register_tenant("narrow", max_queue_depth=2)
+        outcomes = {"served": 0, "backpressure": 0, "admission": 0}
+        lock = threading.Lock()
+        start = threading.Barrier(self.TENANTS)
+
+        def worker(idx):
+            start.wait(5)
+            tenant = ["default", "narrow", "ghost"][idx % 3]
+            for i in range(20):
+                try:
+                    future = frontend._enqueue(tenant, ("k",), lambda: 1)
+                except BackpressureError:
+                    with lock:
+                        outcomes["backpressure"] += 1
+                    time.sleep(0.001)
+                    continue
+                except AdmissionError:
+                    with lock:
+                        outcomes["admission"] += 1
+                    continue
+                gate.set()  # open the gate so the queue keeps draining
+                future.result(timeout=10)
+                with lock:
+                    outcomes["served"] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(w,))
+            for w in range(self.TENANTS)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+        finally:
+            gate.set()
+            frontend.close()
+        assert outcomes["admission"] > 0, "unknown tenant must be refused"
+        assert outcomes["backpressure"] > 0, "tiny queue must push back"
+        assert outcomes["served"] > 0
+        assert frontend.queue_depth() == 0
+        assert frontend.outstanding() == 0
+        assert frontend.outstanding("narrow") == 0
