@@ -121,3 +121,123 @@ def test_enabled_tracing_overhead_is_bounded():
         obs_trace.drain_records()
         if was_enabled:
             obs_trace.enable()
+
+
+def _launch_times(app, session, launches=100):
+    """Per-launch wall times (seconds), warmed."""
+    inputs = app.generate_inputs(seed=app.seed)
+    session.launch(inputs)
+    times = []
+    for _ in range(launches):
+        started = time.perf_counter()
+        session.launch(inputs)
+        times.append(time.perf_counter() - started)
+    return times
+
+
+def _p99(times) -> float:
+    ranked = sorted(times)
+    return ranked[min(len(ranked) - 1, int(len(ranked) * 0.99))]
+
+
+MAX_PROFILED = float(
+    os.environ.get("REPRO_OBS_PROFILE_MAX_OVERHEAD", "1.03")
+)
+MAX_P99_SHIFT = float(os.environ.get("REPRO_OBS_HTTP_MAX_P99_SHIFT", "1.05"))
+
+
+def test_profiler_overhead_is_bounded():
+    """Sampling at the default 10ms interval must stay within the same
+    3% envelope as tracing: threads pay nothing between samples."""
+    from repro.obs.profile import DEFAULT_INTERVAL_S, SamplingProfiler
+    from repro.obs.registry import MetricsRegistry
+
+    was_enabled = obs_trace.enabled()
+    obs_trace.disable()
+    try:
+        app, session = _session()
+        baseline = _time_launches(app, session)
+        profiler = SamplingProfiler(
+            interval_s=DEFAULT_INTERVAL_S, registry=MetricsRegistry()
+        )
+        with profiler:
+            profiled = _time_launches(app, session)
+        overhead = profiled / baseline
+        print(
+            f"\n{LAUNCHES} launches: bare {baseline * 1e3:.3f}ms, "
+            f"profiled {profiled * 1e3:.3f}ms "
+            f"({profiler.sample_count()} samples), overhead {overhead:.3f}x"
+        )
+        from conftest import write_bench_summary
+
+        write_bench_summary(
+            "obs_overhead",
+            profiler_overhead=overhead,
+            profiler_samples=profiler.sample_count(),
+            profiler_ceiling=MAX_PROFILED,
+        )
+        assert overhead <= MAX_PROFILED, (
+            f"profiler overhead {overhead:.3f}x above the allowed "
+            f"{MAX_PROFILED:.3f}x (override with REPRO_OBS_PROFILE_MAX_OVERHEAD)"
+        )
+    finally:
+        if was_enabled:
+            obs_trace.enable()
+
+
+def test_http_scrape_under_load_keeps_p99_bounded():
+    """A scraper hammering /metrics must not shift launch p99 beyond 5%:
+    the endpoint renders on its own daemon threads and the registry's
+    per-family locks are held only for snapshot reads."""
+    import threading
+    import urllib.request
+
+    from repro.obs.http import ObsHTTPServer
+
+    was_enabled = obs_trace.enabled()
+    obs_trace.disable()
+    try:
+        app, session = _session()
+        quiet = _launch_times(app, session)
+        with ObsHTTPServer(port=0) as server:
+            url = f"http://127.0.0.1:{server.port}/metrics"
+            stop = threading.Event()
+            scrapes = [0]
+
+            def _scrape():
+                while not stop.is_set():
+                    with urllib.request.urlopen(url, timeout=5) as response:
+                        response.read()
+                    scrapes[0] += 1
+                    time.sleep(0.001)
+
+            scraper = threading.Thread(target=_scrape, daemon=True)
+            scraper.start()
+            try:
+                scraped = _launch_times(app, session)
+            finally:
+                stop.set()
+                scraper.join(timeout=5)
+        assert scrapes[0] > 0, "the scraper never completed a fetch"
+        shift = _p99(scraped) / _p99(quiet)
+        print(
+            f"\nlaunch p99: quiet {_p99(quiet) * 1e3:.3f}ms, under "
+            f"{scrapes[0]} scrapes {_p99(scraped) * 1e3:.3f}ms "
+            f"-> {shift:.3f}x"
+        )
+        from conftest import write_bench_summary
+
+        write_bench_summary(
+            "obs_overhead",
+            http_p99_shift=shift,
+            http_scrapes=scrapes[0],
+            http_p99_ceiling=MAX_P99_SHIFT,
+        )
+        assert shift <= MAX_P99_SHIFT, (
+            f"launch p99 shifted {shift:.3f}x under scraping, above the "
+            f"allowed {MAX_P99_SHIFT:.3f}x (override with "
+            f"REPRO_OBS_HTTP_MAX_P99_SHIFT)"
+        )
+    finally:
+        if was_enabled:
+            obs_trace.enable()

@@ -11,16 +11,49 @@ The layer has three legs, all near-zero-cost while disabled:
   profile pools), exported as JSONL.  Enable with ``REPRO_OBS=1`` and
   point ``REPRO_OBS_TRACE`` at a file to persist the stream.
 * :mod:`repro.obs.timeline` — the quality-drift timeline: every quality
-  sample, TOQ violation, drift event, knob change and breaker transition,
-  correlated to launches by ``launch_id`` and ``trace_id``.
+  sample, TOQ violation, drift event, knob change, breaker transition and
+  SLO alert, correlated to launches by ``launch_id`` and ``trace_id``.
+
+On top of the legs sit the live-ops surfaces:
+
+* :mod:`repro.obs.slo` — declarative per-tenant SLO objectives with
+  multi-window burn-rate alerting (OK → WARN → PAGE with hysteresis);
+* :mod:`repro.obs.http` — the embedded stdlib HTTP endpoint
+  (``/metrics``, ``/healthz``, ``/readyz``, ``/slo``, ``/debug/vars``,
+  ``/debug/profile``), opt-in via ``ServeFrontend(serve_http=...)`` or
+  ``REPRO_OBS_HTTP``;
+* :mod:`repro.obs.profile` — the sampling wall-clock profiler with
+  span-context attribution and collapsed-stack flamegraph export,
+  enabled with ``REPRO_OBS_PROFILE=1``.
 
 ``python -m repro.obs summarize <trace.jsonl>`` renders a trace file:
 top spans by time, fallback-depth breakdown, the quality-vs-speedup
-timeline and per-launch span trees.  See ``docs/OBSERVABILITY.md``.
+timeline and per-launch span trees.  ``flame``/``top`` render collapsed
+profiles, ``slo --drill`` replays the deterministic burn-rate drill.
+See ``docs/OBSERVABILITY.md``.
 """
 
-from .export import build_trees, load_trace, render_prometheus, render_tree, summarize
-from .registry import MetricsRegistry, REGISTRY, get_registry
+from .export import (
+    build_trees,
+    load_collapsed,
+    load_trace,
+    quantile_table,
+    render_flame,
+    render_prometheus,
+    render_top,
+    render_tree,
+    summarize,
+)
+from .http import ObsHTTPServer
+from .profile import SamplingProfiler, active_profiler
+from .registry import (
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+    histogram_fraction_le,
+    histogram_quantile,
+)
+from .slo import SLOEngine, SLOObjective
 from .timeline import QualityTimeline, timeline
 from .trace import (
     NOOP_SPAN,
@@ -42,6 +75,13 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "get_registry",
+    "histogram_quantile",
+    "histogram_fraction_le",
+    "SLOEngine",
+    "SLOObjective",
+    "ObsHTTPServer",
+    "SamplingProfiler",
+    "active_profiler",
     "QualityTimeline",
     "timeline",
     "Span",
@@ -58,7 +98,11 @@ __all__ = [
     "emit_event",
     "trace_path",
     "render_prometheus",
+    "quantile_table",
     "load_trace",
+    "load_collapsed",
+    "render_flame",
+    "render_top",
     "build_trees",
     "render_tree",
     "summarize",

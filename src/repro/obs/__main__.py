@@ -4,12 +4,22 @@ Commands:
 
 * ``summarize <trace.jsonl> [--trees N]`` — the full report: top spans
   by total time, fallback-depth breakdown, the quality-vs-speedup
-  timeline and the span tree(s) of the most recent N traces.
+  timeline (including SLO alert transitions) and the span tree(s) of
+  the most recent N traces.
 * ``tree <trace.jsonl> [--trace ID]`` — just the span trees (all traces,
   or one).
 * ``metrics`` — the current process's registry in Prometheus text
-  format (mostly useful under ``python -m`` with ``-i`` or from tests;
-  a fresh process has only just-registered series).
+  format, followed by ``# ``-commented p50/p95/p99 estimates per
+  histogram series (mostly useful under ``python -m`` with ``-i`` or
+  from tests; a fresh process has only just-registered series).
+* ``flame <profile.collapsed> [--min-percent P]`` — a text flamegraph
+  from the sampling profiler's collapsed-stack output
+  (``REPRO_OBS_PROFILE_OUT``, or ``/debug/profile`` saved to a file).
+* ``top <profile.collapsed> [--limit N]`` — self-time ranking of the
+  hottest frames in a collapsed profile.
+* ``slo --drill [--verbose]`` — the deterministic burn-rate drill:
+  inject a latency regression on a fake clock and assert WARN/PAGE fire
+  and recover at the exactly predicted evaluation ticks.
 """
 
 from __future__ import annotations
@@ -17,7 +27,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .export import build_trees, load_trace, render_prometheus, render_tree, summarize
+from .export import (
+    build_trees,
+    load_collapsed,
+    load_trace,
+    quantile_table,
+    render_flame,
+    render_prometheus,
+    render_top,
+    render_tree,
+    summarize,
+)
 
 
 def main(argv=None) -> int:
@@ -37,7 +57,41 @@ def main(argv=None) -> int:
     p_tree.add_argument("trace", help="path to the JSONL trace file")
     p_tree.add_argument("--trace-id", default=None, help="render one trace only")
 
-    sub.add_parser("metrics", help="print the registry in Prometheus format")
+    sub.add_parser(
+        "metrics",
+        help="print the registry in Prometheus format with quantile columns",
+    )
+
+    p_flame = sub.add_parser(
+        "flame", help="render a text flamegraph from a collapsed profile"
+    )
+    p_flame.add_argument("profile", help="path to a collapsed-stack file")
+    p_flame.add_argument(
+        "--min-percent", type=float, default=0.5,
+        help="fold branches below this percent of samples (default 0.5)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="self-time ranking from a collapsed profile"
+    )
+    p_top.add_argument("profile", help="path to a collapsed-stack file")
+    p_top.add_argument(
+        "--limit", type=int, default=20, help="rows to show (default 20)"
+    )
+
+    p_slo = sub.add_parser("slo", help="SLO tooling (the burn-rate drill)")
+    p_slo.add_argument(
+        "--drill", action="store_true",
+        help="run the deterministic burn-rate drill",
+    )
+    p_slo.add_argument(
+        "--verbose", action="store_true",
+        help="print every drill evaluation tick",
+    )
+    p_slo.add_argument(
+        "--no-http", action="store_true",
+        help="skip the /slo endpoint check at the end of the drill",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "summarize":
@@ -55,6 +109,37 @@ def main(argv=None) -> int:
             print("\n".join(render_tree(roots)))
     elif args.command == "metrics":
         sys.stdout.write(render_prometheus())
+        sys.stdout.write(quantile_table())
+    elif args.command == "flame":
+        sys.stdout.write(
+            render_flame(
+                load_collapsed(args.profile), min_percent=args.min_percent
+            )
+        )
+    elif args.command == "top":
+        sys.stdout.write(render_top(load_collapsed(args.profile), args.limit))
+    elif args.command == "slo":
+        if not args.drill:
+            parser.error("nothing to do; pass --drill")
+        from .slo import run_drill
+
+        try:
+            report = run_drill(
+                verbose=args.verbose, serve_http=not args.no_http
+            )
+        except AssertionError as exc:
+            print(f"DRILL FAILED: {exc}", file=sys.stderr)
+            return 1
+        print("SLO drill passed:")
+        for transition in report["transitions"]:
+            print(
+                f"  {transition['phase']:>10} tick {transition['tick']:>3}: "
+                f"-> {transition['state']}"
+            )
+        print(
+            f"  {report['timeline_entries']} timeline transitions, "
+            f"/slo endpoint checked: {report['http_checked']}"
+        )
     return 0
 
 

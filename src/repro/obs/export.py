@@ -1,14 +1,19 @@
-"""Exporters: Prometheus text exposition and JSONL trace analysis.
+"""Exporters: Prometheus text exposition, trace and profile analysis.
 
-Two consumers are served here:
+Three consumers are served here:
 
 * a scrape endpoint — :func:`render_prometheus` renders every metric in
   the registry in the Prometheus text exposition format (versioned
   ``# HELP``/``# TYPE`` headers, label sets, ``_bucket``/``_sum``/
-  ``_count`` expansion for histograms);
+  ``_count`` expansion for histograms); :func:`quantile_table` adds the
+  estimated p50/p95/p99 per histogram series as comment lines (the
+  output stays valid exposition format);
 * offline trace analysis — :func:`load_trace`, :func:`build_trees` and
   :func:`summarize` parse the JSONL stream written under ``REPRO_OBS=1``
-  and power the ``python -m repro.obs`` CLI.
+  and power the ``python -m repro.obs`` CLI;
+* profile analysis — :func:`load_collapsed`, :func:`render_flame` and
+  :func:`render_top` read the sampling profiler's collapsed-stack
+  output (``REPRO_OBS_PROFILE_OUT``) for ``flame``/``top``.
 """
 
 from __future__ import annotations
@@ -18,7 +23,12 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from .registry import HISTOGRAM, MetricsRegistry, get_registry
+from .registry import (
+    HISTOGRAM,
+    MetricsRegistry,
+    get_registry,
+    histogram_quantile,
+)
 
 # ----------------------------------------------------------- prometheus
 
@@ -72,6 +82,115 @@ def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
                     f"{metric.name}{_fmt_labels(labels)} {_fmt_value(child.value)}"
                 )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def quantile_table(
+    registry: Optional[MetricsRegistry] = None,
+    quantiles: Tuple[float, ...] = (0.5, 0.95, 0.99),
+) -> str:
+    """Estimated quantiles for every histogram series, as ``# ``-prefixed
+    comment lines — appended to an exposition the output stays a valid
+    scrape while giving the human reader the p50/p95/p99 at a glance."""
+    registry = registry or get_registry()
+    rows: List[str] = []
+    for metric in registry.collect():
+        if metric.kind != HISTOGRAM:
+            continue
+        for labels, child in sorted(
+            metric.series(), key=lambda pair: sorted(pair[0].items())
+        ):
+            buckets, counts, _sum, count = child.raw_counts()
+            if count == 0:
+                continue
+            estimates = " ".join(
+                f"p{int(q * 100)}={_fmt_value(round(histogram_quantile(buckets, counts, q) or 0.0, 6))}"
+                for q in quantiles
+            )
+            rows.append(
+                f"# quantiles {metric.name}{_fmt_labels(labels)} "
+                f"count={count} {estimates}"
+            )
+    if not rows:
+        return ""
+    header = "# -- estimated histogram quantiles (linear interpolation) --"
+    return "\n".join([header, *rows]) + "\n"
+
+
+# ---------------------------------------------------------- profile files
+
+
+def load_collapsed(path) -> Dict[Tuple[str, ...], int]:
+    """Parse a collapsed-stack profile: ``frame;frame;frame count``."""
+    stacks: Dict[Tuple[str, ...], int] = {}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            frames, _, count_text = line.rpartition(" ")
+            try:
+                count = int(count_text)
+            except ValueError:
+                continue
+            key = tuple(frames.split(";"))
+            stacks[key] = stacks.get(key, 0) + count
+    return stacks
+
+
+def render_flame(
+    stacks: Dict[Tuple[str, ...], int],
+    min_percent: float = 0.5,
+    max_depth: int = 24,
+) -> str:
+    """A text flamegraph: the merged stack tree, indented, widest first.
+
+    Branches below ``min_percent`` of total samples are folded away so
+    the hot paths dominate the page the way they dominate the profile.
+    """
+    total = sum(stacks.values())
+    if total == 0:
+        return "(empty profile)\n"
+
+    def children_of(prefix: Tuple[str, ...]):
+        groups: Dict[str, int] = defaultdict(int)
+        for stack, count in stacks.items():
+            if len(stack) > len(prefix) and stack[: len(prefix)] == prefix:
+                groups[stack[len(prefix)]] += count
+        return sorted(groups.items(), key=lambda kv: -kv[1])
+
+    lines: List[str] = [f"total: {total} samples"]
+
+    def walk(prefix: Tuple[str, ...], depth: int) -> None:
+        if depth >= max_depth:
+            return
+        for frame, count in children_of(prefix):
+            percent = 100.0 * count / total
+            if percent < min_percent:
+                continue
+            lines.append(f"{'  ' * depth}{frame} {percent:5.1f}% ({count})")
+            walk(prefix + (frame,), depth + 1)
+
+    walk((), 0)
+    return "\n".join(lines) + "\n"
+
+
+def render_top(
+    stacks: Dict[Tuple[str, ...], int], limit: int = 20
+) -> str:
+    """Self-time ranking: samples where each frame was the innermost."""
+    total = sum(stacks.values())
+    if total == 0:
+        return "(empty profile)\n"
+    self_counts: Dict[str, int] = defaultdict(int)
+    for stack, count in stacks.items():
+        if stack:
+            self_counts[stack[-1]] += count
+    lines = [f"{'self%':>6} {'samples':>8}  frame"]
+    for frame, count in sorted(
+        self_counts.items(), key=lambda kv: -kv[1]
+    )[:limit]:
+        lines.append(f"{100.0 * count / total:>5.1f}% {count:>8}  {frame}")
+    return "\n".join(lines) + "\n"
 
 
 # ------------------------------------------------------------ trace files
@@ -186,7 +305,7 @@ def summarize(path, trees: int = 1) -> str:
         e
         for e in events
         if e.get("kind")
-        in ("knob_change", "toq_violation", "drift", "breaker", "brownout")
+        in ("knob_change", "toq_violation", "drift", "breaker", "brownout", "slo")
     ]
     if quality or changes:
         out.append("")
@@ -212,6 +331,15 @@ def summarize(path, trees: int = 1) -> str:
                 out.append(
                     f"launch {launch:>5}  BREAKER {entry.get('variant')} -> "
                     f"{entry.get('state')} ({entry.get('reason')})"
+                )
+            elif entry.get("kind") == "slo":
+                out.append(
+                    f"{entry.get('objective', '?'):>12}  SLO "
+                    f"{entry.get('from_state')} -> {entry.get('to_state')} "
+                    f"tenant={entry.get('tenant')} "
+                    f"burn fast={entry.get('burn_fast', 0.0):.2f} "
+                    f"slow={entry.get('burn_slow', 0.0):.2f} "
+                    f"({entry.get('reason')})"
                 )
             elif entry.get("kind") == "brownout":
                 pressure = entry.get("pressure")

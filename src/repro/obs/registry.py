@@ -30,6 +30,60 @@ DEFAULT_BUCKETS = (
 )
 
 
+def histogram_quantile(
+    buckets: Tuple[float, ...], counts: List[int], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile of a bucketed histogram.
+
+    ``counts`` is per-bucket (non-cumulative), one entry per bound plus a
+    final +inf entry.  Linear interpolation inside the containing bucket,
+    the Prometheus ``histogram_quantile`` convention: the first bucket
+    interpolates from 0, and a quantile landing in the +inf bucket clamps
+    to the largest finite bound (the estimate cannot exceed what the
+    buckets resolve).  Returns None for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for i, bound in enumerate(buckets):
+        in_bucket = counts[i]
+        if cumulative + in_bucket >= rank and in_bucket > 0:
+            lower = buckets[i - 1] if i > 0 else 0.0
+            fraction = (rank - cumulative) / in_bucket
+            return lower + fraction * (bound - lower)
+        cumulative += in_bucket
+    return buckets[-1] if buckets else None
+
+
+def histogram_fraction_le(
+    buckets: Tuple[float, ...], counts: List[int], bound: float
+) -> float:
+    """Fraction of observations at or below ``bound`` (interpolated).
+
+    The SLO engine's latency-compliance estimate: per-bucket ``counts``
+    (non-cumulative, +inf last) against a threshold that may fall inside
+    a bucket.  Observations in the +inf bucket always count as above.
+    Returns 1.0 for an empty histogram (no traffic = no violations).
+    """
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    covered = 0.0
+    for i, edge in enumerate(buckets):
+        if edge <= bound:
+            covered += counts[i]
+            continue
+        lower = buckets[i - 1] if i > 0 else 0.0
+        if bound > lower:
+            covered += counts[i] * (bound - lower) / (edge - lower)
+        break
+    return min(1.0, covered / total)
+
+
 def _label_key(labelnames: Tuple[str, ...], labels: Dict[str, str]) -> Tuple[str, ...]:
     missing = [n for n in labelnames if n not in labels]
     extra = [n for n in labels if n not in labelnames]
@@ -88,6 +142,18 @@ class Child:
                     self._counts[i] += 1
                     return
             self._counts[-1] += 1
+
+    def raw_counts(self) -> Tuple[Tuple[float, ...], List[int], float, int]:
+        """(buckets, per-bucket counts, sum, count) — non-cumulative,
+        +inf bucket last.  The SLO engine diffs these across snapshots."""
+        with self._lock:
+            return self._buckets, list(self._counts), self._sum, self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile over the full observation history
+        (:func:`histogram_quantile`); None when nothing was observed."""
+        buckets, counts, _sum, _count = self.raw_counts()
+        return histogram_quantile(buckets, counts, q)
 
     def histogram_snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -148,6 +214,9 @@ class Metric:
 
     def observe(self, value: float) -> None:
         self._anonymous().observe(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        return self._anonymous().quantile(q)
 
     @property
     def value(self) -> float:

@@ -45,12 +45,29 @@ _SEQ = itertools.count()
 _FLUSH_EVERY = 64
 
 
+#: Per-thread span stacks, readable from *other* threads.  ``_Context``
+#: registers each thread's stack list here the first time the thread
+#: touches the context (``threading.local.__init__`` runs once per
+#: thread).  The sampling profiler (:mod:`repro.obs.profile`) walks this
+#: to attribute samples to the span a thread is currently inside; the
+#: lists are mutated without a lock, but list append/pop are atomic under
+#: the GIL and the profiler only ever copies, so a torn read costs at
+#: worst one misattributed sample.
+_THREAD_STACKS: Dict[int, List["Span"]] = {}
+
+
 class _Context(threading.local):
     def __init__(self) -> None:
         self.stack: List["Span"] = []
+        _THREAD_STACKS[threading.get_ident()] = self.stack
 
 
 _CONTEXT = _Context()
+
+
+def thread_stacks() -> Dict[int, List["Span"]]:
+    """Live per-thread span stacks (profiler use; treat as read-only)."""
+    return _THREAD_STACKS
 
 
 class _Sink:
@@ -62,19 +79,47 @@ class _Sink:
         self._fh = None
         self._path: Optional[str] = None
         self._unflushed = 0
+        self._bytes = 0
+        self._max_bytes: Optional[int] = None
 
-    def open(self, path) -> None:
+    def open(self, path, max_bytes: Optional[int] = None) -> None:
         with self._lock:
             if self._fh is not None:
                 self._fh.close()
             self._path = str(path)
             self._fh = open(self._path, "a", encoding="utf-8")
+            self._max_bytes = max_bytes
+            try:
+                self._bytes = os.path.getsize(self._path)
+            except OSError:
+                self._bytes = 0
+
+    def _rotate_locked(self) -> None:
+        """Roll the live file to ``<path>.1`` (single rollover: at most
+        ``2 * max_bytes`` ever on disk for a long-lived serving process)."""
+        self._fh.flush()
+        self._fh.close()
+        try:
+            os.replace(self._path, self._path + ".1")
+        except OSError:
+            pass  # keep appending to the oversized file rather than lose data
+        self._fh = open(self._path, "a", encoding="utf-8")
+        self._bytes = 0
+        self._unflushed = 0
 
     def emit(self, record: dict) -> None:
         with self._lock:
             self.records.append(record)
             if self._fh is not None:
-                self._fh.write(json.dumps(record, default=str) + "\n")
+                line = json.dumps(record, default=str) + "\n"
+                if (
+                    self._max_bytes is not None
+                    and self._bytes + len(line) > self._max_bytes
+                    and self._bytes > 0
+                ):
+                    self._rotate_locked()
+                self._fh.write(line)
+                self._bytes += len(line)
                 self._unflushed += 1
                 if self._unflushed >= _FLUSH_EVERY:
                     self._fh.flush()
@@ -303,11 +348,18 @@ def enabled() -> bool:
     return _ENABLED
 
 
-def enable(trace_path=None) -> None:
-    """Turn tracing on (optionally writing a JSONL trace to ``trace_path``)."""
+def enable(trace_path=None, max_mb: Optional[float] = None) -> None:
+    """Turn tracing on (optionally writing a JSONL trace to ``trace_path``).
+
+    ``max_mb`` caps the trace file: when an emit would push it past the
+    cap it is rolled to ``<path>.1`` (replacing any previous rollover)
+    and a fresh file is started, so long-lived serving sessions hold at
+    most ~2x the cap on disk.  Also settable via ``REPRO_OBS_TRACE_MAX_MB``.
+    """
     global _ENABLED
     if trace_path is not None:
-        _SINK.open(trace_path)
+        max_bytes = int(max_mb * 1024 * 1024) if max_mb else None
+        _SINK.open(trace_path, max_bytes=max_bytes)
     _ENABLED = True
 
 
@@ -341,7 +393,14 @@ def trace_path() -> Optional[str]:
 def _init_from_env() -> None:
     if os.environ.get("REPRO_OBS", "").lower() in _TRUTHY:
         path = os.environ.get("REPRO_OBS_TRACE")
-        enable(path if path else None)
+        max_mb: Optional[float] = None
+        raw = os.environ.get("REPRO_OBS_TRACE_MAX_MB", "")
+        if raw:
+            try:
+                max_mb = float(raw)
+            except ValueError:
+                max_mb = None
+        enable(path if path else None, max_mb=max_mb)
 
 
 _init_from_env()

@@ -173,6 +173,19 @@ class _FrontendMetrics:
             "requests whose queue wait exceeded their deadline",
             labelnames=("frontend",),
         )
+        # Per-tenant families the SLO engine reads; observed only while
+        # an engine is attached (see ServeFrontend._observe_tenant) so
+        # front-ends without SLOs pay nothing extra per request.
+        self.tenant_wait_seconds = registry.histogram(
+            "repro_frontend_tenant_wait_seconds",
+            "queue wait from admission to execution start, per tenant",
+            labelnames=("tenant",),
+        )
+        self._tenant_deadline_misses = registry.counter(
+            "repro_frontend_tenant_deadline_misses_total",
+            "requests whose queue wait exceeded their deadline, per tenant",
+            labelnames=("tenant",),
+        )
 
     def admitted(self, tenant: str) -> None:
         self._requests.labels(tenant=tenant).inc()
@@ -182,6 +195,9 @@ class _FrontendMetrics:
 
     def deadline_missed(self, frontend: str) -> None:
         self._deadline_misses.labels(frontend=frontend).inc()
+
+    def tenant_deadline_missed(self, tenant: str) -> None:
+        self._tenant_deadline_misses.labels(tenant=tenant).inc()
 
 
 class ServeFrontend:
@@ -208,6 +224,20 @@ class ServeFrontend:
             :class:`~repro.serve.overload.OverloadController`, or None
             (the default: overload stays a binary admit/reject and the
             dispatch fast path is untouched).
+        slo: per-tenant SLO evaluation — an
+            :class:`~repro.obs.slo.SLOEngine`, an iterable of
+            :class:`~repro.obs.slo.SLOObjective` (an engine is built
+            from them), or None (the default).  With an engine attached
+            the dispatcher evaluates objectives between batches, records
+            per-tenant wait/deadline series, and folds the engine's
+            pressure hint into the overload controller's sample.
+        serve_http: the embedded ops endpoint — ``True`` (ephemeral
+            loopback port), a port number, ``"host:port"``, or None (the
+            default: also honours ``REPRO_OBS_HTTP`` from the
+            environment).  The started
+            :class:`~repro.obs.http.ObsHTTPServer` is available as
+            ``self.http`` and serves this front-end's readiness and SLO
+            state; it stops with :meth:`close`.
     """
 
     _ids = itertools.count()
@@ -220,6 +250,8 @@ class ServeFrontend:
         max_queue_depth: int = DEFAULT_QUEUE_DEPTH,
         registry: Optional[object] = None,
         overload: Optional[object] = None,
+        slo: Optional[object] = None,
+        serve_http: Optional[object] = None,
     ) -> None:
         from ..registry import resolve_registry
         from .signals import track_frontend
@@ -249,6 +281,16 @@ class ServeFrontend:
             maxlen=self.overload.config.window if self.overload else 1
         )
         self._deadline_miss_count = 0
+        if slo is None:
+            self.slo = None
+        else:
+            from ..obs.slo import SLOEngine
+
+            if isinstance(slo, SLOEngine):
+                self.slo = slo
+            else:
+                self.slo = SLOEngine(objectives=tuple(slo))
+        self.http = self._start_http(serve_http)
         self._tenants: Dict[str, Tenant] = {}
         self._outstanding: Dict[str, int] = {}
         self._queue: Deque[_Request] = deque()
@@ -262,6 +304,25 @@ class ServeFrontend:
         self._dispatcher.start()
         self.register_tenant("default")
         track_frontend(self)
+
+    def _start_http(self, serve_http):
+        """Start the embedded ops endpoint when asked to (argument or
+        ``REPRO_OBS_HTTP``); None otherwise."""
+        import os
+
+        from ..obs.http import ObsHTTPServer, parse_http_spec
+
+        spec = parse_http_spec(
+            serve_http
+            if serve_http is not None
+            else os.environ.get("REPRO_OBS_HTTP")
+        )
+        if spec is None:
+            return None
+        host, port = spec
+        return ObsHTTPServer(
+            port=port, host=host, slo=self.slo, frontend=self
+        ).start()
 
     # -- tenants ---------------------------------------------------------------
 
@@ -454,10 +515,10 @@ class ServeFrontend:
         with self._wake:
             while not self._queue and not self._closed:
                 self._wake.wait(timeout=0.1)
-                if self.overload is not None:
+                if self.overload is not None or self.slo is not None:
                     # Surface each idle tick to the dispatch loop so the
-                    # controller keeps observing (and recovering) while
-                    # no traffic arrives.
+                    # controller and the SLO engine keep observing (and
+                    # recovering) while no traffic arrives.
                     break
             if not self._queue:
                 return []
@@ -485,6 +546,8 @@ class ServeFrontend:
     def _dispatch_loop(self) -> None:
         while True:
             batch = self._take_batch()
+            if self.slo is not None:
+                self.slo.maybe_evaluate()  # rate-limited inside the engine
             if not batch:
                 if self._closed and not self._queue:
                     return
@@ -532,6 +595,9 @@ class ServeFrontend:
                 queue_delay_s=delay,
                 miss_rate=miss_rate,
                 saturation=depth / float(self.max_queue_depth),
+                slo_burn=(
+                    self.slo.pressure_hint() if self.slo is not None else 0.0
+                ),
             )
         )
 
@@ -565,6 +631,8 @@ class ServeFrontend:
         ):
             for request in batch:
                 self.metrics.wait_seconds.observe(started - request.enqueued)
+                if self.slo is not None:
+                    self._observe_tenant(request, started)
                 if not request.future.set_running_or_notify_cancel():
                     self._done(request)
                     continue
@@ -588,6 +656,19 @@ class ServeFrontend:
                 else:
                     request.future.set_result(result)
                 self._done(request)
+
+    def _observe_tenant(self, request: _Request, started: float) -> None:
+        """Record the per-tenant series the SLO engine evaluates (only
+        while an engine is attached — overhead discipline)."""
+        wait = started - request.enqueued
+        self.metrics.tenant_wait_seconds.labels(tenant=request.tenant).observe(
+            wait
+        )
+        deadline = request.deadline_s
+        if deadline is None and self.overload is not None:
+            deadline = self.overload.config.deadline_s
+        if deadline is not None and wait > deadline:
+            self.metrics.tenant_deadline_missed(request.tenant)
 
     def _done(self, request: _Request) -> None:
         with self._lock:
@@ -639,6 +720,11 @@ class ServeFrontend:
                     )
                 self._outstanding[request.tenant] -= 1
             self.metrics.queue_depth.set(0)
+        if self.http is not None:
+            # Readiness already flipped to 503 when _closed was set;
+            # the listener stays up through the drain (load balancers
+            # keep getting a definitive answer) and goes away last.
+            self.http.stop()
 
     def __enter__(self) -> "ServeFrontend":
         return self

@@ -142,6 +142,10 @@ class SessionMetrics:
         self._fallback_launches = counter(
             "fallback_launches_total", "launches served below the primary rung"
         )
+        self._launch_errors = counter(
+            "launch_errors_total",
+            "launches that raised out of the fallback ladder",
+        )
         self._quarantines = counter(
             "quarantines_total", "breaker transitions to open"
         )
@@ -280,6 +284,12 @@ class SessionMetrics:
         )
         self._emit({"event": "transition", **asdict(transition)})
 
+    def record_launch_error(self) -> None:
+        """One launch that raised past every ladder rung — the error the
+        caller actually saw, the numerator of an availability SLO."""
+        self._launch_errors.inc()
+        self._emit({"event": "launch_error"})
+
     def record_compile(self, cache: str, seconds: float) -> None:
         """``cache`` is "memory", "disk" or "miss"."""
         if cache == "miss":
@@ -358,6 +368,10 @@ class SessionMetrics:
     @property
     def fallback_launches(self) -> int:
         return int(self._fallback_launches.value)
+
+    @property
+    def launch_errors(self) -> int:
+        return int(self._launch_errors.value)
 
     @property
     def quarantines(self) -> int:
@@ -457,6 +471,7 @@ class SessionMetrics:
             }
         return {
             "launches": self.launches,
+            "launch_errors": self.launch_errors,
             "kernel_launches": self.kernel_launches,
             "backend_launches": dict(self.backend_launches),
             "codegen": codegen,

@@ -402,14 +402,20 @@ class ApproxSession:
                 serving_speedup = recal.speedup_estimate
             root.set(variant=serving_name)
             with launch_hook(count), options_scope(ambient):
-                out, report = run_ladder(
-                    self.app,
-                    inputs,
-                    serving_variant,
-                    backend=backend,
-                    workers=workers,
-                    policy=self.guard,
-                )
+                try:
+                    out, report = run_ladder(
+                        self.app,
+                        inputs,
+                        serving_variant,
+                        backend=backend,
+                        workers=workers,
+                        policy=self.guard,
+                    )
+                except BaseException:
+                    # The ladder exhausted every rung: the caller sees
+                    # this error, so it counts against availability.
+                    self.metrics.record_launch_error()
+                    raise
                 # The ladder flushes per rung, but a fuse-enabled app
                 # that ends on a deferred producer must run it before
                 # this launch's output is treated as final.

@@ -30,6 +30,10 @@ _PREVIOUS: Dict[int, object] = {}
 
 _LOCK = threading.Lock()
 
+#: Set once a drain begins; the HTTP ``/readyz`` endpoint reads it so
+#: load balancers stop routing before the process disappears.
+_DRAINING = threading.Event()
+
 
 def track_frontend(frontend) -> None:
     """Called by :class:`~repro.serve.ServeFrontend` at construction."""
@@ -40,11 +44,22 @@ def live_frontends() -> List[object]:
     return list(_FRONTENDS)
 
 
+def is_draining() -> bool:
+    """True once :func:`drain` started (readiness, not liveness)."""
+    return _DRAINING.is_set()
+
+
+def reset_draining() -> None:
+    """Clear the draining flag (tests re-arming a drained process)."""
+    _DRAINING.clear()
+
+
 def drain(timeout: float = 10.0) -> None:
     """Close every live front-end (draining their queues through
     dispatch) and shut the shared process pool down."""
     from ..parallel import shutdown_process_pool
 
+    _DRAINING.set()
     for frontend in live_frontends():
         try:
             frontend.close(timeout=timeout)

@@ -93,3 +93,95 @@ class TestSink:
 
     def test_trace_path_reports_the_file(self, traced):
         assert obs_trace.trace_path() == str(traced)
+
+
+class TestRotation:
+    """REPRO_OBS_TRACE_MAX_MB: cap the JSONL file with one .1 rollover."""
+
+    def _traced_capped(self, tmp_path, max_mb):
+        was_enabled = obs_trace.enabled()
+        obs_trace.drain_records()
+        path = tmp_path / "trace.jsonl"
+        obs_trace.enable(path, max_mb=max_mb)
+        return path, was_enabled
+
+    def _restore(self, was_enabled):
+        obs_trace.disable()
+        obs_trace.drain_records()
+        if was_enabled:
+            obs_trace.enable()
+
+    def test_rotation_rolls_to_dot_one(self, tmp_path):
+        # ~1KB cap: a few hundred spans guarantee at least one rollover.
+        path, was_enabled = self._traced_capped(tmp_path, 1 / 1024)
+        try:
+            for i in range(200):
+                with obs_trace.span("rotated", i=i):
+                    pass
+            obs_trace.flush()
+            rolled = tmp_path / "trace.jsonl.1"
+            assert rolled.exists(), "no .1 rollover written"
+            assert path.stat().st_size <= 1024
+            assert rolled.stat().st_size <= 1024
+            # Both files stay valid JSONL: rotation happens on line
+            # boundaries, never mid-record.
+            for file in (path, rolled):
+                for line in file.read_text().splitlines():
+                    if line.strip():
+                        json.loads(line)
+        finally:
+            self._restore(was_enabled)
+
+    def test_rotation_keeps_only_one_generation(self, tmp_path):
+        path, was_enabled = self._traced_capped(tmp_path, 1 / 1024)
+        try:
+            for i in range(600):
+                with obs_trace.span("many", i=i):
+                    pass
+            obs_trace.flush()
+            generations = sorted(p.name for p in tmp_path.iterdir())
+            assert generations == ["trace.jsonl", "trace.jsonl.1"]
+        finally:
+            self._restore(was_enabled)
+
+    def test_existing_file_size_counts_against_the_cap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("x" * 900 + "\n")  # pre-existing bytes
+        was_enabled = obs_trace.enabled()
+        obs_trace.drain_records()
+        obs_trace.enable(path, max_mb=1 / 1024)
+        try:
+            for i in range(5):
+                with obs_trace.span("appended", i=i):
+                    pass
+            obs_trace.flush()
+            # The pre-existing 901 bytes pushed the first new record over
+            # the cap, so the old content rotated out to .1.
+            assert (tmp_path / "trace.jsonl.1").exists()
+        finally:
+            self._restore(was_enabled)
+
+    def test_no_cap_means_no_rotation(self, traced):
+        for i in range(200):
+            with obs_trace.span("uncapped", i=i):
+                pass
+        obs_trace.flush()
+        assert not (traced.parent / "trace.jsonl.1").exists()
+
+    def test_env_knob_parses_and_junk_is_ignored(self, monkeypatch, tmp_path):
+        was_enabled = obs_trace.enabled()
+        obs_trace.disable()
+        obs_trace.drain_records()
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_TRACE", str(tmp_path / "env.jsonl"))
+        monkeypatch.setenv("REPRO_OBS_TRACE_MAX_MB", "not-a-number")
+        try:
+            obs_trace._init_from_env()  # junk cap: enabled, uncapped
+            assert obs_trace.enabled()
+            assert obs_trace._SINK._max_bytes is None
+            obs_trace.disable()
+            monkeypatch.setenv("REPRO_OBS_TRACE_MAX_MB", "2.5")
+            obs_trace._init_from_env()
+            assert obs_trace._SINK._max_bytes == int(2.5 * 1024 * 1024)
+        finally:
+            self._restore(was_enabled)

@@ -173,3 +173,89 @@ class TestSubsystemFamilies:
             assert int(metric.value) == before + 2
         finally:
             STATS.shards_run = before
+
+
+class TestQuantiles:
+    """Histogram.quantile(q): linear interpolation over bucket bounds."""
+
+    def _hist(self):
+        registry = MetricsRegistry()
+        return registry.histogram(
+            "repro_q_seconds", "q", buckets=(0.01, 0.1, 1.0)
+        )
+
+    def test_empty_histogram_has_no_quantile(self):
+        assert self._hist().quantile(0.5) is None
+
+    def test_single_bucket_interpolates_from_zero(self):
+        hist = self._hist()
+        for _ in range(10):
+            hist.observe(0.005)
+        # All mass in [0, 0.01): the median interpolates to the middle.
+        assert hist.quantile(0.5) == pytest.approx(0.005, rel=0.01)
+
+    def test_quantiles_split_across_buckets(self):
+        hist = self._hist()
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        # p50 in the first bucket, p95/p99 inside (0.1, 1.0].
+        assert hist.quantile(0.5) < 0.01
+        assert 0.1 < hist.quantile(0.95) < 1.0
+        assert hist.quantile(0.99) == pytest.approx(0.91, rel=0.01)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        hist = self._hist()
+        for _ in range(10):
+            hist.observe(50.0)  # beyond every bound
+        assert hist.quantile(0.99) == 1.0
+
+    def test_out_of_range_quantile_raises(self):
+        with pytest.raises(ConfigError):
+            self._hist().quantile(1.5)
+
+    def test_labelled_series_quantile(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "repro_ql_seconds", "q", labelnames=("tenant",),
+            buckets=(0.01, 0.1, 1.0),
+        )
+        family.labels(tenant="a").observe(0.005)
+        family.labels(tenant="b").observe(0.5)
+        assert family.labels(tenant="a").quantile(0.5) < 0.01
+        assert family.labels(tenant="b").quantile(0.5) > 0.1
+
+    def test_fraction_at_or_below_interpolates(self):
+        from repro.obs.registry import histogram_fraction_le
+
+        hist = self._hist()
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        buckets, counts, _sum, _count = hist._anonymous().raw_counts()
+        assert histogram_fraction_le(buckets, counts, 0.1) == pytest.approx(0.9)
+        assert histogram_fraction_le(buckets, counts, 5.0) == 1.0
+        # Empty histogram: no traffic means full compliance.
+        assert histogram_fraction_le((1.0,), [0, 0], 0.5) == 1.0
+
+    def test_quantile_table_renders_comment_lines(self):
+        from repro.obs.export import quantile_table
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_qt_seconds", "q")
+        hist.observe(0.05)
+        text = quantile_table(registry)
+        assert text.startswith("#")
+        assert "repro_qt_seconds" in text
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        # Every line is a comment: appending to an exposition keeps it valid.
+        assert all(line.startswith("#") for line in text.splitlines())
+
+    def test_quantile_table_skips_empty_series(self):
+        from repro.obs.export import quantile_table
+
+        registry = MetricsRegistry()
+        registry.histogram("repro_qe_seconds", "q")
+        assert quantile_table(registry) == ""
